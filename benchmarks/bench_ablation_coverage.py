@@ -1,0 +1,54 @@
+"""Ablation — coverage criterion strength (sec. 3.4.1).
+
+The paper calls transaction coverage "the weakest criterion among the ones
+presented in [Beizer]" yet finds it useful.  This ablation compares the
+transaction-coverage suite against greedy node-coverage and link-coverage
+suites over the same model, on suite size and kill power, plus the
+loop-bound study for cyclic models (DESIGN.md §5.1).
+
+Expected shape: node ⊆ link ⊆ transaction in suite size, with kill power
+increasing in the same order — structural criteria are much cheaper but
+miss interaction faults that only specific method sequences reveal.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import coverage_ablation, edge_bound_ablation
+
+
+def test_coverage_criterion_ablation(benchmark):
+    result = run_once(benchmark, coverage_ablation, stride=4)
+
+    print()
+    print(result.format())
+
+    by_name = {row.criterion: row for row in result.rows}
+    transaction = by_name["transaction coverage"]
+    node = by_name["node coverage (greedy)"]
+    link = by_name["link coverage (greedy)"]
+
+    # Suite sizes: structural criteria are far cheaper.
+    assert node.cases <= link.cases <= transaction.cases
+    assert node.transactions < transaction.transactions
+    # Kill power follows the same order (transaction coverage wins).
+    assert node.kills <= link.kills <= transaction.kills
+    assert transaction.kills > 0
+
+
+def test_edge_bound_ablation(benchmark):
+    rows = run_once(benchmark, edge_bound_ablation, bounds=(1, 2, 3))
+
+    print()
+    for row in rows:
+        print(f"  {row.class_name:<14} bound={row.edge_bound}  "
+              f"{row.transactions:5d} transactions"
+              f"{'  [truncated]' if row.truncated else ''}")
+
+    by_class = {}
+    for row in rows:
+        by_class.setdefault(row.class_name, []).append(row.transactions)
+    for class_name, counts in by_class.items():
+        # Loopier bounds strictly grow the transaction set on cyclic models.
+        assert counts[0] < counts[1] < counts[2], class_name

@@ -1,0 +1,38 @@
+"""Ablation — oracle contribution (sec. 4's assertion discussion).
+
+The paper: "assertions, besides improving testability, help to improve
+fault-revealing effectiveness.  The results also show that assertions alone
+do not constitute an effective oracle."  This ablation scores a sampled
+Table-2 mutant pool under three oracle configurations:
+
+* assertions only   (the embedded partial oracle by itself);
+* output only       (golden observations, no contract knowledge);
+* the full composite (the experiment configuration).
+
+Expected shape: assertions alone kill a clear minority; the composite
+dominates both single detectors.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablations import oracle_ablation
+
+
+def test_oracle_ablation(benchmark):
+    result = run_once(benchmark, oracle_ablation, stride=4)
+
+    print()
+    print(result.format())
+
+    kills = result.kills_by_oracle
+    # Assertions alone are not an effective oracle (paper's conclusion)…
+    assert kills["assertions_only"] < 0.5 * result.total_mutants
+    # …but they do help: they kill a non-trivial share on their own.
+    assert kills["assertions_only"] > 0
+    # The composite is at least as strong as each single detector.
+    assert kills["full_composite"] >= kills["assertions_only"]
+    assert kills["full_composite"] >= kills["output_only"]
+    # And the full configuration is effective overall.
+    assert kills["full_composite"] > 0.6 * result.total_mutants

@@ -1,0 +1,121 @@
+"""Extensions — the paper's future work, benchmarked.
+
+Not tables/figures of the paper itself, but the extensions its sec. 6 and
+related-work discussion point to, implemented in this repository:
+
+* **interclass testing** (sec. 6 future work): generation + execution of
+  the warehouse assembly (Provider + Product);
+* **test-quality estimation** (Le Traon et al., sec. 5): sampled mutation
+  score with a Wilson interval, and quality/budget-driven suite reduction;
+* **set/reset** (sec. 3.3's optional capability): checkpoint/restore cost.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bit import access
+from repro.bit.setreset import StateCheckpoint
+from repro.components import (
+    BankAccount,
+    CSortableObList,
+    OBLIST_TYPE_MODEL,
+    WAREHOUSE_ASSEMBLY,
+    WAREHOUSE_ROLES,
+    reset_database,
+)
+from repro.experiments.config import sortable_oracle, sortable_suite
+from repro.harness.outcomes import Verdict
+from repro.interclass import AssemblyExecutor, InterclassDriverGenerator
+from repro.mutation.generate import generate_mutants
+from repro.mutation.quality import (
+    estimate_suite_quality,
+    select_by_budget,
+    select_by_quality,
+)
+
+
+def test_interclass_warehouse(benchmark):
+    def run():
+        reset_database()
+        suite = InterclassDriverGenerator(WAREHOUSE_ASSEMBLY, seed=7).generate()
+        executor = AssemblyExecutor(WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES)
+        return suite, executor.run_suite(suite)
+
+    suite, result = run_once(benchmark, run)
+    print()
+    print(suite.summary())
+    print(result.summary())
+    assert result.all_passed
+    assert len(suite) > 20
+    assert not result.by_verdict(Verdict.INCOMPLETE)
+
+
+def test_quality_estimation(benchmark):
+    suite = sortable_suite()
+
+    estimate = run_once(
+        benchmark,
+        estimate_suite_quality,
+        CSortableObList, suite, ("Sort1", "Sort2", "ShellSort",
+                                 "FindMax", "FindMin"),
+        sample_size=120, seed=11,
+        oracle=sortable_oracle(), type_model=OBLIST_TYPE_MODEL,
+    )
+    print()
+    print(estimate.summary())
+    # The sampled estimate approximates the full-run kill rate (561/709 ≈
+    # 79.1%); a 95% interval misses ~1 run in 20, so assert a margin rather
+    # than strict bracketing.
+    assert estimate.sampled == 120
+    assert abs(estimate.estimate - 0.791) < 0.12
+    assert (estimate.high - estimate.low) < 0.25
+    assert estimate.low <= estimate.estimate <= estimate.high
+
+
+def test_quality_driven_reduction(benchmark):
+    from dataclasses import replace
+
+    suite = sortable_suite()
+    relevant = replace(suite, cases=tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin") for step in case.steps)
+    )[:100])
+    mutants, _ = generate_mutants(
+        CSortableObList, ["FindMax", "FindMin"], type_model=OBLIST_TYPE_MODEL
+    )
+
+    def run():
+        by_quality = select_by_quality(
+            CSortableObList, relevant, mutants[:60], target_quality=0.95,
+            oracle=sortable_oracle(),
+        )
+        by_budget = select_by_budget(
+            CSortableObList, relevant, mutants[:60], max_cases=5,
+            oracle=sortable_oracle(),
+        )
+        return by_quality, by_budget
+
+    by_quality, by_budget = run_once(benchmark, run)
+    print()
+    print(f"quality-driven: {by_quality.summary()}")
+    print(f"budget-driven:  {by_budget.summary()}")
+    assert by_quality.quality_ratio >= 0.95
+    assert len(by_quality.suite) < len(relevant)
+    assert len(by_budget.suite) <= 5
+
+
+def test_setreset_checkpoint_cost(benchmark):
+    with access.test_mode():
+        account = BankAccount("bench", 1000)
+        for _ in range(50):
+            account.Deposit(10)
+        checkpoint = StateCheckpoint(account)
+
+        def capture_and_restore():
+            account.Withdraw(100)
+            checkpoint.restore()
+            return account.GetBalance()
+
+        balance = benchmark(capture_and_restore)
+    assert balance == 1500

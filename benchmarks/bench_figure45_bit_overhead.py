@@ -1,0 +1,61 @@
+"""Figures 4–5 — BuiltInTest capabilities and their cost.
+
+Two claims are benchmarked:
+
+* **detection** — the Figure-5 assertion macros fire in test mode and are
+  silent outside it, and the BIT interface is unreachable without test
+  mode (the access-control contract);
+* **cost** — a production build (``compile_component(test_mode=False)``)
+  is the original class, so testability machinery adds nothing to deployed
+  components; the instrumented build pays for its observability.
+"""
+
+from __future__ import annotations
+
+from repro.bit import access
+from repro.bit.instrument import compile_component
+from repro.components import BoundedStack
+from repro.experiments.figures import figure45_bit_demo
+
+
+def _drive(stack_class, rounds=200):
+    for _ in range(rounds):
+        stack = stack_class(8)
+        for value in range(8):
+            stack.Push(value)
+        while not stack.IsEmpty():
+            stack.Pop()
+
+
+def test_figure45_detection(benchmark):
+    result = benchmark(figure45_bit_demo)
+    print()
+    print(result.summary())
+    assert set(result.violations_in_test_mode) == {"pre", "post", "invariant"}
+    assert result.silent_outside_test_mode
+    assert result.bit_blocked_outside_test_mode
+
+
+def test_production_build_cost(benchmark):
+    production = compile_component(BoundedStack, test_mode=False)
+    assert production is BoundedStack  # literally the original class
+    benchmark(_drive, production)
+
+
+def test_instrumented_test_mode_cost(benchmark):
+    instrumented = compile_component(
+        BoundedStack, test_mode=True, check_invariants=True
+    )
+
+    def drive_in_test_mode():
+        with access.test_mode():
+            _drive(instrumented)
+
+    benchmark(drive_in_test_mode)
+
+
+def test_instrumented_off_mode_cost(benchmark):
+    instrumented = compile_component(
+        BoundedStack, test_mode=True, check_invariants=True
+    )
+    benchmark(_drive, instrumented)

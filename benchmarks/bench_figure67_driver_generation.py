@@ -1,0 +1,43 @@
+"""Figures 6–7 — test-case generation and the executable driver.
+
+Benchmarks the consumer-side pipeline the paper automates: suite generation
+from the embedded t-spec (Driver Generator), driver source emission
+(Figure 6's test-case functions + Figure 7's executable suite), and the
+end-to-end run of the generated driver module.
+"""
+
+from __future__ import annotations
+
+from repro.components import CSortableObList, SORTABLE_OBLIST_SPEC
+from repro.experiments.figures import figure67_generated_driver
+from repro.generator.codegen import generate_driver_source
+from repro.generator.driver import DriverGenerator
+from repro.harness.executor import TestExecutor
+
+
+def test_suite_generation_speed(benchmark):
+    suite = benchmark(lambda: DriverGenerator(SORTABLE_OBLIST_SPEC).generate())
+    assert len(suite) > 400
+
+
+def test_suite_execution_speed(benchmark):
+    suite = DriverGenerator(SORTABLE_OBLIST_SPEC).generate()
+    executor = TestExecutor(CSortableObList)
+    result = benchmark(executor.run_suite, suite)
+    assert result.all_passed
+
+
+def test_driver_codegen_speed(benchmark):
+    suite = DriverGenerator(SORTABLE_OBLIST_SPEC).generate()
+    source = benchmark(
+        generate_driver_source, suite, "repro.components", "CSortableObList"
+    )
+    assert source.count("def test_case_") == len(suite)
+
+
+def test_generated_driver_end_to_end(benchmark):
+    result = benchmark(figure67_generated_driver, 12)
+    print()
+    print(result.summary())
+    assert result.passed == result.test_case_count
+    assert result.failed == 0

@@ -1,0 +1,25 @@
+"""Benchmark fixtures: pristine global state, shared heavyweight artefacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit import access
+from repro.components import reset_database
+
+
+@pytest.fixture(autouse=True)
+def pristine_global_state():
+    access.reset()
+    reset_database()
+    yield
+    access.reset()
+    reset_database()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs,
+        rounds=1, iterations=1, warmup_rounds=0,
+    )

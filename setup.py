@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments without the `wheel` package (no PEP 660 backend)."""
+
+from setuptools import setup
+
+setup()

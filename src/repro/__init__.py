@@ -1,0 +1,126 @@
+"""PyConcat — self-testable software components.
+
+A Python reproduction of *Constructing Self-Testable Software Components*
+(E. Martins, C. M. Toyota, R. L. Yanagawa — DSN 2001) and of its prototype
+tool, Concat.
+
+A **self-testable component** carries, in addition to its implementation:
+
+* an embedded test specification (:mod:`repro.tspec`) describing its
+  interface (attribute/parameter value domains) and its behaviour as a
+  Transaction Flow Model (:mod:`repro.tfm`);
+* built-in test capabilities (:mod:`repro.bit`): contract assertions used
+  as a partial oracle, a state reporter, and a test-mode access control;
+* a consumer-side Driver Generator (:mod:`repro.generator`) that derives an
+  executable test suite per the transaction-coverage criterion, executed by
+  the harness (:mod:`repro.harness`);
+* a testing history supporting hierarchical incremental reuse for
+  subclasses (:mod:`repro.history`).
+
+The paper's empirical evaluation — interface mutation over an MFC-style
+linked list and its sortable subclass — is fully reproducible via
+:mod:`repro.mutation` and :mod:`repro.components`; see ``benchmarks/``.
+
+Quickstart::
+
+    from repro import DriverGenerator, TestExecutor, test_mode
+    from repro.components import BoundedStack
+
+    suite = DriverGenerator(BoundedStack.__tspec__).generate()
+    result = TestExecutor(BoundedStack).run_suite(suite)
+    assert result.all_passed
+"""
+
+from .bit import (
+    BuiltInTest,
+    check_invariant,
+    check_postcondition,
+    check_precondition,
+    compile_component,
+    ensure,
+    instrument,
+    is_self_testable,
+    require,
+    set_test_mode,
+    test_mode,
+)
+from .core import (
+    BoolDomain,
+    ContractViolation,
+    FloatRangeDomain,
+    InvariantViolation,
+    ObjectDomain,
+    PointerDomain,
+    PostconditionViolation,
+    PreconditionViolation,
+    RangeDomain,
+    ReproError,
+    ReproRandom,
+    SetDomain,
+    StringDomain,
+)
+from .generator import DriverGenerator, TestSuite, TypeBinding, generate_suite
+from .harness import ResultLog, SuiteResult, TestExecutor, Verdict, run_suite
+from .history import HistoryStore, TestHistory, plan_subclass_testing
+from .mutation import (
+    MutationAnalysis,
+    analyze_mutants,
+    build_score_table,
+    generate_mutants,
+    probe_equivalence,
+)
+from .tfm import TransactionFlowGraph, enumerate_transactions
+from .tspec import ClassSpec, SpecBuilder, parse_tspec, validate, write_tspec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoolDomain",
+    "BuiltInTest",
+    "ClassSpec",
+    "ContractViolation",
+    "DriverGenerator",
+    "FloatRangeDomain",
+    "HistoryStore",
+    "InvariantViolation",
+    "MutationAnalysis",
+    "ObjectDomain",
+    "PointerDomain",
+    "PostconditionViolation",
+    "PreconditionViolation",
+    "RangeDomain",
+    "ReproError",
+    "ReproRandom",
+    "ResultLog",
+    "SetDomain",
+    "SpecBuilder",
+    "StringDomain",
+    "SuiteResult",
+    "TestExecutor",
+    "TestHistory",
+    "TestSuite",
+    "TransactionFlowGraph",
+    "TypeBinding",
+    "Verdict",
+    "analyze_mutants",
+    "build_score_table",
+    "check_invariant",
+    "check_postcondition",
+    "check_precondition",
+    "compile_component",
+    "ensure",
+    "enumerate_transactions",
+    "generate_mutants",
+    "generate_suite",
+    "instrument",
+    "is_self_testable",
+    "parse_tspec",
+    "plan_subclass_testing",
+    "probe_equivalence",
+    "require",
+    "run_suite",
+    "set_test_mode",
+    "test_mode",
+    "validate",
+    "write_tspec",
+]

@@ -1,0 +1,64 @@
+"""Built-in test (BIT) capabilities: access control, assertions, reporter,
+the ``BuiltInTest`` mixin, dynamic instrumentation, and call tracing."""
+
+from .access import (
+    disable_for_class,
+    enable_for_class,
+    is_test_mode,
+    require_test_mode,
+    reset,
+    set_test_mode,
+    test_mode,
+)
+from .assertions import (
+    check_invariant,
+    check_postcondition,
+    check_precondition,
+    ensure,
+    has_contracts,
+    invariant_checked,
+    require,
+)
+from .builtintest import BuiltInTest, is_self_testable
+from .instrument import (
+    compile_component,
+    instrument,
+    is_instrumented,
+    original_class,
+    tracer_of,
+)
+from .reporter import StateReport, report_to_file, snapshot_value
+from .setreset import Restorable, StateCheckpoint, run_from_state
+from .trace import CallTracer, TraceEvent
+
+__all__ = [
+    "BuiltInTest",
+    "CallTracer",
+    "Restorable",
+    "StateCheckpoint",
+    "StateReport",
+    "TraceEvent",
+    "check_invariant",
+    "check_postcondition",
+    "check_precondition",
+    "compile_component",
+    "disable_for_class",
+    "enable_for_class",
+    "ensure",
+    "has_contracts",
+    "instrument",
+    "invariant_checked",
+    "is_instrumented",
+    "is_self_testable",
+    "is_test_mode",
+    "original_class",
+    "report_to_file",
+    "require",
+    "require_test_mode",
+    "run_from_state",
+    "reset",
+    "set_test_mode",
+    "snapshot_value",
+    "test_mode",
+    "tracer_of",
+]

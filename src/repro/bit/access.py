@@ -1,0 +1,104 @@
+"""BIT access control: the test-mode switch.
+
+In the paper, built-in test capabilities are guarded by a *BIT access
+control* "which consists in a compiler directive which includes or excludes
+BIT capabilities" (sec. 3.3).  Python has no preprocessor, so the guard is a
+runtime switch with the same contract:
+
+* BIT services (``invariant_test``, ``reporter``, embedded assertions) are
+  **unavailable** unless test mode is on — calling them raises
+  :class:`TestModeError`, and embedded contract checks evaluate to no-ops so
+  production behaviour carries no checking overhead beyond one flag read;
+* test mode can be global or scoped to specific classes, mirroring compiling
+  only the component under test in test mode.
+
+The usual entry point is the :func:`test_mode` context manager::
+
+    with test_mode():
+        component.invariant_test()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Set, Type
+
+from ..core.errors import TestModeError
+
+
+class _AccessState:
+    """Process-wide switch state (one tester drives one test session)."""
+
+    def __init__(self):
+        self.global_on = False
+        self.enabled_classes: Set[type] = set()
+
+    def is_on_for(self, target: Optional[type]) -> bool:
+        if self.global_on:
+            return True
+        if target is None:
+            return False
+        return any(issubclass(target, enabled) for enabled in self.enabled_classes)
+
+
+_STATE = _AccessState()
+
+
+def set_test_mode(on: bool) -> None:
+    """Turn global test mode on or off."""
+    _STATE.global_on = bool(on)
+
+
+def enable_for_class(target: Type) -> None:
+    """Enable test mode for one class (and its subclasses) only."""
+    _STATE.enabled_classes.add(target)
+
+
+def disable_for_class(target: Type) -> None:
+    """Remove a per-class enablement (no-op when absent)."""
+    _STATE.enabled_classes.discard(target)
+
+
+def is_test_mode(target: Optional[type] = None) -> bool:
+    """True when BIT capabilities are available.
+
+    With a ``target`` class, per-class enablement is honoured; without one,
+    only the global switch counts.
+    """
+    return _STATE.is_on_for(target)
+
+
+def require_test_mode(target: Optional[type] = None, capability: str = "BIT") -> None:
+    """Raise :class:`TestModeError` unless test mode is on."""
+    if not is_test_mode(target):
+        name = target.__name__ if target is not None else "component"
+        raise TestModeError(
+            f"{capability} capability of {name} requires test mode; "
+            "wrap the call in `with test_mode():` or call set_test_mode(True)"
+        )
+
+
+@contextlib.contextmanager
+def test_mode(target: Optional[Type] = None) -> Iterator[None]:
+    """Context manager enabling test mode globally or for one class."""
+    if target is None:
+        previous = _STATE.global_on
+        _STATE.global_on = True
+        try:
+            yield
+        finally:
+            _STATE.global_on = previous
+    else:
+        added = target not in _STATE.enabled_classes
+        _STATE.enabled_classes.add(target)
+        try:
+            yield
+        finally:
+            if added:
+                _STATE.enabled_classes.discard(target)
+
+
+def reset() -> None:
+    """Restore the pristine off state (used by tests)."""
+    _STATE.global_on = False
+    _STATE.enabled_classes.clear()

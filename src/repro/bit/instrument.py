@@ -1,0 +1,185 @@
+"""Dynamic class instrumentation: the "compile in test mode" analogue.
+
+The paper's consumer compiles a component *in test mode* to get a version
+with BIT capabilities; the production build excludes them via compiler
+directives (sec. 3.1, 3.3).  Python needs no recompilation: this module
+builds, at runtime, an **instrumented subclass** of the component that
+
+* mixes in :class:`~repro.bit.builtintest.BuiltInTest` (invariant test +
+  reporter),
+* installs a producer-supplied invariant predicate,
+* wraps every public method with call tracing and (optionally) automatic
+  invariant checking around the call,
+* carries the embedded t-spec as ``__tspec__``.
+
+:func:`compile_component` is the directive analogue: it returns the
+instrumented class when asked for test mode and the **original, untouched
+class** otherwise — production code paths never see a wrapper.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from ..core.errors import InstrumentationError
+from ..tspec.model import ClassSpec
+from . import access
+from .builtintest import BuiltInTest
+from .trace import CallTracer
+
+#: Attribute names the wrapper machinery reserves on instrumented classes.
+_MARKER = "_bit_instrumented"
+_ORIGINAL = "_bit_original"
+_TRACER = "_bit_tracer"
+
+#: Method names never wrapped: BIT interface + lifecycle internals.
+_EXCLUDED = {
+    "class_invariant",
+    "invariant_test",
+    "reporter",
+    "has_builtin_test",
+}
+
+
+def is_instrumented(target: type) -> bool:
+    """True when ``target`` was produced by :func:`instrument`."""
+    return bool(getattr(target, _MARKER, False))
+
+
+def original_class(target: type) -> type:
+    """The pristine class an instrumented class was built from."""
+    if not is_instrumented(target):
+        return target
+    return getattr(target, _ORIGINAL)
+
+
+def tracer_of(target: type) -> Optional[CallTracer]:
+    """The tracer attached to an instrumented class (None otherwise)."""
+    return getattr(target, _TRACER, None)
+
+
+def _wrap_method(name: str, function: Callable, tracer: CallTracer,
+                 check_invariants: bool) -> Callable:
+    @functools.wraps(function)
+    def wrapper(self, *args, **kwargs):
+        checking = check_invariants and access.is_test_mode(type(self))
+        if checking and name != "__init__":
+            self.invariant_test()
+        try:
+            result = function(self, *args, **kwargs)
+        except BaseException as error:
+            tracer.record_raise(self, name, args, kwargs, error)
+            raise
+        tracer.record_return(self, name, args, kwargs, result)
+        if checking:
+            self.invariant_test()
+        return result
+
+    wrapper.__bit_wrapped__ = True
+    return wrapper
+
+
+def _wrappable_methods(target: type):
+    """Public callables of the class, looked up through the MRO."""
+    names = set()
+    for klass in target.__mro__:
+        if klass in (object, BuiltInTest):
+            continue
+        names.update(klass.__dict__)
+    for name in sorted(names):
+        if name in _EXCLUDED or name.startswith("_bit_"):
+            continue
+        if name.startswith("__") and name != "__init__":
+            continue
+        if name.startswith("_") and name != "__init__":
+            continue
+        member = getattr(target, name, None)
+        if callable(member) and not isinstance(
+            target.__dict__.get(name), (staticmethod, classmethod, property)
+        ):
+            # Only instance methods are transactions; class/static methods and
+            # properties stay untouched.
+            function = _underlying_function(target, name)
+            if function is not None:
+                yield name, function
+
+
+def _underlying_function(target: type, name: str) -> Optional[Callable]:
+    for klass in target.__mro__:
+        if name in klass.__dict__:
+            candidate = klass.__dict__[name]
+            if isinstance(candidate, (staticmethod, classmethod, property)):
+                return None
+            if callable(candidate):
+                return candidate
+            return None
+    return None
+
+
+def instrument(target: type,
+               spec: Optional[ClassSpec] = None,
+               invariant: Optional[Callable] = None,
+               check_invariants: bool = False,
+               tracer: Optional[CallTracer] = None,
+               class_name: Optional[str] = None) -> type:
+    """Build the instrumented (self-testable) variant of ``target``.
+
+    Parameters
+    ----------
+    target:
+        The component class.  Must not already be instrumented.
+    spec:
+        The embedded t-spec; stored as ``__tspec__``.  When the class
+        already embeds one (a self-testable component), it is inherited.
+    invariant:
+        Predicate ``invariant(self) -> bool`` installed as
+        ``class_invariant``.  When omitted, an existing ``class_invariant``
+        (from the class itself) is kept.
+    check_invariants:
+        When true, every wrapped method checks the invariant before and
+        after executing (in test mode).  Default false: the paper's drivers
+        perform the invariant calls themselves (Figure 6).
+    tracer:
+        Call tracer to attach; a fresh one is created when omitted.
+    """
+    if not isinstance(target, type):
+        raise InstrumentationError(f"can only instrument classes, not {target!r}")
+    if is_instrumented(target):
+        raise InstrumentationError(f"{target.__name__} is already instrumented")
+
+    call_tracer = tracer if tracer is not None else CallTracer()
+    namespace: dict = {
+        _MARKER: True,
+        _ORIGINAL: target,
+        _TRACER: call_tracer,
+    }
+
+    if spec is not None:
+        namespace["__tspec__"] = spec
+    if invariant is not None:
+        namespace["class_invariant"] = lambda self: bool(invariant(self))
+
+    for name, function in _wrappable_methods(target):
+        namespace[name] = _wrap_method(name, function, call_tracer, check_invariants)
+
+    bases = (target,) if issubclass(target, BuiltInTest) else (target, BuiltInTest)
+    new_name = class_name or target.__name__
+    instrumented = type(new_name, bases, namespace)
+    instrumented.__module__ = target.__module__
+    instrumented.__doc__ = target.__doc__
+    return instrumented
+
+
+def compile_component(target: type, test_mode: bool, **options) -> type:
+    """The compiler-directive analogue (sec. 3.3).
+
+    ``test_mode=True`` returns the instrumented class (building it on
+    demand); ``test_mode=False`` returns the original class unchanged, so a
+    production build carries no BIT machinery at all.
+    """
+    if not test_mode:
+        return original_class(target)
+    if is_instrumented(target):
+        return target
+    return instrument(target, **options)

@@ -1,0 +1,135 @@
+"""Set/reset capability: putting an object into a predefined state.
+
+Sec. 3.3: "A set/reset method could also be defined, to set an object to a
+predefined internal state, independent of the object's current state.  This
+kind of method is not used in this study since the test of each transaction
+sets the object to a initial state […]".  It is implemented here as the
+optional BIT capability it is in the literature: useful to start tests deep
+inside an object's state space, or to replay a failure from a recorded
+snapshot.
+
+Two layers:
+
+* :class:`Restorable` — a mixin adding ``bit_set_state`` / ``bit_reset``:
+  the default implementation restores plain instance attributes from a
+  recorded snapshot; components with richer internals (linked structures)
+  override ``bit_set_state``;
+* :class:`StateCheckpoint` — capture-now/restore-later over any object with
+  the capability, with the access control enforced (set/reset is a test
+  facility; it must not exist for production callers).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional
+
+from ..core.errors import BitError
+from . import access
+
+
+class Restorable:
+    """Mixin adding the set/reset BIT capability."""
+
+    def bit_capture_state(self) -> Dict[str, Any]:
+        """A deep snapshot of the instance attributes (test mode only)."""
+        access.require_test_mode(type(self), "set/reset")
+        return {
+            name: copy.deepcopy(value)
+            for name, value in vars(self).items()
+            if not name.startswith("_bit_")
+        }
+
+    def bit_set_state(self, state: Dict[str, Any]) -> None:
+        """Restore a previously captured state (test mode only).
+
+        The default replaces the instance attributes wholesale.  Components
+        whose state has internal aliasing (linked nodes, caches) should
+        override this to rebuild the structure from the snapshot.
+        """
+        access.require_test_mode(type(self), "set/reset")
+        for name in [n for n in vars(self) if not n.startswith("_bit_")]:
+            delattr(self, name)
+        for name, value in state.items():
+            setattr(self, name, copy.deepcopy(value))
+
+    def bit_reset(self) -> None:
+        """Back to the initial state: re-run ``__init__`` with no arguments.
+
+        Components whose constructor needs arguments override this (or
+        record an initial checkpoint instead).
+        """
+        access.require_test_mode(type(self), "set/reset")
+        type(self).__init__(self)
+
+
+class StateCheckpoint:
+    """Capture an object's state now; restore it any number of times later.
+
+    Works with :class:`Restorable` objects and, as a fallback, with plain
+    objects (attribute-level deep copy).  Example::
+
+        checkpoint = StateCheckpoint(account)
+        account.Withdraw(50)
+        checkpoint.restore()          # back to the captured balance
+    """
+
+    def __init__(self, target: Any):
+        access.require_test_mode(type(target), "set/reset")
+        self._target = target
+        self._state = self._capture()
+
+    def _capture(self) -> Dict[str, Any]:
+        capture = getattr(self._target, "bit_capture_state", None)
+        if callable(capture):
+            return capture()
+        attributes = getattr(self._target, "__dict__", None)
+        if attributes is None:
+            raise BitError(
+                f"{type(self._target).__name__} has no restorable state "
+                "(no __dict__ and no bit_capture_state)"
+            )
+        return {
+            name: copy.deepcopy(value)
+            for name, value in attributes.items()
+            if not name.startswith("_bit_")
+        }
+
+    @property
+    def state(self) -> Dict[str, Any]:
+        return dict(self._state)
+
+    def restore(self) -> None:
+        """Put the object back into the captured state."""
+        setter = getattr(self._target, "bit_set_state", None)
+        if callable(setter):
+            setter(dict(self._state))
+            return
+        for name in [
+            n for n in vars(self._target) if not n.startswith("_bit_")
+        ]:
+            delattr(self._target, name)
+        for name, value in self._state.items():
+            setattr(self._target, name, copy.deepcopy(value))
+
+    def recapture(self) -> None:
+        """Replace the stored state with the object's current state."""
+        self._state = self._capture()
+
+
+def run_from_state(target: Any, state: Optional[Dict[str, Any]],
+                   action, *args, **kwargs):
+    """Execute ``action`` with ``target`` forced into ``state`` first.
+
+    The deep-state testing helper: with ``state=None`` the object is used
+    as-is.  Returns the action's result; the object is left in whatever
+    state the action produced (capture a checkpoint first to undo).
+    """
+    if state is not None:
+        setter = getattr(target, "bit_set_state", None)
+        if not callable(setter):
+            raise BitError(
+                f"{type(target).__name__} lacks the set/reset capability"
+            )
+        setter(dict(state))
+    return action(*args, **kwargs)

@@ -1,0 +1,117 @@
+"""Method-call tracing: the observability half of built-in test.
+
+Design-for-testability literature (Binder 1994, cited by the paper) lists
+*observability* of intermediate results as a core attribute of testable
+software.  The tracer records every call into an instrumented component —
+method name, arguments, outcome — so a tester (or the harness's oracle) can
+inspect what actually happened during a transaction, not only the final
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+def _safe_repr(value: Any, limit: int = 120) -> str:
+    try:
+        text = repr(value)
+    except Exception as error:  # a hostile __repr__ must not kill the trace
+        text = f"<repr failed: {type(error).__name__}>"
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed method call."""
+
+    class_name: str
+    method: str
+    arguments: Tuple[str, ...]
+    outcome: str          # "return" or "raise"
+    detail: str           # repr of the result, or "ExcType: message"
+
+    def format(self) -> str:
+        args = ", ".join(self.arguments)
+        arrow = "->" if self.outcome == "return" else "!!"
+        return f"{self.class_name}.{self.method}({args}) {arrow} {self.detail}"
+
+
+class CallTracer:
+    """Accumulates :class:`TraceEvent` records for instrumented classes."""
+
+    def __init__(self, capacity: int = 100_000):
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+        self._dropped = 0
+        self.enabled = True
+
+    # -- recording ---------------------------------------------------------
+
+    def record_return(self, instance: Any, method: str,
+                      args: tuple, kwargs: dict, result: Any) -> None:
+        self._record(instance, method, args, kwargs, "return", _safe_repr(result))
+
+    def record_raise(self, instance: Any, method: str,
+                     args: tuple, kwargs: dict, error: BaseException) -> None:
+        detail = f"{type(error).__name__}: {error}"
+        self._record(instance, method, args, kwargs, "raise", detail)
+
+    def _record(self, instance: Any, method: str, args: tuple,
+                kwargs: dict, outcome: str, detail: str) -> None:
+        if not self.enabled:
+            return
+        if len(self._events) >= self._capacity:
+            self._dropped += 1
+            return
+        arguments = tuple(
+            [_safe_repr(a) for a in args]
+            + [f"{k}={_safe_repr(v)}" for k, v in kwargs.items()]
+        )
+        self._events.append(
+            TraceEvent(
+                class_name=type(instance).__name__,
+                method=method,
+                arguments=arguments,
+                outcome=outcome,
+                detail=detail,
+            )
+        )
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because capacity was reached (never silent)."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+    def calls_to(self, method: str) -> Tuple[TraceEvent, ...]:
+        return tuple(event for event in self._events if event.method == method)
+
+    def method_sequence(self) -> Tuple[str, ...]:
+        """Just the method names, in call order — compares against a transaction."""
+        return tuple(event.method for event in self._events)
+
+    def format(self, last: Optional[int] = None) -> str:
+        events = self._events if last is None else self._events[-last:]
+        lines = [event.format() for event in events]
+        if self._dropped:
+            lines.append(f"<{self._dropped} events dropped at capacity>")
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Subject components, all self-testable (t-spec embedded, BIT inherited).
+
+Importing this package attaches each component's embedded t-spec as its
+``__tspec__`` attribute (see :mod:`repro.components.specs`).
+"""
+
+from .account import BankAccount
+from .oblist import CObList
+from .product import DATABASE, Product, ProductDatabase, Provider, reset_database
+from .sortable_oblist import CSortableObList
+from .stack import BoundedStack
+from . import specs  # noqa: F401  (side effect: attach __tspec__)
+from .warehouse import WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES, build_warehouse_assembly
+from .specs import (
+    ACCOUNT_SPEC,
+    OBLIST_SPEC,
+    OBLIST_TYPE_MODEL,
+    PRODUCT_SPEC,
+    PROVIDER_SPEC,
+    SORTABLE_OBLIST_SPEC,
+    STACK_SPEC,
+)
+
+__all__ = [
+    "ACCOUNT_SPEC",
+    "BankAccount",
+    "BoundedStack",
+    "CObList",
+    "CSortableObList",
+    "DATABASE",
+    "OBLIST_SPEC",
+    "OBLIST_TYPE_MODEL",
+    "PRODUCT_SPEC",
+    "PROVIDER_SPEC",
+    "Product",
+    "ProductDatabase",
+    "Provider",
+    "SORTABLE_OBLIST_SPEC",
+    "STACK_SPEC",
+    "WAREHOUSE_ASSEMBLY",
+    "WAREHOUSE_ROLES",
+    "build_warehouse_assembly",
+    "reset_database",
+]

@@ -1,0 +1,90 @@
+"""``BankAccount``: a contract-heavy demo component.
+
+Not from the paper — included because design-by-contract examples in the
+literature the paper builds on (Meyer's work, sec. 2.2) are classically
+account-shaped.  The component shows declarative contracts (``require`` /
+``ensure`` decorators) coexisting with in-body checks, and its invariant
+(non-negative balance, consistent ledger) is deliberately easy to break with
+seeded faults in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..bit.assertions import ensure, require
+from ..bit.builtintest import BuiltInTest
+
+MAX_AMOUNT = 1_000_000
+
+
+class BankAccount(BuiltInTest):
+    """Simple account: deposits, withdrawals, and a transaction ledger."""
+
+    def __init__(self, owner: str = "anonymous", opening_balance: int = 0):
+        self.owner = str(owner) or "anonymous"
+        self.balance = max(0, int(opening_balance))
+        self._ledger: List[Tuple[str, int]] = []
+        if self.balance:
+            self._ledger.append(("open", self.balance))
+
+    # -- built-in test ---------------------------------------------------------
+
+    def class_invariant(self) -> bool:
+        """Balance non-negative and equal to the ledger sum."""
+        if self.balance < 0:
+            return False
+        total = 0
+        for kind, amount in self._ledger:
+            if kind in ("open", "deposit"):
+                total += amount
+            elif kind == "withdraw":
+                total -= amount
+            else:
+                return False
+        return total == self.balance
+
+    def bit_state(self) -> dict:
+        return {
+            "owner": self.owner,
+            "balance": self.balance,
+            "entries": len(self._ledger),
+        }
+
+    # -- operations ---------------------------------------------------------
+
+    @require(lambda self, amount: 0 < amount <= MAX_AMOUNT,
+             "deposit amount must be positive and bounded")
+    @ensure(lambda self, result, amount: self.balance == result,
+            "returned balance must match state")
+    def Deposit(self, amount: int) -> int:
+        """Add funds; returns the new balance."""
+        self.balance += int(amount)
+        self._ledger.append(("deposit", int(amount)))
+        return self.balance
+
+    def Withdraw(self, amount: int) -> int:
+        """Remove funds if covered; returns the amount actually withdrawn.
+
+        An uncovered or non-positive request withdraws nothing (returns 0) —
+        graceful, so generated transactions stay green on the original.
+        """
+        value = int(amount)
+        if value <= 0 or value > self.balance:
+            return 0
+        self.balance -= value
+        self._ledger.append(("withdraw", value))
+        return value
+
+    def GetBalance(self) -> int:
+        return self.balance
+
+    def GetOwner(self) -> str:
+        return self.owner
+
+    def History(self) -> Tuple[Tuple[str, int], ...]:
+        """The ledger as an immutable view."""
+        return tuple(self._ledger)
+
+    def __repr__(self) -> str:
+        return f"BankAccount({self.owner!r}, balance={self.balance})"

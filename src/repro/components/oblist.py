@@ -1,0 +1,382 @@
+"""``CObList``: an MFC-style doubly linked list component.
+
+The paper's empirical evaluation (sec. 4) uses the Microsoft Foundation
+Class library's ``CObList`` — a doubly linked list of object pointers whose
+methods carry validity assertions — as the base class of the experiment.
+This is a faithful Python re-implementation of the public API subset the
+experiment exercises, written in the MFC idiom (PascalCase methods,
+POSITION-style indices) and instrumented with contract checks in the role of
+MFC's ``ASSERT_VALID``.
+
+Like MFC's implementation, the list **recycles nodes through a free pool**
+(MFC: ``m_pNodeFree`` / ``m_pBlocks`` / ``m_nBlockSize``): removal methods
+push the unlinked node onto a free list, and insertion methods pop from it,
+allocating a block of spare nodes when it runs dry.  The pool matters for
+the mutation experiment: it gives every method a distinct footprint over the
+class's attributes, so the G(R2)/E(R2) sets of interface mutation are
+non-trivial — and pool-bookkeeping faults are exactly the subtle
+interaction faults that weak suites miss.  Also like MFC, the validity
+assertions check the *element chain only*, not the pool.
+
+Deviations from MFC, chosen so generated transaction suites run green on the
+original class (documented in DESIGN.md §2):
+
+* removal/access on an empty list **returns None** instead of asserting —
+  the TFM cannot count elements, so transactions may legally reach a remove
+  node with an empty list;
+* POSITIONs are plain 0-based integer indices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..bit.assertions import check_invariant, check_postcondition
+from ..bit.builtintest import BuiltInTest
+
+#: MFC default allocation granularity for list node blocks.
+BLOCK_SIZE = 10
+
+
+class _ListNode:
+    """One doubly linked node; an implementation detail of :class:`CObList`."""
+
+    __slots__ = ("value", "prev", "next")
+
+    def __init__(self, value: Any):
+        self.value = value
+        self.prev: Optional["_ListNode"] = None
+        self.next: Optional["_ListNode"] = None
+
+    def __repr__(self) -> str:
+        return f"_ListNode({self.value!r})"
+
+
+class CObList(BuiltInTest):
+    """Doubly linked list with MFC ``CObList``-style interface."""
+
+    def __init__(self, block_size: int = BLOCK_SIZE):
+        self._head: Optional[_ListNode] = None
+        self._tail: Optional[_ListNode] = None
+        self._count: int = 0
+        # Node recycling pool (MFC: m_pNodeFree / m_pBlocks / m_nBlockSize).
+        self._free: Optional[_ListNode] = None
+        self._free_count: int = 0
+        self._blocks: int = 0
+        self._block_size: int = max(1, int(block_size))
+
+    # ------------------------------------------------------------------
+    # Built-in test interface (redefined, per Figure 4)
+    # ------------------------------------------------------------------
+
+    def class_invariant(self) -> bool:
+        """MFC-fidelity validity check (``CObList::AssertValid`` shape).
+
+        MFC only asserts that an empty list has null head/tail pointers and
+        a non-empty one has non-null ones; it does **not** walk the chain or
+        re-count elements, and it ignores the free pool.  Keeping the check
+        this weak matters for the experiment: the paper's assertion oracle
+        is deliberately *partial* (sec. 3.3), and a chain-walking invariant
+        would catch structural faults MFC's assertions let through.
+        :meth:`deep_check` provides the strong check for unit tests.
+        """
+        if self._count < 0:
+            return False
+        if self._count == 0:
+            return self._head is None and self._tail is None
+        return self._head is not None and self._tail is not None
+
+    def deep_check(self) -> bool:
+        """Full structural validation (chain walk + count); test-suite aid,
+        not part of the embedded assertion oracle."""
+        if self._count < 0:
+            return False
+        if self._head is None or self._tail is None:
+            return self._head is None and self._tail is None and self._count == 0
+        if self._head.prev is not None or self._tail.next is not None:
+            return False
+        seen = 0
+        node = self._head
+        previous = None
+        while node is not None and seen <= self._count:
+            if node.prev is not previous:
+                return False
+            previous = node
+            node = node.next
+            seen += 1
+        return node is None and previous is self._tail and seen == self._count
+
+    # ------------------------------------------------------------------
+    # Node pool (MFC block allocator shape)
+    # ------------------------------------------------------------------
+
+    def _take_node(self, value: Any) -> _ListNode:
+        """Pop a recycled node, allocating a block when the pool is dry."""
+        node = self._free
+        if node is None:
+            spare = self._block_size
+            while spare > 1:
+                extra = _ListNode(None)
+                extra.next = self._free
+                self._free = extra
+                self._free_count = self._free_count + 1
+                spare = spare - 1
+            self._blocks = self._blocks + 1
+            fresh = _ListNode(value)
+            return fresh
+        self._free = node.next
+        self._free_count = self._free_count - 1
+        node.value = value
+        node.prev = None
+        node.next = None
+        return node
+
+    def _recycle_node(self, node: _ListNode) -> None:
+        """Push an unlinked node onto the free pool."""
+        node.value = None
+        node.prev = None
+        node.next = self._free
+        self._free = node
+        self._free_count = self._free_count + 1
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def AddHead(self, value: Any) -> int:
+        """Prepend; returns the POSITION (always 0) of the new element."""
+        node = self._take_node(value)
+        old_head = self._head
+        node.next = old_head
+        if old_head is not None:
+            old_head.prev = node
+        else:
+            self._tail = node
+        self._head = node
+        new_count = self._count + 1
+        self._count = new_count
+        check_invariant(self.class_invariant, subject="CObList.AddHead")
+        inserted_at = 0
+        return inserted_at
+
+    def AddTail(self, value: Any) -> int:
+        """Append; returns the POSITION of the new element."""
+        node = self._take_node(value)
+        old_tail = self._tail
+        node.prev = old_tail
+        if old_tail is not None:
+            old_tail.next = node
+        else:
+            self._head = node
+        self._tail = node
+        self._count = self._count + 1
+        check_invariant(self.class_invariant, subject="CObList.AddTail")
+        return self._count - 1
+
+    def InsertBefore(self, position: int, value: Any) -> int:
+        """Insert before the element at ``position``; returns new POSITION.
+
+        Out-of-range positions clamp to the nearest end (graceful deviation).
+        """
+        if position <= 0 or self._head is None:
+            return self.AddHead(value)
+        if position >= self._count:
+            return self.AddTail(value)
+        anchor = self._node_at(position)
+        node = self._take_node(value)
+        node.prev = anchor.prev
+        node.next = anchor
+        anchor.prev.next = node
+        anchor.prev = node
+        self._count = self._count + 1
+        check_invariant(self.class_invariant, subject="CObList.InsertBefore")
+        return position
+
+    def InsertAfter(self, position: int, value: Any) -> int:
+        """Insert after the element at ``position``; returns new POSITION."""
+        if self._head is None or position >= self._count - 1:
+            return self.AddTail(value)
+        if position < 0:
+            return self.AddHead(value)
+        anchor = self._node_at(position)
+        node = self._take_node(value)
+        node.prev = anchor
+        node.next = anchor.next
+        anchor.next.prev = node
+        anchor.next = node
+        self._count = self._count + 1
+        check_invariant(self.class_invariant, subject="CObList.InsertAfter")
+        return position + 1
+
+    # ------------------------------------------------------------------
+    # Removal (Table 3 targets: AddHead, RemoveAt, RemoveHead)
+    # ------------------------------------------------------------------
+
+    def RemoveHead(self) -> Any:
+        """Remove and return the head value; None when the list is empty."""
+        node = self._head
+        if node is None:
+            return None
+        taken = node.value
+        following = node.next
+        self._head = following
+        if following is not None:
+            following.prev = None
+        else:
+            self._tail = None
+        remaining = self._count - 1
+        self._count = remaining
+        self._recycle_node(node)
+        check_invariant(self.class_invariant, subject="CObList.RemoveHead")
+        return taken
+
+    def RemoveTail(self) -> Any:
+        """Remove and return the tail value; None when the list is empty."""
+        node = self._tail
+        if node is None:
+            return None
+        taken = node.value
+        preceding = node.prev
+        self._tail = preceding
+        if preceding is not None:
+            preceding.next = None
+        else:
+            self._head = None
+        self._count = self._count - 1
+        self._recycle_node(node)
+        check_invariant(self.class_invariant, subject="CObList.RemoveTail")
+        return taken
+
+    def RemoveAt(self, position: int) -> Any:
+        """Remove and return the value at POSITION; None when out of range."""
+        if position < 0 or position >= self._count:
+            return None
+        node = self._node_at(position)
+        taken = node.value
+        before = node.prev
+        after = node.next
+        if before is not None:
+            before.next = after
+        else:
+            self._head = after
+        if after is not None:
+            after.prev = before
+        else:
+            self._tail = before
+        self._count = self._count - 1
+        self._recycle_node(node)
+        check_invariant(self.class_invariant, subject="CObList.RemoveAt")
+        return taken
+
+    def RemoveAll(self) -> int:
+        """Empty the list; returns how many elements were removed."""
+        removed = self._count
+        node = self._head
+        while node is not None:
+            following = node.next
+            self._recycle_node(node)
+            node = following
+        self._head = None
+        self._tail = None
+        self._count = 0
+        check_postcondition(lambda: self.IsEmpty(), subject="CObList.RemoveAll")
+        return removed
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def GetHead(self) -> Any:
+        """The head value, or None when empty."""
+        if self._head is None:
+            return None
+        return self._head.value
+
+    def GetTail(self) -> Any:
+        """The tail value, or None when empty."""
+        if self._tail is None:
+            return None
+        return self._tail.value
+
+    def GetAt(self, position: int) -> Any:
+        """The value at POSITION, or None when out of range."""
+        if position < 0 or position >= self._count:
+            return None
+        return self._node_at(position).value
+
+    def SetAt(self, position: int, value: Any) -> bool:
+        """Replace the value at POSITION; False when out of range."""
+        if position < 0 or position >= self._count:
+            return False
+        self._node_at(position).value = value
+        return True
+
+    def GetCount(self) -> int:
+        """Number of elements."""
+        return self._count
+
+    def IsEmpty(self) -> bool:
+        """True when the list holds no elements."""
+        return self._count == 0
+
+    def Find(self, value: Any, start: int = 0) -> int:
+        """POSITION of the first occurrence at/after ``start``; -1 if absent."""
+        if start < 0:
+            start = 0
+        position = 0
+        node = self._head
+        while node is not None:
+            if position >= start and node.value == value:
+                return position
+            node = node.next
+            position = position + 1
+        return -1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _node_at(self, position: int) -> _ListNode:
+        """The node at a validated POSITION (walks from the nearer end)."""
+        if position <= self._count // 2:
+            node = self._head
+            index = 0
+            while index < position:
+                node = node.next
+                index += 1
+            return node
+        node = self._tail
+        index = self._count - 1
+        while index > position:
+            node = node.prev
+            index -= 1
+        return node
+
+    def bit_state(self) -> dict:
+        """Observable state for the Reporter: contents head-to-tail + count.
+
+        The node pool is deliberately absent — MFC's diagnostics ignore it
+        too, and it is not part of the component's observable behaviour.
+        """
+        return {"count": self._count, "values": list(self._values())}
+
+    #: Hard cap on observation traversals: a fault-corrupted list may be
+    #: cyclic, and the reporter must terminate even then.
+    _TRAVERSAL_CAP = 10_000
+
+    def _values(self) -> List[Any]:
+        """Values head-to-tail (reporting helper; bounded against cycles)."""
+        values: List[Any] = []
+        node = self._head
+        while node is not None and len(values) < self._TRAVERSAL_CAP:
+            values.append(node.value)
+            node = node.next
+        if node is not None:
+            values.append("<traversal cap reached>")
+        return values
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._values()!r})"

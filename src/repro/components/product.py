@@ -1,0 +1,224 @@
+"""The ``Product`` example component (Figure 1 of the paper).
+
+``Product`` models a product in the stock-control system of a warehouse; it
+carries a quantity, a name, a price and a pointer to its ``Provider``, and
+can insert/remove itself into/from the stock database.  The paper's Figure 2
+gives its transaction flow model, with the use-case path *create → obtain
+data → remove from database → destroy* highlighted.
+
+The stock database the paper only alludes to is built here as a small
+in-memory substrate (:class:`ProductDatabase`) keyed by product name —
+enough to exercise the insert/remove transactions end to end.
+
+C++ constructor overloads (``Product()``, ``Product(q, n, p, prv)``,
+``Product(n)``) become arity dispatch in ``__init__``; the t-spec keeps
+three distinct constructor method records whose alternative grouping in the
+birth node reproduces the overload structure (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..bit.builtintest import BuiltInTest
+
+#: Attribute bounds from the paper's t-spec (Figure 3): qty ∈ [1, 99999].
+QTY_MIN = 1
+QTY_MAX = 99999
+PRICE_MIN = 0.0
+PRICE_MAX = 100000.0
+NAME_MAX_LENGTH = 30
+
+
+class Provider(BuiltInTest):
+    """A goods provider; referenced by :class:`Product` (Figure 1)."""
+
+    def __init__(self, name: str = "default provider", code: int = 1):
+        self.name = str(name)
+        self.code = int(code)
+
+    def class_invariant(self) -> bool:
+        return bool(self.name) and self.code >= 0
+
+    def __repr__(self) -> str:
+        return f"Provider({self.name!r}, {self.code})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Provider)
+            and self.name == other.name
+            and self.code == other.code
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.code))
+
+
+class ProductDatabase:
+    """In-memory stock database substrate (keyed by product name)."""
+
+    def __init__(self):
+        self._rows: Dict[str, Dict[str, Any]] = {}
+
+    def insert(self, product: "Product") -> bool:
+        """Store a row for the product; False when the name already exists."""
+        if product.name in self._rows:
+            return False
+        self._rows[product.name] = product.row()
+        return True
+
+    def remove(self, name: str) -> Optional[Dict[str, Any]]:
+        """Delete and return the row for ``name``; None when absent."""
+        return self._rows.pop(name, None)
+
+    def lookup(self, name: str) -> Optional[Dict[str, Any]]:
+        row = self._rows.get(name)
+        return dict(row) if row is not None else None
+
+    def count(self) -> int:
+        return len(self._rows)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+
+#: The ambient warehouse database generated drivers run against.  Tests and
+#: examples call :func:`reset_database` between sessions.
+DATABASE = ProductDatabase()
+
+
+def reset_database() -> None:
+    """Empty the ambient stock database."""
+    DATABASE.clear()
+
+
+class Product(BuiltInTest):
+    """A warehouse product (Figure 1), self-testable."""
+
+    def __init__(self, *args):
+        """Constructor overloads by arity (C++ heritage).
+
+        * ``Product()`` — default product;
+        * ``Product(name)`` — named product with default stock;
+        * ``Product(qty, name, price, provider)`` — fully specified.
+        """
+        if len(args) == 0:
+            qty, name, price, provider = QTY_MIN, "unnamed", PRICE_MIN, None
+        elif len(args) == 1:
+            qty, name, price, provider = QTY_MIN, args[0], PRICE_MIN, None
+        elif len(args) == 4:
+            qty, name, price, provider = args
+        else:
+            raise TypeError(
+                f"Product() takes 0, 1 or 4 arguments ({len(args)} given)"
+            )
+        self.qty = int(qty)
+        self.name = str(name)
+        self.price = float(price)
+        self.prov: Optional[Provider] = provider
+        self._inserted = False
+
+    # ------------------------------------------------------------------
+    # Built-in test interface
+    # ------------------------------------------------------------------
+
+    def class_invariant(self) -> bool:
+        """Attribute domains of Figure 3 hold, and provider is valid."""
+        if not (QTY_MIN <= self.qty <= QTY_MAX):
+            return False
+        if not (PRICE_MIN <= self.price <= PRICE_MAX):
+            return False
+        if not (0 < len(self.name) <= NAME_MAX_LENGTH):
+            return False
+        if self.prov is not None and not isinstance(self.prov, Provider):
+            return False
+        return True
+
+    def bit_state(self) -> dict:
+        return {
+            "qty": self.qty,
+            "name": self.name,
+            "price": self.price,
+            "prov": repr(self.prov),
+            "inserted": self._inserted,
+        }
+
+    # ------------------------------------------------------------------
+    # Update methods (Figure 1)
+    # ------------------------------------------------------------------
+
+    def UpdateName(self, n: str) -> None:
+        """Rename the product (truncated to the specified maximum length)."""
+        text = str(n)
+        if not text:
+            text = "unnamed"
+        self.name = text[:NAME_MAX_LENGTH]
+
+    def UpdateQty(self, q: int) -> None:
+        """Set the stocked quantity (clamped into the valid domain)."""
+        value = int(q)
+        if value < QTY_MIN:
+            value = QTY_MIN
+        if value > QTY_MAX:
+            value = QTY_MAX
+        self.qty = value
+
+    def UpdatePrice(self, p: float) -> None:
+        """Set the unit price (clamped into the valid domain)."""
+        value = float(p)
+        if value < PRICE_MIN:
+            value = PRICE_MIN
+        if value > PRICE_MAX:
+            value = PRICE_MAX
+        self.price = value
+
+    def UpdateProv(self, prv: Optional[Provider]) -> None:
+        """Set (or clear) the provider pointer."""
+        if prv is not None and not isinstance(prv, Provider):
+            raise TypeError(f"provider must be a Provider, got {type(prv).__name__}")
+        self.prov = prv
+
+    # ------------------------------------------------------------------
+    # Access method (Figure 1)
+    # ------------------------------------------------------------------
+
+    def ShowAttributes(self) -> str:
+        """Formatted attribute dump (the paper prints; we return the text)."""
+        provider_text = self.prov.name if self.prov is not None else "<none>"
+        return (
+            f"Product[name={self.name}, qty={self.qty}, "
+            f"price={self.price:.2f}, provider={provider_text}]"
+        )
+
+    # ------------------------------------------------------------------
+    # Insert/Delete from database (Figure 1)
+    # ------------------------------------------------------------------
+
+    def InsertProduct(self) -> int:
+        """Insert into the stock database; 1 on success, 0 when duplicate."""
+        if DATABASE.insert(self):
+            self._inserted = True
+            return 1
+        return 0
+
+    def RemoveProduct(self) -> Optional["Product"]:
+        """Remove from the stock database; returns self, or None when absent."""
+        row = DATABASE.remove(self.name)
+        if row is None:
+            return None
+        self._inserted = False
+        return self
+
+    # ------------------------------------------------------------------
+
+    def row(self) -> Dict[str, Any]:
+        """The database row for this product."""
+        return {
+            "name": self.name,
+            "qty": self.qty,
+            "price": self.price,
+            "provider": self.prov.name if self.prov is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"Product({self.qty}, {self.name!r}, {self.price}, {self.prov!r})"

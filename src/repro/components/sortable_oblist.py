@@ -1,0 +1,154 @@
+"""``CSortableObList``: the ordered-list subclass of the experiment.
+
+The paper's first experiment mutates five methods of ``CSortableObList``, a
+class "obtained through the Internet, which implements an ordered linked
+list" on top of MFC's ``CObList`` (sec. 4, Table 2): ``Sort1``, ``Sort2``,
+``ShellSort``, ``FindMax`` and ``FindMin``.
+
+This re-implementation keeps the experimental essentials:
+
+* it derives from :class:`~repro.components.oblist.CObList` (single
+  inheritance, unchanged signatures — the Harrold-technique constraints of
+  sec. 3.4.2);
+* the five target methods are written against the *linked structure*
+  (walking ``prev``/``next`` pointers, using the inherited ``_head`` /
+  ``_tail`` / ``_count`` attributes), giving interface mutation its raw
+  material: local variables interacting with inherited state;
+* sorts end with a contract postcondition (order established, count
+  preserved) — the partial-oracle role MFC assertions play in the paper.
+
+``Sort1`` is deliberately the richest body (most locals and attribute uses)
+— it is the method with by far the most mutants in Table 2 (280 of 700).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..bit.assertions import check_postcondition
+from .oblist import CObList
+
+
+class CSortableObList(CObList):
+    """Linked list with explicit sorting and extremum search."""
+
+    # ------------------------------------------------------------------
+    # Sorting (Table 2 targets)
+    # ------------------------------------------------------------------
+
+    def Sort1(self) -> int:
+        """Insertion sort by value shifting; returns the number of shifts.
+
+        Walks markers left to right; for each marker value, shifts larger
+        predecessors one node rightward and drops the value into its slot.
+        """
+        shifts = 0
+        if self._head is None:
+            return shifts
+        marker = self._head.next
+        while marker is not None:
+            key = marker.value
+            scan = marker.prev
+            while scan is not None and scan.value > key:
+                scan.next.value = scan.value
+                scan = scan.prev
+                shifts = shifts + 1
+            if scan is None:
+                self._head.value = key
+            else:
+                scan.next.value = key
+            marker = marker.next
+        check_postcondition(self.IsSorted, subject="CSortableObList.Sort1")
+        return shifts
+
+    def Sort2(self) -> int:
+        """Selection sort by value swapping; returns the number of swaps."""
+        swaps = 0
+        outer = self._head
+        while outer is not None:
+            smallest = outer
+            probe = outer.next
+            while probe is not None:
+                if probe.value < smallest.value:
+                    smallest = probe
+                probe = probe.next
+            if smallest is not outer:
+                held = outer.value
+                outer.value = smallest.value
+                smallest.value = held
+                swaps = swaps + 1
+            outer = outer.next
+        check_postcondition(self.IsSorted, subject="CSortableObList.Sort2")
+        return swaps
+
+    def ShellSort(self) -> int:
+        """Shell sort over a node index; returns the number of moves."""
+        moves = 0
+        size = self._count
+        if size < 2:
+            return moves
+        nodes = []
+        walker = self._head
+        while walker is not None:
+            nodes.append(walker)
+            walker = walker.next
+        gap = size // 2
+        while gap > 0:
+            index = gap
+            while index < size:
+                held = nodes[index].value
+                slot = index
+                while slot >= gap and nodes[slot - gap].value > held:
+                    nodes[slot].value = nodes[slot - gap].value
+                    slot = slot - gap
+                    moves = moves + 1
+                nodes[slot].value = held
+                index = index + 1
+            gap = gap // 2
+        check_postcondition(self.IsSorted, subject="CSortableObList.ShellSort")
+        return moves
+
+    # ------------------------------------------------------------------
+    # Extremum search (Table 2 targets)
+    # ------------------------------------------------------------------
+
+    def FindMax(self) -> int:
+        """POSITION of the largest value; -1 when the list is empty."""
+        best_position = -1
+        best_value: Optional[Any] = None
+        position = 0
+        current = self._head
+        while current is not None:
+            if best_value is None or current.value > best_value:
+                best_value = current.value
+                best_position = position
+            current = current.next
+            position = position + 1
+        return best_position
+
+    def FindMin(self) -> int:
+        """POSITION of the smallest value; -1 when the list is empty."""
+        best_position = -1
+        best_value: Optional[Any] = None
+        position = 0
+        current = self._head
+        while current is not None:
+            if best_value is None or current.value < best_value:
+                best_value = current.value
+                best_position = position
+            current = current.next
+            position = position + 1
+        return best_position
+
+    # ------------------------------------------------------------------
+    # Order predicate (access method; also the sorts' postcondition)
+    # ------------------------------------------------------------------
+
+    def IsSorted(self) -> bool:
+        """True when values are in non-decreasing head-to-tail order."""
+        node = self._head
+        while node is not None and node.next is not None:
+            if node.value > node.next.value:
+                return False
+            node = node.next
+        return True

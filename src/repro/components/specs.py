@@ -1,0 +1,335 @@
+"""Embedded t-specs for the subject components.
+
+A self-testable component carries its test specification (sec. 3.2); this
+module builds the :class:`~repro.tspec.model.ClassSpec` of every component
+in the package and attaches it as ``__tspec__`` — importing
+``repro.components`` therefore yields classes that are self-testable out of
+the box.
+
+Model sizes are engineered to reproduce the experiment's reported scale:
+the ``CSortableObList`` model has **16 nodes and 43 links**, exactly the
+figures of sec. 4 ("a test model composed of 16 nodes and 43 links").  The
+base ``CObList`` model is that model minus the sorting/extremum nodes.
+
+Element values are integers (MFC stores object pointers; ordering needs
+comparable values — a substitution recorded in DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from ..core.domains import (
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    StringDomain,
+)
+from ..tspec.builder import SpecBuilder
+from ..tspec.model import ClassSpec
+from .account import BankAccount
+from .oblist import CObList
+from .product import Product, Provider
+from .sortable_oblist import CSortableObList
+from .stack import BoundedStack
+
+#: Value domain of list elements.
+ELEMENT = RangeDomain(-50, 50)
+#: Value domain of POSITION arguments (small, so they often hit real nodes).
+POSITION = RangeDomain(0, 4)
+
+
+def _oblist_interface(builder: SpecBuilder, class_name: str) -> SpecBuilder:
+    """The CObList public interface shared by base and subclass specs."""
+    return (
+        builder
+        .attribute("count", RangeDomain(0, 10_000))
+        .constructor(class_name)
+        .method("AddHead", [("value", ELEMENT)], category="update", return_type="int")
+        .method("AddTail", [("value", ELEMENT)], category="update", return_type="int")
+        .method("InsertBefore", [("position", POSITION), ("value", ELEMENT)],
+                category="update", return_type="int")
+        .method("InsertAfter", [("position", POSITION), ("value", ELEMENT)],
+                category="update", return_type="int")
+        .method("RemoveHead", category="process")
+        .method("RemoveTail", category="process")
+        .method("RemoveAt", [("position", POSITION)], category="process")
+        .method("RemoveAll", category="process", return_type="int")
+        .method("GetHead", category="access")
+        .method("GetTail", category="access")
+        .method("GetAt", [("position", POSITION)], category="access")
+        .method("GetCount", category="access", return_type="int")
+        .method("IsEmpty", category="access", return_type="bool")
+        .method("Find", [("value", ELEMENT)], category="access", return_type="int")
+        .method("SetAt", [("position", POSITION), ("value", ELEMENT)],
+                category="update", return_type="bool")
+        .destructor(f"~{class_name}")
+    )
+
+
+def _oblist_base_model(builder: SpecBuilder) -> SpecBuilder:
+    """Nodes and edges shared by the base and subclass models (11 nodes)."""
+    builder = (
+        builder
+        .node("birth", [builder.class_name], start=True)
+        .node("addh", ["AddHead"])
+        .node("addt", ["AddTail"])
+        .node("ins", ["InsertBefore", "InsertAfter"])
+        .node("remh", ["RemoveHead"])
+        .node("remt", ["RemoveTail"])
+        .node("rema", ["RemoveAt"])
+        .node("remall", ["RemoveAll"])
+        .node("acc", ["GetHead", "GetTail", "GetAt", "GetCount", "IsEmpty", "Find"])
+        .node("set", ["SetAt"])
+        .node("death", [f"~{builder.class_name}"])
+    )
+    for source, target in (
+        ("birth", "addh"), ("birth", "addt"), ("birth", "acc"), ("birth", "death"),
+        ("addh", "addt"),
+        ("addh", "ins"), ("addt", "ins"),
+        ("ins", "acc"), ("addh", "acc"), ("addt", "acc"),
+        ("acc", "set"), ("set", "rema"),
+        ("acc", "remh"), ("acc", "remt"), ("acc", "rema"), ("acc", "remall"),
+        ("addh", "remh"), ("addt", "remt"), ("remh", "remall"),
+        ("remh", "death"), ("remt", "death"), ("rema", "death"),
+        ("remall", "death"), ("acc", "death"),
+    ):
+        builder.edge(source, target)
+    return builder
+
+
+def build_oblist_spec() -> ClassSpec:
+    """T-spec of the base list: 11 nodes, 24 links."""
+    builder = SpecBuilder("CObList", source_files=("repro/components/oblist.py",))
+    builder = _oblist_interface(builder, "CObList")
+    builder = _oblist_base_model(builder)
+    return builder.build()
+
+
+def build_sortable_oblist_spec() -> ClassSpec:
+    """T-spec of the ordered list: 16 nodes, 43 links (paper's figures)."""
+    builder = SpecBuilder(
+        "CSortableObList",
+        superclass="CObList",
+        source_files=("repro/components/sortable_oblist.py",),
+    )
+    builder = _oblist_interface(builder, "CSortableObList")
+    builder = (
+        builder
+        .method("Sort1", category="process", return_type="int")
+        .method("Sort2", category="process", return_type="int")
+        .method("ShellSort", category="process", return_type="int")
+        .method("FindMax", category="access", return_type="int")
+        .method("FindMin", category="access", return_type="int")
+        .method("IsSorted", category="access", return_type="bool")
+    )
+    builder = _oblist_base_model(builder)
+    builder = (
+        builder
+        .node("sort1", ["Sort1"])
+        .node("sort2", ["Sort2"])
+        .node("shell", ["ShellSort"])
+        .node("findx", ["FindMax", "FindMin"])
+        .node("issorted", ["IsSorted"])
+    )
+    for source, target in (
+        ("addh", "sort1"), ("addt", "sort2"),
+        ("ins", "shell"), ("ins", "sort1"), ("ins", "sort2"),
+        ("sort2", "shell"),
+        ("sort1", "findx"), ("sort2", "findx"), ("shell", "findx"),
+        ("sort1", "issorted"), ("sort2", "issorted"), ("shell", "issorted"),
+        ("findx", "remh"), ("issorted", "remt"),
+        ("findx", "death"), ("issorted", "death"),
+        ("findx", "rema"), ("issorted", "remall"),
+        ("findx", "issorted"),
+    ):
+        builder.edge(source, target)
+    return builder.build()
+
+
+def build_product_spec() -> ClassSpec:
+    """T-spec of Product (Figures 1–3): 6 nodes, 14 links."""
+    provider_pointer = PointerDomain(ObjectDomain("Provider"))
+    builder = (
+        SpecBuilder("Product", source_files=("repro/components/product.py",))
+        .attribute("qty", RangeDomain(1, 99999))
+        .attribute("name", StringDomain(1, 30))
+        .attribute("price", FloatRangeDomain(0.0, 100000.0))
+        .constructor("Product", ident="m1")
+        .constructor(
+            "Product",
+            [
+                ("q", RangeDomain(1, 99999)),
+                ("n", StringDomain(1, 20)),
+                ("p", FloatRangeDomain(0.01, 10000.0)),
+                ("prv", provider_pointer),
+            ],
+            ident="m2",
+        )
+        .constructor("Product", [("n", StringDomain(1, 20))], ident="m3")
+        .destructor("~Product", ident="m4")
+        .method("UpdateName", [("n", StringDomain(1, 30))], category="update",
+                ident="m5")
+        .method("UpdateQty", [("q", RangeDomain(1, 99999))], category="update",
+                ident="m6")
+        .method("UpdatePrice", [("p", FloatRangeDomain(0.0, 10000.0))],
+                category="update", ident="m7")
+        .method("UpdateProv", [("prv", provider_pointer)], category="update",
+                ident="m8")
+        .method("ShowAttributes", category="access", return_type="str", ident="m9")
+        .method("InsertProduct", category="process", return_type="int", ident="m10")
+        .method("RemoveProduct", category="process", return_type="Product",
+                ident="m11")
+        .node("birth", ["Product"], start=True)
+        .node("update", ["UpdateName", "UpdateQty", "UpdatePrice", "UpdateProv"])
+        .node("show", ["ShowAttributes"])
+        .node("insert", ["InsertProduct"])
+        .node("remove", ["RemoveProduct"])
+        .node("death", ["~Product"])
+    )
+    for source, target in (
+        ("birth", "update"), ("birth", "insert"), ("birth", "show"),
+        ("birth", "death"),
+        ("update", "update"), ("update", "insert"), ("update", "show"),
+        ("insert", "show"), ("insert", "remove"), ("insert", "update"),
+        ("show", "remove"), ("show", "death"),
+        ("remove", "death"), ("update", "death"),
+    ):
+        builder.edge(source, target)
+    return builder.build()
+
+
+def build_provider_spec() -> ClassSpec:
+    """T-spec of Provider: minimal (birth → death)."""
+    return (
+        SpecBuilder("Provider", source_files=("repro/components/product.py",))
+        .attribute("code", RangeDomain(0, 9999))
+        .constructor(
+            "Provider",
+            [("name", StringDomain(1, 20)), ("code", RangeDomain(0, 9999))],
+        )
+        .destructor("~Provider")
+        .node("birth", ["Provider"], start=True)
+        .node("death", ["~Provider"])
+        .edge("birth", "death")
+        .build()
+    )
+
+
+def build_stack_spec() -> ClassSpec:
+    """T-spec of BoundedStack: 6 nodes, 13 links."""
+    value = RangeDomain(-99, 99)
+    builder = (
+        SpecBuilder("BoundedStack", source_files=("repro/components/stack.py",))
+        .attribute("capacity", RangeDomain(1, 1024))
+        .constructor("BoundedStack", [("capacity", RangeDomain(1, 16))])
+        .destructor("~BoundedStack")
+        .method("Push", [("value", value)], category="update", return_type="bool")
+        .method("Pop", category="process")
+        .method("Peek", category="access")
+        .method("Size", category="access", return_type="int")
+        .method("IsEmpty", category="access", return_type="bool")
+        .method("IsFull", category="access", return_type="bool")
+        .method("Clear", category="process", return_type="int")
+        .node("birth", ["BoundedStack"], start=True)
+        .node("push", ["Push"])
+        .node("pop", ["Pop"])
+        .node("query", ["Peek", "Size", "IsEmpty", "IsFull"])
+        .node("clear", ["Clear"])
+        .node("death", ["~BoundedStack"])
+    )
+    for source, target in (
+        ("birth", "push"), ("birth", "query"), ("birth", "death"),
+        ("push", "push"), ("push", "pop"), ("push", "query"), ("push", "clear"),
+        ("pop", "query"), ("pop", "death"),
+        ("query", "pop"), ("query", "clear"), ("query", "death"),
+        ("clear", "death"),
+    ):
+        builder.edge(source, target)
+    return builder.build()
+
+
+def build_account_spec() -> ClassSpec:
+    """T-spec of BankAccount: 5 nodes, 11 links."""
+    builder = (
+        SpecBuilder("BankAccount", source_files=("repro/components/account.py",))
+        .attribute("balance", RangeDomain(0, 1_000_000))
+        .constructor(
+            "BankAccount",
+            [("owner", StringDomain(1, 10)), ("opening_balance", RangeDomain(0, 1000))],
+        )
+        .destructor("~BankAccount")
+        .method("Deposit", [("amount", RangeDomain(1, 1000))], category="update",
+                return_type="int")
+        .method("Withdraw", [("amount", RangeDomain(1, 2000))], category="update",
+                return_type="int")
+        .method("GetBalance", category="access", return_type="int")
+        .method("GetOwner", category="access", return_type="str")
+        .method("History", category="access")
+        .node("birth", ["BankAccount"], start=True)
+        .node("dep", ["Deposit"])
+        .node("wd", ["Withdraw"])
+        .node("query", ["GetBalance", "GetOwner", "History"])
+        .node("death", ["~BankAccount"])
+    )
+    for source, target in (
+        ("birth", "dep"), ("birth", "query"), ("birth", "death"),
+        ("dep", "dep"), ("dep", "wd"), ("dep", "query"), ("dep", "death"),
+        ("wd", "query"), ("wd", "death"),
+        ("query", "wd"), ("query", "death"),
+    ):
+        builder.edge(source, target)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Attach the specs: importing repro.components yields self-testable classes.
+# ---------------------------------------------------------------------------
+
+OBLIST_SPEC = build_oblist_spec()
+SORTABLE_OBLIST_SPEC = build_sortable_oblist_spec()
+PRODUCT_SPEC = build_product_spec()
+PROVIDER_SPEC = build_provider_spec()
+STACK_SPEC = build_stack_spec()
+ACCOUNT_SPEC = build_account_spec()
+
+CObList.__tspec__ = OBLIST_SPEC
+CSortableObList.__tspec__ = SORTABLE_OBLIST_SPEC
+Product.__tspec__ = PRODUCT_SPEC
+Provider.__tspec__ = PROVIDER_SPEC
+BoundedStack.__tspec__ = STACK_SPEC
+BankAccount.__tspec__ = ACCOUNT_SPEC
+
+
+# ---------------------------------------------------------------------------
+# Type models for the mutation experiments (the C++ compile-gate analogue):
+# the "C++ types" of the list's members and helpers, as MFC declares them.
+# ---------------------------------------------------------------------------
+
+from ..mutation.typemodel import TypeModel  # noqa: E402  (import cycle-free)
+
+OBLIST_TYPE_MODEL = TypeModel(
+    attribute_types={
+        "_head": "node",         # CNode* m_pNodeHead
+        "_tail": "node",         # CNode* m_pNodeTail
+        "_count": "int",         # int m_nCount
+        "_free": "node",         # CNode* m_pNodeFree
+        "_free_count": "int",
+        "_blocks": "int",        # CPlex* m_pBlocks (block count here)
+        "_block_size": "int",    # int m_nBlockSize
+    },
+    method_return_types={
+        "_take_node": "node",    # CNode* NewNode(...)
+        "_node_at": "node",      # CNode* FindIndex(...)
+        "GetCount": "int",
+        "Find": "int",
+        "IsEmpty": "bool",
+        "IsSorted": "bool",
+        "class_invariant": "bool",
+    },
+    parameter_types={
+        "value": "value",        # CObject* newElement
+        "position": "int",       # POSITION (index model)
+        "start": "int",
+    },
+)
+

@@ -1,0 +1,84 @@
+"""``BoundedStack``: a small demo component for examples and tests.
+
+Not from the paper — a minimal self-testable component exercising the whole
+pipeline (t-spec, contracts, generation, execution) with a body small enough
+to read in one sitting.  The quickstart example builds on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..bit.assertions import check_postcondition, check_precondition
+from ..bit.builtintest import BuiltInTest
+
+DEFAULT_CAPACITY = 16
+MAX_CAPACITY = 1024
+
+
+class BoundedStack(BuiltInTest):
+    """LIFO stack with a fixed capacity."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        check_precondition(
+            lambda: 1 <= int(capacity) <= MAX_CAPACITY,
+            subject="BoundedStack.__init__",
+            message=f"capacity must be in [1, {MAX_CAPACITY}]",
+        )
+        self._capacity = max(1, min(int(capacity), MAX_CAPACITY))
+        self._items: List[Any] = []
+
+    # -- built-in test -------------------------------------------------------
+
+    def class_invariant(self) -> bool:
+        return 0 <= len(self._items) <= self._capacity
+
+    def bit_state(self) -> dict:
+        return {"capacity": self._capacity, "items": list(self._items)}
+
+    # -- operations -----------------------------------------------------------
+
+    def Push(self, value: Any) -> bool:
+        """Push; returns False (dropping the value) when the stack is full."""
+        if len(self._items) >= self._capacity:
+            return False
+        before = len(self._items)
+        self._items.append(value)
+        check_postcondition(
+            lambda: len(self._items) == before + 1, subject="BoundedStack.Push"
+        )
+        return True
+
+    def Pop(self) -> Any:
+        """Pop and return the top value; None when empty."""
+        if not self._items:
+            return None
+        return self._items.pop()
+
+    def Peek(self) -> Any:
+        """The top value without removing it; None when empty."""
+        if not self._items:
+            return None
+        return self._items[-1]
+
+    def Size(self) -> int:
+        return len(self._items)
+
+    def IsEmpty(self) -> bool:
+        return not self._items
+
+    def IsFull(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    def Clear(self) -> int:
+        """Empty the stack; returns how many items were discarded."""
+        discarded = len(self._items)
+        self._items.clear()
+        check_postcondition(self.IsEmpty, subject="BoundedStack.Clear")
+        return discarded
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"BoundedStack(capacity={self._capacity}, items={self._items!r})"

@@ -1,0 +1,66 @@
+"""The warehouse assembly: Provider + Product as one interclass component.
+
+The paper's stock-control example (sec. 3.2) actually spans two classes —
+``Product`` holds a pointer to its ``Provider`` — which makes it the
+natural subject for the interclass extension (sec. 6 future work).  This
+assembly models the provider/product lifecycle as one transaction flow:
+
+    create provider → create product (pointing at the provider) →
+    updates / show → insert into the stock DB → remove → destroy
+
+Role-typed parameters (``prv: Provider*``) resolve to the live provider
+object of the same transaction, exercising the actual object flow between
+the two classes.
+"""
+
+from __future__ import annotations
+
+from . import specs  # noqa: F401  (ensures __tspec__ is attached)
+from ..interclass.builder import AssemblyBuilder
+from ..interclass.model import AssemblySpec
+from .product import Product, Provider
+
+
+def build_warehouse_assembly() -> AssemblySpec:
+    """The Provider/Product assembly: 8 nodes, 14 links."""
+    builder = (
+        AssemblyBuilder("Warehouse")
+        .role("provider", Provider)
+        .role("product", Product)
+        # Birth: the provider always exists first (products reference it).
+        .node("new_provider", ["provider.Provider"], start=True)
+        # All three Product constructor overloads are alternatives; the
+        # 4-argument one receives the live provider via a role reference.
+        .node("new_product", ["product.Product"])
+        .node("update", ["product.UpdateName", "product.UpdateQty",
+                         "product.UpdatePrice", "product.UpdateProv"])
+        .node("show", ["product.ShowAttributes"])
+        .node("insert", ["product.InsertProduct"])
+        .node("remove", ["product.RemoveProduct"])
+        .node("drop_product", ["product.~Product"])
+        .node("done", ["provider.~Provider"], end=True)
+    )
+    for source, target in (
+        ("new_provider", "new_product"),
+        ("new_product", "update"),
+        ("new_product", "insert"),
+        ("new_product", "show"),
+        ("update", "insert"),
+        ("update", "show"),
+        ("insert", "show"),
+        ("insert", "remove"),
+        ("show", "remove"),
+        ("show", "drop_product"),
+        ("remove", "drop_product"),
+        ("update", "drop_product"),
+        ("drop_product", "done"),
+        ("new_product", "drop_product"),
+    ):
+        builder.edge(source, target)
+    return builder.build()
+
+
+WAREHOUSE_ASSEMBLY = build_warehouse_assembly()
+
+#: The classes playing each role, for the AssemblyExecutor.
+WAREHOUSE_ROLES = {"provider": Provider, "product": Product}

@@ -1,0 +1,280 @@
+"""Value domains for attributes and method parameters.
+
+The t-spec (Figure 3 in the paper) declares, for each attribute and each
+method parameter, a *type* drawn from ``{range, set, string, object,
+pointer}`` plus whatever extra information the type needs (lower/upper limits
+for ranges, the member list for sets, …).  The Driver Generator draws random
+parameter values "from the valid subdomain" for numeric types and strings;
+structured types (objects, arrays, pointers) must be completed manually by
+the tester (sec. 3.4.1).
+
+This module models those domains as small value objects with three
+responsibilities:
+
+* ``contains(value)`` — membership test, used by contract checks and by the
+  t-spec validator;
+* ``sample(rng)`` — draw a random member, used by the Driver Generator;
+* ``boundary_values()`` — the classic boundary candidates, used by the
+  boundary-value extension of the generator (an ablation the paper's
+  criterion does not require but its framework admits).
+
+Domains are immutable and hashable so they can live inside frozen spec
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import DomainError
+from .rng import ReproRandom
+
+
+class Domain:
+    """Abstract base for value domains.
+
+    Concrete domains are frozen dataclasses; this base only fixes the
+    interface.  ``is_structured`` mirrors the paper's split between types the
+    generator can sample automatically (numbers, strings, sets of literals)
+    and types the tester must complete by hand (objects, pointers).
+    """
+
+    #: t-spec keyword for this domain kind (``range``, ``set``, ``string``, …)
+    kind: str = "abstract"
+
+    #: True when the generator cannot sample the domain automatically.
+    is_structured: bool = False
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def sample(self, rng: ReproRandom) -> Any:
+        raise NotImplementedError
+
+    def boundary_values(self) -> Tuple[Any, ...]:
+        """Interesting extreme members, each guaranteed to be in the domain."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line human-readable description for reports and specs."""
+        return self.kind
+
+
+@dataclass(frozen=True)
+class RangeDomain(Domain):
+    """Integer interval ``[low, high]`` — the t-spec ``range`` type.
+
+    Figure 3 declares attribute ``qty`` as ``range, 1, 99999``.
+    """
+
+    low: int
+    high: int
+    kind = "range"
+
+    def __post_init__(self):
+        if not isinstance(self.low, int) or not isinstance(self.high, int):
+            raise DomainError(f"range bounds must be integers: {self.low!r}, {self.high!r}")
+        if self.low > self.high:
+            raise DomainError(f"empty range [{self.low}, {self.high}]")
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and self.low <= value <= self.high
+
+    def sample(self, rng: ReproRandom) -> int:
+        return rng.randint(self.low, self.high)
+
+    def boundary_values(self) -> Tuple[int, ...]:
+        candidates = {self.low, self.high}
+        if self.low < 0 <= self.high:
+            candidates.add(0)
+        if self.low + 1 <= self.high:
+            candidates.add(self.low + 1)
+            candidates.add(self.high - 1)
+        return tuple(sorted(candidates))
+
+    def describe(self) -> str:
+        return f"range [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class FloatRangeDomain(Domain):
+    """Float interval ``[low, high]`` for ``float`` parameters (e.g. price)."""
+
+    low: float
+    high: float
+    kind = "float_range"
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise DomainError(f"empty float range [{self.low}, {self.high}]")
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool) and self.low <= value <= self.high
+
+    def sample(self, rng: ReproRandom) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def boundary_values(self) -> Tuple[float, ...]:
+        mid = (self.low + self.high) / 2.0
+        return tuple(dict.fromkeys((self.low, mid, self.high)))
+
+    def describe(self) -> str:
+        return f"float range [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class SetDomain(Domain):
+    """Finite enumeration of allowed literal values — the t-spec ``set`` type."""
+
+    members: Tuple[Any, ...]
+    kind = "set"
+
+    def __post_init__(self):
+        if not self.members:
+            raise DomainError("set domain needs at least one member")
+
+    def contains(self, value: Any) -> bool:
+        # Avoid bool/int conflation: True is not a member of {0, 1} here.
+        for member in self.members:
+            if type(member) is type(value) and member == value:
+                return True
+        return False
+
+    def sample(self, rng: ReproRandom) -> Any:
+        return rng.choice(self.members)
+
+    def boundary_values(self) -> Tuple[Any, ...]:
+        if len(self.members) <= 2:
+            return tuple(self.members)
+        return (self.members[0], self.members[-1])
+
+    def describe(self) -> str:
+        shown = ", ".join(repr(m) for m in self.members[:5])
+        suffix = ", …" if len(self.members) > 5 else ""
+        return f"set {{{shown}{suffix}}}"
+
+
+@dataclass(frozen=True)
+class StringDomain(Domain):
+    """Printable strings with bounded length — the t-spec ``string`` type."""
+
+    min_length: int = 0
+    max_length: int = 16
+    kind = "string"
+
+    def __post_init__(self):
+        if self.min_length < 0 or self.max_length < self.min_length:
+            raise DomainError(
+                f"bad string length bounds [{self.min_length}, {self.max_length}]"
+            )
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, str) and self.min_length <= len(value) <= self.max_length
+
+    def sample(self, rng: ReproRandom) -> str:
+        return rng.printable_string(self.min_length, self.max_length)
+
+    def boundary_values(self) -> Tuple[str, ...]:
+        shortest = "a" * self.min_length
+        longest = "z" * self.max_length
+        return tuple(dict.fromkeys((shortest, longest)))
+
+    def describe(self) -> str:
+        return f"string [len {self.min_length}..{self.max_length}]"
+
+
+@dataclass(frozen=True)
+class BoolDomain(Domain):
+    """Booleans; a convenience not named in Figure 3 but needed in practice."""
+
+    kind = "bool"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def sample(self, rng: ReproRandom) -> bool:
+        return rng.boolean()
+
+    def boundary_values(self) -> Tuple[bool, ...]:
+        return (False, True)
+
+
+@dataclass(frozen=True)
+class ObjectDomain(Domain):
+    """Values of some class — the t-spec ``object`` type.
+
+    Structured: the Driver Generator cannot invent instances; the tester
+    supplies a *factory* when completing the test case (sec. 3.4.1), or binds
+    one here so sampling becomes automatic.
+    """
+
+    class_name: str
+    factory: Optional[Callable[[ReproRandom], Any]] = field(default=None, compare=False)
+    kind = "object"
+
+    @property
+    def is_structured(self) -> bool:  # type: ignore[override]
+        return self.factory is None
+
+    def contains(self, value: Any) -> bool:
+        # Best-effort by class name: specs are language-independent, so we
+        # match on the runtime type name rather than identity.
+        return type(value).__name__ == self.class_name
+
+    def sample(self, rng: ReproRandom) -> Any:
+        if self.factory is None:
+            raise DomainError(
+                f"object domain '{self.class_name}' has no factory; "
+                "structured parameters must be completed by the tester"
+            )
+        return self.factory(rng)
+
+    def describe(self) -> str:
+        state = "bound" if self.factory is not None else "unbound"
+        return f"object<{self.class_name}> ({state})"
+
+
+@dataclass(frozen=True)
+class PointerDomain(Domain):
+    """Nullable reference — the t-spec ``pointer`` type.
+
+    In Python a pointer parameter is "an object or ``None``"; the interesting
+    boundary member is ``None`` (the paper's RC set includes NULL).
+    """
+
+    target: ObjectDomain
+    null_probability: float = 0.2
+    kind = "pointer"
+
+    @property
+    def is_structured(self) -> bool:  # type: ignore[override]
+        return self.target.is_structured
+
+    def contains(self, value: Any) -> bool:
+        return value is None or self.target.contains(value)
+
+    def sample(self, rng: ReproRandom) -> Any:
+        if rng.boolean(self.null_probability):
+            return None
+        return self.target.sample(rng)
+
+    def boundary_values(self) -> Tuple[Any, ...]:
+        return (None,)
+
+    def describe(self) -> str:
+        return f"pointer to {self.target.describe()}"
+
+
+# Keyword → constructor map used by the t-spec parser.  ``object`` and
+# ``pointer`` get their class name from the spec; the rest take numeric /
+# literal arguments.
+DOMAIN_KINDS = {
+    "range": RangeDomain,
+    "float_range": FloatRangeDomain,
+    "set": SetDomain,
+    "string": StringDomain,
+    "bool": BoolDomain,
+    "object": ObjectDomain,
+    "pointer": PointerDomain,
+}

@@ -1,0 +1,80 @@
+"""The paper's experiments, frozen and re-runnable.
+
+One module per regenerated artefact: :mod:`table1` (operators),
+:mod:`table2` (experiment 1), :mod:`table3` (experiment 2),
+:mod:`figures` (Figures 1–7), :mod:`ablations` (design-decision studies),
+with the shared configuration in :mod:`config`.
+"""
+
+from .ablations import (
+    CoverageAblationResult,
+    EdgeBoundRow,
+    OracleAblationResult,
+    OverheadResult,
+    coverage_ablation,
+    edge_bound_ablation,
+    oracle_ablation,
+    test_mode_overhead,
+)
+from .config import (
+    EXPERIMENT_SEED,
+    TABLE2_METHODS,
+    TABLE3_METHODS,
+    incremental_plan,
+    oblist_oracle,
+    oblist_suite,
+    sortable_oracle,
+    sortable_suite,
+    subclass_over_mutant_base,
+)
+from .figures import (
+    Figure2Result,
+    Figure45Result,
+    Figure67Result,
+    figure1_product_interface,
+    figure2_product_tfm,
+    figure3_tspec_roundtrip,
+    figure45_bit_demo,
+    figure67_generated_driver,
+    provider_binding,
+)
+from .table1 import OPERATOR_DEFINITIONS, OperatorDemo, Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+
+__all__ = [
+    "CoverageAblationResult",
+    "EXPERIMENT_SEED",
+    "EdgeBoundRow",
+    "Figure2Result",
+    "Figure45Result",
+    "Figure67Result",
+    "OPERATOR_DEFINITIONS",
+    "OperatorDemo",
+    "OracleAblationResult",
+    "OverheadResult",
+    "TABLE2_METHODS",
+    "TABLE3_METHODS",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "coverage_ablation",
+    "edge_bound_ablation",
+    "figure1_product_interface",
+    "figure2_product_tfm",
+    "figure3_tspec_roundtrip",
+    "figure45_bit_demo",
+    "figure67_generated_driver",
+    "incremental_plan",
+    "oblist_oracle",
+    "oblist_suite",
+    "oracle_ablation",
+    "provider_binding",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "sortable_oracle",
+    "sortable_suite",
+    "subclass_over_mutant_base",
+    "test_mode_overhead",
+]

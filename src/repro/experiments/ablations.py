@@ -1,0 +1,243 @@
+"""Ablations over the design decisions DESIGN.md calls out.
+
+1. **Oracle contribution** (:func:`oracle_ablation`) — the paper reports
+   that "assertions, besides improving testability, help to improve
+   fault-revealing effectiveness [… but] assertions alone do not constitute
+   an effective oracle".  We score the same mutant pool under: assertions
+   only, output only, and the full composite.
+2. **Coverage criterion** (:func:`coverage_ablation`) — transaction coverage
+   is the weakest criterion (sec. 3.4.1); we compare its suite size and
+   kill power against greedy node-coverage and link-coverage suites.
+3. **Loop bound** (:func:`edge_bound_ablation`) — how enumeration grows with
+   the per-edge revisit bound, on models with cycles.
+4. **Test-mode cost** (:func:`test_mode_overhead`) — BIT access control
+   promises near-zero production overhead; measure instrumented vs plain
+   classes in and out of test mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..bit import access
+from ..bit.instrument import compile_component
+from ..components import BankAccount, BoundedStack, CSortableObList, OBLIST_TYPE_MODEL
+from ..harness.oracles import (
+    CompositeOracle,
+    assertions_only_oracle,
+    output_only_oracle,
+)
+from ..mutation.analysis import MutationAnalysis
+from ..mutation.generate import generate_mutants
+from ..tfm.coverage import (
+    measure,
+    select_for_link_coverage,
+    select_for_node_coverage,
+)
+from ..tfm.graph import TransactionFlowGraph
+from ..tfm.transactions import enumerate_transactions
+from .config import TABLE2_METHODS, sortable_oracle, sortable_suite
+
+
+def _sampled_mutants(stride: int = 1):
+    """The Table-2 mutant pool, optionally subsampled for quick runs."""
+    mutants, _ = generate_mutants(
+        CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL
+    )
+    if stride > 1:
+        mutants = mutants[::stride]
+    return mutants
+
+
+# ---------------------------------------------------------------------------
+# 1. Oracle contribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleAblationResult:
+    total_mutants: int
+    kills_by_oracle: Dict[str, int]
+
+    def format(self) -> str:
+        lines = [f"oracle ablation over {self.total_mutants} mutants:"]
+        for name, kills in sorted(self.kills_by_oracle.items()):
+            share = kills / self.total_mutants if self.total_mutants else 0.0
+            lines.append(f"  {name:<18} kills {kills:4d}  ({share:.1%})")
+        return "\n".join(lines)
+
+
+def oracle_ablation(stride: int = 4) -> OracleAblationResult:
+    """Score the Table-2 pool under each oracle configuration."""
+    mutants = _sampled_mutants(stride)
+    suite = sortable_suite()
+    configurations: Sequence[Tuple[str, CompositeOracle]] = (
+        ("assertions_only", assertions_only_oracle()),
+        ("output_only", output_only_oracle()),
+        ("full_composite", sortable_oracle()),
+    )
+    kills: Dict[str, int] = {}
+    for name, oracle in configurations:
+        run = MutationAnalysis(CSortableObList, suite, oracle=oracle).analyze(mutants)
+        kills[name] = len(run.killed)
+    return OracleAblationResult(total_mutants=len(mutants), kills_by_oracle=kills)
+
+
+# ---------------------------------------------------------------------------
+# 2. Coverage criterion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverageAblationRow:
+    criterion: str
+    transactions: int
+    cases: int
+    kills: int
+    total_mutants: int
+
+    @property
+    def kill_ratio(self) -> float:
+        return self.kills / self.total_mutants if self.total_mutants else 0.0
+
+
+@dataclass(frozen=True)
+class CoverageAblationResult:
+    rows: Tuple[CoverageAblationRow, ...]
+
+    def format(self) -> str:
+        lines = ["coverage-criterion ablation (CSortableObList):"]
+        for row in self.rows:
+            lines.append(
+                f"  {row.criterion:<22} {row.transactions:4d} transactions, "
+                f"{row.cases:4d} cases, kills {row.kills}/{row.total_mutants} "
+                f"({row.kill_ratio:.1%})"
+            )
+        return "\n".join(lines)
+
+
+def coverage_ablation(stride: int = 4) -> CoverageAblationResult:
+    """Transaction coverage vs greedy node/link coverage suites."""
+    mutants = _sampled_mutants(stride)
+    spec = CSortableObList.__tspec__
+    graph = TransactionFlowGraph(spec)
+    enumeration = enumerate_transactions(graph)
+    full_suite = sortable_suite()
+
+    selections = (
+        ("transaction coverage", tuple(enumeration)),
+        ("node coverage (greedy)", select_for_node_coverage(enumeration)),
+        ("link coverage (greedy)", select_for_link_coverage(enumeration)),
+    )
+    rows = []
+    oracle = sortable_oracle()
+    for criterion, chosen in selections:
+        chosen_idents = {transaction.ident for transaction in chosen}
+        suite = full_suite.only_transactions(tuple(chosen_idents))
+        run = MutationAnalysis(CSortableObList, suite, oracle=oracle).analyze(mutants)
+        report = measure(graph, list(chosen), enumeration)
+        assert report.nodes_covered  # selections always cover something
+        rows.append(
+            CoverageAblationRow(
+                criterion=criterion,
+                transactions=len(chosen),
+                cases=len(suite),
+                kills=len(run.killed),
+                total_mutants=len(mutants),
+            )
+        )
+    return CoverageAblationResult(rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# 3. Loop (edge) bound
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeBoundRow:
+    class_name: str
+    edge_bound: int
+    transactions: int
+    truncated: bool
+
+
+def edge_bound_ablation(bounds: Sequence[int] = (1, 2, 3),
+                        max_transactions: int = 50_000,
+                        ) -> Tuple[EdgeBoundRow, ...]:
+    """Transaction counts per edge bound, on cyclic models."""
+    rows = []
+    for component in (BoundedStack, BankAccount):
+        graph = TransactionFlowGraph(component.__tspec__)
+        for bound in bounds:
+            enumeration = enumerate_transactions(
+                graph, edge_bound=bound, max_transactions=max_transactions
+            )
+            rows.append(
+                EdgeBoundRow(
+                    class_name=component.__name__,
+                    edge_bound=bound,
+                    transactions=len(enumeration),
+                    truncated=enumeration.truncated,
+                )
+            )
+    return tuple(rows)
+
+
+# ---------------------------------------------------------------------------
+# 4. Test-mode overhead
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    plain_seconds: float
+    production_seconds: float      # compile_component(test_mode=False)
+    instrumented_off_seconds: float  # instrumented class, test mode off
+    instrumented_on_seconds: float   # instrumented class, test mode on
+
+    def format(self) -> str:
+        base = self.plain_seconds or 1e-9
+        return (
+            "test-mode overhead (BoundedStack, relative to plain class):\n"
+            f"  plain                 {self.plain_seconds:.4f}s (1.0x)\n"
+            f"  production compile    {self.production_seconds:.4f}s "
+            f"({self.production_seconds / base:.2f}x)\n"
+            f"  instrumented, off     {self.instrumented_off_seconds:.4f}s "
+            f"({self.instrumented_off_seconds / base:.2f}x)\n"
+            f"  instrumented, on      {self.instrumented_on_seconds:.4f}s "
+            f"({self.instrumented_on_seconds / base:.2f}x)"
+        )
+
+
+def _drive(stack_class: type, rounds: int) -> float:
+    started = time.perf_counter()
+    for _ in range(rounds):
+        stack = stack_class(8)
+        for value in range(8):
+            stack.Push(value)
+        while not stack.IsEmpty():
+            stack.Pop()
+    return time.perf_counter() - started
+
+
+def test_mode_overhead(rounds: int = 2000) -> OverheadResult:
+    """Measure the production-build promise of the BIT access control."""
+    access.reset()
+    production = compile_component(BoundedStack, test_mode=False)
+    instrumented = compile_component(BoundedStack, test_mode=True,
+                                     check_invariants=True)
+
+    plain_seconds = _drive(BoundedStack, rounds)
+    production_seconds = _drive(production, rounds)
+    instrumented_off = _drive(instrumented, rounds)
+    with access.test_mode():
+        instrumented_on = _drive(instrumented, rounds)
+    return OverheadResult(
+        plain_seconds=plain_seconds,
+        production_seconds=production_seconds,
+        instrumented_off_seconds=instrumented_off,
+        instrumented_on_seconds=instrumented_on,
+    )

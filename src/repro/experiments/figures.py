@@ -1,0 +1,280 @@
+"""The paper's figures, regenerated as runnable artefacts.
+
+* Figure 1 — the ``Product`` class: :func:`figure1_product_interface`
+  renders its interface from the embedded t-spec.
+* Figure 2 — the ``Product`` TFM with the use-case path highlighted:
+  :func:`figure2_product_tfm` builds the graph, enumerates transactions,
+  and renders ASCII/DOT with *create → obtain data → remove → destroy*
+  marked.
+* Figure 3 — the textual t-spec format: :func:`figure3_tspec_roundtrip`
+  serialises the Product spec and re-parses it.
+* Figures 4–5 — the ``BuiltInTest`` class and the assertion macros:
+  :func:`figure45_bit_demo` provokes each violation kind on a seeded-fault
+  component and reports BIT's behaviour in and out of test mode.
+* Figures 6–7 — the generated test case / executable suite:
+  :func:`figure67_generated_driver` emits a runnable driver module for
+  ``Product`` and executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..bit import access
+from ..bit.builtintest import BuiltInTest
+from ..components import Product, Provider, reset_database
+from ..core.errors import (
+    InvariantViolation,
+    PostconditionViolation,
+    PreconditionViolation,
+    TestModeError,
+)
+from ..generator.codegen import generate_driver_source
+from ..generator.driver import DriverGenerator
+from ..generator.values import TypeBinding
+from ..tfm.analysis import ModelMetrics, analyze
+from ..tfm.graph import TransactionFlowGraph
+from ..tfm.render import render_ascii, render_dot
+from ..tfm.transactions import Transaction, enumerate_transactions
+from ..tspec.parser import parse_tspec
+from ..tspec.writer import write_tspec
+
+
+def provider_binding() -> TypeBinding:
+    """The tester-supplied factory completing Provider-typed parameters."""
+    return TypeBinding({
+        "Provider": lambda rng: Provider(
+            rng.printable_string(1, 10) or "provider", rng.randint(0, 9999)
+        ),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Figures 1–2: Product and its TFM
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    metrics: ModelMetrics
+    transaction_count: int
+    use_case_path: Transaction
+    ascii_rendering: str
+    dot_rendering: str
+
+    def summary(self) -> str:
+        return (
+            f"Product TFM: {self.metrics.nodes} nodes, {self.metrics.links} links, "
+            f"{self.transaction_count} transactions; use case: {self.use_case_path}"
+        )
+
+
+def figure1_product_interface() -> str:
+    """Figure 1: the Product interface, from its embedded spec."""
+    spec = Product.__tspec__
+    lines = [spec.describe(), ""]
+    for method in spec.methods:
+        lines.append(f"  {method.category.value:<12} {method.signature()}")
+    return "\n".join(lines)
+
+
+def figure2_product_tfm() -> Figure2Result:
+    """Figure 2: the Product TFM with the use-case path highlighted."""
+    spec = Product.__tspec__
+    graph = TransactionFlowGraph(spec)
+    enumeration = enumerate_transactions(graph)
+
+    # The scenario of sec. 3.2: 1. create; 2. obtain data; 3. remove from
+    # the database; 4. destroy — i.e. birth → show → remove → death.
+    node_of = {}
+    for ident in graph.node_idents:
+        names = {method.name for method in graph.node_methods(ident)}
+        if "ShowAttributes" in names:
+            node_of["show"] = ident
+        elif "RemoveProduct" in names:
+            node_of["remove"] = ident
+    birth = graph.birth_nodes[0]
+    death = graph.death_nodes[0]
+    use_case = Transaction(path=(birth, node_of["show"], node_of["remove"], death))
+    if not graph.validate_path(use_case.path):
+        raise AssertionError("use-case path is not a legal transaction")
+
+    return Figure2Result(
+        metrics=analyze(graph),
+        transaction_count=len(enumeration),
+        use_case_path=use_case,
+        ascii_rendering=render_ascii(graph, highlight=use_case),
+        dot_rendering=render_dot(graph, highlight=use_case),
+    )
+
+
+def figure3_tspec_roundtrip() -> Tuple[str, bool]:
+    """Figure 3: the textual t-spec, plus whether it round-trips exactly."""
+    spec = Product.__tspec__
+    text = write_tspec(spec)
+    reparsed = parse_tspec(text)
+    return text, reparsed == spec.normalized()
+
+
+# ---------------------------------------------------------------------------
+# Figures 4–5: BuiltInTest and the assertion macros
+# ---------------------------------------------------------------------------
+
+
+class _FaultySensor(BuiltInTest):
+    """Demo component with one seeded fault per assertion kind."""
+
+    def __init__(self):
+        self.reading = 0
+
+    def class_invariant(self) -> bool:
+        return self.reading >= 0
+
+    def set_reading(self, value: int) -> None:
+        from ..bit.assertions import check_precondition
+
+        check_precondition(value <= 1000, subject="_FaultySensor.set_reading",
+                           message="reading out of sensor range")
+        self.reading = value  # seeded fault: negative values accepted
+
+    def calibrate(self) -> int:
+        from ..bit.assertions import check_postcondition
+
+        self.reading = self.reading - 1  # seeded fault: drifts below zero
+        check_postcondition(self.reading >= 0,
+                            subject="_FaultySensor.calibrate")
+        return self.reading
+
+
+@dataclass(frozen=True)
+class Figure45Result:
+    """What the BIT capabilities did in and out of test mode."""
+
+    violations_in_test_mode: Dict[str, str]
+    silent_outside_test_mode: bool
+    bit_blocked_outside_test_mode: bool
+    reporter_state: Dict[str, object]
+
+    def summary(self) -> str:
+        kinds = ", ".join(sorted(self.violations_in_test_mode))
+        return (
+            f"assertions raised in test mode: [{kinds}]; "
+            f"outside test mode: silent={self.silent_outside_test_mode}, "
+            f"BIT blocked={self.bit_blocked_outside_test_mode}"
+        )
+
+
+def figure45_bit_demo() -> Figure45Result:
+    """Provoke each Figure-5 macro and exercise the access control."""
+    violations: Dict[str, str] = {}
+
+    with access.test_mode():
+        sensor = _FaultySensor()
+        try:
+            sensor.set_reading(5000)
+        except PreconditionViolation as violation:
+            violations["pre"] = str(violation)
+        sensor.reading = 0
+        try:
+            sensor.calibrate()
+        except PostconditionViolation as violation:
+            violations["post"] = str(violation)
+        sensor.reading = -7
+        try:
+            sensor.invariant_test()
+        except InvariantViolation as violation:
+            violations["invariant"] = str(violation)
+        sensor.reading = 3
+        report = sensor.reporter()
+
+    # Outside test mode the same faults pass silently (checks compiled out)
+    # and the BIT interface itself is unreachable.
+    access.reset()
+    sensor = _FaultySensor()
+    silent = True
+    try:
+        sensor.set_reading(5000)
+        sensor.reading = -7
+    except Exception:
+        silent = False
+    blocked = False
+    try:
+        sensor.invariant_test()
+    except TestModeError:
+        blocked = True
+
+    return Figure45Result(
+        violations_in_test_mode=violations,
+        silent_outside_test_mode=silent,
+        bit_blocked_outside_test_mode=blocked,
+        reporter_state=report.as_dict(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 6–7: generated driver source
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure67Result:
+    driver_source: str
+    test_case_count: int
+    passed: int
+    failed: int
+
+    def summary(self) -> str:
+        return (
+            f"generated driver with {self.test_case_count} test cases: "
+            f"{self.passed} passed, {self.failed} failed"
+        )
+
+
+def figure67_generated_driver(max_cases: int = 12,
+                              log_path: Optional[str] = None) -> Figure67Result:
+    """Emit a Product driver module (Figure 6/7) and execute it."""
+    reset_database()
+    suite = DriverGenerator(
+        Product.__tspec__, bindings=provider_binding()
+    ).generate()
+    small = suite.filtered(lambda case: True)
+    if len(small.cases) > max_cases:
+        from dataclasses import replace
+        small = replace(small, cases=small.cases[:max_cases])
+
+    source = generate_driver_source(
+        small,
+        component_module="repro.components",
+        component_class="Product",
+        log_path=log_path or "Result.txt",
+    )
+
+    namespace: Dict[str, object] = {"__name__": "generated_driver"}
+    exec(compile(source, "<generated driver>", "exec"), namespace)  # noqa: S102
+    import io
+
+    passed = failed = 0
+    log_stream = io.StringIO()
+
+    run_all = namespace["run_all"]
+    if log_path is None:
+        # Execute case functions directly against an in-memory log to avoid
+        # touching the filesystem.
+        from ..bit.access import test_mode as _test_mode
+
+        with _test_mode():
+            for case_function in namespace["ALL_TEST_CASES"]:
+                if case_function(Product, log_stream):
+                    passed += 1
+                else:
+                    failed += 1
+    else:
+        passed, failed = run_all(Product, log_path)
+
+    return Figure67Result(
+        driver_source=source,
+        test_case_count=len(small.cases),
+        passed=passed,
+        failed=failed,
+    )

@@ -1,0 +1,121 @@
+"""Experiment 2 — Table 3: base-class faults under the incremental suite.
+
+Reproduces sec. 4's second experiment: interface-mutate three methods of
+the **base** class ``CObList``, re-derive ``CSortableObList`` over each
+mutated base, and run only the subclass's *incremental* test set (the
+test cases for transactions containing new methods; inherited-only
+transactions are not rerun, per sec. 3.4.2).
+
+The paper's headline: scores drop from 95.7% (Table 2) to **63.5%**,
+showing that "not retesting a transaction in the context of the subclass,
+although cost effective […], can be dangerous".  For contrast, this module
+can also run the base class's own full suite and the subclass's full
+(non-incremental) suite over the same mutants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..components import CObList, CSortableObList, OBLIST_TYPE_MODEL
+from ..history.incremental import IncrementalPlan
+from ..mutation.analysis import MutationAnalysis, MutationRun
+from ..mutation.generate import GenerationReport, generate_mutants
+from ..mutation.score import ScoreTable, build_score_table
+from .config import (
+    EXPERIMENT_SEED,
+    TABLE3_METHODS,
+    incremental_plan,
+    oblist_oracle,
+    oblist_suite,
+    sortable_oracle,
+    sortable_suite,
+    subclass_over_mutant_base,
+)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Everything experiment 2 produces."""
+
+    plan: IncrementalPlan
+    generation: GenerationReport
+    incremental_run: MutationRun
+    incremental_table: ScoreTable
+    base_suite_run: Optional[MutationRun] = None
+    full_suite_run: Optional[MutationRun] = None
+
+    @property
+    def base_suite_table(self) -> Optional[ScoreTable]:
+        if self.base_suite_run is None:
+            return None
+        return build_score_table(self.base_suite_run, methods=TABLE3_METHODS)
+
+    @property
+    def full_suite_table(self) -> Optional[ScoreTable]:
+        if self.full_suite_run is None:
+            return None
+        return build_score_table(self.full_suite_run, methods=TABLE3_METHODS)
+
+    def summary(self) -> str:
+        parts = [
+            f"Table 3 (incremental suite, {len(self.plan.executed_suite)} cases): "
+            f"score {self.incremental_table.total_score:.1%} over "
+            f"{self.incremental_table.total_generated} base-class mutants"
+        ]
+        base_table = self.base_suite_table
+        if base_table is not None:
+            parts.append(f"base's own suite: {base_table.total_score:.1%}")
+        full_table = self.full_suite_table
+        if full_table is not None:
+            parts.append(f"full subclass suite: {full_table.total_score:.1%}")
+        return "; ".join(parts)
+
+
+def run_table3(seed: int = EXPERIMENT_SEED,
+               methods: Tuple[str, ...] = TABLE3_METHODS,
+               with_contrast_runs: bool = False) -> Table3Result:
+    """Execute experiment 2 end to end.
+
+    ``with_contrast_runs`` additionally scores the same mutants under the
+    base class's own suite and under the subclass's full suite — the
+    comparison that substantiates the "retest inherited features" message.
+    """
+    plan = incremental_plan(seed)
+    mutants, generation = generate_mutants(
+        CObList, methods, ident_prefix="B", type_model=OBLIST_TYPE_MODEL
+    )
+    builder = subclass_over_mutant_base()
+
+    incremental_run = MutationAnalysis(
+        CSortableObList,
+        plan.executed_suite,
+        oracle=sortable_oracle(),
+        class_builder=builder,
+    ).analyze(mutants)
+    incremental_table = build_score_table(incremental_run, methods=methods)
+
+    base_suite_run = None
+    full_suite_run = None
+    if with_contrast_runs:
+        base_suite_run = MutationAnalysis(
+            CObList,
+            oblist_suite(seed),
+            oracle=oblist_oracle(),
+        ).analyze(mutants)
+        full_suite_run = MutationAnalysis(
+            CSortableObList,
+            sortable_suite(seed),
+            oracle=sortable_oracle(),
+            class_builder=builder,
+        ).analyze(mutants)
+
+    return Table3Result(
+        plan=plan,
+        generation=generation,
+        incremental_run=incremental_run,
+        incremental_table=incremental_table,
+        base_suite_run=base_suite_run,
+        full_suite_run=full_suite_run,
+    )

@@ -1,0 +1,21 @@
+"""Driver Generator: value sampling, test cases, suites, and driver codegen."""
+
+from .codegen import generate_driver_source
+from .driver import DriverGenerator, generate_suite
+from .suite import TestSuite
+from .testcase import TestCase, TestCaseCounter, TestStep
+from .values import Hole, TypeBinding, ValueSampler, is_hole
+
+__all__ = [
+    "DriverGenerator",
+    "Hole",
+    "TestCase",
+    "TestCaseCounter",
+    "TestStep",
+    "TestSuite",
+    "TypeBinding",
+    "ValueSampler",
+    "generate_driver_source",
+    "generate_suite",
+    "is_hole",
+]

@@ -1,0 +1,181 @@
+"""Driver source-code generation (Figures 6 and 7 of the paper).
+
+Concat emits each test case as a C++ template function (``TestCase0`` …)
+and a driver ``main`` that instantiates the component under test, runs the
+test cases inside try-blocks, checks the invariant around every call, logs
+to ``Result.txt`` and reports the object state on failure.
+
+:func:`generate_driver_source` emits the Python equivalent: a standalone
+module with one function per test case plus a ``run_all`` entry point.  The
+generated code depends only on the component (and ``repro`` for test mode),
+so a consumer can read exactly what their component will be subjected to —
+the understandability argument of sec. 3.2.
+
+Literal argument values are embedded with ``repr``; non-literal values
+(objects built by factories, unfilled holes) become entries of a ``FIXTURES``
+dictionary at the top of the module that the tester completes manually —
+the codegen analogue of completing structured parameters (sec. 3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .suite import TestSuite
+from .testcase import TestCase
+from .values import is_hole
+
+_LITERALS = (bool, int, float, str, bytes, type(None))
+
+
+def _is_literal(value: Any) -> bool:
+    if isinstance(value, _LITERALS):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(_is_literal(item) for item in value)
+    return False
+
+
+def _function_name(case: TestCase) -> str:
+    return f"test_case_{case.ident.lower()}"
+
+
+def generate_driver_source(suite: TestSuite,
+                           component_module: str,
+                           component_class: str,
+                           log_path: str = "Result.txt") -> str:
+    """Render the executable driver module for a suite.
+
+    ``component_module``/``component_class`` say where the CUT lives; the
+    driver imports it, so the generated file runs with ``python driver.py``.
+    """
+    fixtures: Dict[str, str] = {}
+    case_sources: List[str] = []
+    for case in suite.cases:
+        case_sources.append(_render_case(case, fixtures))
+
+    lines: List[str] = []
+    lines.append('"""Auto-generated test driver (PyConcat Driver Generator).')
+    lines.append("")
+    lines.append(f"Component under test: {component_module}.{component_class}")
+    lines.append(f"Suite seed: {suite.seed}; edge bound: {suite.edge_bound}; "
+                 f"{len(suite.cases)} test cases.")
+    lines.append('"""')
+    lines.append("")
+    lines.append(f"from {component_module} import {component_class}")
+    lines.append("from repro.bit import test_mode")
+    lines.append("from repro.core.errors import ContractViolation")
+    lines.append("")
+    lines.append("# Structured parameters the tester must complete manually")
+    lines.append("# (sec. 3.4.1: objects, arrays and pointers).")
+    lines.append("FIXTURES = {")
+    for key, description in sorted(fixtures.items()):
+        lines.append(f"    {key!r}: None,  # {description}")
+    lines.append("}")
+    lines.append("")
+    lines.append(_HELPER_SOURCE)
+    lines.append("")
+    lines.extend(case_sources)
+    lines.append(_render_run_all(suite, component_class, log_path))
+    return "\n".join(lines)
+
+
+_HELPER_SOURCE = '''\
+def _log(log_file, message):
+    log_file.write(message + "\\n")
+    log_file.flush()
+
+
+def _invariant(cut):
+    checker = getattr(cut, "invariant_test", None)
+    if callable(checker):
+        checker()
+
+
+def _report(cut, log_file):
+    reporter = getattr(cut, "reporter", None)
+    if callable(reporter):
+        log_file.write(reporter().format() + "\\n")
+        log_file.flush()
+'''
+
+
+def _render_case(case: TestCase, fixtures: Dict[str, str]) -> str:
+    lines: List[str] = []
+    lines.append(f"def {_function_name(case)}(cut_class, log_file):")
+    lines.append(f'    """Transaction: {case.transaction}"""')
+    lines.append('    current_method = "<none>"')
+    lines.append("    try:")
+
+    construction = case.construction
+    args = _render_arguments(case, 0, construction.arguments, fixtures)
+    lines.append(f'        current_method = "{construction.method_name}({args})"')
+    lines.append(f"        cut = cut_class({args})")
+    lines.append("        _invariant(cut)")
+
+    step_index = 0
+    for step in case.steps[1:]:
+        step_index += 1
+        if step.is_destruction:
+            continue
+        args = _render_arguments(case, step_index, step.arguments, fixtures)
+        lines.append(f'        current_method = "{step.method_name}({args})"')
+        lines.append(f"        cut.{step.method_name}({args})")
+        lines.append("        _invariant(cut)")
+
+    lines.append(f'        _log(log_file, "{case.ident} OK!")')
+    lines.append("        _report(cut, log_file)")
+    lines.append("        del cut")
+    lines.append("        return True")
+    lines.append("    except ContractViolation as violation:")
+    lines.append(f'        _log(log_file, "{case.ident} FAILED")')
+    lines.append('        _log(log_file, str(violation))')
+    lines.append('        _log(log_file, "Method called: " + current_method)')
+    lines.append("        return False")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _render_arguments(case: TestCase, step_index: int,
+                      arguments: Tuple[Any, ...],
+                      fixtures: Dict[str, str]) -> str:
+    rendered: List[str] = []
+    for position, argument in enumerate(arguments):
+        if is_hole(argument):
+            key = f"{case.ident}.step{step_index}.arg{position}"
+            fixtures[key] = argument.describe()
+            rendered.append(f"FIXTURES[{key!r}]")
+        elif _is_literal(argument):
+            rendered.append(repr(argument))
+        else:
+            key = f"{case.ident}.step{step_index}.arg{position}"
+            fixtures[key] = f"instance of {type(argument).__name__}"
+            rendered.append(f"FIXTURES[{key!r}]")
+    return ", ".join(rendered)
+
+
+def _render_run_all(suite: TestSuite, component_class: str, log_path: str) -> str:
+    names = [_function_name(case) for case in suite.cases]
+    lines: List[str] = []
+    lines.append("")
+    lines.append("ALL_TEST_CASES = [")
+    for name in names:
+        lines.append(f"    {name},")
+    lines.append("]")
+    lines.append("")
+    lines.append(f'def run_all(cut_class={component_class}, log_path={log_path!r}):')
+    lines.append('    """Execute every test case; returns (passed, failed)."""')
+    lines.append("    passed = failed = 0")
+    lines.append('    with test_mode(), open(log_path, "a", encoding="utf-8") as log_file:')
+    lines.append("        for case_function in ALL_TEST_CASES:")
+    lines.append("            if case_function(cut_class, log_file):")
+    lines.append("                passed += 1")
+    lines.append("            else:")
+    lines.append("                failed += 1")
+    lines.append("    return passed, failed")
+    lines.append("")
+    lines.append('if __name__ == "__main__":')
+    lines.append("    ok, bad = run_all()")
+    lines.append('    print(f"passed={ok} failed={bad}")')
+    lines.append("")
+    return "\n".join(lines)

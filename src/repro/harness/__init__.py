@@ -1,0 +1,63 @@
+"""Test infrastructure: execution, verdicts, oracles, logging, reports."""
+
+from .executor import DESTRUCTOR_METHOD, TestExecutor, run_suite
+from .logfile import ResultLog
+from .oracles import (
+    AssertionOracle,
+    CompositeOracle,
+    CrashOracle,
+    GoldenOutputOracle,
+    KillReason,
+    LogOutputOracle,
+    SelectiveOutputOracle,
+    Oracle,
+    OracleJudgement,
+    assertions_only_oracle,
+    experiment_oracle,
+    output_only_oracle,
+    log_level_oracle,
+    paper_oracle,
+)
+from .outcomes import (
+    Observation,
+    StepObservation,
+    SuiteResult,
+    TestResult,
+    Verdict,
+)
+from .report import (
+    compare_results,
+    failing_methods_histogram,
+    format_suite_result,
+    pass_rate,
+)
+
+__all__ = [
+    "AssertionOracle",
+    "CompositeOracle",
+    "CrashOracle",
+    "DESTRUCTOR_METHOD",
+    "GoldenOutputOracle",
+    "KillReason",
+    "LogOutputOracle",
+    "SelectiveOutputOracle",
+    "Observation",
+    "Oracle",
+    "OracleJudgement",
+    "ResultLog",
+    "StepObservation",
+    "SuiteResult",
+    "TestExecutor",
+    "TestResult",
+    "Verdict",
+    "assertions_only_oracle",
+    "experiment_oracle",
+    "compare_results",
+    "failing_methods_histogram",
+    "format_suite_result",
+    "output_only_oracle",
+    "log_level_oracle",
+    "paper_oracle",
+    "pass_rate",
+    "run_suite",
+]

@@ -1,0 +1,183 @@
+"""Test execution: running generated test cases against a component.
+
+This is the runtime half of the generated driver of Figure 6: for each test
+case it
+
+1. constructs the object with the chosen constructor's argument values,
+2. calls each processing method inside a try-block, checking the class
+   invariant before and after every call (``CUT->InvariantTest()``),
+3. destroys the object (calls its explicit teardown method when the
+   component declares one; otherwise lets it go out of scope),
+4. logs ``OK`` or the violation + "Method called: …" line, and captures the
+   object's reported state,
+
+producing a :class:`~repro.harness.outcomes.TestResult` whose observation is
+comparable across runs (the mutation analysis compares a mutant's
+observation to the original's).
+
+Execution happens inside :func:`~repro.bit.access.test_mode`, so embedded
+contract checks are live exactly as if the component had been compiled in
+test mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..bit import access
+from ..bit.reporter import StateReport
+from ..core.errors import ContractViolation, ExecutionError, SandboxTimeout
+from ..generator.suite import TestSuite
+from ..generator.testcase import TestCase, TestStep
+from .logfile import ResultLog
+from .outcomes import Observation, StepObservation, SuiteResult, TestResult, Verdict
+
+#: Convention: a destructor step calls this method when the component has it.
+DESTRUCTOR_METHOD = "dispose"
+
+#: A guard receives the callable + arguments and runs it (possibly bounded).
+StepGuard = Callable[..., Any]
+
+
+def _plain_guard(function: Callable, *args, **kwargs) -> Any:
+    return function(*args, **kwargs)
+
+
+class TestExecutor:
+    """Runs test cases against one component class."""
+
+    __test__ = False  # library class, not a pytest test
+
+    def __init__(self, component_class: type,
+                 check_invariants: bool = True,
+                 log: Optional[ResultLog] = None,
+                 step_guard: Optional[StepGuard] = None):
+        if not isinstance(component_class, type):
+            raise ExecutionError(
+                f"component under test must be a class, got {component_class!r}"
+            )
+        self._class = component_class
+        self._check_invariants = check_invariants
+        self._log = log
+        self._guard: StepGuard = step_guard or _plain_guard
+
+    @property
+    def component_class(self) -> type:
+        return self._class
+
+    # ------------------------------------------------------------------
+    # Suite / case execution
+    # ------------------------------------------------------------------
+
+    def run_suite(self, suite: TestSuite) -> SuiteResult:
+        results = tuple(self.run_case(case) for case in suite.cases)
+        return SuiteResult(class_name=self._class.__name__, results=results)
+
+    def run_case(self, case: TestCase) -> TestResult:
+        if not case.is_complete:
+            return TestResult(
+                case_ident=case.ident,
+                class_name=self._class.__name__,
+                verdict=Verdict.INCOMPLETE,
+                observation=Observation(steps=()),
+                detail="structured parameters not completed",
+            )
+        with access.test_mode():
+            result = self._run_complete_case(case)
+        if self._log is not None:
+            self._log.record(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_complete_case(self, case: TestCase) -> TestResult:
+        observations: List[StepObservation] = []
+        current_method = "<none>"
+        cut: Any = None
+        try:
+            for index, step in enumerate(case.steps):
+                current_method = self._describe_call(step)
+                if index == 0:
+                    cut = self._guard(self._class, *step.arguments)
+                    observations.append(
+                        StepObservation(step.method_name, "return", "<constructed>")
+                    )
+                elif step.is_destruction:
+                    self._destroy(cut, observations)
+                else:
+                    self._invoke(cut, step, observations)
+                self._check_invariant(cut)
+        except ContractViolation as violation:
+            observations.append(Observation.of_raise(current_method, violation))
+            return self._result(case, cut, observations,
+                                Verdict.CONTRACT_VIOLATION,
+                                str(violation), current_method)
+        except SandboxTimeout as timeout:
+            observations.append(Observation.of_raise(current_method, timeout))
+            return self._result(case, cut, observations, Verdict.TIMEOUT,
+                                str(timeout), current_method)
+        except Exception as error:
+            observations.append(Observation.of_raise(current_method, error))
+            return self._result(case, cut, observations, Verdict.CRASH,
+                                f"{type(error).__name__}: {error}", current_method)
+        return self._result(case, cut, observations, Verdict.PASS, "", "")
+
+    def _invoke(self, cut: Any, step: TestStep,
+                observations: List[StepObservation]) -> None:
+        method = getattr(cut, step.method_name, None)
+        if method is None or not callable(method):
+            raise ExecutionError(
+                f"{type(cut).__name__} has no callable method {step.method_name!r}"
+            )
+        result = self._guard(method, *step.arguments)
+        observations.append(Observation.of_return(step.method_name, result))
+
+    def _destroy(self, cut: Any, observations: List[StepObservation]) -> None:
+        teardown = getattr(cut, DESTRUCTOR_METHOD, None)
+        if callable(teardown):
+            result = self._guard(teardown)
+            observations.append(Observation.of_return(DESTRUCTOR_METHOD, result))
+        else:
+            observations.append(
+                StepObservation("<destruction>", "return", "<deleted>")
+            )
+
+    def _check_invariant(self, cut: Any) -> None:
+        if not self._check_invariants or cut is None:
+            return
+        checker = getattr(cut, "invariant_test", None)
+        if callable(checker):
+            self._guard(checker)
+
+    def _result(self, case: TestCase, cut: Any,
+                observations: List[StepObservation], verdict: Verdict,
+                detail: str, failing_method: str) -> TestResult:
+        final_state = None
+        if cut is not None:
+            try:
+                # Guarded: a fault-corrupted object may have a pathological
+                # state (cyclic structures); the budget bounds the capture.
+                final_state = self._guard(StateReport.capture, cut)
+            except Exception:
+                final_state = None  # a hostile state must not mask the verdict
+        return TestResult(
+            case_ident=case.ident,
+            class_name=self._class.__name__,
+            verdict=verdict,
+            observation=Observation(steps=tuple(observations),
+                                    final_state=final_state),
+            detail=detail,
+            failing_method=failing_method,
+        )
+
+    @staticmethod
+    def _describe_call(step: TestStep) -> str:
+        rendered = ", ".join(repr(argument) for argument in step.arguments)
+        return f"{step.method_name}({rendered})"
+
+
+def run_suite(component_class: type, suite: TestSuite, **options) -> SuiteResult:
+    """One-call convenience: execute a suite against a class."""
+    return TestExecutor(component_class, **options).run_suite(suite)

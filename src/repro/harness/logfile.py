@@ -1,0 +1,60 @@
+"""The ``Result.txt`` log (Figure 6 of the paper).
+
+Generated drivers append to a log file: ``TestCaseTC0 OK!`` on success, or
+the violation message, the "Method called: …" line and a state report on
+failure.  :class:`ResultLog` reproduces that format and doubles as an
+in-memory log for tests (pass no path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .outcomes import TestResult, Verdict
+
+
+class ResultLog:
+    """Append-only test log in the Figure-6 format."""
+
+    def __init__(self, path: Optional[str] = None):
+        self._path = path
+        self._lines: List[str] = []
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    @property
+    def lines(self) -> List[str]:
+        return list(self._lines)
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+    # ------------------------------------------------------------------
+
+    def record(self, result: TestResult) -> None:
+        """Log one test result in the paper's format."""
+        if result.verdict is Verdict.PASS:
+            self._write(f"TestCase{result.case_ident} OK!")
+        else:
+            self._write(f"TestCase{result.case_ident}")
+            if result.detail:
+                self._write(result.detail)
+            if result.failing_method:
+                self._write(f"Method called: {result.failing_method}")
+        if result.observation.final_state is not None:
+            self._write(result.observation.final_state.format())
+        self._write("")
+
+    def note(self, message: str) -> None:
+        """Free-form line (session banners, suite summaries)."""
+        self._write(message)
+
+    # ------------------------------------------------------------------
+
+    def _write(self, line: str) -> None:
+        self._lines.append(line)
+        if self._path is not None:
+            with open(self._path, "a", encoding="utf-8") as stream:
+                stream.write(line + "\n")

@@ -1,0 +1,165 @@
+"""Test outcomes: verdicts, per-step observations, and result records.
+
+The paper's driver classifies what happened to each test case (Figure 6):
+it ran to completion and logged ``OK``, or an assertion was violated and the
+exception handler logged the offending method, or the program crashed.  The
+mutation experiment (sec. 4) additionally compares the *output* of a run
+against the validated output of the original program.
+
+The :class:`Observation` captured here is that comparable output: for each
+step, the method called and what it produced (a snapshot of the return value
+or the exception), plus the final reported object state.  Two runs behaved
+identically exactly when their observations are equal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bit.reporter import StateReport, snapshot_value
+
+
+class Verdict(enum.Enum):
+    """What happened when a test case ran."""
+
+    PASS = "pass"
+    CONTRACT_VIOLATION = "contract_violation"  # assertion raised (Figure 5/6)
+    CRASH = "crash"                            # any other exception
+    TIMEOUT = "timeout"                        # step budget exhausted (mutants)
+    INCOMPLETE = "incomplete"                  # unbound structured parameters
+    HARNESS_ERROR = "harness_error"            # the infrastructure failed
+
+    @property
+    def ran(self) -> bool:
+        return self in (Verdict.PASS, Verdict.CONTRACT_VIOLATION, Verdict.CRASH,
+                        Verdict.TIMEOUT)
+
+
+@dataclass(frozen=True)
+class StepObservation:
+    """What one method call produced."""
+
+    method_name: str
+    outcome: str  # "return" | "raise"
+    detail: Any   # snapshot of the return value, or "ExcType: message"
+
+    def format(self) -> str:
+        arrow = "->" if self.outcome == "return" else "!!"
+        return f"{self.method_name} {arrow} {self.detail!r}"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The comparable output of one test-case run."""
+
+    steps: Tuple[StepObservation, ...]
+    final_state: Optional[StateReport] = None
+
+    def differs_from(self, other: "Observation") -> Tuple[str, ...]:
+        """Human-readable description of the first few differences."""
+        differences: List[str] = []
+        for index, (mine, theirs) in enumerate(zip(self.steps, other.steps)):
+            if mine != theirs:
+                differences.append(
+                    f"step {index}: {mine.format()} vs {theirs.format()}"
+                )
+        if len(self.steps) != len(other.steps):
+            differences.append(
+                f"step count {len(self.steps)} vs {len(other.steps)}"
+            )
+        if (self.final_state is None) != (other.final_state is None):
+            differences.append("one run has no final state")
+        elif self.final_state is not None and other.final_state is not None:
+            for name in self.final_state.differs_from(other.final_state):
+                differences.append(f"final state attribute {name!r} differs")
+        return tuple(differences[:10])
+
+    @staticmethod
+    def of_return(method_name: str, value: Any) -> StepObservation:
+        return StepObservation(method_name, "return", snapshot_value(value))
+
+    @staticmethod
+    def of_raise(method_name: str, error: BaseException) -> StepObservation:
+        return StepObservation(
+            method_name, "raise", f"{type(error).__name__}: {error}"
+        )
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of running one test case against one class."""
+
+    __test__ = False  # library class, not a pytest test
+
+    case_ident: str
+    class_name: str
+    verdict: Verdict
+    observation: Observation
+    detail: str = ""             # violation message, crash text, …
+    failing_method: str = ""     # "Method called: …" of Figure 6
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict is Verdict.PASS
+
+    def format(self) -> str:
+        base = f"{self.case_ident}: {self.verdict.value}"
+        if self.detail:
+            base += f" — {self.detail}"
+        if self.failing_method:
+            base += f" (method called: {self.failing_method})"
+        return base
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Outcome of running a whole suite against one class."""
+
+    class_name: str
+    results: Tuple[TestResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def passed(self) -> Tuple[TestResult, ...]:
+        return tuple(result for result in self.results if result.passed)
+
+    @property
+    def failed(self) -> Tuple[TestResult, ...]:
+        return tuple(
+            result for result in self.results
+            if result.verdict in (Verdict.CONTRACT_VIOLATION, Verdict.CRASH,
+                                  Verdict.TIMEOUT)
+        )
+
+    @property
+    def all_passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {verdict.value: 0 for verdict in Verdict}
+        for result in self.results:
+            tally[result.verdict.value] += 1
+        return tally
+
+    def by_verdict(self, verdict: Verdict) -> Tuple[TestResult, ...]:
+        return tuple(result for result in self.results if result.verdict is verdict)
+
+    def result_for(self, case_ident: str) -> TestResult:
+        for result in self.results:
+            if result.case_ident == case_ident:
+                return result
+        raise KeyError(f"no result for test case {case_ident!r}")
+
+    def summary(self) -> str:
+        tally = self.counts()
+        interesting = ", ".join(
+            f"{name}={count}" for name, count in tally.items() if count
+        )
+        return f"{self.class_name}: {len(self.results)} cases ({interesting})"

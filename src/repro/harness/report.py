@@ -1,0 +1,67 @@
+"""Human-readable reports over suite results.
+
+The paper leaves result analysis to the user ("The user manually performs
+the other functions", sec. 3.4); these helpers make that manual analysis
+tractable: a one-line summary, a verdict histogram, and a failure digest
+with the Figure-6 "Method called" attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .outcomes import SuiteResult, TestResult, Verdict
+
+
+def format_suite_result(result: SuiteResult, max_failures: int = 20) -> str:
+    """Multi-line report: summary, histogram, failure digest."""
+    lines: List[str] = [result.summary(), ""]
+    lines.append("verdict histogram:")
+    for verdict_name, count in sorted(result.counts().items()):
+        if count:
+            lines.append(f"  {verdict_name:<20} {count}")
+    failures = result.failed
+    if failures:
+        lines.append("")
+        lines.append(f"failures ({len(failures)} total, showing {min(len(failures), max_failures)}):")
+        for failure in failures[:max_failures]:
+            lines.append(f"  {failure.format()}")
+    return "\n".join(lines)
+
+
+def failing_methods_histogram(result: SuiteResult) -> Dict[str, int]:
+    """How often each method was the last called before a failure.
+
+    This is the aggregation a tester does over the Figure-6 "Method called"
+    lines to localise a fault.
+    """
+    histogram: Dict[str, int] = {}
+    for failure in result.failed:
+        name = failure.failing_method.split("(")[0] if failure.failing_method else "<unknown>"
+        histogram[name] = histogram.get(name, 0) + 1
+    return histogram
+
+
+def compare_results(baseline: SuiteResult, observed: SuiteResult,
+                    ) -> Tuple[Tuple[TestResult, TestResult], ...]:
+    """Pairs of (baseline, observed) results whose verdicts/outputs differ.
+
+    Useful for regression analysis between two versions of a component —
+    the consumer-side reuse scenario of sec. 4's second experiment.
+    """
+    baseline_by_ident = {result.case_ident: result for result in baseline.results}
+    differing: List[Tuple[TestResult, TestResult]] = []
+    for observed_result in observed.results:
+        reference = baseline_by_ident.get(observed_result.case_ident)
+        if reference is None:
+            continue
+        if (reference.verdict is not observed_result.verdict
+                or reference.observation != observed_result.observation):
+            differing.append((reference, observed_result))
+    return tuple(differing)
+
+
+def pass_rate(results: Sequence[TestResult]) -> float:
+    if not results:
+        return 1.0
+    return sum(1 for result in results if result.verdict is Verdict.PASS) / len(results)

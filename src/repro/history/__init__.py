@@ -1,0 +1,31 @@
+"""Hierarchical incremental test reuse: diffs, plans, histories, storage."""
+
+from .diff import (
+    ClassDiff,
+    MethodChange,
+    attribute_uses,
+    classify_methods,
+    classify_spec_methods,
+)
+from .incremental import (
+    IncrementalPlan,
+    TransactionDecision,
+    plan_subclass_testing,
+)
+from .model import HistoryEntry, TestHistory, TransactionStatus
+from .store import HistoryStore
+
+__all__ = [
+    "ClassDiff",
+    "HistoryEntry",
+    "HistoryStore",
+    "IncrementalPlan",
+    "MethodChange",
+    "TestHistory",
+    "TransactionDecision",
+    "TransactionStatus",
+    "attribute_uses",
+    "classify_methods",
+    "classify_spec_methods",
+    "plan_subclass_testing",
+]

@@ -1,0 +1,201 @@
+"""Incremental subclass test planning (sec. 3.4.2 of the paper).
+
+The adaptation of Harrold et al.'s technique, at transaction granularity:
+
+* a subclass transaction **composed only of methods inherited without
+  modification** (constructors and destructors excluded) does not need its
+  test case regenerated — and, per the second experiment's setup, is *not
+  rerun* for the subclass;
+* a transaction **containing modified or new methods** is included in the
+  subclass's test set — reusing the parent's test cases when the transaction
+  already existed with an unchanged specification, regenerating otherwise.
+
+:func:`plan_subclass_testing` computes, for every transaction of the
+subclass model, its :class:`~repro.history.model.TransactionStatus`, and
+:class:`IncrementalPlan` materialises the three suites an experimenter
+needs:
+
+* ``full_suite``      — everything, provenance-tagged (new vs reused);
+* ``executed_suite``  — the incremental test set (what actually runs);
+* ``history``         — the testing history to persist for the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..generator.driver import DriverGenerator
+from ..generator.suite import TestSuite
+from ..generator.testcase import TestCaseCounter
+from ..tfm.graph import TransactionFlowGraph
+from ..tfm.transactions import Transaction, enumerate_transactions
+from ..tspec.model import ClassSpec, MethodCategory
+from .diff import ClassDiff, classify_spec_methods
+from .model import HistoryEntry, TestHistory, TransactionStatus
+
+
+@dataclass(frozen=True)
+class TransactionDecision:
+    """The incremental decision for one subclass transaction."""
+
+    transaction: Transaction
+    status: TransactionStatus
+    reason: str
+    triggering_methods: Tuple[str, ...] = ()  # the new/redefined methods involved
+
+
+@dataclass(frozen=True)
+class IncrementalPlan:
+    """The complete plan for testing a subclass incrementally."""
+
+    parent_name: str
+    subclass_name: str
+    decisions: Tuple[TransactionDecision, ...]
+    diff: ClassDiff
+    full_suite: TestSuite       # reused + new, provenance-tagged
+    executed_suite: TestSuite   # the incremental test set (must-run only)
+    history: TestHistory
+
+    def decisions_with(self, status: TransactionStatus) -> Tuple[TransactionDecision, ...]:
+        return tuple(d for d in self.decisions if d.status is status)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "transactions": len(self.decisions),
+            "new_transactions": len(self.decisions_with(TransactionStatus.NEW)),
+            "reused_transactions": len(self.decisions_with(TransactionStatus.REUSED)),
+            "retest_transactions": len(self.decisions_with(TransactionStatus.RETEST)),
+            "new_cases": len(self.full_suite.new_cases),
+            "reused_cases": len(self.full_suite.reused_cases),
+            "executed_cases": len(self.executed_suite),
+        }
+
+    def summary(self) -> str:
+        counts = self.stats()
+        return (
+            f"incremental plan {self.subclass_name} (parent {self.parent_name}): "
+            f"{counts['new_cases']} new test cases generated, "
+            f"{counts['reused_cases']} reused from superclass, "
+            f"{counts['executed_cases']} in the executed (incremental) set"
+        )
+
+
+def _transaction_method_names(graph: TransactionFlowGraph,
+                              transaction: Transaction) -> Set[str]:
+    """All method names a transaction may exercise (every node alternative),
+    constructors and destructors excluded (sec. 3.4.2)."""
+    names: Set[str] = set()
+    for node_ident in transaction.path:
+        for method in graph.node_methods(node_ident):
+            if method.category in (MethodCategory.CONSTRUCTOR,
+                                   MethodCategory.DESTRUCTOR):
+                continue
+            names.add(method.name)
+    return names
+
+
+def plan_subclass_testing(parent_spec: ClassSpec,
+                          subclass_spec: ClassSpec,
+                          parent_suite: TestSuite,
+                          diff: Optional[ClassDiff] = None,
+                          seed: Optional[int] = None,
+                          edge_bound: int = 1,
+                          generator: Optional[DriverGenerator] = None,
+                          ) -> IncrementalPlan:
+    """Apply the incremental technique to a subclass.
+
+    ``parent_suite`` is the parent's (already generated) transaction suite:
+    the reuse pool.  ``diff`` defaults to the specification-level
+    classification of the two t-specs; pass a runtime
+    :func:`~repro.history.diff.classify_methods` result to honour
+    implementation-level changes the specs don't capture.
+    """
+    diff = diff or classify_spec_methods(parent_spec, subclass_spec)
+    modified_or_new = diff.modified_or_new
+
+    subclass_graph = TransactionFlowGraph(subclass_spec)
+    enumeration = enumerate_transactions(subclass_graph, edge_bound=edge_bound)
+    parent_transaction_idents = {
+        case.transaction.ident for case in parent_suite.cases
+    }
+
+    generator = generator or DriverGenerator(
+        subclass_spec, seed=seed, edge_bound=edge_bound
+    )
+    counter = TestCaseCounter(prefix="STC")  # subclass numbering, no collisions
+
+    decisions = []
+    new_cases = []
+    reused_cases = []
+    history = TestHistory(class_name=subclass_spec.name,
+                          parent_name=parent_spec.name)
+
+    for transaction in enumeration:
+        involved = _transaction_method_names(subclass_graph, transaction)
+        triggering = tuple(sorted(involved & modified_or_new))
+        if triggering:
+            status = TransactionStatus.NEW
+            reason = f"contains new/redefined methods: {', '.join(triggering)}"
+            generated = generator.generate_for_transaction(transaction, counter)
+            new_cases.extend(generated)
+            case_idents = tuple(case.ident for case in generated)
+        elif transaction.ident in parent_transaction_idents:
+            status = TransactionStatus.REUSED
+            reason = "inherited-only transaction; parent test cases adopted"
+            adopted = [
+                case for case in parent_suite.cases
+                if case.transaction.ident == transaction.ident
+            ]
+            from dataclasses import replace as _replace
+            adopted = [
+                _replace(case, origin="reused", class_name=subclass_spec.name)
+                for case in adopted
+            ]
+            reused_cases.extend(adopted)
+            case_idents = tuple(case.ident for case in adopted)
+        else:
+            status = TransactionStatus.RETEST
+            reason = ("inherited-only methods in a transaction absent from the "
+                      "parent model: new interaction, must be exercised")
+            generated = generator.generate_for_transaction(transaction, counter)
+            new_cases.extend(generated)
+            case_idents = tuple(case.ident for case in generated)
+
+        decisions.append(TransactionDecision(
+            transaction=transaction,
+            status=status,
+            reason=reason,
+            triggering_methods=triggering,
+        ))
+        history.add(HistoryEntry(
+            transaction_ident=transaction.ident,
+            status=status,
+            case_idents=case_idents,
+            reason=reason,
+        ))
+
+    full_suite = TestSuite(
+        class_name=subclass_spec.name,
+        cases=tuple(reused_cases) + tuple(new_cases),
+        seed=parent_suite.seed,
+        edge_bound=edge_bound,
+        transactions_total=len(enumeration),
+        truncated=enumeration.truncated,
+    )
+    must_run_idents = {
+        ident
+        for entry in history.must_run_entries
+        for ident in entry.case_idents
+    }
+    executed_suite = full_suite.filtered(lambda case: case.ident in must_run_idents)
+
+    return IncrementalPlan(
+        parent_name=parent_spec.name,
+        subclass_name=subclass_spec.name,
+        decisions=tuple(decisions),
+        diff=diff,
+        full_suite=full_suite,
+        executed_suite=executed_suite,
+        history=history,
+    )

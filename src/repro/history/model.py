@@ -1,0 +1,156 @@
+"""Testing history: which test cases exist for which transaction, and why.
+
+Harrold et al.'s incremental technique keeps, per class, "a testing history
+that associates each test case with the feature it tests"; the paper adapts
+it to associate test cases **with transactions** instead (sec. 3.4.2).  The
+history records, for every transaction of a class's model, where its test
+cases came from and whether they must run for this class:
+
+* ``NEW`` — the transaction contains new or redefined methods; its test
+  cases were (re)generated for this class and must run;
+* ``REUSED`` — the transaction is inherited unchanged (constructor and
+  destructor excluded from the comparison); the parent's test cases are
+  adopted and **need not rerun** for this class;
+* ``RETEST`` — the transaction is composed of inherited methods but did not
+  exist in the parent's model (new interaction), so inherited features
+  interact in a new way and must be exercised;
+* ``SELF`` — the class is a root: everything is its own.
+
+The second experiment of sec. 4 runs exactly the ``NEW`` + ``RETEST``
+portion — what the paper calls the class's (incremental) test set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class TransactionStatus(enum.Enum):
+    """Why a transaction's test cases are (not) part of this class's run."""
+
+    NEW = "new"
+    REUSED = "reused"
+    RETEST = "retest"
+    SELF = "self"
+
+    @property
+    def must_run(self) -> bool:
+        """Whether the incremental technique reruns this transaction."""
+        return self in (TransactionStatus.NEW, TransactionStatus.RETEST,
+                        TransactionStatus.SELF)
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One transaction's record in a class's testing history."""
+
+    transaction_ident: str
+    status: TransactionStatus
+    case_idents: Tuple[str, ...]
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "transaction": self.transaction_ident,
+            "status": self.status.value,
+            "cases": list(self.case_idents),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HistoryEntry":
+        return cls(
+            transaction_ident=payload["transaction"],
+            status=TransactionStatus(payload["status"]),
+            case_idents=tuple(payload.get("cases", ())),
+            reason=payload.get("reason", ""),
+        )
+
+
+@dataclass
+class TestHistory:
+    """The testing history of one class."""
+
+    __test__ = False  # library class, not a pytest test
+
+    class_name: str
+    parent_name: Optional[str] = None
+    entries: List[HistoryEntry] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: HistoryEntry) -> None:
+        if any(e.transaction_ident == entry.transaction_ident for e in self.entries):
+            raise ValueError(
+                f"history already has an entry for {entry.transaction_ident!r}"
+            )
+        self.entries.append(entry)
+
+    def entry_for(self, transaction_ident: str) -> HistoryEntry:
+        for entry in self.entries:
+            if entry.transaction_ident == transaction_ident:
+                return entry
+        raise KeyError(f"no history entry for transaction {transaction_ident!r}")
+
+    # -- views ------------------------------------------------------------
+
+    def with_status(self, status: TransactionStatus) -> Tuple[HistoryEntry, ...]:
+        return tuple(entry for entry in self.entries if entry.status is status)
+
+    @property
+    def must_run_entries(self) -> Tuple[HistoryEntry, ...]:
+        """The incremental test set: what actually executes for this class."""
+        return tuple(entry for entry in self.entries if entry.status.must_run)
+
+    @property
+    def reused_entries(self) -> Tuple[HistoryEntry, ...]:
+        return self.with_status(TransactionStatus.REUSED)
+
+    def case_count(self, statuses: Optional[Tuple[TransactionStatus, ...]] = None) -> int:
+        selected = self.entries if statuses is None else [
+            entry for entry in self.entries if entry.status in statuses
+        ]
+        return sum(len(entry.case_idents) for entry in selected)
+
+    def stats(self) -> Dict[str, int]:
+        """The accounting the paper reports: new vs reused test cases."""
+        return {
+            "transactions": len(self.entries),
+            "new_cases": self.case_count((TransactionStatus.NEW,
+                                          TransactionStatus.SELF,
+                                          TransactionStatus.RETEST)),
+            "reused_cases": self.case_count((TransactionStatus.REUSED,)),
+        }
+
+    def summary(self) -> str:
+        counts = self.stats()
+        lineage = f" (parent: {self.parent_name})" if self.parent_name else ""
+        return (
+            f"history of {self.class_name}{lineage}: "
+            f"{counts['transactions']} transactions, "
+            f"{counts['new_cases']} new test cases, "
+            f"{counts['reused_cases']} reused from superclass"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.class_name,
+            "parent": self.parent_name,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TestHistory":
+        return cls(
+            class_name=payload["class"],
+            parent_name=payload.get("parent"),
+            entries=[HistoryEntry.from_dict(item) for item in payload.get("entries", [])],
+        )

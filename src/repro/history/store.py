@@ -1,0 +1,79 @@
+"""Persistence of testing histories.
+
+"Test history creation, maintenance and retrieval is partially implemented"
+in Concat (sec. 3.4); here it is fully implemented as JSON files, one per
+class, in a directory-backed store.  The store is what a component producer
+ships alongside the component so consumers can extend the history for their
+subclasses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from .model import TestHistory
+
+
+class HistoryStore:
+    """Directory of ``<ClassName>.history.json`` files."""
+
+    SUFFIX = ".history.json"
+
+    def __init__(self, directory: str):
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def _path_for(self, class_name: str) -> str:
+        safe = "".join(c for c in class_name if c.isalnum() or c in "_-")
+        if not safe:
+            raise ValueError(f"unusable class name {class_name!r}")
+        return os.path.join(self._directory, safe + self.SUFFIX)
+
+    def save(self, history: TestHistory) -> str:
+        """Write (overwrite) a class's history; returns the file path."""
+        path = self._path_for(history.class_name)
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(history.as_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return path
+
+    def load(self, class_name: str) -> TestHistory:
+        path = self._path_for(class_name)
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        return TestHistory.from_dict(payload)
+
+    def exists(self, class_name: str) -> bool:
+        return os.path.exists(self._path_for(class_name))
+
+    def delete(self, class_name: str) -> bool:
+        path = self._path_for(class_name)
+        if os.path.exists(path):
+            os.remove(path)
+            return True
+        return False
+
+    def class_names(self) -> List[str]:
+        names: List[str] = []
+        for filename in sorted(os.listdir(self._directory)):
+            if filename.endswith(self.SUFFIX):
+                names.append(filename[: -len(self.SUFFIX)])
+        return names
+
+    def lineage(self, class_name: str) -> List[TestHistory]:
+        """The history chain from ``class_name`` up to its root ancestor."""
+        chain: List[TestHistory] = []
+        current: Optional[str] = class_name
+        seen = set()
+        while current and current not in seen and self.exists(current):
+            seen.add(current)
+            history = self.load(current)
+            chain.append(history)
+            current = history.parent_name
+        return chain

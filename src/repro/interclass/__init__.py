@@ -1,0 +1,40 @@
+"""Interclass testing: assemblies of several self-testable classes.
+
+Implements the paper's stated future work (sec. 6): extending the approach
+"for components having more than one class", focusing on interactions
+*between* classes rather than among the methods of one class.
+"""
+
+from .builder import AssemblyBuilder
+from .executor import AssemblyExecutor
+from .generator import (
+    AssemblyGraph,
+    InterclassDriverGenerator,
+    InterclassStep,
+    InterclassSuite,
+    InterclassTestCase,
+    RoleRef,
+)
+from .model import (
+    AssemblyEdgeSpec,
+    AssemblyNodeSpec,
+    AssemblySpec,
+    QualifiedTask,
+    RoleSpec,
+)
+
+__all__ = [
+    "AssemblyBuilder",
+    "AssemblyEdgeSpec",
+    "AssemblyExecutor",
+    "AssemblyGraph",
+    "AssemblyNodeSpec",
+    "AssemblySpec",
+    "InterclassDriverGenerator",
+    "InterclassStep",
+    "InterclassSuite",
+    "InterclassTestCase",
+    "QualifiedTask",
+    "RoleRef",
+    "RoleSpec",
+]

@@ -1,0 +1,157 @@
+"""Fluent construction of assembly specifications.
+
+Mirrors :class:`~repro.tspec.builder.SpecBuilder`, one level up: roles are
+declared from self-testable classes (their embedded ``__tspec__`` is the
+role's spec), nodes list qualified tasks as ``"role.MethodName"`` strings,
+and :meth:`AssemblyBuilder.build` validates the result.
+
+Example::
+
+    assembly = (
+        AssemblyBuilder("Warehouse")
+        .role("provider", Provider)
+        .role("product", Product)
+        .node("new_provider", ["provider.Provider"], start=True)
+        .node("new_product", ["product.Product"])
+        ...
+        .edge("new_provider", "new_product")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from ..core.errors import SpecError
+from ..tspec.model import ClassSpec
+from .model import (
+    AssemblyEdgeSpec,
+    AssemblyNodeSpec,
+    AssemblySpec,
+    QualifiedTask,
+    RoleSpec,
+)
+
+
+class AssemblyBuilder:
+    """Accumulates roles, nodes and edges into an :class:`AssemblySpec`."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._roles: List[RoleSpec] = []
+        self._nodes: List[AssemblyNodeSpec] = []
+        self._edges: List[AssemblyEdgeSpec] = []
+        self._aliases: Dict[str, str] = {}
+
+    # -- roles ------------------------------------------------------------
+
+    def role(self, name: str,
+             component: Union[type, ClassSpec]) -> "AssemblyBuilder":
+        """Declare a role from a self-testable class or an explicit spec."""
+        if any(existing.name == name for existing in self._roles):
+            raise SpecError(f"role {name!r} already declared")
+        if isinstance(component, ClassSpec):
+            spec = component
+        else:
+            spec = getattr(component, "__tspec__", None)
+            if spec is None:
+                raise SpecError(
+                    f"{component!r} is not self-testable (no embedded __tspec__); "
+                    "pass its ClassSpec explicitly"
+                )
+        self._roles.append(RoleSpec(name=name, class_spec=spec))
+        return self
+
+    def _resolve_task(self, text: str) -> QualifiedTask:
+        """``"role.MethodName"`` → every matching method ident of that role."""
+        if "." not in text:
+            raise SpecError(
+                f"task {text!r} must be qualified as 'role.MethodName'"
+            )
+        role_name, _, method_name = text.partition(".")
+        role = next((r for r in self._roles if r.name == role_name), None)
+        if role is None:
+            raise SpecError(f"unknown role {role_name!r} in task {text!r}")
+        matches = [
+            method.ident for method in role.class_spec.methods
+            if method.name == method_name
+        ]
+        if not matches:
+            raise SpecError(
+                f"role {role_name!r} ({role.class_spec.name}) has no method "
+                f"named {method_name!r}"
+            )
+        if len(matches) > 1:
+            # Overloads: the caller gets all of them as one node's
+            # alternatives via node(); here a single task must be unique.
+            raise SpecError(
+                f"method name {method_name!r} is overloaded in role "
+                f"{role_name!r}; list the alternatives separately in node()"
+            )
+        return QualifiedTask(role=role_name, method_ident=matches[0])
+
+    def _resolve_tasks(self, texts: Sequence[str]) -> List[QualifiedTask]:
+        tasks: List[QualifiedTask] = []
+        for text in texts:
+            role_name, _, method_name = text.partition(".")
+            role = next((r for r in self._roles if r.name == role_name), None)
+            if role is not None:
+                matches = [
+                    method.ident for method in role.class_spec.methods
+                    if method.name == method_name
+                ]
+                if len(matches) > 1:
+                    tasks.extend(
+                        QualifiedTask(role=role_name, method_ident=ident)
+                        for ident in matches
+                    )
+                    continue
+            tasks.append(self._resolve_task(text))
+        return tasks
+
+    # -- model -------------------------------------------------------------
+
+    def node(self, alias: str, tasks: Sequence[str],
+             start: bool = False, end: bool = False) -> "AssemblyBuilder":
+        if alias in self._aliases:
+            raise SpecError(f"node alias {alias!r} already used")
+        ident = f"a{len(self._nodes) + 1}"
+        self._aliases[alias] = ident
+        self._nodes.append(
+            AssemblyNodeSpec(
+                ident=ident,
+                tasks=tuple(self._resolve_tasks(tasks)),
+                is_start=start,
+                is_end=end,
+            )
+        )
+        return self
+
+    def edge(self, source_alias: str, target_alias: str) -> "AssemblyBuilder":
+        try:
+            source = self._aliases[source_alias]
+            target = self._aliases[target_alias]
+        except KeyError as missing:
+            raise SpecError(f"unknown node alias {missing.args[0]!r}") from None
+        self._edges.append(AssemblyEdgeSpec(source=source, target=target))
+        return self
+
+    def chain(self, *aliases: str) -> "AssemblyBuilder":
+        for source, target in zip(aliases, aliases[1:]):
+            self.edge(source, target)
+        return self
+
+    def node_ident(self, alias: str) -> str:
+        return self._aliases[alias]
+
+    def build(self, check: bool = True) -> AssemblySpec:
+        spec = AssemblySpec(
+            name=self._name,
+            roles=tuple(self._roles),
+            nodes=tuple(self._nodes),
+            edges=tuple(self._edges),
+        )
+        if check:
+            return spec.validate()
+        return spec

@@ -1,0 +1,177 @@
+"""Execution of interclass test cases: one transaction, several objects.
+
+The executor keeps a live object per role; construction steps instantiate
+the role's class, other steps dispatch to the role's object, and
+:class:`~repro.interclass.generator.RoleRef` arguments resolve to the live
+object of the referenced role (or ``None`` when that role has not been
+constructed on this path — pointer semantics).
+
+Observability follows the intraclass harness: per-step observations plus a
+final state that merges every participating object's reported state, so
+interclass runs are comparable (golden-output style) across versions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..bit import access
+from ..bit.reporter import StateReport, snapshot_value
+from ..core.errors import ContractViolation, ExecutionError, SandboxTimeout
+from ..harness.outcomes import (
+    Observation,
+    StepObservation,
+    SuiteResult,
+    TestResult,
+    Verdict,
+)
+from .generator import InterclassStep, InterclassSuite, InterclassTestCase, RoleRef
+from .model import AssemblySpec
+
+StepGuard = Callable[..., Any]
+
+
+def _plain_guard(function: Callable, *args, **kwargs) -> Any:
+    return function(*args, **kwargs)
+
+
+class AssemblyExecutor:
+    """Runs interclass test cases against a set of role classes."""
+
+    def __init__(self, assembly: AssemblySpec,
+                 role_classes: Mapping[str, type],
+                 check_invariants: bool = True,
+                 step_guard: Optional[StepGuard] = None):
+        missing = [name for name in assembly.role_names if name not in role_classes]
+        if missing:
+            raise ExecutionError(
+                f"no class bound for roles: {', '.join(missing)}"
+            )
+        for name, klass in role_classes.items():
+            if not isinstance(klass, type):
+                raise ExecutionError(f"role {name!r} is bound to {klass!r}, not a class")
+        self._assembly = assembly
+        self._classes: Dict[str, type] = dict(role_classes)
+        self._check_invariants = check_invariants
+        self._guard: StepGuard = step_guard or _plain_guard
+
+    # ------------------------------------------------------------------
+
+    def run_suite(self, suite: InterclassSuite) -> SuiteResult:
+        results = tuple(self.run_case(case) for case in suite.cases)
+        return SuiteResult(class_name=self._assembly.name, results=results)
+
+    def run_case(self, case: InterclassTestCase) -> TestResult:
+        with access.test_mode():
+            return self._run(case)
+
+    # ------------------------------------------------------------------
+
+    def _run(self, case: InterclassTestCase) -> TestResult:
+        instances: Dict[str, Any] = {}
+        observations: List[StepObservation] = []
+        current_call = "<none>"
+        try:
+            for step in case.steps:
+                current_call = self._describe(step)
+                self._execute_step(step, instances, observations)
+                self._check_invariant(instances.get(step.role))
+        except ContractViolation as violation:
+            observations.append(Observation.of_raise(current_call, violation))
+            return self._result(case, instances, observations,
+                                Verdict.CONTRACT_VIOLATION, str(violation),
+                                current_call)
+        except SandboxTimeout as timeout:
+            observations.append(Observation.of_raise(current_call, timeout))
+            return self._result(case, instances, observations, Verdict.TIMEOUT,
+                                str(timeout), current_call)
+        except Exception as error:
+            observations.append(Observation.of_raise(current_call, error))
+            return self._result(case, instances, observations, Verdict.CRASH,
+                                f"{type(error).__name__}: {error}", current_call)
+        return self._result(case, instances, observations, Verdict.PASS, "", "")
+
+    def _execute_step(self, step: InterclassStep, instances: Dict[str, Any],
+                      observations: List[StepObservation]) -> None:
+        arguments = tuple(
+            instances.get(argument.role) if isinstance(argument, RoleRef)
+            else argument
+            for argument in step.arguments
+        )
+        if step.is_construction:
+            if step.role in instances:
+                raise ExecutionError(
+                    f"role {step.role!r} constructed twice in one transaction"
+                )
+            instance = self._guard(self._classes[step.role], *arguments)
+            instances[step.role] = instance
+            observations.append(
+                StepObservation(f"{step.role}.{step.method_name}",
+                                "return", "<constructed>")
+            )
+            return
+        if step.is_destruction:
+            instance = instances.get(step.role)
+            teardown = getattr(instance, "dispose", None)
+            detail = "<deleted>"
+            if callable(teardown):
+                detail = snapshot_value(self._guard(teardown))
+            observations.append(
+                StepObservation(f"{step.role}.<destruction>", "return", detail)
+            )
+            return
+        instance = instances.get(step.role)
+        if instance is None:
+            raise ExecutionError(
+                f"step {step.format()} runs before role {step.role!r} exists"
+            )
+        method = getattr(instance, step.method_name, None)
+        if not callable(method):
+            raise ExecutionError(
+                f"{type(instance).__name__} has no method {step.method_name!r}"
+            )
+        result = self._guard(method, *arguments)
+        observations.append(
+            StepObservation(f"{step.role}.{step.method_name}",
+                            "return", snapshot_value(result))
+        )
+
+    def _check_invariant(self, instance: Any) -> None:
+        if not self._check_invariants or instance is None:
+            return
+        checker = getattr(instance, "invariant_test", None)
+        if callable(checker):
+            self._guard(checker)
+
+    def _result(self, case: InterclassTestCase, instances: Dict[str, Any],
+                observations: List[StepObservation], verdict: Verdict,
+                detail: str, failing: str) -> TestResult:
+        final_state = self._merged_state(instances)
+        return TestResult(
+            case_ident=case.ident,
+            class_name=self._assembly.name,
+            verdict=verdict,
+            observation=Observation(steps=tuple(observations),
+                                    final_state=final_state),
+            detail=detail,
+            failing_method=failing,
+        )
+
+    def _merged_state(self, instances: Dict[str, Any]) -> Optional[StateReport]:
+        """One report whose entries are ``role.attribute`` pairs."""
+        if not instances:
+            return None
+        merged: List[Tuple[str, Any]] = []
+        for role in sorted(instances):
+            try:
+                report = self._guard(StateReport.capture, instances[role])
+            except Exception:
+                merged.append((f"{role}.<capture-failed>", True))
+                continue
+            for name, value in report.state:
+                merged.append((f"{role}.{name}", value))
+        return StateReport(class_name=self._assembly.name, state=tuple(merged))
+
+    @staticmethod
+    def _describe(step: InterclassStep) -> str:
+        return step.format()

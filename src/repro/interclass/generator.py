@@ -1,0 +1,313 @@
+"""Interclass test generation: transactions over several objects.
+
+Reuses the intraclass machinery one level up: the assembly's nodes/edges
+form a graph with the same traversal structure as a TFM, so transaction
+enumeration is shared (:func:`repro.tfm.transactions.enumerate_transactions`
+is duck-typed over :class:`AssemblyGraph`).  What changes is expansion:
+
+* a node's alternatives are **qualified tasks** (role + method), so a test
+  case's steps carry the role whose object performs them;
+* a sequence is *well-formed* only if each role's first task on the path is
+  one of its constructors (an object must exist before it is used) and no
+  role is constructed twice; ill-formed variants are counted, never
+  silently dropped;
+* parameters typed as another role's class become :class:`RoleRef`
+  placeholders — at execution time they resolve to the live object created
+  earlier in the same transaction.  This is the interclass step: objects
+  flowing across class boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.domains import Domain, ObjectDomain, PointerDomain
+from ..core.rng import ReproRandom
+from ..tfm.transactions import (
+    DEFAULT_MAX_TRANSACTIONS,
+    EnumerationResult,
+    Transaction,
+    enumerate_transactions,
+)
+from .model import AssemblySpec, QualifiedTask
+from ..generator.values import TypeBinding, ValueSampler
+
+
+class AssemblyGraph:
+    """Traversal view of an assembly model (duck-compatible with the TFM)."""
+
+    def __init__(self, spec: AssemblySpec):
+        spec.validate()
+        self._spec = spec
+        self._successors = spec.adjacency()
+        self._starts = tuple(node.ident for node in spec.start_nodes)
+        self._ends = tuple(node.ident for node in spec.end_nodes)
+
+    @property
+    def spec(self) -> AssemblySpec:
+        return self._spec
+
+    @property
+    def class_name(self) -> str:  # used by shared enumeration errors
+        return self._spec.name
+
+    @property
+    def birth_nodes(self) -> Tuple[str, ...]:
+        return self._starts
+
+    @property
+    def death_nodes(self) -> Tuple[str, ...]:
+        return self._ends
+
+    @property
+    def node_idents(self) -> Tuple[str, ...]:
+        return tuple(node.ident for node in self._spec.nodes)
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple((edge.source, edge.target) for edge in self._spec.edges)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._spec.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._spec.edges)
+
+    def successors(self, ident: str) -> Tuple[str, ...]:
+        return self._successors.get(ident, ())
+
+    def is_birth(self, ident: str) -> bool:
+        return ident in self._starts
+
+    def is_death(self, ident: str) -> bool:
+        return ident in self._ends
+
+    def node_tasks(self, ident: str) -> Tuple[QualifiedTask, ...]:
+        return self._spec.node(ident).tasks
+
+    def validate_path(self, path: Iterable[str]) -> bool:
+        sequence = list(path)
+        if not sequence or sequence[0] not in self._starts:
+            return False
+        if sequence[-1] not in self._ends:
+            return False
+        for current, following in zip(sequence, sequence[1:]):
+            if following not in self._successors.get(current, ()):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class RoleRef:
+    """Placeholder argument: 'the live object of this role'."""
+
+    role: str
+
+    def describe(self) -> str:
+        return f"<role {self.role}>"
+
+
+@dataclass(frozen=True)
+class InterclassStep:
+    """One step of an interclass test case."""
+
+    role: str
+    method_ident: str
+    method_name: str
+    arguments: Tuple[object, ...] = ()
+    node_ident: str = ""
+    is_construction: bool = False
+    is_destruction: bool = False
+
+    def format(self) -> str:
+        rendered = ", ".join(
+            argument.describe() if isinstance(argument, RoleRef) else repr(argument)
+            for argument in self.arguments
+        )
+        call = f"{self.role}.{self.method_name}({rendered})"
+        if self.is_construction:
+            return f"new {call}"
+        if self.is_destruction:
+            return f"delete {self.role}"
+        return call
+
+
+@dataclass(frozen=True)
+class InterclassTestCase:
+    """A generated interclass test case."""
+
+    ident: str
+    transaction: Transaction
+    steps: Tuple[InterclassStep, ...]
+    assembly_name: str
+    seed: int = 0
+
+    @property
+    def roles_used(self) -> Tuple[str, ...]:
+        ordered: List[str] = []
+        for step in self.steps:
+            if step.role not in ordered:
+                ordered.append(step.role)
+        return tuple(ordered)
+
+    def format(self) -> str:
+        lines = [f"{self.ident} [{self.assembly_name}] {self.transaction}"]
+        lines.extend(f"    {step.format()}" for step in self.steps)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class InterclassSuite:
+    """The generated interclass suite plus honesty accounting."""
+
+    assembly_name: str
+    cases: Tuple[InterclassTestCase, ...]
+    seed: int
+    transactions_total: int
+    ill_formed_variants: int  # sequences dropped (role used before birth)
+    truncated: bool
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def summary(self) -> str:
+        note = " [TRUNCATED]" if self.truncated else ""
+        return (
+            f"interclass suite for {self.assembly_name}: {len(self.cases)} "
+            f"cases over {self.transactions_total} transactions "
+            f"({self.ill_formed_variants} ill-formed variants rejected){note}"
+        )
+
+
+class InterclassDriverGenerator:
+    """Generates interclass suites from an assembly specification."""
+
+    def __init__(self, assembly: AssemblySpec,
+                 seed: Optional[int] = None,
+                 bindings: Optional[TypeBinding] = None,
+                 edge_bound: int = 1,
+                 max_transactions: int = DEFAULT_MAX_TRANSACTIONS):
+        self._assembly = assembly
+        self._graph = AssemblyGraph(assembly)
+        self._rng = ReproRandom(seed)
+        self._bindings = bindings or TypeBinding()
+        self._edge_bound = edge_bound
+        self._max_transactions = max_transactions
+        #: class name → role name, for RoleRef substitution.
+        self._role_by_class: Dict[str, str] = {
+            role.class_spec.name: role.name for role in assembly.roles
+        }
+
+    @property
+    def graph(self) -> AssemblyGraph:
+        return self._graph
+
+    def enumerate(self) -> EnumerationResult:
+        return enumerate_transactions(
+            self._graph,
+            edge_bound=self._edge_bound,
+            max_transactions=self._max_transactions,
+        )
+
+    def generate(self) -> InterclassSuite:
+        enumeration = self.enumerate()
+        cases: List[InterclassTestCase] = []
+        ill_formed = 0
+        number = 0
+        for transaction in enumeration:
+            alternative_lists = [
+                self._graph.node_tasks(node_ident)
+                for node_ident in transaction.path
+            ]
+            variants = max(len(alternatives) for alternatives in alternative_lists)
+            for variant in range(variants):
+                chosen = tuple(
+                    alternatives[variant % len(alternatives)]
+                    for alternatives in alternative_lists
+                )
+                if not self._well_formed(chosen):
+                    ill_formed += 1
+                    continue
+                case_seed = self._rng.fork(number).seed
+                cases.append(self._build_case(
+                    f"ITC{number}", transaction, chosen, case_seed
+                ))
+                number += 1
+        return InterclassSuite(
+            assembly_name=self._assembly.name,
+            cases=tuple(cases),
+            seed=self._rng.seed,
+            transactions_total=len(enumeration),
+            ill_formed_variants=ill_formed,
+            truncated=enumeration.truncated,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _well_formed(self, chosen: Sequence[QualifiedTask]) -> bool:
+        """Each role constructed exactly once, before any of its uses, and
+        never used after its destruction."""
+        constructed = set()
+        destroyed = set()
+        for task in chosen:
+            method = self._assembly.method_of(task)
+            if method.is_constructor:
+                if task.role in constructed:
+                    return False  # double construction
+                constructed.add(task.role)
+            elif method.is_destructor:
+                if task.role not in constructed or task.role in destroyed:
+                    return False
+                destroyed.add(task.role)
+            else:
+                if task.role not in constructed or task.role in destroyed:
+                    return False  # used before birth or after death
+        return bool(constructed)
+
+    def _build_case(self, ident: str, transaction: Transaction,
+                    chosen: Sequence[QualifiedTask], case_seed: int,
+                    ) -> InterclassTestCase:
+        sampler = ValueSampler(ReproRandom(case_seed), bindings=self._bindings)
+        steps: List[InterclassStep] = []
+        for node_ident, task in zip(transaction.path, chosen):
+            method = self._assembly.method_of(task)
+            arguments = tuple(
+                self._sample_argument(sampler, parameter.name, parameter.domain)
+                for parameter in method.parameters
+            )
+            steps.append(
+                InterclassStep(
+                    role=task.role,
+                    method_ident=task.method_ident,
+                    method_name=method.name,
+                    arguments=arguments,
+                    node_ident=node_ident,
+                    is_construction=method.is_constructor,
+                    is_destruction=method.is_destructor,
+                )
+            )
+        return InterclassTestCase(
+            ident=ident,
+            transaction=transaction,
+            steps=tuple(steps),
+            assembly_name=self._assembly.name,
+            seed=case_seed,
+        )
+
+    def _sample_argument(self, sampler: ValueSampler, name: str,
+                         domain: Domain):
+        """Role-typed parameters become RoleRefs; the rest sample normally."""
+        target = domain
+        if isinstance(target, PointerDomain):
+            target = target.target
+        if isinstance(target, ObjectDomain):
+            role = self._role_by_class.get(target.class_name)
+            if role is not None:
+                return RoleRef(role)
+        return sampler.sample(name, domain)

@@ -1,0 +1,205 @@
+"""Assembly specifications: test models spanning several classes.
+
+The paper's short-term future work (sec. 6): "We are also extending this
+approach for components having more than one class; so instead of method's
+interactions inside a class (intraclass testing), we focus on interactions
+between classes (interclass testing)."  The TFM was chosen precisely
+because "it can be used for components having more than one object […] as
+it can show the sequencing of activities performed by several objects as
+well" (sec. 3.2).
+
+An :class:`AssemblySpec` realises that extension:
+
+* an assembly has named **roles**, each bound to a (self-testable) class's
+  t-spec — e.g. the warehouse assembly has a ``provider`` role and a
+  ``product`` role;
+* assembly nodes group **qualified tasks** ``role:method_ident``: the same
+  node/edge machinery as the intraclass TFM, but each task names which
+  object performs it;
+* a transaction is a birth-to-death path through the *assembly's* model:
+  it starts by constructing the participating objects and interleaves
+  their methods.
+
+The construction rule: a role's object is created lazily, by the first
+task of that role on the path, which must be one of the role's
+constructors.  The ``birth`` flag marks nodes that may start transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.errors import SpecValidationError
+from ..tspec.model import ClassSpec, MethodSpec
+
+#: Separator between role name and method ident in a qualified task.
+QUALIFIER = ":"
+
+
+@dataclass(frozen=True)
+class QualifiedTask:
+    """One task of an assembly node: a method of a specific role."""
+
+    role: str
+    method_ident: str
+
+    @classmethod
+    def parse(cls, text: str) -> "QualifiedTask":
+        if QUALIFIER not in text:
+            raise SpecValidationError(
+                [f"qualified task {text!r} must look like 'role{QUALIFIER}m1'"]
+            )
+        role, _, method_ident = text.partition(QUALIFIER)
+        if not role or not method_ident:
+            raise SpecValidationError([f"malformed qualified task {text!r}"])
+        return cls(role=role, method_ident=method_ident)
+
+    def render(self) -> str:
+        return f"{self.role}{QUALIFIER}{self.method_ident}"
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """One participating class of the assembly."""
+
+    name: str
+    class_spec: ClassSpec
+
+    def method_by_ident(self, ident: str) -> MethodSpec:
+        return self.class_spec.method_by_ident(ident)
+
+
+@dataclass(frozen=True)
+class AssemblyNodeSpec:
+    """One node of the assembly model: alternative qualified tasks."""
+
+    ident: str
+    tasks: Tuple[QualifiedTask, ...]
+    is_start: bool = False
+    is_end: bool = False
+
+    def __post_init__(self):
+        if not self.tasks:
+            raise SpecValidationError([f"assembly node {self.ident} has no tasks"])
+
+
+@dataclass(frozen=True)
+class AssemblyEdgeSpec:
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class AssemblySpec:
+    """The complete interclass test specification."""
+
+    name: str
+    roles: Tuple[RoleSpec, ...]
+    nodes: Tuple[AssemblyNodeSpec, ...]
+    edges: Tuple[AssemblyEdgeSpec, ...]
+
+    # -- lookups ------------------------------------------------------------
+
+    def role(self, name: str) -> RoleSpec:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise KeyError(f"assembly {self.name} has no role {name!r}")
+
+    def node(self, ident: str) -> AssemblyNodeSpec:
+        for node in self.nodes:
+            if node.ident == ident:
+                return node
+        raise KeyError(f"assembly {self.name} has no node {ident!r}")
+
+    def method_of(self, task: QualifiedTask) -> MethodSpec:
+        return self.role(task.role).method_by_ident(task.method_ident)
+
+    @property
+    def role_names(self) -> Tuple[str, ...]:
+        return tuple(role.name for role in self.roles)
+
+    @property
+    def start_nodes(self) -> Tuple[AssemblyNodeSpec, ...]:
+        return tuple(node for node in self.nodes if node.is_start)
+
+    @property
+    def end_nodes(self) -> Tuple[AssemblyNodeSpec, ...]:
+        return tuple(node for node in self.nodes if node.is_end)
+
+    def adjacency(self) -> Dict[str, Tuple[str, ...]]:
+        out: Dict[str, list] = {node.ident: [] for node in self.nodes}
+        for edge in self.edges:
+            out.setdefault(edge.source, []).append(edge.target)
+        return {ident: tuple(targets) for ident, targets in out.items()}
+
+    # -- validation --------------------------------------------------------
+
+    def problems(self) -> Tuple[str, ...]:
+        """Structural consistency check (assembly-level)."""
+        found = []
+        role_names = set(self.role_names)
+        if len(role_names) != len(self.roles):
+            found.append("duplicate role names")
+        node_idents = {node.ident for node in self.nodes}
+        if len(node_idents) != len(self.nodes):
+            found.append("duplicate node idents")
+        for node in self.nodes:
+            for task in node.tasks:
+                if task.role not in role_names:
+                    found.append(
+                        f"node {node.ident} references unknown role {task.role!r}"
+                    )
+                    continue
+                try:
+                    self.method_of(task)
+                except KeyError:
+                    found.append(
+                        f"node {node.ident}: role {task.role!r} has no method "
+                        f"{task.method_ident!r}"
+                    )
+        for edge in self.edges:
+            if edge.source not in node_idents:
+                found.append(f"edge from unknown node {edge.source!r}")
+            if edge.target not in node_idents:
+                found.append(f"edge to unknown node {edge.target!r}")
+        if not self.start_nodes:
+            found.append("assembly has no start node")
+        if not self.end_nodes:
+            found.append("assembly has no end node")
+        # Start nodes must construct something: every alternative must be a
+        # constructor of its role.
+        for node in self.start_nodes:
+            for task in node.tasks:
+                try:
+                    method = self.method_of(task)
+                except KeyError:
+                    continue
+                if not method.is_constructor:
+                    found.append(
+                        f"start node {node.ident} task {task.render()} is not "
+                        "a constructor"
+                    )
+        return tuple(found)
+
+    def validate(self) -> "AssemblySpec":
+        problems = self.problems()
+        if problems:
+            raise SpecValidationError(list(problems))
+        return self
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "roles": len(self.roles),
+            "nodes": len(self.nodes),
+            "links": len(self.edges),
+        }
+
+    def describe(self) -> str:
+        counts = self.stats()
+        roles = ", ".join(self.role_names)
+        return (
+            f"assembly {self.name} [{roles}] — {counts['nodes']} nodes, "
+            f"{counts['links']} links"
+        )

@@ -1,0 +1,88 @@
+"""Mutation analysis: operators, generation, sandboxed execution, scoring."""
+
+from .analysis import (
+    ClassBuilder,
+    MutantOutcome,
+    MutationAnalysis,
+    MutationRun,
+    analyze_mutants,
+)
+from .equivalence import (
+    DEFAULT_PROBE_SEEDS,
+    EquivalenceReport,
+    probe_equivalence,
+)
+from .generate import GenerationReport, MutantGenerator, generate_mutants
+from .mutant import CompiledMutant, Mutant, rebuild_subclass
+from .operators import (
+    ALL_OPERATORS,
+    OPERATOR_NAMES,
+    IndVarBitNeg,
+    IndVarRepExt,
+    IndVarRepGlob,
+    IndVarRepLoc,
+    IndVarRepReq,
+    MethodContext,
+    MutationOperator,
+    MutationPoint,
+    OperatorRegistry,
+    UseSite,
+)
+from .sandbox import DEFAULT_STEP_BUDGET, CallCountGuard, StepBudgetGuard
+from .typemodel import TypeModel, compatible, constant_tag, infer_local_types, merge_tags, negatable
+from .quality import (
+    QualityEstimate,
+    ReducedSuite,
+    estimate_suite_quality,
+    select_by_budget,
+    select_by_quality,
+    wilson_interval,
+)
+from .score import OperatorColumn, ScoreTable, build_score_table
+
+__all__ = [
+    "ALL_OPERATORS",
+    "ClassBuilder",
+    "CallCountGuard",
+    "CompiledMutant",
+    "DEFAULT_PROBE_SEEDS",
+    "DEFAULT_STEP_BUDGET",
+    "EquivalenceReport",
+    "GenerationReport",
+    "IndVarBitNeg",
+    "IndVarRepExt",
+    "IndVarRepGlob",
+    "IndVarRepLoc",
+    "IndVarRepReq",
+    "MethodContext",
+    "Mutant",
+    "MutantGenerator",
+    "MutantOutcome",
+    "MutationAnalysis",
+    "MutationOperator",
+    "MutationPoint",
+    "MutationRun",
+    "OPERATOR_NAMES",
+    "OperatorColumn",
+    "QualityEstimate",
+    "ReducedSuite",
+    "OperatorRegistry",
+    "ScoreTable",
+    "StepBudgetGuard",
+    "TypeModel",
+    "UseSite",
+    "analyze_mutants",
+    "build_score_table",
+    "generate_mutants",
+    "compatible",
+    "constant_tag",
+    "infer_local_types",
+    "merge_tags",
+    "negatable",
+    "probe_equivalence",
+    "rebuild_subclass",
+    "estimate_suite_quality",
+    "select_by_budget",
+    "select_by_quality",
+    "wilson_interval",
+]

@@ -1,0 +1,222 @@
+"""Mutation analysis: executing suites over mutants and classifying kills.
+
+The paper's procedure (sec. 4): run the Concat-generated test sequence over
+each mutant class; the mutant is **killed** when
+
+  (i)  the program crashed while running the test cases;
+  (ii) an exception was raised due to assertion violation, given that this
+       was not the case with the original program; or
+  (iii) the output differs from the (hand-validated) output of the original.
+
+Here the original's suite run is recorded once as the *reference*; each
+mutant's run is compared test case by test case through the composite
+oracle (:func:`~repro.harness.oracles.paper_oracle`).  By default the
+analysis stops at a mutant's first killing test case (what an experimenter
+does in practice); ``stop_on_first_kill=False`` measures how many distinct
+cases kill each mutant instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..generator.suite import TestSuite
+from ..harness.executor import TestExecutor
+from ..harness.oracles import CompositeOracle, KillReason, paper_oracle
+from ..harness.outcomes import SuiteResult, Verdict
+from .mutant import CompiledMutant, Mutant
+from .sandbox import DEFAULT_STEP_BUDGET, StepBudgetGuard
+
+#: Builds the runnable class for a mutant (experiment 2 swaps in a builder
+#: that re-derives the subclass over the mutated base).
+ClassBuilder = Callable[[CompiledMutant], type]
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """What the suite did to one mutant."""
+
+    mutant: Mutant
+    killed: bool
+    reason: KillReason
+    killing_case: str = ""
+    cases_run: int = 0
+    killing_cases: Tuple[str, ...] = ()  # populated when not stopping early
+    detail: str = ""
+
+    @property
+    def survived(self) -> bool:
+        return not self.killed
+
+
+@dataclass(frozen=True)
+class MutationRun:
+    """The complete result of one mutation-analysis session."""
+
+    class_name: str
+    suite_size: int
+    outcomes: Tuple[MutantOutcome, ...]
+    reference: SuiteResult
+    elapsed_seconds: float
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def killed(self) -> Tuple[MutantOutcome, ...]:
+        return tuple(outcome for outcome in self.outcomes if outcome.killed)
+
+    @property
+    def survivors(self) -> Tuple[MutantOutcome, ...]:
+        return tuple(outcome for outcome in self.outcomes if not outcome.killed)
+
+    def kill_reason_counts(self) -> Dict[str, int]:
+        """Kills by detector — the paper's "59 were due to assertion violation"."""
+        counts: Dict[str, int] = {reason.value: 0 for reason in KillReason}
+        for outcome in self.killed:
+            counts[outcome.reason.value] += 1
+        counts.pop(KillReason.NONE.value, None)
+        return counts
+
+    def outcomes_for_method(self, method_name: str) -> Tuple[MutantOutcome, ...]:
+        return tuple(
+            outcome for outcome in self.outcomes
+            if outcome.mutant.method_name == method_name
+        )
+
+    def outcomes_for_operator(self, operator: str) -> Tuple[MutantOutcome, ...]:
+        return tuple(
+            outcome for outcome in self.outcomes
+            if outcome.mutant.operator == operator
+        )
+
+    def summary(self) -> str:
+        reasons = ", ".join(
+            f"{name}={count}" for name, count in self.kill_reason_counts().items()
+            if count
+        )
+        return (
+            f"{self.class_name}: {len(self.killed)}/{self.total} mutants killed "
+            f"by a {self.suite_size}-case suite in {self.elapsed_seconds:.1f}s "
+            f"({reasons})"
+        )
+
+
+class MutationAnalysis:
+    """Runs a test suite over a battery of mutants."""
+
+    def __init__(self, original_class: type, suite: TestSuite,
+                 oracle: Optional[CompositeOracle] = None,
+                 class_builder: Optional[ClassBuilder] = None,
+                 step_budget: int = DEFAULT_STEP_BUDGET,
+                 stop_on_first_kill: bool = True,
+                 check_invariants: bool = True,
+                 setup: Optional[Callable[[], None]] = None):
+        """``setup`` runs before every suite execution (e.g. resetting an
+        ambient database) so runs are independent."""
+        self._original = original_class
+        self._suite = suite
+        self._oracle = oracle or paper_oracle()
+        self._builder: ClassBuilder = class_builder or (
+            lambda mutant: mutant.build_class()
+        )
+        self._budget = step_budget
+        self._stop_on_first_kill = stop_on_first_kill
+        self._check_invariants = check_invariants
+        self._setup = setup
+        self._reference: Optional[SuiteResult] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def suite(self) -> TestSuite:
+        return self._suite
+
+    def reference_results(self) -> SuiteResult:
+        """The original class's run (computed once, then cached)."""
+        if self._reference is None:
+            if self._setup is not None:
+                self._setup()
+            executor = TestExecutor(
+                self._original, check_invariants=self._check_invariants
+            )
+            self._reference = executor.run_suite(self._suite)
+        return self._reference
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
+        """Run the suite over every mutant."""
+        reference = self.reference_results()
+        reference_by_ident = {
+            result.case_ident: result for result in reference.results
+        }
+        started = time.perf_counter()
+        outcomes = tuple(
+            self._analyze_one(mutant, reference_by_ident) for mutant in mutants
+        )
+        elapsed = time.perf_counter() - started
+        return MutationRun(
+            class_name=self._original.__name__,
+            suite_size=len(self._suite),
+            outcomes=outcomes,
+            reference=reference,
+            elapsed_seconds=elapsed,
+        )
+
+    def _analyze_one(self, mutant: CompiledMutant,
+                     reference_by_ident: Dict[str, object]) -> MutantOutcome:
+        mutant_class = self._builder(mutant)
+        guard = StepBudgetGuard(self._budget)
+        executor = TestExecutor(
+            mutant_class,
+            check_invariants=self._check_invariants,
+            step_guard=guard,
+        )
+        if self._setup is not None:
+            self._setup()
+
+        first_reason = KillReason.NONE
+        first_case = ""
+        first_detail = ""
+        killing_cases: List[str] = []
+        cases_run = 0
+
+        for case in self._suite.cases:
+            cases_run += 1
+            observed = executor.run_case(case)
+            if observed.verdict is Verdict.INCOMPLETE:
+                continue
+            reference_result = reference_by_ident.get(case.ident)
+            judgement = self._oracle.judge(observed, reference_result)
+            if judgement.detected:
+                if first_reason is KillReason.NONE:
+                    first_reason = judgement.reason
+                    first_case = case.ident
+                    first_detail = judgement.detail
+                killing_cases.append(case.ident)
+                if self._stop_on_first_kill:
+                    break
+
+        killed = first_reason is not KillReason.NONE
+        return MutantOutcome(
+            mutant=mutant.record,
+            killed=killed,
+            reason=first_reason,
+            killing_case=first_case,
+            cases_run=cases_run,
+            killing_cases=tuple(killing_cases),
+            detail=first_detail,
+        )
+
+
+def analyze_mutants(original_class: type, suite: TestSuite,
+                    mutants: Sequence[CompiledMutant],
+                    **options) -> MutationRun:
+    """One-call convenience over :class:`MutationAnalysis`."""
+    return MutationAnalysis(original_class, suite, **options).analyze(mutants)

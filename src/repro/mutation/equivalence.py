@@ -1,0 +1,130 @@
+"""Equivalent-mutant approximation.
+
+"The determination of equivalent mutants is a non-decidable problem, so
+they were obtained manually, by analyzing the mutants that were alive after
+the tests" (sec. 4).  We approximate that manual analysis with a
+**differential deep probe**: every survivor of the main run is re-executed
+under several stronger suites (fresh seeds, a higher loop bound, boundary
+values mixed in).  A survivor the probe also cannot distinguish from the
+original is classified *likely equivalent*; one the probe kills is a
+genuine test-escape of the main suite.
+
+A manual-override list is honoured both ways, mirroring the paper's hand
+analysis: idents forced equivalent, and idents forced non-equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..generator.driver import DriverGenerator
+from ..generator.values import TypeBinding
+from ..harness.oracles import KillReason
+from ..tspec.model import ClassSpec
+from .analysis import ClassBuilder, MutationAnalysis
+from .mutant import CompiledMutant
+from .sandbox import DEFAULT_STEP_BUDGET
+
+#: Probe seeds: several independent suites to reduce sampling luck.
+DEFAULT_PROBE_SEEDS = (101, 202, 303)
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Classification of the main run's survivors."""
+
+    likely_equivalent: Tuple[str, ...]   # mutant idents
+    escaped: Tuple[str, ...]             # killed only by the probe
+    probe_kill_reasons: Dict[str, KillReason]
+    probe_suite_sizes: Tuple[int, ...]
+
+    @property
+    def equivalent_count(self) -> int:
+        return len(self.likely_equivalent)
+
+    def is_equivalent(self, ident: str) -> bool:
+        return ident in self.likely_equivalent
+
+    def summary(self) -> str:
+        return (
+            f"{self.equivalent_count} likely-equivalent mutants, "
+            f"{len(self.escaped)} escaped the main suite "
+            f"(probe suites: {', '.join(map(str, self.probe_suite_sizes))} cases)"
+        )
+
+
+def probe_equivalence(original_class: type,
+                      spec: ClassSpec,
+                      survivors: Sequence[CompiledMutant],
+                      class_builder: Optional[ClassBuilder] = None,
+                      bindings: Optional[TypeBinding] = None,
+                      seeds: Sequence[int] = DEFAULT_PROBE_SEEDS,
+                      edge_bound: int = 2,
+                      boundary_probability: float = 0.3,
+                      extra_variants: int = 2,
+                      max_transactions: int = 2000,
+                      step_budget: int = DEFAULT_STEP_BUDGET,
+                      setup: Optional[Callable[[], None]] = None,
+                      manual_equivalent: Sequence[str] = (),
+                      manual_not_equivalent: Sequence[str] = (),
+                      ) -> EquivalenceReport:
+    """Deep-probe the survivors and classify them.
+
+    The probe suites intentionally exceed the main suite: a higher edge
+    bound exercises loops twice, boundary mixing hits domain extremes, and
+    multiple seeds vary the data.
+    """
+    forced_equivalent = set(manual_equivalent)
+    forced_not = set(manual_not_equivalent)
+
+    still_alive: Dict[str, CompiledMutant] = {
+        mutant.ident: mutant for mutant in survivors
+    }
+    kill_reasons: Dict[str, KillReason] = {}
+    suite_sizes = []
+
+    for seed in seeds:
+        if not still_alive:
+            break
+        pending = [
+            mutant for ident, mutant in still_alive.items()
+            if ident not in forced_equivalent
+        ]
+        if not pending:
+            break
+        probe_suite = DriverGenerator(
+            spec,
+            seed=seed,
+            bindings=bindings,
+            edge_bound=edge_bound,
+            boundary_probability=boundary_probability,
+            extra_variants=extra_variants,
+            max_transactions=max_transactions,
+        ).generate()
+        suite_sizes.append(len(probe_suite))
+        analysis = MutationAnalysis(
+            original_class,
+            probe_suite,
+            class_builder=class_builder,
+            step_budget=step_budget,
+            setup=setup,
+        )
+        run = analysis.analyze(pending)
+        for outcome in run.outcomes:
+            if outcome.killed:
+                kill_reasons[outcome.mutant.ident] = outcome.reason
+                still_alive.pop(outcome.mutant.ident, None)
+
+    likely_equivalent = sorted(
+        (set(still_alive) | forced_equivalent) - forced_not
+    )
+    escaped = sorted(
+        (set(kill_reasons) | forced_not) - forced_equivalent
+    )
+    return EquivalenceReport(
+        likely_equivalent=tuple(likely_equivalent),
+        escaped=tuple(escaped),
+        probe_kill_reasons=kill_reasons,
+        probe_suite_sizes=tuple(suite_sizes),
+    )

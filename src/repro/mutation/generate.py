@@ -1,0 +1,182 @@
+"""Mutant generation pipeline.
+
+For each target method of a class, apply every operator of the registry to
+every applicable mutation point, compile the result, and keep the mutants
+that compile cleanly (sec. 4).  Duplicates — distinct points that produce
+textually identical method sources — are dropped, and every drop is counted
+in the :class:`GenerationReport` (never silent).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import MutationError
+from .mutant import CompiledMutant, Mutant
+from .operators import ALL_OPERATORS
+from .operators.base import (
+    MethodContext,
+    MutationOperator,
+    MutationPoint,
+    infer_attribute_universe,
+    render_expr,
+)
+from .typemodel import (
+    TypeModel,
+    compatible,
+    expression_tag,
+    infer_local_types,
+    negatable,
+)
+
+
+@dataclass
+class GenerationReport:
+    """Accounting of one generation run."""
+
+    class_name: str
+    methods: Tuple[str, ...]
+    generated: int = 0
+    compile_failures: int = 0
+    duplicates: int = 0
+    type_incompatible: int = 0  # rejected by the C++-typing gate
+    per_method_operator: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def count(self, method: str, operator: str) -> None:
+        key = (method, operator)
+        self.per_method_operator[key] = self.per_method_operator.get(key, 0) + 1
+        self.generated += 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.class_name}: {self.generated} mutants over "
+            f"{len(self.methods)} methods "
+            f"({self.compile_failures} compile failures, "
+            f"{self.duplicates} duplicates dropped, "
+            f"{self.type_incompatible} type-incompatible rejected)"
+        )
+
+
+class MutantGenerator:
+    """Generates compiled mutants for chosen methods of one class.
+
+    With a :class:`~repro.mutation.typemodel.TypeModel`, replacements that
+    would not have compiled under C++ typing are rejected — reproducing the
+    paper's compile gate.  Without one, generation is unrestricted.
+    """
+
+    def __init__(self, target: type,
+                 operators: Sequence[MutationOperator] = ALL_OPERATORS,
+                 ident_prefix: str = "M",
+                 type_model: Optional[TypeModel] = None):
+        self._target = target
+        self._operators = tuple(operators)
+        self._prefix = ident_prefix
+        self._universe = infer_attribute_universe(target)
+        self._type_model = type_model
+
+    @property
+    def target(self) -> type:
+        return self._target
+
+    def generate(self, method_names: Sequence[str],
+                 ) -> Tuple[List[CompiledMutant], GenerationReport]:
+        """All compiled mutants for the given methods, plus the accounting."""
+        report = GenerationReport(
+            class_name=self._target.__name__, methods=tuple(method_names)
+        )
+        mutants: List[CompiledMutant] = []
+        seen_sources: Set[Tuple[str, str]] = set()
+        number = 0
+        original_sources = {
+            name: self._context(name).source for name in method_names
+        }
+        for method_name in method_names:
+            context = self._context(method_name)
+            local_types = (
+                infer_local_types(context.function, self._type_model)
+                if self._type_model is not None else {}
+            )
+            for operator in self._operators:
+                for point in operator.points(context):
+                    if not self._type_compatible(point, local_types):
+                        report.type_incompatible += 1
+                        continue
+                    try:
+                        module = context.mutate_use(point.site, point.replacement)
+                        mutated_source = ast.unparse(module)
+                    except MutationError:
+                        report.compile_failures += 1
+                        continue
+                    key = (method_name, mutated_source)
+                    if key in seen_sources:
+                        report.duplicates += 1
+                        continue
+                    if mutated_source.strip() == ast.unparse(
+                        ast.parse(original_sources[method_name])
+                    ).strip():
+                        # Textual no-op: not a mutant at all.
+                        report.duplicates += 1
+                        continue
+                    seen_sources.add(key)
+                    try:
+                        function = context.compile_mutant(module)
+                    except (MutationError, SyntaxError):
+                        report.compile_failures += 1
+                        continue
+                    number += 1
+                    record = Mutant(
+                        ident=f"{self._prefix}{number:04d}",
+                        operator=operator.name,
+                        class_name=self._target.__name__,
+                        method_name=method_name,
+                        variable=point.site.variable,
+                        occurrence=point.site.occurrence,
+                        line=point.site.line,
+                        replacement=render_expr(point.replacement),
+                        description=point.description,
+                        mutated_source=mutated_source,
+                    )
+                    mutants.append(CompiledMutant(record, self._target, function))
+                    report.count(method_name, operator.name)
+        return mutants, report
+
+    def _context(self, method_name: str) -> MethodContext:
+        return MethodContext(
+            self._target, method_name, attribute_universe=set(self._universe)
+        )
+
+    def _type_compatible(self, point: MutationPoint,
+                         local_types: Dict[str, Optional[str]]) -> bool:
+        """Would this replacement have compiled under C++ typing?"""
+        if self._type_model is None:
+            return True
+        variable_tag = local_types.get(point.site.variable)
+        import ast as _ast
+
+        replacement = point.replacement
+        if (isinstance(replacement, _ast.UnaryOp)
+                and isinstance(replacement.op, _ast.Invert)):
+            # IndVarBitNeg: negation compiles on integral operands only.
+            return negatable(variable_tag)
+        replacement_tag = expression_tag(
+            replacement, self._type_model, local_types
+        )
+        return compatible(variable_tag, replacement_tag)
+
+
+def generate_mutants(target: type, method_names: Sequence[str],
+                     operators: Optional[Sequence[MutationOperator]] = None,
+                     ident_prefix: str = "M",
+                     type_model: Optional[TypeModel] = None,
+                     ) -> Tuple[List[CompiledMutant], GenerationReport]:
+    """One-call convenience over :class:`MutantGenerator`."""
+    generator = MutantGenerator(
+        target,
+        operators=operators if operators is not None else ALL_OPERATORS,
+        ident_prefix=ident_prefix,
+        type_model=type_model,
+    )
+    return generator.generate(method_names)

@@ -1,0 +1,104 @@
+"""Mutant records and mutant class construction.
+
+"Each mutant was created as a separate class, and they were individually
+compiled, to assure that all faulty classes compiled cleanly" (sec. 4).
+
+A :class:`Mutant` is the immutable record of one injected fault (operator,
+method, location, what replaced what, the mutated source).  The companion
+:class:`CompiledMutant` additionally carries the compiled function object
+and knows how to **materialise** itself as a separate class:
+
+* :meth:`CompiledMutant.build_class` — a fresh copy of the defining class
+  with the mutated method installed (experiment 1's shape);
+* :func:`rebuild_subclass` — re-derives a subclass on top of a mutated base
+  (experiment 2: faults in ``CObList``, tests through ``CSortableObList``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One injected fault, as data."""
+
+    ident: str            # "M0001", …
+    operator: str         # Table-1 operator name
+    class_name: str
+    method_name: str
+    variable: str         # the non-interface variable whose use was mutated
+    occurrence: int       # which load use of that variable
+    line: int             # line within the method source
+    replacement: str      # rendered replacement expression
+    description: str
+    mutated_source: str   # full mutated method source (ast.unparse)
+
+    def title(self) -> str:
+        return (
+            f"{self.ident} [{self.operator}] {self.class_name}."
+            f"{self.method_name}: {self.description}"
+        )
+
+
+class CompiledMutant:
+    """A mutant plus its compiled method, able to materialise mutant classes."""
+
+    def __init__(self, record: Mutant, owner: type, function: Callable):
+        self.record = record
+        self.owner = owner
+        self.function = function
+        self._class_cache: Optional[type] = None
+
+    @property
+    def ident(self) -> str:
+        return self.record.ident
+
+    @property
+    def operator(self) -> str:
+        return self.record.operator
+
+    @property
+    def method_name(self) -> str:
+        return self.record.method_name
+
+    def build_class(self) -> type:
+        """A separate class: copy of the owner with the mutated method."""
+        if self._class_cache is None:
+            namespace = dict(self.owner.__dict__)
+            namespace[self.record.method_name] = self.function
+            namespace.pop("__dict__", None)
+            namespace.pop("__weakref__", None)
+            mutant_class = type(self.owner.__name__, self.owner.__bases__, namespace)
+            mutant_class.__module__ = self.owner.__module__
+            self._class_cache = mutant_class
+        return self._class_cache
+
+    def __repr__(self) -> str:
+        return f"CompiledMutant({self.record.title()})"
+
+
+def rebuild_subclass(subclass: type, original_base: type,
+                     mutant_base: type) -> type:
+    """Re-derive ``subclass`` with ``original_base`` swapped for the mutant.
+
+    Walks the subclass's bases, substituting the mutated base, and rebuilds
+    the class with an identical namespace — the Python analogue of
+    re-linking ``CSortableObList`` against a faulty ``CObList``.
+    """
+    new_bases: Tuple[type, ...] = tuple(
+        mutant_base if base is original_base else base
+        for base in subclass.__bases__
+    )
+    if original_base not in subclass.__bases__:
+        raise ValueError(
+            f"{subclass.__name__} does not directly inherit from "
+            f"{original_base.__name__}"
+        )
+    namespace = dict(subclass.__dict__)
+    namespace.pop("__dict__", None)
+    namespace.pop("__weakref__", None)
+    rebuilt = type(subclass.__name__, new_bases, namespace)
+    rebuilt.__module__ = subclass.__module__
+    return rebuilt

@@ -1,0 +1,50 @@
+"""The five essential interface mutation operators of Table 1."""
+
+from .base import (
+    MAXINT,
+    MININT,
+    REQUIRED_CONSTANTS,
+    MethodContext,
+    MutationOperator,
+    MutationPoint,
+    OperatorRegistry,
+    UseSite,
+    infer_attribute_universe,
+    render_expr,
+)
+from .ind_var_bit_neg import IndVarBitNeg
+from .ind_var_rep_ext import IndVarRepExt
+from .ind_var_rep_glob import IndVarRepGlob
+from .ind_var_rep_loc import IndVarRepLoc
+from .ind_var_rep_req import IndVarRepReq
+
+#: The operator battery of Table 1, in the paper's column order.
+ALL_OPERATORS = (
+    IndVarBitNeg(),
+    IndVarRepGlob(),
+    IndVarRepLoc(),
+    IndVarRepExt(),
+    IndVarRepReq(),
+)
+
+OPERATOR_NAMES = tuple(operator.name for operator in ALL_OPERATORS)
+
+__all__ = [
+    "ALL_OPERATORS",
+    "IndVarBitNeg",
+    "IndVarRepExt",
+    "IndVarRepGlob",
+    "IndVarRepLoc",
+    "IndVarRepReq",
+    "MAXINT",
+    "MININT",
+    "MethodContext",
+    "MutationOperator",
+    "MutationPoint",
+    "OPERATOR_NAMES",
+    "OperatorRegistry",
+    "REQUIRED_CONSTANTS",
+    "UseSite",
+    "infer_attribute_universe",
+    "render_expr",
+]

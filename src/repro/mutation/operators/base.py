@@ -1,0 +1,384 @@
+"""Interface-mutation machinery: variable classification and AST rewriting.
+
+Interface mutation (Delamaro; paper sec. 4, Table 1) models faults in the
+interaction between a caller R1 and a callee R2 by perturbing, inside R2,
+the points where values flow across the interface.  For OO components the
+paper instantiates it per *method*: R2 is a method of the class, its
+"global variables" are the class's attributes, and the operators act on
+uses of **non-interface variables** — the set L(R2) ∪ E(R2), where
+
+* ``L(R2)`` — local variables defined in R2 (formal parameters are
+  *interface* variables and are excluded);
+* ``G(R2)`` — "globals" (class attributes, ``self.<attr>``) used in R2;
+* ``E(R2)`` — class attributes *not* used in R2;
+* ``RC``    — required constants: NULL (``None``), MAXINT, MININT, 0, 1, -1.
+
+A *use site* is an occurrence of a local variable in load (read) context.
+Each operator derives one mutant per (use site × replacement) pair; the
+generator compiles every mutant and discards the (rare, in Python) ones
+that fail to compile, mirroring the paper's "individually compiled, to
+assure that all faulty classes compiled cleanly".
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ...core.errors import MutationError
+
+#: The RC set (Table 1): NULL plus the classic integer edge constants.
+#: MAXINT/MININT are the 32-bit C limits the paper's setting implies.
+MAXINT = 2_147_483_647
+MININT = -2_147_483_648
+REQUIRED_CONSTANTS: Tuple = (None, 0, 1, -1, MAXINT, MININT)
+
+
+@dataclass(frozen=True)
+class UseSite:
+    """One load-context occurrence of a local variable in a method body."""
+
+    variable: str
+    occurrence: int  # 0-based index among load uses, in AST walk order
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"{self.variable}@{self.line}:{self.column}"
+
+
+class MethodContext:
+    """Parsed view of one method: AST, variable sets, use sites.
+
+    ``attribute_universe`` is the set of instance attributes the *class*
+    owns (needed for E(R2)); when omitted it is inferred from the defining
+    class's full source.
+    """
+
+    def __init__(self, owner: type, method_name: str,
+                 attribute_universe: Optional[Set[str]] = None):
+        self.owner = owner
+        self.method_name = method_name
+        function = _find_defining_dict(owner, method_name)
+        self.source = textwrap.dedent(inspect.getsource(function))
+        try:
+            module = ast.parse(self.source)
+        except SyntaxError as error:
+            raise MutationError(
+                f"cannot parse source of {owner.__name__}.{method_name}: {error}"
+            ) from error
+        if not module.body or not isinstance(
+            module.body[0], (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            raise MutationError(
+                f"source of {owner.__name__}.{method_name} is not a function"
+            )
+        self.tree: ast.Module = module
+        self.function: ast.FunctionDef = module.body[0]
+
+        self.parameters: Tuple[str, ...] = tuple(
+            argument.arg for argument in self.function.args.args
+            if argument.arg != "self"
+        )
+        self.locals: Tuple[str, ...] = tuple(sorted(_assigned_names(self.function)
+                                                    - set(self.parameters) - {"self"}))
+        universe = (attribute_universe if attribute_universe is not None
+                    else infer_attribute_universe(owner))
+        # G(R2) holds *data* attributes only: a `self.helper()` call names a
+        # method, not a "global variable" in Table 1's sense.
+        self.attributes_used: Tuple[str, ...] = tuple(
+            sorted(_self_attributes(self.function) & universe)
+        )
+        self.attributes_unused: Tuple[str, ...] = tuple(
+            sorted(universe - set(self.attributes_used))
+        )
+        self.use_sites: Tuple[UseSite, ...] = tuple(self._collect_use_sites())
+
+    # -- variable sets (Table 1 notation) ----------------------------------
+
+    @property
+    def L(self) -> Tuple[str, ...]:  # noqa: N802 — paper notation
+        """Local variables defined in R2."""
+        return self.locals
+
+    @property
+    def G(self) -> Tuple[str, ...]:  # noqa: N802
+        """Class attributes ("globals") used in R2."""
+        return self.attributes_used
+
+    @property
+    def E(self) -> Tuple[str, ...]:  # noqa: N802
+        """Class attributes not used in R2."""
+        return self.attributes_unused
+
+    # -- use sites ------------------------------------------------------------
+
+    def _collect_use_sites(self) -> Iterator[UseSite]:
+        local_set = set(self.locals)
+        counters: Dict[str, int] = {}
+        for node in ast.walk(self.function):
+            if (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in local_set):
+                index = counters.get(node.id, 0)
+                counters[node.id] = index + 1
+                yield UseSite(
+                    variable=node.id,
+                    occurrence=index,
+                    line=getattr(node, "lineno", 0),
+                    column=getattr(node, "col_offset", 0),
+                )
+
+    # -- mutation --------------------------------------------------------------
+
+    def mutate_use(self, site: UseSite,
+                   replacement: ast.expr) -> ast.Module:
+        """A fresh module AST with the given use replaced by ``replacement``."""
+        module = ast.parse(self.source)
+        transformer = _UseReplacer(site, replacement)
+        mutated = transformer.visit(module)
+        if not transformer.replaced:
+            raise MutationError(
+                f"use site {site.describe()} not found when re-parsing "
+                f"{self.owner.__name__}.{self.method_name}"
+            )
+        ast.fix_missing_locations(mutated)
+        return mutated
+
+    def compile_mutant(self, module: ast.Module):
+        """Compile a mutated module and return the resulting function object.
+
+        The function is evaluated in the defining module's globals so that
+        imported helpers (contract checks, node classes) resolve exactly as
+        in the original.
+        """
+        import warnings
+
+        with warnings.catch_warnings():
+            # Replacements like `x is None` → `0 is None` trip SyntaxWarning;
+            # the "weird" comparison is the injected fault itself.
+            warnings.simplefilter("ignore", SyntaxWarning)
+            code = compile(module, filename=f"<mutant of {self.method_name}>",
+                           mode="exec")
+        defining_module = inspect.getmodule(self.owner)
+        namespace: Dict = {}
+        globals_dict = dict(vars(defining_module)) if defining_module else {}
+        exec(code, globals_dict, namespace)  # noqa: S102 — mutant construction
+        try:
+            return namespace[self.function.name]
+        except KeyError:
+            raise MutationError(
+                f"compiled mutant of {self.method_name} did not define "
+                f"{self.function.name!r}"
+            ) from None
+
+
+class _UseReplacer(ast.NodeTransformer):
+    """Replaces the N-th load use of one local variable with an expression."""
+
+    def __init__(self, site: UseSite, replacement: ast.expr):
+        self._site = site
+        self._replacement = replacement
+        self._seen = 0
+        self.replaced = False
+
+    def visit_Name(self, node: ast.Name):  # noqa: N802 — ast API
+        if (isinstance(node.ctx, ast.Load)
+                and node.id == self._site.variable
+                and not self.replaced):
+            if self._seen == self._site.occurrence:
+                self.replaced = True
+                replacement = ast.copy_location(self._replacement, node)
+                return replacement
+            self._seen += 1
+        return node
+
+
+# ---------------------------------------------------------------------------
+# Replacement expression builders
+# ---------------------------------------------------------------------------
+
+
+def name_expr(variable: str) -> ast.expr:
+    return ast.Name(id=variable, ctx=ast.Load())
+
+
+def attribute_expr(attribute: str) -> ast.expr:
+    return ast.Attribute(
+        value=ast.Name(id="self", ctx=ast.Load()),
+        attr=attribute,
+        ctx=ast.Load(),
+    )
+
+
+def constant_expr(value) -> ast.expr:
+    return ast.Constant(value=value)
+
+
+def bitneg_expr(variable: str) -> ast.expr:
+    return ast.UnaryOp(op=ast.Invert(), operand=name_expr(variable))
+
+
+def render_expr(expression: ast.expr) -> str:
+    try:
+        return ast.unparse(expression)
+    except Exception:  # pragma: no cover — unparse failure is cosmetic only
+        return "<expr>"
+
+
+# ---------------------------------------------------------------------------
+# Class-level helpers
+# ---------------------------------------------------------------------------
+
+
+def _find_defining_dict(owner: type, method_name: str):
+    """The plain function implementing ``method_name``, defined on ``owner``.
+
+    The method must live in ``owner.__dict__``: interface mutation targets
+    "the methods of the target class" — inherited methods are mutated on the
+    class that defines them (the second experiment mutates the *base*).
+    """
+    candidate = owner.__dict__.get(method_name)
+    if candidate is None:
+        raise MutationError(
+            f"{owner.__name__} does not define method {method_name!r} itself; "
+            "mutate the defining class instead"
+        )
+    if isinstance(candidate, (staticmethod, classmethod)):
+        candidate = candidate.__func__
+    if not callable(candidate):
+        raise MutationError(
+            f"{owner.__name__}.{method_name} is not a callable method"
+        )
+    return candidate
+
+
+def _assigned_names(function: ast.FunctionDef) -> Set[str]:
+    """Names bound anywhere in the body (locals)."""
+    names: Set[str] = set()
+
+    def collect_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect_target(target)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            collect_target(node.target)
+        elif isinstance(node, ast.For):
+            collect_target(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            collect_target(node.optional_vars)
+        elif isinstance(node, ast.comprehension):
+            collect_target(node.target)
+        elif isinstance(node, (ast.NamedExpr,)):
+            collect_target(node.target)
+    # Builtins shadowing is legal but confusing in reports; keep them anyway
+    # (they are genuine locals) but drop compiler artefacts.
+    return {name for name in names if not name.startswith("__")}
+
+
+def _self_attributes(function: ast.FunctionDef) -> Set[str]:
+    """Instance attributes touched as ``self.<attr>`` (read or write)."""
+    attributes: Set[str] = set()
+    for node in ast.walk(function):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            attributes.add(node.attr)
+    return attributes
+
+
+#: Method names whose self-attribute uses do not define data attributes.
+_NON_DATA = set(dir(builtins))
+
+
+def infer_attribute_universe(owner: type) -> Set[str]:
+    """All *data* attributes instances of ``owner`` carry.
+
+    Inferred from the full class hierarchy's sources: every ``self.<attr>``
+    that is assigned somewhere (``self.x = …``) is a data attribute;
+    attributes only ever called (``self.Method()``) are not.
+    """
+    universe: Set[str] = set()
+    for klass in owner.__mro__:
+        if klass is object:
+            continue
+        try:
+            source = textwrap.dedent(inspect.getsource(klass))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    universe.add(node.attr)
+    return universe
+
+
+# ---------------------------------------------------------------------------
+# Operator interface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationPoint:
+    """One concrete mutation: a use site and its replacement expression."""
+
+    site: UseSite
+    replacement: ast.expr
+    description: str
+
+
+class MutationOperator:
+    """Base class of the five Table-1 operators."""
+
+    #: Table-1 operator name, e.g. ``IndVarBitNeg``.
+    name = "AbstractOperator"
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        """All mutation points this operator derives from a method."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+def operator_registry() -> "OperatorRegistry":
+    """The default registry with all five paper operators installed."""
+    from . import ALL_OPERATORS
+    return OperatorRegistry(ALL_OPERATORS)
+
+
+class OperatorRegistry:
+    """Named lookup over a set of operators."""
+
+    def __init__(self, operators: Sequence[MutationOperator]):
+        self._operators: List[MutationOperator] = list(operators)
+
+    def __iter__(self) -> Iterator[MutationOperator]:
+        return iter(self._operators)
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(op.name for op in self._operators)
+
+    def by_name(self, name: str) -> MutationOperator:
+        for operator in self._operators:
+            if operator.name == name:
+                return operator
+        raise KeyError(f"unknown mutation operator {name!r}")

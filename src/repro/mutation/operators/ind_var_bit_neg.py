@@ -1,0 +1,34 @@
+"""``IndVarBitNeg`` — "Inserts bitwise negation at non-interface variable use".
+
+At each load use of a local variable ``x``, the use becomes ``~x``.  In the
+paper's C++ setting this compiles only for integral operands; Python compiles
+it everywhere and fails at runtime for non-integral values — such mutants
+are then killed by crash, the same detector class (i) of sec. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import MethodContext, MutationOperator, MutationPoint, bitneg_expr
+
+
+class IndVarBitNeg(MutationOperator):
+    """Insert ``~`` at every use of every local variable."""
+
+    name = "IndVarBitNeg"
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        found: List[MutationPoint] = []
+        for site in context.use_sites:
+            found.append(
+                MutationPoint(
+                    site=site,
+                    replacement=bitneg_expr(site.variable),
+                    description=(
+                        f"negate use of {site.variable} at "
+                        f"line {site.line} -> ~{site.variable}"
+                    ),
+                )
+            )
+        return found

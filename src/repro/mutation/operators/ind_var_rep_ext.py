@@ -1,0 +1,34 @@
+"""``IndVarRepExt`` — "Replaces non-interface variable by E(R2)".
+
+Each load use of a local variable is replaced by each class attribute the
+method does **not** use — the classic "picked up the wrong member" fault in
+interactions between methods of the same class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import MethodContext, MutationOperator, MutationPoint, attribute_expr
+
+
+class IndVarRepExt(MutationOperator):
+    """Replace local-variable uses with attributes NOT used in the method."""
+
+    name = "IndVarRepExt"
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        found: List[MutationPoint] = []
+        for site in context.use_sites:
+            for attribute in context.E:
+                found.append(
+                    MutationPoint(
+                        site=site,
+                        replacement=attribute_expr(attribute),
+                        description=(
+                            f"replace {site.variable} at line {site.line} "
+                            f"with self.{attribute} (E)"
+                        ),
+                    )
+                )
+        return found

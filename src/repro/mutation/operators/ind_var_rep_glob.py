@@ -1,0 +1,34 @@
+"""``IndVarRepGlob`` — "Replaces non-interface variable by G(R2)".
+
+Each load use of a local variable is replaced by each class attribute the
+method *uses* (its "globals"): ``x`` becomes ``self._head``, ``self._count``,
+… — one mutant per (use, attribute) pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import MethodContext, MutationOperator, MutationPoint, attribute_expr
+
+
+class IndVarRepGlob(MutationOperator):
+    """Replace local-variable uses with attributes used in the method."""
+
+    name = "IndVarRepGlob"
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        found: List[MutationPoint] = []
+        for site in context.use_sites:
+            for attribute in context.G:
+                found.append(
+                    MutationPoint(
+                        site=site,
+                        replacement=attribute_expr(attribute),
+                        description=(
+                            f"replace {site.variable} at line {site.line} "
+                            f"with self.{attribute} (G)"
+                        ),
+                    )
+                )
+        return found

@@ -1,0 +1,36 @@
+"""``IndVarRepLoc`` — "Replaces non-interface variable by L(R2)".
+
+Each load use of a local variable is replaced by each *other* local defined
+in the method (replacing a variable with itself is the identity and is
+skipped — the paper's mutants are, by construction, syntactic changes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import MethodContext, MutationOperator, MutationPoint, name_expr
+
+
+class IndVarRepLoc(MutationOperator):
+    """Replace local-variable uses with other locals of the same method."""
+
+    name = "IndVarRepLoc"
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        found: List[MutationPoint] = []
+        for site in context.use_sites:
+            for other in context.L:
+                if other == site.variable:
+                    continue
+                found.append(
+                    MutationPoint(
+                        site=site,
+                        replacement=name_expr(other),
+                        description=(
+                            f"replace {site.variable} at line {site.line} "
+                            f"with {other} (L)"
+                        ),
+                    )
+                )
+        return found

@@ -1,0 +1,43 @@
+"""``IndVarRepReq`` — "Replaces non-interface variable by RC".
+
+Each load use of a local variable is replaced by each required constant:
+NULL (``None``), 0, 1, -1, MAXINT and MININT — the "special values" faults
+of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .base import (
+    REQUIRED_CONSTANTS,
+    MethodContext,
+    MutationOperator,
+    MutationPoint,
+    constant_expr,
+)
+
+
+class IndVarRepReq(MutationOperator):
+    """Replace local-variable uses with required constants."""
+
+    name = "IndVarRepReq"
+
+    def __init__(self, constants=REQUIRED_CONSTANTS):
+        self.constants = tuple(constants)
+
+    def points(self, context: MethodContext) -> Sequence[MutationPoint]:
+        found: List[MutationPoint] = []
+        for site in context.use_sites:
+            for constant in self.constants:
+                found.append(
+                    MutationPoint(
+                        site=site,
+                        replacement=constant_expr(constant),
+                        description=(
+                            f"replace {site.variable} at line {site.line} "
+                            f"with constant {constant!r} (RC)"
+                        ),
+                    )
+                )
+        return found

@@ -1,0 +1,241 @@
+"""Type compatibility gate for mutant generation (the C++ compile gate).
+
+The paper's mutants "were individually compiled, to assure that all faulty
+classes compiled cleanly" (sec. 4).  In C++ that compile step is a *type
+filter*: a mutant replacing an ``int`` local with a node pointer, or
+bit-negating a pointer, never enters the mutant pool because it does not
+compile.  Python compiles everything and fails at runtime instead, which
+would flood the pool with trivially-crashing mutants the original
+experiment never contained.
+
+:class:`TypeModel` restores the filter.  The component producer declares the
+"C++ types" of the class's attributes (and of the helper methods' returns);
+:func:`infer_local_types` propagates them through a method body to type its
+locals; and :func:`compatible` decides whether a replacement expression
+would have compiled in the paper's setting:
+
+* same type tag → compiles;
+* ``none`` (NULL) → assignable to any pointer-ish tag (``node``, ``value``,
+  ``nodelist``, ``str``-as-char* excluded for clarity);
+* unknown (untypeable) values are permissive — the gate never *adds*
+  mutants, it only removes provably-incompatible ones.
+
+Generation without a type model is unrestricted (the "untyped" ablation).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Tags with pointer semantics: NULL is assignable to them.
+POINTER_TAGS = {"node", "value", "nodelist", "object"}
+
+#: Tags on which C++ bitwise negation compiles.
+INTEGRAL_TAGS = {"int", "bool"}
+
+
+@dataclass(frozen=True)
+class TypeModel:
+    """Producer-declared type tags for one class."""
+
+    attribute_types: Dict[str, str] = field(default_factory=dict)
+    method_return_types: Dict[str, str] = field(default_factory=dict)
+    parameter_types: Dict[str, str] = field(default_factory=dict)
+
+    def type_of_attribute(self, name: str) -> Optional[str]:
+        return self.attribute_types.get(name)
+
+    def type_of_call(self, method_name: str) -> Optional[str]:
+        return self.method_return_types.get(method_name)
+
+    def type_of_parameter(self, name: str) -> Optional[str]:
+        return self.parameter_types.get(name)
+
+
+def constant_tag(value) -> Optional[str]:
+    """The tag of a literal constant (RC members)."""
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def merge_tags(first: Optional[str], second: Optional[str]) -> Optional[str]:
+    """Join two observations of a local's type.
+
+    ``none`` is the bottom element (NULL fits any pointer); conflicting
+    concrete tags degrade to unknown (permissive).
+    """
+    if first is None:
+        return second
+    if second is None:
+        return first
+    if first == second:
+        return first
+    if first == "none":
+        return second
+    if second == "none":
+        return first
+    return None
+
+
+def compatible(variable_tag: Optional[str], replacement_tag: Optional[str]) -> bool:
+    """Would assigning ``replacement`` where ``variable`` is used compile?
+
+    Unknown on either side is permissive (the gate only removes provable
+    incompatibilities).
+    """
+    if variable_tag is None or replacement_tag is None:
+        return True
+    if variable_tag == replacement_tag:
+        return True
+    if replacement_tag == "none":
+        return variable_tag in POINTER_TAGS
+    if variable_tag == "none":
+        return replacement_tag in POINTER_TAGS
+    return False
+
+
+def negatable(variable_tag: Optional[str]) -> bool:
+    """Does ``~x`` compile for a variable of this tag (C++ integral rule)?"""
+    return variable_tag is None or variable_tag in INTEGRAL_TAGS
+
+
+class _Inferencer(ast.NodeVisitor):
+    """Single pass collecting type observations from assignments."""
+
+    def __init__(self, model: TypeModel, known: Dict[str, Optional[str]]):
+        self.model = model
+        self.known = known
+
+    # -- expression typing ---------------------------------------------------
+
+    def type_of(self, expression: ast.expr) -> Optional[str]:
+        if isinstance(expression, ast.Constant):
+            return constant_tag(expression.value)
+        if isinstance(expression, ast.Name):
+            if expression.id in self.known:
+                return self.known[expression.id]
+            return self.model.type_of_parameter(expression.id)
+        if isinstance(expression, ast.Attribute):
+            return self._type_of_attribute(expression)
+        if isinstance(expression, ast.Call):
+            return self._type_of_call(expression)
+        if isinstance(expression, ast.BinOp):
+            left = self.type_of(expression.left)
+            right = self.type_of(expression.right)
+            if left in INTEGRAL_TAGS and right in INTEGRAL_TAGS:
+                return "int"
+            return None
+        if isinstance(expression, ast.UnaryOp):
+            if isinstance(expression.op, ast.Not):
+                return "bool"
+            return self.type_of(expression.operand)
+        if isinstance(expression, (ast.Compare, ast.BoolOp)):
+            return "bool"
+        if isinstance(expression, (ast.List, ast.ListComp)):
+            return "nodelist" if self._node_elements(expression) else "list"
+        if isinstance(expression, ast.Subscript):
+            container = self.type_of(expression.value)
+            if container == "nodelist":
+                return "node"
+            return None
+        if isinstance(expression, ast.IfExp):
+            return merge_tags(self.type_of(expression.body),
+                              self.type_of(expression.orelse))
+        return None
+
+    def _type_of_attribute(self, expression: ast.Attribute) -> Optional[str]:
+        if isinstance(expression.value, ast.Name) and expression.value.id == "self":
+            return self.model.type_of_attribute(expression.attr)
+        base = self.type_of(expression.value)
+        if base == "node":
+            if expression.attr in ("next", "prev"):
+                return "node"
+            if expression.attr == "value":
+                return "value"
+        return None
+
+    def _type_of_call(self, expression: ast.Call) -> Optional[str]:
+        function = expression.func
+        if isinstance(function, ast.Attribute):
+            if isinstance(function.value, ast.Name) and function.value.id == "self":
+                return self.model.type_of_call(function.attr)
+            return None
+        if isinstance(function, ast.Name):
+            if function.id in ("len",):
+                return "int"
+            if function.id.lstrip("_").startswith("ListNode") or \
+                    function.id in ("_ListNode", "ListNode"):
+                return "node"
+        return None
+
+    def _node_elements(self, expression: ast.expr) -> bool:
+        if isinstance(expression, ast.List):
+            return bool(expression.elts) and all(
+                self.type_of(element) == "node" for element in expression.elts
+            )
+        return False
+
+    # -- statement walking ---------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign):  # noqa: N802 — ast API
+        inferred = self.type_of(node.value)
+        for target in node.targets:
+            self._bind(target, inferred)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign):  # noqa: N802
+        inferred = self.type_of(node.value)
+        if isinstance(node.target, ast.Name):
+            current = self.known.get(node.target.id)
+            if current in INTEGRAL_TAGS and inferred in INTEGRAL_TAGS:
+                self._bind(node.target, "int")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For):  # noqa: N802
+        iterated = self.type_of(node.iter)
+        if isinstance(node.target, ast.Name):
+            element = "node" if iterated == "nodelist" else None
+            if isinstance(node.iter, ast.Call) and isinstance(node.iter.func, ast.Name) \
+                    and node.iter.func.id == "range":
+                element = "int"
+            self._bind(node.target, element)
+        self.generic_visit(node)
+
+    def _bind(self, target: ast.expr, inferred: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.known[target.id] = merge_tags(self.known.get(target.id), inferred)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, None)
+
+
+def infer_local_types(function: ast.FunctionDef,
+                      model: TypeModel,
+                      passes: int = 3) -> Dict[str, Optional[str]]:
+    """Type tags of a method's locals, by fixpoint assignment propagation."""
+    known: Dict[str, Optional[str]] = {}
+    for _ in range(passes):
+        before = dict(known)
+        inferencer = _Inferencer(model, known)
+        inferencer.visit(function)
+        if known == before:
+            break
+    return known
+
+
+def expression_tag(expression: ast.expr, model: TypeModel,
+                   local_types: Dict[str, Optional[str]]) -> Optional[str]:
+    """The tag of a replacement expression (Name/Attribute/Constant/~x)."""
+    inferencer = _Inferencer(model, dict(local_types))
+    return inferencer.type_of(expression)

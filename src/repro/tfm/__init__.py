@@ -1,0 +1,46 @@
+"""Transaction flow model: graph, transactions, coverage, analysis, render."""
+
+from .analysis import ModelMetrics, analyze, dead_end_nodes, unreachable_nodes
+from .coverage import (
+    CoverageReport,
+    covered_links,
+    covered_nodes,
+    measure,
+    select_for_link_coverage,
+    select_for_node_coverage,
+)
+from .graph import TransactionFlowGraph
+from .render import render_ascii, render_dot, render_transaction_table
+from .transactions import (
+    DEFAULT_EDGE_BOUND,
+    DEFAULT_MAX_TRANSACTIONS,
+    EnumerationResult,
+    Transaction,
+    enumerate_transactions,
+    shortest_transaction,
+    transactions_through,
+)
+
+__all__ = [
+    "CoverageReport",
+    "DEFAULT_EDGE_BOUND",
+    "DEFAULT_MAX_TRANSACTIONS",
+    "EnumerationResult",
+    "ModelMetrics",
+    "Transaction",
+    "TransactionFlowGraph",
+    "analyze",
+    "covered_links",
+    "covered_nodes",
+    "dead_end_nodes",
+    "enumerate_transactions",
+    "measure",
+    "render_ascii",
+    "render_dot",
+    "render_transaction_table",
+    "select_for_link_coverage",
+    "select_for_node_coverage",
+    "shortest_transaction",
+    "transactions_through",
+    "unreachable_nodes",
+]

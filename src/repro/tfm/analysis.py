@@ -1,0 +1,139 @@
+"""Structural analysis of transaction flow models.
+
+Beyond validation (which is spec-level, in :mod:`repro.tspec.validate`),
+these analyses describe the *shape* of the model: how big, how loopy, how
+wide — the numbers the paper reports per experiment ("a test model composed
+of 16 nodes and 43 links", sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .graph import TransactionFlowGraph
+
+
+@dataclass(frozen=True)
+class ModelMetrics:
+    """Summary metrics of one TFM."""
+
+    class_name: str
+    nodes: int
+    links: int
+    birth_nodes: int
+    death_nodes: int
+    method_alternatives: int  # total methods across node alternative lists
+    cyclomatic: int           # E - N + 2 (single connected component assumed)
+    self_loops: int
+    cycle_nodes: int          # nodes on at least one cycle
+    max_out_degree: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.class_name}: {self.nodes} nodes, {self.links} links, "
+            f"cyclomatic {self.cyclomatic}, {self.self_loops} self-loops, "
+            f"{self.cycle_nodes} nodes on cycles"
+        )
+
+
+def analyze(graph: TransactionFlowGraph) -> ModelMetrics:
+    """Compute :class:`ModelMetrics` for a model."""
+    self_loops = sum(1 for source, target in graph.edges if source == target)
+    on_cycles = _nodes_on_cycles(graph)
+    alternatives = sum(len(graph.node(ident).methods) for ident in graph.node_idents)
+    max_out = max((graph.out_degree(ident) for ident in graph.node_idents), default=0)
+    return ModelMetrics(
+        class_name=graph.class_name,
+        nodes=graph.node_count,
+        links=graph.edge_count,
+        birth_nodes=len(graph.birth_nodes),
+        death_nodes=len(graph.death_nodes),
+        method_alternatives=alternatives,
+        cyclomatic=graph.edge_count - graph.node_count + 2,
+        self_loops=self_loops,
+        cycle_nodes=len(on_cycles),
+        max_out_degree=max_out,
+    )
+
+
+def _nodes_on_cycles(graph: TransactionFlowGraph) -> Set[str]:
+    """Nodes belonging to a non-trivial SCC, plus self-loop nodes.
+
+    Tarjan's algorithm, iterative to keep recursion depth independent of
+    model size.
+    """
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    index: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    result: Set[str] = set()
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.update(component)
+
+    for ident in graph.node_idents:
+        if ident not in index:
+            strongconnect(ident)
+
+    for source, target in graph.edges:
+        if source == target:
+            result.add(source)
+    return result
+
+
+def dead_end_nodes(graph: TransactionFlowGraph) -> Tuple[str, ...]:
+    """Non-death nodes with no outgoing edges (transactions get stuck)."""
+    return tuple(
+        ident
+        for ident in graph.node_idents
+        if graph.out_degree(ident) == 0 and not graph.is_death(ident)
+    )
+
+
+def unreachable_nodes(graph: TransactionFlowGraph) -> Tuple[str, ...]:
+    """Nodes not reachable from any birth node."""
+    seen: Set[str] = set()
+    frontier = list(graph.birth_nodes)
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(graph.successors(current))
+    return tuple(ident for ident in graph.node_idents if ident not in seen)

@@ -1,0 +1,136 @@
+"""Transaction Flow Model graph.
+
+A TFM (paper sec. 3.2, Figure 2) is a directed graph whose nodes represent
+public tasks of the component (each realised by one of several alternative
+methods) and whose links say "task A may be immediately followed by task B".
+An individual *transaction* is a path from a birth node (constructor) to a
+death node (destructor).
+
+:class:`TransactionFlowGraph` is a thin, immutable view over the node/edge
+records of a :class:`~repro.tspec.model.ClassSpec`, optimised for traversal:
+successor/predecessor maps are precomputed dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.errors import ModelError
+from ..tspec.model import ClassSpec, MethodSpec, NodeSpec
+
+Edge = Tuple[str, str]
+
+
+class TransactionFlowGraph:
+    """Immutable traversal view of a class's transaction flow model."""
+
+    def __init__(self, spec: ClassSpec):
+        if not spec.nodes:
+            raise ModelError(f"class {spec.name} has no test model")
+        self._spec = spec
+        self._nodes: Dict[str, NodeSpec] = {node.ident: node for node in spec.nodes}
+        self._successors: Dict[str, Tuple[str, ...]] = spec.adjacency()
+        predecessors: Dict[str, List[str]] = {ident: [] for ident in self._nodes}
+        for source, targets in self._successors.items():
+            for target in targets:
+                predecessors.setdefault(target, []).append(source)
+        self._predecessors: Dict[str, Tuple[str, ...]] = {
+            ident: tuple(sources) for ident, sources in predecessors.items()
+        }
+        self._birth = tuple(node.ident for node in spec.start_nodes)
+        self._death = tuple(node.ident for node in spec.end_nodes)
+        if not self._birth:
+            raise ModelError(f"class {spec.name}: model has no birth node")
+        if not self._death:
+            raise ModelError(f"class {spec.name}: model has no death node")
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def spec(self) -> ClassSpec:
+        return self._spec
+
+    @property
+    def class_name(self) -> str:
+        return self._spec.name
+
+    @property
+    def node_idents(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def birth_nodes(self) -> Tuple[str, ...]:
+        return self._birth
+
+    @property
+    def death_nodes(self) -> Tuple[str, ...]:
+        return self._death
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple((edge.source, edge.target) for edge in self._spec.edges)
+
+    def node(self, ident: str) -> NodeSpec:
+        try:
+            return self._nodes[ident]
+        except KeyError:
+            raise ModelError(f"unknown node {ident!r} in model of {self.class_name}") from None
+
+    def successors(self, ident: str) -> Tuple[str, ...]:
+        self.node(ident)
+        return self._successors.get(ident, ())
+
+    def predecessors(self, ident: str) -> Tuple[str, ...]:
+        self.node(ident)
+        return self._predecessors.get(ident, ())
+
+    def node_methods(self, ident: str) -> Tuple[MethodSpec, ...]:
+        """The alternative method specs constituting a node."""
+        return tuple(
+            self._spec.method_by_ident(method_ident)
+            for method_ident in self.node(ident).methods
+        )
+
+    def is_birth(self, ident: str) -> bool:
+        return ident in self._birth
+
+    def is_death(self, ident: str) -> bool:
+        return ident in self._death
+
+    # -- counts -------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._spec.edges)
+
+    def out_degree(self, ident: str) -> int:
+        return len(self.successors(ident))
+
+    def in_degree(self, ident: str) -> int:
+        return len(self.predecessors(ident))
+
+    # -- path helpers ---------------------------------------------------------
+
+    def validate_path(self, path: Iterable[str]) -> bool:
+        """True when ``path`` is a legal birth-to-death walk of this graph."""
+        sequence = list(path)
+        if not sequence:
+            return False
+        if sequence[0] not in self._birth:
+            return False
+        if sequence[-1] not in self._death:
+            return False
+        for current, following in zip(sequence, sequence[1:]):
+            if following not in self._successors.get(current, ()):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionFlowGraph({self.class_name}: "
+            f"{self.node_count} nodes, {self.edge_count} links)"
+        )

@@ -1,0 +1,93 @@
+"""Rendering of transaction flow models.
+
+Figure 2 of the paper shows the TFM of ``Product`` with the use-case path
+highlighted.  This module renders a TFM as:
+
+* an ASCII adjacency listing with method names per node and an optional
+  highlighted transaction (marked with ``*``), for terminal output; and
+* Graphviz DOT source, for documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .graph import TransactionFlowGraph
+from .transactions import Transaction
+
+
+def render_ascii(graph: TransactionFlowGraph,
+                 highlight: Optional[Transaction] = None) -> str:
+    """Adjacency listing; nodes/edges on a highlighted path are starred."""
+    highlighted_nodes: Set[str] = set(highlight.path) if highlight else set()
+    highlighted_edges: Set[Tuple[str, str]] = (
+        set(highlight.edges()) if highlight else set()
+    )
+
+    lines: List[str] = [f"TFM of {graph.class_name} "
+                        f"({graph.node_count} nodes, {graph.edge_count} links)"]
+    if highlight:
+        lines.append(f"highlighted transaction: {highlight}")
+    lines.append("")
+
+    for ident in graph.node_idents:
+        node = graph.node(ident)
+        marker = "*" if ident in highlighted_nodes else " "
+        roles = []
+        if graph.is_birth(ident):
+            roles.append("birth")
+        if graph.is_death(ident):
+            roles.append("death")
+        role_text = f" [{'/'.join(roles)}]" if roles else ""
+        method_names = ", ".join(
+            method.name for method in graph.node_methods(ident)
+        )
+        lines.append(f"{marker} {ident}{role_text}: {{{method_names}}}")
+        for successor in graph.successors(ident):
+            edge_marker = "*" if (ident, successor) in highlighted_edges else " "
+            lines.append(f"    {edge_marker} -> {successor}")
+    return "\n".join(lines)
+
+
+def render_dot(graph: TransactionFlowGraph,
+               highlight: Optional[Transaction] = None,
+               graph_name: Optional[str] = None) -> str:
+    """Graphviz DOT source for the model."""
+    highlighted_edges: Set[Tuple[str, str]] = (
+        set(highlight.edges()) if highlight else set()
+    )
+    highlighted_nodes: Set[str] = set(highlight.path) if highlight else set()
+
+    name = graph_name or graph.class_name
+    lines: List[str] = [f'digraph "{name}" {{', "  rankdir=LR;"]
+    for ident in graph.node_idents:
+        method_names = "\\n".join(
+            method.name for method in graph.node_methods(ident)
+        )
+        attributes = [f'label="{ident}\\n{method_names}"']
+        if graph.is_birth(ident):
+            attributes.append("shape=invhouse")
+        elif graph.is_death(ident):
+            attributes.append("shape=house")
+        else:
+            attributes.append("shape=box")
+        if ident in highlighted_nodes:
+            attributes.append("style=bold")
+        lines.append(f"  {ident} [{', '.join(attributes)}];")
+    for source, target in graph.edges:
+        decoration = " [penwidth=2, style=bold]" if (source, target) in highlighted_edges else ""
+        lines.append(f"  {source} -> {target}{decoration};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_transaction_table(transactions: Sequence[Transaction],
+                             limit: int = 50) -> str:
+    """Numbered listing of transactions (what the driver will exercise)."""
+    lines: List[str] = []
+    for number, transaction in enumerate(transactions[:limit]):
+        lines.append(f"T{number:04d}  {transaction}")
+    hidden = len(transactions) - limit
+    if hidden > 0:
+        lines.append(f"… and {hidden} more transactions")
+    return "\n".join(lines)

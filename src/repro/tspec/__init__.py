@@ -1,0 +1,34 @@
+"""Test specification (t-spec): model, parser, writer, validator, builder."""
+
+from .builder import SpecBuilder
+from .introspect import derive_skeleton_spec, guess_domain
+from .model import (
+    AttributeSpec,
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+from .parser import parse_tspec, tokenize
+from .validate import find_problems, validate
+from .writer import write_tspec
+
+__all__ = [
+    "AttributeSpec",
+    "ClassSpec",
+    "EdgeSpec",
+    "MethodCategory",
+    "MethodSpec",
+    "NodeSpec",
+    "ParameterSpec",
+    "SpecBuilder",
+    "derive_skeleton_spec",
+    "find_problems",
+    "guess_domain",
+    "parse_tspec",
+    "tokenize",
+    "validate",
+    "write_tspec",
+]

@@ -1,0 +1,170 @@
+"""Fluent construction API for t-specs.
+
+Writing a :class:`ClassSpec` literal by hand is verbose (every method needs
+an ident, every node lists idents, …).  The builder assigns idents
+automatically (``m1``, ``m2``, …, ``n1``, ``n2``, …), lets nodes be declared
+by method *name*, and validates the result on :meth:`SpecBuilder.build`.
+
+Example::
+
+    spec = (
+        SpecBuilder("Counter")
+        .constructor("Counter")
+        .destructor("~Counter")
+        .method("Increment", category="update")
+        .method("Value", category="access", return_type="int")
+        .node("birth", ["Counter"], start=True)
+        .node("work", ["Increment", "Value"])
+        .node("death", ["~Counter"])
+        .edge("birth", "work")
+        .edge("work", "work")
+        .edge("work", "death")
+        .edge("birth", "death")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.domains import Domain
+from ..core.errors import SpecError
+from .model import (
+    AttributeSpec,
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+from .validate import validate
+
+ParameterDecl = Union[ParameterSpec, Tuple[str, Domain]]
+
+
+class SpecBuilder:
+    """Accumulates spec records and produces a validated :class:`ClassSpec`."""
+
+    def __init__(self, class_name: str, is_abstract: bool = False,
+                 superclass: Optional[str] = None,
+                 source_files: Sequence[str] = ()):
+        self._name = class_name
+        self._is_abstract = is_abstract
+        self._superclass = superclass
+        self._source_files = tuple(source_files)
+        self._attributes: List[AttributeSpec] = []
+        self._methods: List[MethodSpec] = []
+        self._nodes: List[NodeSpec] = []
+        self._edges: List[EdgeSpec] = []
+        self._node_aliases: Dict[str, str] = {}
+
+    @property
+    def class_name(self) -> str:
+        return self._name
+
+    # -- interface description -------------------------------------------
+
+    def attribute(self, name: str, domain: Domain) -> "SpecBuilder":
+        self._attributes.append(AttributeSpec(name=name, domain=domain))
+        return self
+
+    def method(self, name: str, parameters: Sequence[ParameterDecl] = (),
+               category: str = "process",
+               return_type: Optional[str] = None,
+               ident: Optional[str] = None) -> "SpecBuilder":
+        """Declare a method; parameters are ``(name, domain)`` pairs."""
+        resolved = tuple(self._resolve_parameter(p) for p in parameters)
+        method_ident = ident or f"m{len(self._methods) + 1}"
+        if any(m.ident == method_ident for m in self._methods):
+            raise SpecError(f"method ident {method_ident!r} already used")
+        self._methods.append(
+            MethodSpec(
+                ident=method_ident,
+                name=name,
+                category=MethodCategory.from_keyword(category),
+                parameters=resolved,
+                return_type=return_type,
+            )
+        )
+        return self
+
+    def constructor(self, name: str, parameters: Sequence[ParameterDecl] = (),
+                    ident: Optional[str] = None) -> "SpecBuilder":
+        return self.method(name, parameters, category="constructor", ident=ident)
+
+    def destructor(self, name: str, ident: Optional[str] = None) -> "SpecBuilder":
+        return self.method(name, (), category="destructor", ident=ident)
+
+    @staticmethod
+    def _resolve_parameter(declaration: ParameterDecl) -> ParameterSpec:
+        if isinstance(declaration, ParameterSpec):
+            return declaration
+        name, domain = declaration
+        return ParameterSpec(name=name, domain=domain)
+
+    # -- test model description --------------------------------------------
+
+    def node(self, alias: str, method_names: Sequence[str],
+             start: bool = False) -> "SpecBuilder":
+        """Declare a TFM node by listing the *names* of its methods.
+
+        Each name resolves to every declared method ident with that name
+        (so alternative constructors sharing a name group naturally).
+        """
+        if alias in self._node_aliases:
+            raise SpecError(f"node alias {alias!r} already used")
+        idents: List[str] = []
+        for method_name in method_names:
+            matches = [m.ident for m in self._methods if m.name == method_name]
+            if not matches:
+                raise SpecError(
+                    f"node {alias!r} references undeclared method {method_name!r}"
+                )
+            idents.extend(matches)
+        node_ident = f"n{len(self._nodes) + 1}"
+        self._node_aliases[alias] = node_ident
+        self._nodes.append(
+            NodeSpec(ident=node_ident, methods=tuple(idents), is_start=start)
+        )
+        return self
+
+    def edge(self, source_alias: str, target_alias: str) -> "SpecBuilder":
+        try:
+            source = self._node_aliases[source_alias]
+        except KeyError:
+            raise SpecError(f"unknown node alias {source_alias!r}") from None
+        try:
+            target = self._node_aliases[target_alias]
+        except KeyError:
+            raise SpecError(f"unknown node alias {target_alias!r}") from None
+        self._edges.append(EdgeSpec(source=source, target=target))
+        return self
+
+    def chain(self, *aliases: str) -> "SpecBuilder":
+        """Add edges along a path of node aliases: ``chain(a, b, c)`` ≡ a→b, b→c."""
+        for source_alias, target_alias in zip(aliases, aliases[1:]):
+            self.edge(source_alias, target_alias)
+        return self
+
+    # -- finalization ------------------------------------------------------
+
+    def node_ident(self, alias: str) -> str:
+        """The generated ident for a node alias (useful in tests)."""
+        return self._node_aliases[alias]
+
+    def build(self, check: bool = True) -> ClassSpec:
+        spec = ClassSpec(
+            name=self._name,
+            attributes=tuple(self._attributes),
+            methods=tuple(self._methods),
+            nodes=tuple(self._nodes),
+            edges=tuple(self._edges),
+            is_abstract=self._is_abstract,
+            superclass=self._superclass,
+            source_files=self._source_files,
+        )
+        if check:
+            return validate(spec)
+        return spec

@@ -1,0 +1,199 @@
+"""Derive a skeleton t-spec from a live Python class.
+
+The paper's producer writes the t-spec by hand from the design documents
+(use cases → TFM).  In Python we can bootstrap that work: inspect the class,
+enumerate its public methods, guess parameter domains from type annotations
+and defaults, and propose a conservative "star" test model (birth → any
+method, in any order, → death).  The producer then refines the node/edge
+structure to the real allowable sequences.
+
+The skeleton is deliberately *permissive*: it never forbids a sequence the
+class allows, so refining it can only remove paths, never miss them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.domains import (
+    BoolDomain,
+    Domain,
+    FloatRangeDomain,
+    ObjectDomain,
+    RangeDomain,
+    StringDomain,
+)
+from .model import (
+    AttributeSpec,
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+
+#: Default domains guessed from annotations.  Ranges are modest so random
+#: sampling produces workable values out of the box.
+_DEFAULT_INT = RangeDomain(-100, 100)
+_DEFAULT_FLOAT = FloatRangeDomain(-100.0, 100.0)
+_DEFAULT_STRING = StringDomain(0, 12)
+
+
+def guess_domain(annotation: Any, default: Any = inspect.Parameter.empty) -> Domain:
+    """Map a type annotation (or a default value's type) to a domain."""
+    if annotation is inspect.Parameter.empty:
+        annotation = None  # unannotated: fall through to the default value
+    candidates: List[Tuple[Any, Domain]] = [
+        (bool, BoolDomain()),
+        (int, _DEFAULT_INT),
+        (float, _DEFAULT_FLOAT),
+        (str, _DEFAULT_STRING),
+    ]
+    for type_candidate, domain in candidates:
+        if annotation is type_candidate:
+            return domain
+    if isinstance(annotation, str):
+        for type_candidate, domain in candidates:
+            if annotation == type_candidate.__name__:
+                return domain
+        return ObjectDomain(annotation)
+    if inspect.isclass(annotation):
+        return ObjectDomain(annotation.__name__)
+    if default is not inspect.Parameter.empty and default is not None:
+        for type_candidate, domain in candidates:
+            if type(default) is type_candidate:
+                return domain
+    # No usable information: treat as a structured object the tester binds.
+    return ObjectDomain("object")
+
+
+def _public_methods(target: type) -> List[Tuple[str, Callable]]:
+    methods: List[Tuple[str, Callable]] = []
+    for name, member in inspect.getmembers(target, predicate=inspect.isfunction):
+        if name.startswith("_") and name != "__init__":
+            continue
+        # Skip built-in-test machinery if the class is already instrumented.
+        if name in ("invariant_test", "reporter", "class_invariant"):
+            continue
+        methods.append((name, member))
+    return methods
+
+
+def _parameters_for(function: Callable) -> Tuple[ParameterSpec, ...]:
+    signature = inspect.signature(function)
+    parameters: List[ParameterSpec] = []
+    for name, parameter in signature.parameters.items():
+        if name == "self":
+            continue
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        domain = guess_domain(parameter.annotation, parameter.default)
+        parameters.append(ParameterSpec(name=name, domain=domain))
+    return tuple(parameters)
+
+
+def _categorize(name: str) -> MethodCategory:
+    lowered = name.lower()
+    if lowered in ("__init__",):
+        return MethodCategory.CONSTRUCTOR
+    if any(lowered.startswith(prefix) for prefix in ("set", "update", "add", "insert",
+                                                     "push", "append", "write")):
+        return MethodCategory.UPDATE
+    if any(lowered.startswith(prefix) for prefix in ("get", "show", "find", "is",
+                                                     "has", "peek", "read", "count")):
+        return MethodCategory.ACCESS
+    return MethodCategory.PROCESS
+
+
+def derive_skeleton_spec(target: type,
+                         attribute_domains: Optional[Sequence[Tuple[str, Domain]]] = None,
+                         ) -> ClassSpec:
+    """Build a permissive skeleton :class:`ClassSpec` for ``target``.
+
+    The model has three nodes: *birth* (``__init__``), *work* (every other
+    public method as alternatives), *death* (a synthetic destructor), wired
+    birth → work → death with a work self-loop and a birth → death shortcut.
+    """
+    methods: List[MethodSpec] = []
+    work_idents: List[str] = []
+
+    construct = getattr(target, "__init__", None)
+    constructor_params: Tuple[ParameterSpec, ...] = ()
+    if construct is not None and not isinstance(construct, type(object.__init__)):
+        constructor_params = _parameters_for(construct)
+    methods.append(
+        MethodSpec(
+            ident="m1",
+            name=target.__name__,
+            category=MethodCategory.CONSTRUCTOR,
+            parameters=constructor_params,
+        )
+    )
+
+    next_index = 2
+    for name, member in _public_methods(target):
+        if name == "__init__":
+            continue
+        ident = f"m{next_index}"
+        next_index += 1
+        methods.append(
+            MethodSpec(
+                ident=ident,
+                name=name,
+                category=_categorize(name),
+                parameters=_parameters_for(member),
+            )
+        )
+        work_idents.append(ident)
+
+    destructor_ident = f"m{next_index}"
+    methods.append(
+        MethodSpec(
+            ident=destructor_ident,
+            name=f"~{target.__name__}",
+            category=MethodCategory.DESTRUCTOR,
+        )
+    )
+
+    nodes = [NodeSpec(ident="n1", methods=("m1",), is_start=True)]
+    edges: List[EdgeSpec] = []
+    if work_idents:
+        nodes.append(NodeSpec(ident="n2", methods=tuple(work_idents)))
+        nodes.append(NodeSpec(ident="n3", methods=(destructor_ident,)))
+        edges.extend(
+            [
+                EdgeSpec("n1", "n2"),
+                EdgeSpec("n2", "n2"),
+                EdgeSpec("n2", "n3"),
+                EdgeSpec("n1", "n3"),
+            ]
+        )
+    else:
+        nodes.append(NodeSpec(ident="n2", methods=(destructor_ident,)))
+        edges.append(EdgeSpec("n1", "n2"))
+
+    attributes = tuple(
+        AttributeSpec(name=name, domain=domain)
+        for name, domain in (attribute_domains or ())
+    )
+
+    superclass: Optional[str] = None
+    bases = [base for base in target.__bases__ if base is not object]
+    if bases:
+        superclass = bases[0].__name__
+
+    return ClassSpec(
+        name=target.__name__,
+        attributes=attributes,
+        methods=tuple(methods),
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        is_abstract=inspect.isabstract(target),
+        superclass=superclass,
+        source_files=(getattr(target, "__module__", "") or "",),
+    )

@@ -1,0 +1,296 @@
+"""Data model for the test specification (t-spec).
+
+The t-spec is the specification a self-testable component embeds (paper
+sec. 3.2, Figure 3).  It has two halves:
+
+* an **interface description** — the class header (name, abstractness,
+  superclass, source files), its attributes with value domains, and its
+  methods with signatures whose parameters also carry value domains;
+* a **test model description** — the nodes and edges of the Transaction Flow
+  Model (TFM).  A node groups the public methods that constitute one task
+  (e.g. the alternative constructors); an edge says task A may be immediately
+  followed by task B.
+
+All records are frozen dataclasses: a t-spec is an immutable artefact that is
+parsed once and shared by the driver generator, the validator, and the test
+history machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.domains import Domain
+from ..core.errors import SpecValidationError
+
+
+class MethodCategory(enum.Enum):
+    """Method category *relative to test reuse* (Figure 3).
+
+    Constructors and destructors are excluded from test-case identity when
+    deciding reuse for a subclass (sec. 3.4.2): a subclass transaction whose
+    only differences from the parent's are its constructor/destructor still
+    reuses the parent's test case.  The remaining categories mirror the
+    groupings of Figure 1 (update methods, access methods, processing
+    methods such as insert/delete).
+    """
+
+    CONSTRUCTOR = "constructor"
+    DESTRUCTOR = "destructor"
+    UPDATE = "update"
+    ACCESS = "access"
+    PROCESS = "process"
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "MethodCategory":
+        try:
+            return cls(keyword.lower())
+        except ValueError:
+            valid = ", ".join(c.value for c in cls)
+            raise SpecValidationError(
+                [f"unknown method category {keyword!r} (valid: {valid})"]
+            ) from None
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One class attribute and its value domain.
+
+    Attributes are not part of the public interface (the paper assumes they
+    are reachable only through methods), but their domains feed the class
+    invariant and the reporter.
+    """
+
+    name: str
+    domain: Domain
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.domain.describe()}"
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One formal parameter of a method, with its value domain."""
+
+    name: str
+    domain: Domain
+
+    @property
+    def is_structured(self) -> bool:
+        """True when the generator cannot sample this parameter (sec. 3.4.1)."""
+        return self.domain.is_structured
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.domain.describe()}"
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One public method: identity, signature, and reuse category.
+
+    ``ident`` is the short t-spec identifier (``m1``, ``m2``, …) used by node
+    records; ``name`` is the runtime method name.  Several method records may
+    share a ``name`` only when they are constructor overloads (C++ heritage);
+    in Python, overloads are modelled as distinct idents whose parameter
+    lists select the constructor arguments actually passed.
+    """
+
+    ident: str
+    name: str
+    category: MethodCategory
+    parameters: Tuple[ParameterSpec, ...] = ()
+    return_type: Optional[str] = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.category is MethodCategory.CONSTRUCTOR
+
+    @property
+    def is_destructor(self) -> bool:
+        return self.category is MethodCategory.DESTRUCTOR
+
+    @property
+    def has_structured_parameters(self) -> bool:
+        return any(p.is_structured for p in self.parameters)
+
+    def signature(self) -> str:
+        """Readable signature for logs: ``name(p1: dom, p2: dom) -> ret``."""
+        params = ", ".join(p.describe() for p in self.parameters)
+        suffix = f" -> {self.return_type}" if self.return_type else ""
+        return f"{self.name}({params}){suffix}"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One TFM node: a task realised by one of several alternative methods.
+
+    Figure 3's node record carries an explicit "starting node?" flag and the
+    declared out-degree; the out-degree is redundant with the edge list and
+    is kept only so the validator can cross-check it (a mismatch usually
+    means a hand-edited spec lost an edge).
+    """
+
+    ident: str
+    methods: Tuple[str, ...]  # method idents constituting the node
+    is_start: bool = False
+    declared_out_degree: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.methods:
+            raise SpecValidationError([f"node {self.ident} lists no methods"])
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """A directed TFM edge: task ``source`` may be followed by ``target``."""
+
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """The complete t-spec of one component class.
+
+    The header mirrors Figure 3's ``Class`` record: name, abstract flag,
+    superclass name (``None`` when the class is a root), and the source files
+    needed to build the class (free-form strings; informational in Python).
+    """
+
+    name: str
+    attributes: Tuple[AttributeSpec, ...] = ()
+    methods: Tuple[MethodSpec, ...] = ()
+    nodes: Tuple[NodeSpec, ...] = ()
+    edges: Tuple[EdgeSpec, ...] = ()
+    is_abstract: bool = False
+    superclass: Optional[str] = None
+    source_files: Tuple[str, ...] = ()
+
+    # -- lookups ----------------------------------------------------------
+
+    def method_by_ident(self, ident: str) -> MethodSpec:
+        for method in self.methods:
+            if method.ident == ident:
+                return method
+        raise KeyError(f"no method with ident {ident!r} in class {self.name}")
+
+    def methods_by_name(self, name: str) -> Tuple[MethodSpec, ...]:
+        return tuple(m for m in self.methods if m.name == name)
+
+    def node_by_ident(self, ident: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.ident == ident:
+                return node
+        raise KeyError(f"no node with ident {ident!r} in class {self.name}")
+
+    def attribute_by_name(self, name: str) -> AttributeSpec:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"no attribute named {name!r} in class {self.name}")
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def method_idents(self) -> Tuple[str, ...]:
+        return tuple(m.ident for m in self.methods)
+
+    @property
+    def constructor_methods(self) -> Tuple[MethodSpec, ...]:
+        return tuple(m for m in self.methods if m.is_constructor)
+
+    @property
+    def destructor_methods(self) -> Tuple[MethodSpec, ...]:
+        return tuple(m for m in self.methods if m.is_destructor)
+
+    @property
+    def start_nodes(self) -> Tuple[NodeSpec, ...]:
+        """Birth nodes: explicitly flagged, else nodes of constructors."""
+        flagged = tuple(n for n in self.nodes if n.is_start)
+        if flagged:
+            return flagged
+        return tuple(
+            n
+            for n in self.nodes
+            if any(self._safe_method(mid) and self._safe_method(mid).is_constructor
+                   for mid in n.methods)
+        )
+
+    @property
+    def end_nodes(self) -> Tuple[NodeSpec, ...]:
+        """Death nodes: nodes containing a destructor method."""
+        return tuple(
+            n
+            for n in self.nodes
+            if any(self._safe_method(mid) and self._safe_method(mid).is_destructor
+                   for mid in n.methods)
+        )
+
+    def _safe_method(self, ident: str) -> Optional[MethodSpec]:
+        try:
+            return self.method_by_ident(ident)
+        except KeyError:
+            return None
+
+    def outgoing_edges(self, node_ident: str) -> Tuple[EdgeSpec, ...]:
+        return tuple(e for e in self.edges if e.source == node_ident)
+
+    def incoming_edges(self, node_ident: str) -> Tuple[EdgeSpec, ...]:
+        return tuple(e for e in self.edges if e.target == node_ident)
+
+    def adjacency(self) -> Dict[str, Tuple[str, ...]]:
+        """Node ident → tuple of successor node idents."""
+        out: Dict[str, list] = {n.ident: [] for n in self.nodes}
+        for edge in self.edges:
+            out.setdefault(edge.source, []).append(edge.target)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def iter_parameter_specs(self) -> Iterator[Tuple[MethodSpec, ParameterSpec]]:
+        for method in self.methods:
+            for parameter in method.parameters:
+                yield method, parameter
+
+    def normalized(self) -> "ClassSpec":
+        """Canonical form: every node's declared out-degree filled in.
+
+        The textual format always carries the out-degree (Figure 3), while
+        programmatic construction may leave it ``None``; normalisation makes
+        ``parse_tspec(write_tspec(spec)) == spec.normalized()`` hold.
+        """
+        from dataclasses import replace
+        filled = tuple(
+            node if node.declared_out_degree is not None
+            else replace(node, declared_out_degree=len(self.outgoing_edges(node.ident)))
+            for node in self.nodes
+        )
+        return replace(self, nodes=filled)
+
+    # -- summary ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counts the paper reports for a model: nodes, links, methods, …"""
+        return {
+            "attributes": len(self.attributes),
+            "methods": len(self.methods),
+            "nodes": len(self.nodes),
+            "links": len(self.edges),
+        }
+
+    def describe(self) -> str:
+        header = f"class {self.name}"
+        if self.superclass:
+            header += f" : {self.superclass}"
+        if self.is_abstract:
+            header += " (abstract)"
+        counts = self.stats()
+        body = (
+            f"{counts['attributes']} attributes, {counts['methods']} methods, "
+            f"TFM with {counts['nodes']} nodes / {counts['links']} links"
+        )
+        return f"{header} — {body}"

@@ -1,0 +1,491 @@
+"""Parser for the textual t-spec format (Figure 3 of the paper).
+
+The format is a flat sequence of records, one per construct, written as
+function-call-like tuples with ``//`` comments::
+
+    Class ('Product', No, <empty>, <empty>)
+    Attribute ('qty', range, 1, 99999)
+    Method (m1, 'Product', <empty>, constructor, 0)
+    Parameter (m5, 'n', string, 1, 30)
+    Parameter (m6, 'q', set, [1, 2, 3])
+    Node (n1, Yes, 1, [m1, m2])
+    Edge (n1, n4)
+
+Record kinds:
+
+``Class(name, abstract?, superclass|<empty>, files|<empty>)``
+    Exactly one per spec, first record.
+``Attribute(name, domain…)``
+    Domain forms: ``range, low, high`` — ``float_range, low, high`` —
+    ``set, [v, …]`` — ``string[, min, max]`` — ``bool`` —
+    ``object, 'Class'`` — ``pointer, 'Class'``.
+``Method(ident, name, return|<empty>, category, nparams)``
+``Parameter(method_ident, name, domain…)``
+    Parameters attach to their method in declaration order.
+``Node(ident, start?, out_degree, [method_idents…])``
+``Edge(source_node, target_node)``
+
+The parser produces a :class:`~repro.tspec.model.ClassSpec`; structural
+consistency beyond what parsing requires (arity matches, known idents) is
+the job of :mod:`repro.tspec.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.domains import (
+    BoolDomain,
+    Domain,
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from ..core.errors import SpecParseError
+from .model import (
+    AttributeSpec,
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_PUNCTUATION = {"(": "LPAREN", ")": "RPAREN", "[": "LBRACKET", "]": "RBRACKET", ",": "COMMA"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, STRING, NUMBER, EMPTY, or a punctuation kind
+    value: Any
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split t-spec source into tokens, dropping ``//`` comments."""
+    tokens: List[Token] = []
+    line_number = 0
+    for raw_line in text.splitlines():
+        line_number += 1
+        line = _strip_comment(raw_line)
+        index = 0
+        length = len(line)
+        while index < length:
+            char = line[index]
+            column = index + 1
+            if char.isspace():
+                index += 1
+            elif char in _PUNCTUATION:
+                tokens.append(Token(_PUNCTUATION[char], char, line_number, column))
+                index += 1
+            elif char in "'\"":
+                index, literal = _read_string(line, index, line_number)
+                tokens.append(Token("STRING", literal, line_number, column))
+            elif char == "<":
+                if line.startswith("<empty>", index):
+                    tokens.append(Token("EMPTY", None, line_number, column))
+                    index += len("<empty>")
+                else:
+                    raise SpecParseError(f"unexpected character {char!r}", line_number, column)
+            elif char.isdigit() or (char in "+-" and index + 1 < length and line[index + 1].isdigit()):
+                index, number = _read_number(line, index)
+                tokens.append(Token("NUMBER", number, line_number, column))
+            elif char.isalpha() or char == "_":
+                start = index
+                while index < length and (line[index].isalnum() or line[index] == "_"):
+                    index += 1
+                tokens.append(Token("IDENT", line[start:index], line_number, column))
+            else:
+                raise SpecParseError(f"unexpected character {char!r}", line_number, column)
+    return tokens
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``//`` comment, respecting quoted strings."""
+    in_quote: Optional[str] = None
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if in_quote:
+            if char == in_quote:
+                in_quote = None
+        elif char in "'\"":
+            in_quote = char
+        elif char == "/" and line.startswith("//", index):
+            return line[:index]
+        index += 1
+    return line
+
+
+def _read_string(line: str, index: int, line_number: int) -> Tuple[int, str]:
+    quote = line[index]
+    index += 1
+    start = index
+    while index < len(line) and line[index] != quote:
+        index += 1
+    if index >= len(line):
+        raise SpecParseError("unterminated string literal", line_number, start)
+    return index + 1, line[start:index]
+
+
+def _read_number(line: str, index: int) -> Tuple[int, Any]:
+    start = index
+    if line[index] in "+-":
+        index += 1
+    while index < len(line) and (line[index].isdigit() or line[index] == "."):
+        index += 1
+    text = line[start:index]
+    if "." in text:
+        return index, float(text)
+    return index, int(text)
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent parser
+# ---------------------------------------------------------------------------
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+    def peek(self) -> Token:
+        if self.exhausted:
+            raise SpecParseError("unexpected end of specification")
+        return self._tokens[self._position]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self._position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise SpecParseError(
+                f"expected {kind}, found {token.kind} ({token.value!r})",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.expect("IDENT")
+        if token.value.lower() != word.lower():
+            raise SpecParseError(
+                f"expected keyword {word!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+
+class _PendingMethod:
+    """Mutable accumulator for a method whose parameters arrive later."""
+
+    def __init__(self, ident: str, name: str, return_type: Optional[str],
+                 category: MethodCategory, declared_arity: int, line: int):
+        self.ident = ident
+        self.name = name
+        self.return_type = return_type
+        self.category = category
+        self.declared_arity = declared_arity
+        self.line = line
+        self.parameters: List[ParameterSpec] = []
+
+    def freeze(self) -> MethodSpec:
+        return MethodSpec(
+            ident=self.ident,
+            name=self.name,
+            category=self.category,
+            parameters=tuple(self.parameters),
+            return_type=self.return_type,
+        )
+
+
+def parse_tspec(text: str) -> ClassSpec:
+    """Parse t-spec source text into a :class:`ClassSpec`."""
+    stream = _TokenStream(tokenize(text))
+
+    header: Optional[Tuple[str, bool, Optional[str], Tuple[str, ...]]] = None
+    attributes: List[AttributeSpec] = []
+    methods: List[_PendingMethod] = []
+    nodes: List[NodeSpec] = []
+    edges: List[EdgeSpec] = []
+
+    while not stream.exhausted:
+        keyword_token = stream.expect("IDENT")
+        keyword = keyword_token.value.lower()
+        if keyword == "class":
+            if header is not None:
+                raise SpecParseError(
+                    "duplicate Class record", keyword_token.line, keyword_token.column
+                )
+            header = _parse_class_record(stream)
+        elif keyword == "attribute":
+            attributes.append(_parse_attribute_record(stream))
+        elif keyword == "method":
+            methods.append(_parse_method_record(stream))
+        elif keyword == "parameter":
+            _parse_parameter_record(stream, methods)
+        elif keyword == "node":
+            nodes.append(_parse_node_record(stream))
+        elif keyword == "edge":
+            edges.append(_parse_edge_record(stream))
+        else:
+            raise SpecParseError(
+                f"unknown record kind {keyword_token.value!r}",
+                keyword_token.line,
+                keyword_token.column,
+            )
+
+    if header is None:
+        raise SpecParseError("specification has no Class record")
+
+    name, is_abstract, superclass, source_files = header
+    return ClassSpec(
+        name=name,
+        attributes=tuple(attributes),
+        methods=tuple(m.freeze() for m in methods),
+        nodes=tuple(nodes),
+        edges=tuple(edges),
+        is_abstract=is_abstract,
+        superclass=superclass,
+        source_files=source_files,
+    )
+
+
+def _parse_class_record(stream: _TokenStream):
+    stream.expect("LPAREN")
+    name = stream.expect("STRING").value
+    stream.expect("COMMA")
+    is_abstract = _parse_yes_no(stream)
+    stream.expect("COMMA")
+    superclass = _parse_optional_string(stream)
+    stream.expect("COMMA")
+    source_files = _parse_file_list(stream)
+    stream.expect("RPAREN")
+    return name, is_abstract, superclass, source_files
+
+
+def _parse_attribute_record(stream: _TokenStream) -> AttributeSpec:
+    stream.expect("LPAREN")
+    name = stream.expect("STRING").value
+    stream.expect("COMMA")
+    domain = _parse_domain(stream)
+    stream.expect("RPAREN")
+    return AttributeSpec(name=name, domain=domain)
+
+
+def _parse_method_record(stream: _TokenStream) -> _PendingMethod:
+    stream.expect("LPAREN")
+    ident_token = stream.expect("IDENT")
+    stream.expect("COMMA")
+    name = stream.expect("STRING").value
+    stream.expect("COMMA")
+    return_type = _parse_optional_return(stream)
+    stream.expect("COMMA")
+    category_token = stream.expect("IDENT")
+    category = MethodCategory.from_keyword(category_token.value)
+    stream.expect("COMMA")
+    declared_arity = stream.expect("NUMBER").value
+    stream.expect("RPAREN")
+    return _PendingMethod(
+        ident=ident_token.value,
+        name=name,
+        return_type=return_type,
+        category=category,
+        declared_arity=int(declared_arity),
+        line=ident_token.line,
+    )
+
+
+def _parse_parameter_record(stream: _TokenStream, methods: List[_PendingMethod]) -> None:
+    stream.expect("LPAREN")
+    method_token = stream.expect("IDENT")
+    stream.expect("COMMA")
+    name = stream.expect("STRING").value
+    stream.expect("COMMA")
+    domain = _parse_domain(stream)
+    stream.expect("RPAREN")
+
+    for method in methods:
+        if method.ident == method_token.value:
+            method.parameters.append(ParameterSpec(name=name, domain=domain))
+            return
+    raise SpecParseError(
+        f"Parameter record references unknown method {method_token.value!r}",
+        method_token.line,
+        method_token.column,
+    )
+
+
+def _parse_node_record(stream: _TokenStream) -> NodeSpec:
+    stream.expect("LPAREN")
+    ident = stream.expect("IDENT").value
+    stream.expect("COMMA")
+    is_start = _parse_yes_no(stream)
+    stream.expect("COMMA")
+    out_degree = int(stream.expect("NUMBER").value)
+    stream.expect("COMMA")
+    method_idents = _parse_ident_list(stream)
+    stream.expect("RPAREN")
+    return NodeSpec(
+        ident=ident,
+        methods=method_idents,
+        is_start=is_start,
+        declared_out_degree=out_degree,
+    )
+
+
+def _parse_edge_record(stream: _TokenStream) -> EdgeSpec:
+    stream.expect("LPAREN")
+    source = stream.expect("IDENT").value
+    stream.expect("COMMA")
+    target = stream.expect("IDENT").value
+    stream.expect("RPAREN")
+    return EdgeSpec(source=source, target=target)
+
+
+# -- field helpers ----------------------------------------------------------
+
+
+def _parse_yes_no(stream: _TokenStream) -> bool:
+    token = stream.expect("IDENT")
+    word = token.value.lower()
+    if word in ("yes", "true"):
+        return True
+    if word in ("no", "false"):
+        return False
+    raise SpecParseError(
+        f"expected Yes/No, found {token.value!r}", token.line, token.column
+    )
+
+
+def _parse_optional_string(stream: _TokenStream) -> Optional[str]:
+    token = stream.next()
+    if token.kind == "EMPTY":
+        return None
+    if token.kind == "STRING":
+        return token.value
+    raise SpecParseError(
+        f"expected string or <empty>, found {token.kind}", token.line, token.column
+    )
+
+
+def _parse_optional_return(stream: _TokenStream) -> Optional[str]:
+    token = stream.next()
+    if token.kind == "EMPTY":
+        return None
+    if token.kind in ("STRING", "IDENT"):
+        return token.value
+    raise SpecParseError(
+        f"expected return type or <empty>, found {token.kind}", token.line, token.column
+    )
+
+
+def _parse_file_list(stream: _TokenStream) -> Tuple[str, ...]:
+    token = stream.peek()
+    if token.kind == "EMPTY":
+        stream.next()
+        return ()
+    if token.kind == "STRING":
+        return (stream.next().value,)
+    if token.kind == "LBRACKET":
+        stream.next()
+        files: List[str] = []
+        while stream.peek().kind != "RBRACKET":
+            files.append(stream.expect("STRING").value)
+            if stream.peek().kind == "COMMA":
+                stream.next()
+        stream.expect("RBRACKET")
+        return tuple(files)
+    raise SpecParseError(
+        f"expected file list, found {token.kind}", token.line, token.column
+    )
+
+
+def _parse_ident_list(stream: _TokenStream) -> Tuple[str, ...]:
+    stream.expect("LBRACKET")
+    idents: List[str] = []
+    while stream.peek().kind != "RBRACKET":
+        idents.append(stream.expect("IDENT").value)
+        if stream.peek().kind == "COMMA":
+            stream.next()
+    stream.expect("RBRACKET")
+    return tuple(idents)
+
+
+def _parse_literal_list(stream: _TokenStream) -> Tuple[Any, ...]:
+    stream.expect("LBRACKET")
+    values: List[Any] = []
+    while stream.peek().kind != "RBRACKET":
+        token = stream.next()
+        if token.kind in ("STRING", "NUMBER"):
+            values.append(token.value)
+        elif token.kind == "IDENT" and token.value.lower() in ("true", "false"):
+            values.append(token.value.lower() == "true")
+        else:
+            raise SpecParseError(
+                f"expected literal in set, found {token.kind}", token.line, token.column
+            )
+        if stream.peek().kind == "COMMA":
+            stream.next()
+    stream.expect("RBRACKET")
+    return tuple(values)
+
+
+def _parse_domain(stream: _TokenStream) -> Domain:
+    token = stream.expect("IDENT")
+    kind = token.value.lower()
+    if kind == "range":
+        stream.expect("COMMA")
+        low = stream.expect("NUMBER").value
+        stream.expect("COMMA")
+        high = stream.expect("NUMBER").value
+        return RangeDomain(int(low), int(high))
+    if kind == "float_range":
+        stream.expect("COMMA")
+        low = stream.expect("NUMBER").value
+        stream.expect("COMMA")
+        high = stream.expect("NUMBER").value
+        return FloatRangeDomain(float(low), float(high))
+    if kind == "set":
+        stream.expect("COMMA")
+        return SetDomain(_parse_literal_list(stream))
+    if kind == "string":
+        if stream.peek().kind == "COMMA":
+            stream.next()
+            min_length = int(stream.expect("NUMBER").value)
+            stream.expect("COMMA")
+            max_length = int(stream.expect("NUMBER").value)
+            return StringDomain(min_length, max_length)
+        return StringDomain()
+    if kind == "bool":
+        return BoolDomain()
+    if kind == "object":
+        stream.expect("COMMA")
+        class_name = stream.expect("STRING").value
+        return ObjectDomain(class_name)
+    if kind == "pointer":
+        stream.expect("COMMA")
+        class_name = stream.expect("STRING").value
+        return PointerDomain(ObjectDomain(class_name))
+    raise SpecParseError(
+        f"unknown domain kind {token.value!r}", token.line, token.column
+    )

@@ -1,0 +1,186 @@
+"""Structural validation of a t-spec.
+
+The paper argues (sec. 3.2-(vii)) that embedding the specification lets the
+tester detect "incompleteness, ambiguity and inconsistency" and remove them.
+This module is that detector: it cross-checks every internal reference of a
+:class:`ClassSpec` and reports *all* problems at once rather than stopping at
+the first, so a spec author can fix a hand-written spec in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.errors import SpecValidationError
+from .model import ClassSpec, MethodCategory
+
+
+def find_problems(spec: ClassSpec) -> List[str]:
+    """Return a list of human-readable problems; empty when the spec is sound."""
+    problems: List[str] = []
+    problems.extend(_check_unique_idents(spec))
+    problems.extend(_check_methods(spec))
+    problems.extend(_check_nodes(spec))
+    problems.extend(_check_edges(spec))
+    problems.extend(_check_model_shape(spec))
+    return problems
+
+
+def validate(spec: ClassSpec) -> ClassSpec:
+    """Raise :class:`SpecValidationError` when the spec has problems.
+
+    Returns the spec unchanged so calls can be chained:
+    ``spec = validate(parse_tspec(text))``.
+    """
+    problems = find_problems(spec)
+    if problems:
+        raise SpecValidationError(problems)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_unique_idents(spec: ClassSpec) -> List[str]:
+    problems: List[str] = []
+    seen_methods: Set[str] = set()
+    for method in spec.methods:
+        if method.ident in seen_methods:
+            problems.append(f"duplicate method ident {method.ident!r}")
+        seen_methods.add(method.ident)
+    seen_nodes: Set[str] = set()
+    for node in spec.nodes:
+        if node.ident in seen_nodes:
+            problems.append(f"duplicate node ident {node.ident!r}")
+        seen_nodes.add(node.ident)
+    seen_attributes: Set[str] = set()
+    for attribute in spec.attributes:
+        if attribute.name in seen_attributes:
+            problems.append(f"duplicate attribute {attribute.name!r}")
+        seen_attributes.add(attribute.name)
+    return problems
+
+
+def _check_methods(spec: ClassSpec) -> List[str]:
+    problems: List[str] = []
+    for method in spec.methods:
+        duplicate_names = [
+            p.name
+            for index, p in enumerate(method.parameters)
+            if p.name in {q.name for q in method.parameters[:index]}
+        ]
+        for name in duplicate_names:
+            problems.append(
+                f"method {method.ident} ({method.name}) repeats parameter {name!r}"
+            )
+    if not spec.is_abstract:
+        if not spec.constructor_methods:
+            problems.append("class declares no constructor method")
+        if not spec.destructor_methods:
+            problems.append("class declares no destructor method")
+    return problems
+
+
+def _check_nodes(spec: ClassSpec) -> List[str]:
+    problems: List[str] = []
+    method_idents = set(spec.method_idents)
+    for node in spec.nodes:
+        for method_ident in node.methods:
+            if method_ident not in method_idents:
+                problems.append(
+                    f"node {node.ident} references unknown method {method_ident!r}"
+                )
+        if node.declared_out_degree is not None:
+            actual = len(spec.outgoing_edges(node.ident))
+            if actual != node.declared_out_degree:
+                problems.append(
+                    f"node {node.ident} declares out-degree "
+                    f"{node.declared_out_degree} but has {actual} outgoing edges"
+                )
+        # A node must be homogeneous in reuse category for constructors and
+        # destructors: mixing a constructor with a processing method in one
+        # node makes the birth/death structure of the model ambiguous.
+        categories = set()
+        for method_ident in node.methods:
+            if method_ident in method_idents:
+                categories.add(spec.method_by_ident(method_ident).category)
+        special = categories & {MethodCategory.CONSTRUCTOR, MethodCategory.DESTRUCTOR}
+        if special and len(categories) > 1:
+            problems.append(
+                f"node {node.ident} mixes {', '.join(sorted(c.value for c in categories))} "
+                "methods; birth/death nodes must be homogeneous"
+            )
+    return problems
+
+
+def _check_edges(spec: ClassSpec) -> List[str]:
+    problems: List[str] = []
+    node_idents = {node.ident for node in spec.nodes}
+    seen = set()
+    for edge in spec.edges:
+        if edge.source not in node_idents:
+            problems.append(f"edge references unknown source node {edge.source!r}")
+        if edge.target not in node_idents:
+            problems.append(f"edge references unknown target node {edge.target!r}")
+        key = (edge.source, edge.target)
+        if key in seen:
+            problems.append(f"duplicate edge {edge.source} -> {edge.target}")
+        seen.add(key)
+    return problems
+
+
+def _check_model_shape(spec: ClassSpec) -> List[str]:
+    """Birth-to-death shape: starts exist, ends exist, everything reachable."""
+    problems: List[str] = []
+    if not spec.nodes:
+        if spec.is_abstract:
+            return problems  # abstract classes may defer the model to subclasses
+        problems.append("test model has no nodes")
+        return problems
+
+    starts = spec.start_nodes
+    ends = spec.end_nodes
+    if not starts:
+        problems.append("test model has no starting (birth) node")
+    if not ends:
+        problems.append("test model has no ending (death) node")
+    if not starts or not ends:
+        return problems
+
+    adjacency = spec.adjacency()
+
+    # Forward reachability from births.
+    reachable: Set[str] = set()
+    frontier = [node.ident for node in starts]
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        frontier.extend(adjacency.get(current, ()))
+    for node in spec.nodes:
+        if node.ident not in reachable:
+            problems.append(f"node {node.ident} is unreachable from any birth node")
+
+    # Backward reachability to deaths: every reachable node must be able to
+    # finish a transaction, otherwise the object can get stuck alive.
+    reverse: dict = {node.ident: [] for node in spec.nodes}
+    for source, targets in adjacency.items():
+        for target in targets:
+            reverse.setdefault(target, []).append(source)
+    can_finish: Set[str] = set()
+    frontier = [node.ident for node in ends]
+    while frontier:
+        current = frontier.pop()
+        if current in can_finish:
+            continue
+        can_finish.add(current)
+        frontier.extend(reverse.get(current, ()))
+    for node in spec.nodes:
+        if node.ident in reachable and node.ident not in can_finish:
+            problems.append(
+                f"node {node.ident} cannot reach any death node (stuck transaction)"
+            )
+    return problems

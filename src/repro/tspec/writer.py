@@ -1,0 +1,111 @@
+"""Serializer from :class:`ClassSpec` back to the Figure-3 textual format.
+
+``parse_tspec(write_tspec(spec)) == spec`` holds for any spec whose object
+domains are *unbound* (factories are runtime callables and cannot be written
+to text; the writer emits the class name only, which is what the paper's
+format carries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..core.domains import (
+    BoolDomain,
+    Domain,
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from ..core.errors import SpecError
+from .model import ClassSpec, MethodSpec, NodeSpec
+
+
+def write_tspec(spec: ClassSpec) -> str:
+    """Render the spec as t-spec source text."""
+    lines: List[str] = []
+    lines.append(_class_record(spec))
+    lines.append("")
+    for attribute in spec.attributes:
+        lines.append(f"Attribute ('{attribute.name}', {_domain_fields(attribute.domain)})")
+    if spec.attributes:
+        lines.append("")
+    for method in spec.methods:
+        lines.append(_method_record(method))
+        for parameter in method.parameters:
+            lines.append(
+                f"Parameter ({method.ident}, '{parameter.name}', "
+                f"{_domain_fields(parameter.domain)})"
+            )
+    if spec.methods:
+        lines.append("")
+    for node in spec.nodes:
+        lines.append(_node_record(spec, node))
+    if spec.nodes:
+        lines.append("")
+    for edge in spec.edges:
+        lines.append(f"Edge ({edge.source}, {edge.target})")
+    return "\n".join(lines) + "\n"
+
+
+def _class_record(spec: ClassSpec) -> str:
+    abstract = "Yes" if spec.is_abstract else "No"
+    superclass = f"'{spec.superclass}'" if spec.superclass else "<empty>"
+    if spec.source_files:
+        files = "[" + ", ".join(f"'{name}'" for name in spec.source_files) + "]"
+    else:
+        files = "<empty>"
+    return f"Class ('{spec.name}', {abstract}, {superclass}, {files})"
+
+
+def _method_record(method: MethodSpec) -> str:
+    return_type = f"'{method.return_type}'" if method.return_type else "<empty>"
+    return (
+        f"Method ({method.ident}, '{method.name}', {return_type}, "
+        f"{method.category.value}, {method.arity})"
+    )
+
+
+def _node_record(spec: ClassSpec, node: NodeSpec) -> str:
+    start = "Yes" if node.is_start else "No"
+    out_degree = node.declared_out_degree
+    if out_degree is None:
+        out_degree = len(spec.outgoing_edges(node.ident))
+    methods = "[" + ", ".join(node.methods) + "]"
+    return f"Node ({node.ident}, {start}, {out_degree}, {methods})"
+
+
+def _domain_fields(domain: Domain) -> str:
+    if isinstance(domain, RangeDomain):
+        return f"range, {domain.low}, {domain.high}"
+    if isinstance(domain, FloatRangeDomain):
+        return f"float_range, {_number(domain.low)}, {_number(domain.high)}"
+    if isinstance(domain, SetDomain):
+        members = ", ".join(_literal(value) for value in domain.members)
+        return f"set, [{members}]"
+    if isinstance(domain, StringDomain):
+        return f"string, {domain.min_length}, {domain.max_length}"
+    if isinstance(domain, BoolDomain):
+        return "bool"
+    if isinstance(domain, PointerDomain):
+        return f"pointer, '{domain.target.class_name}'"
+    if isinstance(domain, ObjectDomain):
+        return f"object, '{domain.class_name}'"
+    raise SpecError(f"cannot serialize domain of kind {domain.kind!r}")
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return _number(value)
+
+
+def _number(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return f"{value:.1f}"
+    return repr(value)

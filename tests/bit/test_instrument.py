@@ -1,0 +1,181 @@
+"""Tests for dynamic instrumentation (the test-mode compile analogue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit import access
+from repro.bit.builtintest import BuiltInTest
+from repro.bit.instrument import (
+    compile_component,
+    instrument,
+    is_instrumented,
+    original_class,
+    tracer_of,
+)
+from repro.bit.trace import CallTracer
+from repro.core.errors import InstrumentationError, InvariantViolation
+
+
+class Turnstile:
+    """A plain (not self-testable) component."""
+
+    def __init__(self):
+        self.entries = 0
+        self.locked = True
+
+    def unlock(self):
+        self.locked = False
+
+    def push(self):
+        if not self.locked:
+            self.entries += 1
+            self.locked = True
+            return True
+        return False
+
+    def count(self):
+        return self.entries
+
+    def _secret(self):
+        return "internal"
+
+
+def turnstile_invariant(self) -> bool:
+    return self.entries >= 0
+
+
+class TestInstrument:
+    def test_produces_marked_subclass(self):
+        instrumented = instrument(Turnstile)
+        assert is_instrumented(instrumented)
+        assert issubclass(instrumented, Turnstile)
+        assert issubclass(instrumented, BuiltInTest)
+        assert original_class(instrumented) is Turnstile
+
+    def test_original_untouched(self):
+        instrument(Turnstile)
+        assert not is_instrumented(Turnstile)
+        assert not hasattr(Turnstile, "invariant_test")
+
+    def test_rejects_double_instrumentation(self):
+        instrumented = instrument(Turnstile)
+        with pytest.raises(InstrumentationError, match="already"):
+            instrument(instrumented)
+
+    def test_rejects_non_class(self):
+        with pytest.raises(InstrumentationError):
+            instrument(Turnstile())  # type: ignore[arg-type]
+
+    def test_behaviour_preserved(self):
+        instrumented = instrument(Turnstile)
+        gate = instrumented()
+        gate.unlock()
+        assert gate.push() is True
+        assert gate.count() == 1
+
+    def test_invariant_installed(self, in_test_mode):
+        instrumented = instrument(Turnstile, invariant=turnstile_invariant)
+        gate = instrumented()
+        gate.invariant_test()
+        gate.entries = -1
+        with pytest.raises(InvariantViolation):
+            gate.invariant_test()
+
+    def test_spec_embedded(self):
+        from repro.components import STACK_SPEC
+
+        instrumented = instrument(Turnstile, spec=STACK_SPEC)
+        assert instrumented.__tspec__ is STACK_SPEC
+
+    def test_keeps_existing_builtintest_base(self):
+        class SelfMade(BuiltInTest):
+            def __init__(self):
+                self.x = 1
+
+            def work(self):
+                return self.x
+
+        instrumented = instrument(SelfMade)
+        assert instrumented.__mro__.count(BuiltInTest) == 1
+
+    def test_private_methods_not_wrapped(self):
+        instrumented = instrument(Turnstile)
+        assert not getattr(instrumented._secret, "__bit_wrapped__", False)
+
+    def test_class_name_default_and_override(self):
+        assert instrument(Turnstile).__name__ == "Turnstile"
+        renamed = instrument(Turnstile, class_name="TestableTurnstile")
+        assert renamed.__name__ == "TestableTurnstile"
+
+
+class TestTracing:
+    def test_calls_recorded(self):
+        tracer = CallTracer()
+        instrumented = instrument(Turnstile, tracer=tracer)
+        gate = instrumented()
+        gate.unlock()
+        gate.push()
+        gate.count()
+        names = tracer.method_sequence()
+        assert names == ("__init__", "unlock", "push", "count")
+
+    def test_tracer_attached(self):
+        tracer = CallTracer()
+        instrumented = instrument(Turnstile, tracer=tracer)
+        assert tracer_of(instrumented) is tracer
+        assert tracer_of(Turnstile) is None
+
+    def test_exceptions_traced_and_propagated(self):
+        class Boomy:
+            def explode(self):
+                raise ValueError("bang")
+
+        tracer = CallTracer()
+        instrumented = instrument(Boomy, tracer=tracer)
+        with pytest.raises(ValueError):
+            instrumented().explode()
+        events = tracer.calls_to("explode")
+        assert events and events[0].outcome == "raise"
+        assert "bang" in events[0].detail
+
+
+class TestAutomaticInvariantChecking:
+    def test_checks_around_each_call(self):
+        instrumented = instrument(
+            Turnstile, invariant=turnstile_invariant, check_invariants=True
+        )
+        gate = instrumented()
+        with access.test_mode():
+            gate.unlock()
+
+            # Sabotage the state, then call any method: the pre-call check
+            # must fire.
+            gate.entries = -5
+            with pytest.raises(InvariantViolation):
+                gate.count()
+
+    def test_no_checks_outside_test_mode(self):
+        instrumented = instrument(
+            Turnstile, invariant=turnstile_invariant, check_invariants=True
+        )
+        gate = instrumented()
+        gate.entries = -5
+        assert gate.count() == -5  # silent in production
+
+
+class TestCompileComponent:
+    def test_production_build_is_original(self):
+        assert compile_component(Turnstile, test_mode=False) is Turnstile
+
+    def test_test_build_is_instrumented(self):
+        built = compile_component(Turnstile, test_mode=True)
+        assert is_instrumented(built)
+
+    def test_production_build_of_instrumented_unwraps(self):
+        built = compile_component(Turnstile, test_mode=True)
+        assert compile_component(built, test_mode=False) is Turnstile
+
+    def test_test_build_idempotent(self):
+        built = compile_component(Turnstile, test_mode=True)
+        assert compile_component(built, test_mode=True) is built

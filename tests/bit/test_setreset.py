@@ -1,0 +1,138 @@
+"""Tests for the set/reset BIT capability (sec. 3.3's optional feature)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit.builtintest import BuiltInTest
+from repro.bit.setreset import Restorable, StateCheckpoint, run_from_state
+from repro.core.errors import BitError, TestModeError
+
+
+class Meter(BuiltInTest, Restorable):
+    def __init__(self):
+        self.reading = 0
+        self.history = []
+
+    def advance(self, amount):
+        self.reading += amount
+        self.history.append(amount)
+        return self.reading
+
+
+class TestRestorable:
+    def test_requires_test_mode(self):
+        meter = Meter()
+        with pytest.raises(TestModeError):
+            meter.bit_capture_state()
+        with pytest.raises(TestModeError):
+            meter.bit_set_state({})
+        with pytest.raises(TestModeError):
+            meter.bit_reset()
+
+    def test_capture_and_set(self, in_test_mode):
+        meter = Meter()
+        meter.advance(5)
+        snapshot = meter.bit_capture_state()
+        meter.advance(10)
+        meter.bit_set_state(snapshot)
+        assert meter.reading == 5
+        assert meter.history == [5]
+
+    def test_capture_is_deep(self, in_test_mode):
+        meter = Meter()
+        meter.advance(1)
+        snapshot = meter.bit_capture_state()
+        meter.history.append("tampered")
+        assert snapshot["history"] == [1]
+
+    def test_set_state_removes_extraneous_attributes(self, in_test_mode):
+        meter = Meter()
+        snapshot = meter.bit_capture_state()
+        meter.debris = "should vanish"
+        meter.bit_set_state(snapshot)
+        assert not hasattr(meter, "debris")
+
+    def test_reset_reruns_init(self, in_test_mode):
+        meter = Meter()
+        meter.advance(42)
+        meter.bit_reset()
+        assert meter.reading == 0
+        assert meter.history == []
+
+
+class TestStateCheckpoint:
+    def test_restore_roundtrip(self, in_test_mode):
+        meter = Meter()
+        meter.advance(3)
+        checkpoint = StateCheckpoint(meter)
+        meter.advance(7)
+        checkpoint.restore()
+        assert meter.reading == 3
+
+    def test_restore_many_times(self, in_test_mode):
+        meter = Meter()
+        checkpoint = StateCheckpoint(meter)
+        for _ in range(3):
+            meter.advance(9)
+            checkpoint.restore()
+            assert meter.reading == 0
+
+    def test_recapture(self, in_test_mode):
+        meter = Meter()
+        checkpoint = StateCheckpoint(meter)
+        meter.advance(4)
+        checkpoint.recapture()
+        meter.advance(6)
+        checkpoint.restore()
+        assert meter.reading == 4
+
+    def test_plain_object_fallback(self, in_test_mode):
+        class Plain:
+            def __init__(self):
+                self.x = 1
+
+        plain = Plain()
+        checkpoint = StateCheckpoint(plain)
+        plain.x = 99
+        checkpoint.restore()
+        assert plain.x == 1
+
+    def test_requires_test_mode(self):
+        with pytest.raises(TestModeError):
+            StateCheckpoint(Meter())
+
+    def test_stateless_object_rejected(self, in_test_mode):
+        with pytest.raises(BitError, match="no restorable state"):
+            StateCheckpoint(object())
+
+    def test_state_view_is_copy(self, in_test_mode):
+        meter = Meter()
+        checkpoint = StateCheckpoint(meter)
+        view = checkpoint.state
+        view["reading"] = 999
+        checkpoint.restore()
+        assert meter.reading == 0
+
+
+class TestRunFromState:
+    def test_runs_from_predefined_state(self, in_test_mode):
+        meter = Meter()
+        deep_state = {"reading": 100, "history": [100]}
+        result = run_from_state(meter, deep_state, meter.advance, 1)
+        assert result == 101
+        assert meter.reading == 101
+
+    def test_none_state_uses_current(self, in_test_mode):
+        meter = Meter()
+        meter.advance(2)
+        assert run_from_state(meter, None, meter.advance, 3) == 5
+
+    def test_requires_capability(self, in_test_mode):
+        class NoCapability:
+            def poke(self):
+                return 1
+
+        target = NoCapability()
+        with pytest.raises(BitError, match="set/reset"):
+            run_from_state(target, {"x": 1}, target.poke)

@@ -1,0 +1,101 @@
+"""Tests for the call tracer."""
+
+from __future__ import annotations
+
+from repro.bit.trace import CallTracer, TraceEvent, _safe_repr
+
+
+class Subject:
+    pass
+
+
+class TestRecording:
+    def test_return_event(self):
+        tracer = CallTracer()
+        tracer.record_return(Subject(), "work", (1, "a"), {"k": 2}, result=99)
+        event = tracer.events[0]
+        assert event.class_name == "Subject"
+        assert event.method == "work"
+        assert event.arguments == ("1", "'a'", "k=2")
+        assert event.outcome == "return"
+        assert event.detail == "99"
+
+    def test_raise_event(self):
+        tracer = CallTracer()
+        tracer.record_raise(Subject(), "work", (), {}, ValueError("oops"))
+        event = tracer.events[0]
+        assert event.outcome == "raise"
+        assert "ValueError" in event.detail
+
+    def test_len_and_iter(self):
+        tracer = CallTracer()
+        for index in range(3):
+            tracer.record_return(Subject(), f"m{index}", (), {}, None)
+        assert len(tracer) == 3
+        assert [event.method for event in tracer] == ["m0", "m1", "m2"]
+
+    def test_clear(self):
+        tracer = CallTracer()
+        tracer.record_return(Subject(), "m", (), {}, None)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_disabled_records_nothing(self):
+        tracer = CallTracer()
+        tracer.enabled = False
+        tracer.record_return(Subject(), "m", (), {}, None)
+        assert len(tracer) == 0
+
+    def test_capacity_drops_counted(self):
+        tracer = CallTracer(capacity=2)
+        for index in range(5):
+            tracer.record_return(Subject(), f"m{index}", (), {}, None)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "dropped" in tracer.format()
+
+
+class TestQueries:
+    def test_calls_to(self):
+        tracer = CallTracer()
+        tracer.record_return(Subject(), "a", (), {}, 1)
+        tracer.record_return(Subject(), "b", (), {}, 2)
+        tracer.record_return(Subject(), "a", (), {}, 3)
+        assert len(tracer.calls_to("a")) == 2
+
+    def test_method_sequence(self):
+        tracer = CallTracer()
+        for name in ("create", "use", "destroy"):
+            tracer.record_return(Subject(), name, (), {}, None)
+        assert tracer.method_sequence() == ("create", "use", "destroy")
+
+    def test_format_last(self):
+        tracer = CallTracer()
+        for index in range(5):
+            tracer.record_return(Subject(), f"m{index}", (), {}, None)
+        text = tracer.format(last=2)
+        assert "m3" in text and "m4" in text and "m0" not in text
+
+
+class TestSafeRepr:
+    def test_truncates_long_values(self):
+        text = _safe_repr("x" * 1000)
+        assert len(text) <= 120
+        assert text.endswith("…")
+
+    def test_survives_hostile_repr(self):
+        class Hostile:
+            def __repr__(self):
+                raise RuntimeError("no repr for you")
+
+        assert "repr failed" in _safe_repr(Hostile())
+
+
+class TestTraceEvent:
+    def test_format_return(self):
+        event = TraceEvent("C", "m", ("1",), "return", "2")
+        assert event.format() == "C.m(1) -> 2"
+
+    def test_format_raise(self):
+        event = TraceEvent("C", "m", (), "raise", "ValueError: x")
+        assert "!!" in event.format()

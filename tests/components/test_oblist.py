@@ -1,0 +1,256 @@
+"""Tests for the MFC-style CObList, incl. a hypothesis model check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.oblist import BLOCK_SIZE, CObList
+
+
+@pytest.fixture
+def filled():
+    target = CObList()
+    for value in (10, 20, 30):
+        target.AddTail(value)
+    return target
+
+
+class TestInsertion:
+    def test_addhead_prepends(self):
+        target = CObList()
+        assert target.AddHead(1) == 0
+        assert target.AddHead(2) == 0
+        assert target._values() == [2, 1]
+
+    def test_addtail_appends(self):
+        target = CObList()
+        assert target.AddTail(1) == 0
+        assert target.AddTail(2) == 1
+        assert target._values() == [1, 2]
+
+    def test_insert_before_middle(self, filled):
+        position = filled.InsertBefore(1, 15)
+        assert position == 1
+        assert filled._values() == [10, 15, 20, 30]
+
+    def test_insert_after_middle(self, filled):
+        position = filled.InsertAfter(0, 15)
+        assert position == 1
+        assert filled._values() == [10, 15, 20, 30]
+
+    def test_insert_before_clamps_to_ends(self, filled):
+        filled.InsertBefore(-3, 5)
+        assert filled.GetHead() == 5
+        filled.InsertBefore(99, 35)
+        assert filled.GetTail() == 35
+
+    def test_insert_after_clamps_to_ends(self, filled):
+        filled.InsertAfter(99, 35)
+        assert filled.GetTail() == 35
+        filled.InsertAfter(-5, 5)
+        assert filled.GetHead() == 5
+
+    def test_insert_into_empty(self):
+        target = CObList()
+        target.InsertBefore(0, 1)
+        assert target._values() == [1]
+
+
+class TestRemoval:
+    def test_remove_head(self, filled):
+        assert filled.RemoveHead() == 10
+        assert filled._values() == [20, 30]
+        assert filled.GetCount() == 2
+
+    def test_remove_tail(self, filled):
+        assert filled.RemoveTail() == 30
+        assert filled._values() == [10, 20]
+
+    def test_remove_at(self, filled):
+        assert filled.RemoveAt(1) == 20
+        assert filled._values() == [10, 30]
+
+    def test_remove_last_element(self):
+        target = CObList()
+        target.AddHead(1)
+        assert target.RemoveHead() == 1
+        assert target.IsEmpty()
+        assert target.GetHead() is None and target.GetTail() is None
+
+    def test_graceful_empty_removal(self):
+        target = CObList()
+        assert target.RemoveHead() is None
+        assert target.RemoveTail() is None
+        assert target.RemoveAt(0) is None
+        assert target.GetCount() == 0
+
+    def test_remove_at_out_of_range(self, filled):
+        assert filled.RemoveAt(-1) is None
+        assert filled.RemoveAt(3) is None
+        assert filled.GetCount() == 3
+
+    def test_remove_all(self, filled):
+        assert filled.RemoveAll() == 3
+        assert filled.IsEmpty()
+        assert filled.RemoveAll() == 0
+
+
+class TestAccess:
+    def test_get_head_tail(self, filled):
+        assert filled.GetHead() == 10
+        assert filled.GetTail() == 30
+
+    def test_get_at(self, filled):
+        assert [filled.GetAt(i) for i in range(3)] == [10, 20, 30]
+        assert filled.GetAt(-1) is None
+        assert filled.GetAt(3) is None
+
+    def test_set_at(self, filled):
+        assert filled.SetAt(1, 99)
+        assert filled.GetAt(1) == 99
+        assert not filled.SetAt(5, 0)
+
+    def test_find(self, filled):
+        assert filled.Find(20) == 1
+        assert filled.Find(99) == -1
+
+    def test_find_with_start(self):
+        target = CObList()
+        for value in (7, 8, 7, 9):
+            target.AddTail(value)
+        assert target.Find(7) == 0
+        assert target.Find(7, start=1) == 2
+        assert target.Find(7, start=3) == -1
+        assert target.Find(7, start=-5) == 0
+
+    def test_count_and_len(self, filled):
+        assert filled.GetCount() == 3
+        assert len(filled) == 3
+
+    def test_repr(self, filled):
+        assert "[10, 20, 30]" in repr(filled)
+
+
+class TestNodePool:
+    def test_removal_recycles_nodes(self):
+        target = CObList()
+        target.AddHead(1)
+        target.RemoveHead()
+        assert target._free is not None
+        assert target._free_count >= 1
+
+    def test_block_allocation_on_dry_pool(self):
+        target = CObList(block_size=4)
+        target.AddHead(1)  # pool dry: a block of spares is created
+        assert target._blocks == 1
+        assert target._free_count == 3
+
+    def test_pool_reuse_before_allocation(self):
+        target = CObList(block_size=4)
+        target.AddHead(1)
+        blocks_after_first = target._blocks
+        target.AddHead(2)  # must come from the pool
+        assert target._blocks == blocks_after_first
+
+    def test_default_block_size(self):
+        assert CObList()._block_size == BLOCK_SIZE
+
+    def test_pool_invisible_to_reporter(self):
+        target = CObList()
+        target.AddHead(1)
+        assert set(target.bit_state()) == {"count", "values"}
+
+
+class TestBuiltInTest:
+    def test_invariant_holds_through_operations(self, filled, in_test_mode):
+        filled.invariant_test()
+        filled.RemoveAt(1)
+        filled.invariant_test()
+
+    def test_weak_invariant_is_mfc_shaped(self):
+        # MFC's AssertValid does not walk the chain: a broken interior link
+        # passes the invariant (but fails deep_check).
+        target = CObList()
+        for value in (1, 2, 3):
+            target.AddTail(value)
+        target._head.next.prev = None  # corrupt an interior link
+        assert target.class_invariant()
+        assert not target.deep_check()
+
+    def test_invariant_rejects_null_head_with_count(self):
+        target = CObList()
+        target._count = 3
+        assert not target.class_invariant()
+
+    def test_deep_check_validates_count(self):
+        target = CObList()
+        target.AddTail(1)
+        target._count = 2
+        assert not target.deep_check()
+
+    def test_bit_state(self, filled):
+        state = filled.bit_state()
+        assert state == {"count": 3, "values": [10, 20, 30]}
+
+    def test_traversal_cap_on_cyclic_list(self):
+        target = CObList()
+        target.AddTail(1)
+        target.AddTail(2)
+        target._tail.next = target._head  # make it cyclic
+        values = target._values()
+        assert values[-1] == "<traversal cap reached>"
+        assert len(values) == target._TRAVERSAL_CAP + 1
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: CObList behaves like a Python list
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("addhead"), st.integers(-50, 50)),
+        st.tuples(st.just("addtail"), st.integers(-50, 50)),
+        st.tuples(st.just("removehead"), st.none()),
+        st.tuples(st.just("removetail"), st.none()),
+        st.tuples(st.just("removeat"), st.integers(0, 6)),
+        st.tuples(st.just("insertbefore"), st.tuples(st.integers(0, 6),
+                                                     st.integers(-50, 50))),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations)
+def test_oblist_matches_python_list_model(script):
+    target = CObList()
+    model = []
+    for operation, argument in script:
+        if operation == "addhead":
+            target.AddHead(argument)
+            model.insert(0, argument)
+        elif operation == "addtail":
+            target.AddTail(argument)
+            model.append(argument)
+        elif operation == "removehead":
+            expected = model.pop(0) if model else None
+            assert target.RemoveHead() == expected
+        elif operation == "removetail":
+            expected = model.pop() if model else None
+            assert target.RemoveTail() == expected
+        elif operation == "removeat":
+            expected = model.pop(argument) if argument < len(model) else None
+            assert target.RemoveAt(argument) == expected
+        elif operation == "insertbefore":
+            position, value = argument
+            if position <= 0 or not model:
+                model.insert(0, value)
+            elif position >= len(model):
+                model.append(value)
+            else:
+                model.insert(position, value)
+            target.InsertBefore(position, value)
+        assert target._values() == model
+        assert target.GetCount() == len(model)
+        assert target.deep_check()

@@ -1,0 +1,179 @@
+"""Tests for the Product/Provider components and the database substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.product import (
+    DATABASE,
+    NAME_MAX_LENGTH,
+    Product,
+    ProductDatabase,
+    Provider,
+    QTY_MAX,
+    QTY_MIN,
+    reset_database,
+)
+from repro.core.errors import InvariantViolation
+
+
+class TestConstructorOverloads:
+    def test_default(self):
+        product = Product()
+        assert product.qty == QTY_MIN
+        assert product.name == "unnamed"
+        assert product.prov is None
+
+    def test_named(self):
+        product = Product("soap")
+        assert product.name == "soap"
+        assert product.qty == QTY_MIN
+
+    def test_full(self):
+        provider = Provider("acme", 7)
+        product = Product(12, "soap", 2.5, provider)
+        assert (product.qty, product.name, product.price) == (12, "soap", 2.5)
+        assert product.prov == provider
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TypeError, match="0, 1 or 4"):
+            Product(1, "x")
+
+
+class TestUpdates:
+    def test_update_name_truncates(self):
+        product = Product()
+        product.UpdateName("y" * 50)
+        assert len(product.name) == NAME_MAX_LENGTH
+
+    def test_update_name_rejects_empty(self):
+        product = Product("x")
+        product.UpdateName("")
+        assert product.name == "unnamed"
+
+    def test_update_qty_clamps(self):
+        product = Product()
+        product.UpdateQty(-5)
+        assert product.qty == QTY_MIN
+        product.UpdateQty(10**9)
+        assert product.qty == QTY_MAX
+
+    def test_update_price_clamps(self):
+        product = Product()
+        product.UpdatePrice(-1.0)
+        assert product.price == 0.0
+
+    def test_update_prov(self):
+        product = Product()
+        provider = Provider()
+        product.UpdateProv(provider)
+        assert product.prov is provider
+        product.UpdateProv(None)
+        assert product.prov is None
+
+    def test_update_prov_type_checked(self):
+        with pytest.raises(TypeError):
+            Product().UpdateProv("not a provider")  # type: ignore[arg-type]
+
+
+class TestShowAttributes:
+    def test_contains_all_fields(self):
+        product = Product(3, "soap", 1.5, Provider("acme", 1))
+        text = product.ShowAttributes()
+        assert "soap" in text and "3" in text and "1.50" in text and "acme" in text
+
+    def test_without_provider(self):
+        assert "<none>" in Product().ShowAttributes()
+
+
+class TestDatabaseLifecycle:
+    def test_insert_and_remove(self):
+        product = Product("soap")
+        assert product.InsertProduct() == 1
+        assert DATABASE.count() == 1
+        assert product.RemoveProduct() is product
+        assert DATABASE.count() == 0
+
+    def test_duplicate_insert_rejected(self):
+        first = Product("soap")
+        second = Product("soap")
+        assert first.InsertProduct() == 1
+        assert second.InsertProduct() == 0
+
+    def test_remove_absent_returns_none(self):
+        assert Product("ghost").RemoveProduct() is None
+
+    def test_use_case_scenario(self):
+        """The sec.-3.2 scenario: create, obtain data, remove, destroy."""
+        product = Product(5, "bolts", 0.1, Provider("acme", 3))
+        product.InsertProduct()
+        assert "bolts" in product.ShowAttributes()
+        assert product.RemoveProduct() is product
+
+    def test_rename_after_insert_strands_row(self):
+        # Documented behaviour: the row is keyed by the insert-time name.
+        product = Product("old")
+        product.InsertProduct()
+        product.UpdateName("new")
+        assert product.RemoveProduct() is None
+        assert DATABASE.lookup("old") is not None
+
+
+class TestProductDatabase:
+    def test_lookup_returns_copy(self):
+        database = ProductDatabase()
+        database.insert(Product("x"))
+        row = database.lookup("x")
+        row["qty"] = 999
+        assert database.lookup("x")["qty"] != 999
+
+    def test_clear(self):
+        database = ProductDatabase()
+        database.insert(Product("x"))
+        database.clear()
+        assert database.count() == 0
+
+    def test_reset_database_helper(self):
+        Product("x").InsertProduct()
+        reset_database()
+        assert DATABASE.count() == 0
+
+
+class TestContracts:
+    def test_invariant_holds_on_fresh_product(self, in_test_mode):
+        Product().invariant_test()
+        Product(5, "x", 1.0, Provider()).invariant_test()
+
+    def test_invariant_rejects_bad_qty(self, in_test_mode):
+        product = Product()
+        product.qty = 0
+        with pytest.raises(InvariantViolation):
+            product.invariant_test()
+
+    def test_invariant_rejects_bad_name(self, in_test_mode):
+        product = Product()
+        product.name = ""
+        with pytest.raises(InvariantViolation):
+            product.invariant_test()
+
+    def test_provider_invariant(self, in_test_mode):
+        Provider("acme", 1).invariant_test()
+        broken = Provider("acme", 1)
+        broken.code = -2
+        with pytest.raises(InvariantViolation):
+            broken.invariant_test()
+
+    def test_bit_state(self):
+        state = Product("soap").bit_state()
+        assert state["name"] == "soap"
+        assert state["inserted"] is False
+
+
+class TestProviderValue:
+    def test_equality_and_hash(self):
+        assert Provider("a", 1) == Provider("a", 1)
+        assert Provider("a", 1) != Provider("a", 2)
+        assert hash(Provider("a", 1)) == hash(Provider("a", 1))
+
+    def test_repr(self):
+        assert "acme" in repr(Provider("acme", 5))

@@ -1,0 +1,155 @@
+"""Tests for CSortableObList, incl. hypothesis sorting properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.sortable_oblist import CSortableObList
+from repro.core.errors import PostconditionViolation
+
+
+def list_of(*values) -> CSortableObList:
+    target = CSortableObList()
+    for value in values:
+        target.AddTail(value)
+    return target
+
+
+SORT_METHODS = ("Sort1", "Sort2", "ShellSort")
+
+
+class TestSorts:
+    @pytest.mark.parametrize("method", SORT_METHODS)
+    def test_sorts_values(self, method):
+        target = list_of(5, -3, 9, 0, 5, 2)
+        getattr(target, method)()
+        assert target._values() == [-3, 0, 2, 5, 5, 9]
+
+    @pytest.mark.parametrize("method", SORT_METHODS)
+    def test_empty_and_singleton(self, method):
+        empty = CSortableObList()
+        assert getattr(empty, method)() == 0
+        single = list_of(7)
+        getattr(single, method)()
+        assert single._values() == [7]
+
+    @pytest.mark.parametrize("method", SORT_METHODS)
+    def test_already_sorted_moves_nothing(self, method):
+        target = list_of(1, 2, 3, 4)
+        assert getattr(target, method)() == 0
+
+    @pytest.mark.parametrize("method", SORT_METHODS)
+    def test_structure_preserved(self, method):
+        target = list_of(3, 1, 2)
+        getattr(target, method)()
+        assert target.GetCount() == 3
+        assert target.deep_check()
+
+    def test_sort1_counts_shifts(self):
+        # Reverse order maximises insertion-sort shifting: n*(n-1)/2.
+        target = list_of(4, 3, 2, 1)
+        assert target.Sort1() == 6
+
+    def test_sort2_counts_swaps(self):
+        target = list_of(2, 1)
+        assert target.Sort2() == 1
+
+    def test_shellsort_counts_moves(self):
+        target = list_of(3, 2, 1)
+        assert target.ShellSort() > 0
+
+    @pytest.mark.parametrize("method", SORT_METHODS)
+    def test_postcondition_fires_on_seeded_fault(self, method, in_test_mode):
+        class Broken(CSortableObList):
+            def IsSorted(self):
+                return False  # seeded oracle fault
+
+        target = Broken()
+        target.AddTail(2)
+        target.AddTail(1)
+        with pytest.raises(PostconditionViolation, match=method):
+            getattr(target, method)()
+
+
+class TestExtrema:
+    def test_findmax_min_positions(self):
+        target = list_of(3, 9, -2, 9)
+        assert target.FindMax() == 1  # first maximum
+        assert target.FindMin() == 2
+
+    def test_empty_returns_minus_one(self):
+        empty = CSortableObList()
+        assert empty.FindMax() == -1
+        assert empty.FindMin() == -1
+
+    def test_single_element(self):
+        assert list_of(5).FindMax() == 0
+        assert list_of(5).FindMin() == 0
+
+    def test_sorted_list_extrema_at_ends(self):
+        target = list_of(4, 1, 3)
+        target.Sort1()
+        assert target.FindMin() == 0
+        assert target.FindMax() == target.GetCount() - 1
+
+
+class TestIsSorted:
+    def test_detects_order(self):
+        assert list_of(1, 2, 2, 3).IsSorted()
+        assert not list_of(2, 1).IsSorted()
+        assert CSortableObList().IsSorted()
+        assert list_of(9).IsSorted()
+
+
+class TestInheritance:
+    def test_is_a_coblist(self):
+        from repro.components.oblist import CObList
+
+        assert issubclass(CSortableObList, CObList)
+        target = list_of(2, 1)
+        assert target.RemoveHead() == 2  # inherited behaviour intact
+
+    def test_harrold_constraints_hold(self):
+        from repro.components.oblist import CObList
+        from repro.history.diff import classify_methods
+
+        diff = classify_methods(CObList, CSortableObList)
+        assert diff.violations == ()
+        from repro.history.diff import MethodChange
+        assert "Sort1" in diff.methods_with(MethodChange.NEW)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: all three sorts agree with sorted()
+# ---------------------------------------------------------------------------
+
+values_lists = st.lists(st.integers(-100, 100), max_size=25)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_lists, st.sampled_from(SORT_METHODS))
+def test_sorts_agree_with_python_sorted(values, method):
+    target = CSortableObList()
+    for value in values:
+        target.AddTail(value)
+    getattr(target, method)()
+    assert target._values() == sorted(values)
+    assert target.IsSorted()
+    assert target.GetCount() == len(values)
+    assert target.deep_check()
+
+
+@settings(max_examples=60, deadline=None)
+@given(values_lists)
+def test_extrema_agree_with_python(values):
+    target = CSortableObList()
+    for value in values:
+        target.AddTail(value)
+    if not values:
+        assert target.FindMax() == -1 and target.FindMin() == -1
+    else:
+        assert values[target.FindMax()] == max(values)
+        assert values[target.FindMin()] == min(values)
+        assert target.FindMax() == values.index(max(values))
+        assert target.FindMin() == values.index(min(values))

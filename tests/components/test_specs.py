@@ -1,0 +1,112 @@
+"""Tests for the embedded t-specs: validity, paper-scale, green suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import (
+    ACCOUNT_SPEC,
+    BankAccount,
+    BoundedStack,
+    CObList,
+    CSortableObList,
+    OBLIST_SPEC,
+    OBLIST_TYPE_MODEL,
+    PRODUCT_SPEC,
+    PROVIDER_SPEC,
+    Product,
+    Provider,
+    SORTABLE_OBLIST_SPEC,
+    STACK_SPEC,
+)
+from repro.generator.driver import DriverGenerator
+from repro.generator.values import TypeBinding
+from repro.harness.executor import TestExecutor
+from repro.tspec.validate import find_problems
+
+ALL = (
+    (CObList, OBLIST_SPEC),
+    (CSortableObList, SORTABLE_OBLIST_SPEC),
+    (Product, PRODUCT_SPEC),
+    (Provider, PROVIDER_SPEC),
+    (BoundedStack, STACK_SPEC),
+    (BankAccount, ACCOUNT_SPEC),
+)
+
+
+class TestEmbedding:
+    @pytest.mark.parametrize("component, spec", ALL,
+                             ids=lambda item: getattr(item, "__name__", ""))
+    def test_spec_attached_and_valid(self, component, spec):
+        assert component.__tspec__ is spec
+        assert find_problems(spec) == []
+        assert spec.name == component.__name__
+
+    def test_every_spec_method_exists_on_class(self):
+        for component, spec in ALL:
+            for method in spec.methods:
+                if method.is_constructor or method.is_destructor:
+                    continue
+                attribute = getattr(component, method.name, None)
+                assert callable(attribute), (
+                    f"{component.__name__} is missing {method.name}"
+                )
+
+    def test_components_are_self_testable(self):
+        from repro.bit.builtintest import is_self_testable
+
+        for component, _ in ALL:
+            assert is_self_testable(component)
+
+
+class TestPaperScale:
+    def test_sortable_model_is_16_nodes_43_links(self):
+        counts = SORTABLE_OBLIST_SPEC.stats()
+        assert counts["nodes"] == 16
+        assert counts["links"] == 43
+
+    def test_subclass_spec_names_superclass(self):
+        assert SORTABLE_OBLIST_SPEC.superclass == "CObList"
+
+    def test_suite_sizes_near_paper(self):
+        base = DriverGenerator(OBLIST_SPEC).generate()
+        subclass = DriverGenerator(SORTABLE_OBLIST_SPEC).generate()
+        # Paper totals: 329 reused (base-shaped) + 233 new = 562.
+        assert 200 <= len(base) <= 450
+        assert 450 <= len(subclass) <= 850
+
+    def test_type_model_covers_all_attributes(self):
+        from repro.mutation.operators.base import infer_attribute_universe
+
+        universe = infer_attribute_universe(CSortableObList)
+        assert universe <= set(OBLIST_TYPE_MODEL.attribute_types)
+
+
+def provider_binding():
+    return TypeBinding({"Provider": lambda rng: Provider("p", rng.randint(0, 99))})
+
+
+class TestGeneratedSuitesGreen:
+    @pytest.mark.parametrize("component", [
+        CObList, CSortableObList, BoundedStack, BankAccount,
+    ], ids=lambda c: c.__name__)
+    def test_simple_components_green(self, component):
+        suite = DriverGenerator(component.__tspec__).generate()
+        result = TestExecutor(component).run_suite(suite)
+        assert result.all_passed, result.summary()
+
+    def test_product_green_with_bound_provider(self):
+        suite = DriverGenerator(
+            PRODUCT_SPEC, bindings=provider_binding()
+        ).generate()
+        assert suite.is_executable
+        result = TestExecutor(Product).run_suite(suite)
+        assert result.all_passed, result.summary()
+
+    def test_product_without_binding_reports_incomplete(self):
+        suite = DriverGenerator(PRODUCT_SPEC).generate()
+        result = TestExecutor(Product).run_suite(suite)
+        from repro.harness.outcomes import Verdict
+        incompletes = result.by_verdict(Verdict.INCOMPLETE)
+        assert len(incompletes) == len(suite.incomplete_cases)
+        assert not result.by_verdict(Verdict.CRASH)

@@ -1,0 +1,153 @@
+"""Tests for the BoundedStack and BankAccount demo components."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.account import BankAccount, MAX_AMOUNT
+from repro.components.stack import DEFAULT_CAPACITY, MAX_CAPACITY, BoundedStack
+from repro.core.errors import (
+    InvariantViolation,
+    PostconditionViolation,
+    PreconditionViolation,
+)
+
+
+class TestBoundedStack:
+    def test_lifo(self):
+        stack = BoundedStack(4)
+        for value in (1, 2, 3):
+            assert stack.Push(value)
+        assert stack.Pop() == 3
+        assert stack.Peek() == 2
+        assert stack.Size() == 2
+
+    def test_full_push_dropped(self):
+        stack = BoundedStack(1)
+        assert stack.Push(1)
+        assert not stack.Push(2)
+        assert stack.Size() == 1
+        assert stack.IsFull()
+
+    def test_empty_pop_peek(self):
+        stack = BoundedStack()
+        assert stack.Pop() is None
+        assert stack.Peek() is None
+        assert stack.IsEmpty()
+
+    def test_clear(self):
+        stack = BoundedStack()
+        stack.Push(1)
+        stack.Push(2)
+        assert stack.Clear() == 2
+        assert stack.IsEmpty()
+
+    def test_capacity_clamped(self):
+        assert BoundedStack(0)._capacity == 1
+        assert BoundedStack(10**6)._capacity == MAX_CAPACITY
+        assert BoundedStack()._capacity == DEFAULT_CAPACITY
+
+    def test_capacity_precondition_in_test_mode(self, in_test_mode):
+        with pytest.raises(PreconditionViolation):
+            BoundedStack(0)
+
+    def test_invariant(self, in_test_mode):
+        stack = BoundedStack(2)
+        stack.Push(1)
+        stack.invariant_test()
+        stack._items.extend([2, 3, 4])  # overflow behind the API's back
+        with pytest.raises(InvariantViolation):
+            stack.invariant_test()
+
+    def test_push_postcondition_on_seeded_fault(self, in_test_mode):
+        class Lossy(BoundedStack):
+            pass
+
+        stack = Lossy(4)
+        # Sabotage append so the postcondition (size grew) fails.
+        class FakeList(list):
+            def append(self, item):
+                pass
+
+        stack._items = FakeList()
+        with pytest.raises(PostconditionViolation):
+            stack.Push(1)
+
+    def test_bit_state(self):
+        stack = BoundedStack(3)
+        stack.Push(9)
+        assert stack.bit_state() == {"capacity": 3, "items": [9]}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(["push", "pop", "clear"]), max_size=40),
+           st.integers(1, 8))
+    def test_never_exceeds_capacity(self, script, capacity):
+        stack = BoundedStack(capacity)
+        for operation in script:
+            if operation == "push":
+                stack.Push(1)
+            elif operation == "pop":
+                stack.Pop()
+            else:
+                stack.Clear()
+            assert 0 <= stack.Size() <= capacity
+            assert stack.class_invariant()
+
+
+class TestBankAccount:
+    def test_deposit_withdraw(self):
+        account = BankAccount("ada", 100)
+        assert account.Deposit(50) == 150
+        assert account.Withdraw(30) == 30
+        assert account.GetBalance() == 120
+
+    def test_uncovered_withdrawal_refused(self):
+        account = BankAccount("ada", 10)
+        assert account.Withdraw(50) == 0
+        assert account.Withdraw(-5) == 0
+        assert account.GetBalance() == 10
+
+    def test_ledger(self):
+        account = BankAccount("ada", 5)
+        account.Deposit(10)
+        account.Withdraw(3)
+        assert account.History() == (("open", 5), ("deposit", 10), ("withdraw", 3))
+
+    def test_owner_defaults(self):
+        assert BankAccount("").GetOwner() == "anonymous"
+        assert BankAccount("bob").GetOwner() == "bob"
+
+    def test_negative_opening_clamped(self):
+        assert BankAccount("x", -50).GetBalance() == 0
+
+    def test_deposit_precondition(self, in_test_mode):
+        account = BankAccount()
+        with pytest.raises(PreconditionViolation):
+            account.Deposit(0)
+        with pytest.raises(PreconditionViolation):
+            account.Deposit(MAX_AMOUNT + 1)
+
+    def test_invariant_ties_ledger_to_balance(self, in_test_mode):
+        account = BankAccount("ada", 10)
+        account.invariant_test()
+        account.balance += 1  # ledger no longer matches
+        with pytest.raises(InvariantViolation):
+            account.invariant_test()
+
+    def test_bit_state(self):
+        account = BankAccount("ada", 5)
+        assert account.bit_state() == {"owner": "ada", "balance": 5, "entries": 1}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["deposit", "withdraw"]),
+                              st.integers(1, 500)), max_size=30))
+    def test_balance_never_negative(self, script):
+        account = BankAccount("prop", 100)
+        for operation, amount in script:
+            if operation == "deposit":
+                account.Deposit(amount)
+            else:
+                account.Withdraw(amount)
+            assert account.GetBalance() >= 0
+            assert account.class_invariant()

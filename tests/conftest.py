@@ -1,0 +1,36 @@
+"""Shared fixtures: pristine BIT state and ambient database per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit import access
+from repro.components import reset_database
+from repro.core.rng import ReproRandom
+
+
+@pytest.fixture(autouse=True)
+def pristine_global_state():
+    """Every test starts and ends with test mode off and an empty database.
+
+    The BIT access control and the Product stock database are process-wide;
+    leaking either between tests would make outcomes order-dependent.
+    """
+    access.reset()
+    reset_database()
+    yield
+    access.reset()
+    reset_database()
+
+
+@pytest.fixture
+def rng() -> ReproRandom:
+    """A deterministic random source with the library's default seed."""
+    return ReproRandom()
+
+
+@pytest.fixture
+def in_test_mode():
+    """Run the test body with global test mode enabled."""
+    with access.test_mode():
+        yield

@@ -1,0 +1,213 @@
+"""Tests for repro.core.domains: membership, sampling, boundaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.domains import (
+    BoolDomain,
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from repro.core.errors import DomainError
+from repro.core.rng import ReproRandom
+
+
+class TestRangeDomain:
+    def test_contains_endpoints(self):
+        domain = RangeDomain(1, 99999)
+        assert domain.contains(1)
+        assert domain.contains(99999)
+        assert not domain.contains(0)
+        assert not domain.contains(100000)
+
+    def test_rejects_bool_membership(self):
+        # True == 1 in Python, but a range of ints should not accept bools.
+        assert not RangeDomain(0, 5).contains(True)
+
+    def test_rejects_non_int(self):
+        domain = RangeDomain(0, 5)
+        assert not domain.contains(2.5)
+        assert not domain.contains("3")
+
+    def test_empty_range_raises(self):
+        with pytest.raises(DomainError):
+            RangeDomain(5, 4)
+
+    def test_non_integer_bounds_raise(self):
+        with pytest.raises(DomainError):
+            RangeDomain(0.0, 5)  # type: ignore[arg-type]
+
+    @given(st.integers(-1000, 1000), st.integers(0, 1000), st.integers())
+    def test_samples_are_members(self, low, span, seed):
+        domain = RangeDomain(low, low + span)
+        value = domain.sample(ReproRandom(seed))
+        assert domain.contains(value)
+
+    def test_boundary_values_are_members(self):
+        domain = RangeDomain(-3, 7)
+        boundaries = domain.boundary_values()
+        assert boundaries
+        assert all(domain.contains(value) for value in boundaries)
+        assert -3 in boundaries and 7 in boundaries
+        assert 0 in boundaries  # crosses zero
+
+    def test_singleton_range(self):
+        domain = RangeDomain(4, 4)
+        assert domain.sample(ReproRandom()) == 4
+        assert domain.boundary_values() == (4,)
+
+
+class TestFloatRangeDomain:
+    def test_contains(self):
+        domain = FloatRangeDomain(0.0, 1.0)
+        assert domain.contains(0.5)
+        assert domain.contains(0)
+        assert not domain.contains(1.5)
+        assert not domain.contains(True)
+
+    def test_empty_raises(self):
+        with pytest.raises(DomainError):
+            FloatRangeDomain(1.0, 0.0)
+
+    @given(st.integers())
+    def test_samples_are_members(self, seed):
+        domain = FloatRangeDomain(-2.0, 3.0)
+        assert domain.contains(domain.sample(ReproRandom(seed)))
+
+    def test_boundaries(self):
+        boundaries = FloatRangeDomain(0.0, 10.0).boundary_values()
+        assert 0.0 in boundaries and 10.0 in boundaries and 5.0 in boundaries
+
+
+class TestSetDomain:
+    def test_contains_exact_typed_members(self):
+        domain = SetDomain((1, "two", 3.0))
+        assert domain.contains(1)
+        assert domain.contains("two")
+        assert domain.contains(3.0)
+        assert not domain.contains(2)
+        assert not domain.contains(True)  # bool is not the int 1 here
+
+    def test_empty_set_raises(self):
+        with pytest.raises(DomainError):
+            SetDomain(())
+
+    def test_sample_is_member(self, rng):
+        domain = SetDomain(("a", "b", "c"))
+        for _ in range(10):
+            assert domain.contains(domain.sample(rng))
+
+    def test_boundaries_small_and_large(self):
+        small = SetDomain((1, 2))
+        assert small.boundary_values() == (1, 2)
+        large = SetDomain(tuple(range(10)))
+        assert large.boundary_values() == (0, 9)
+
+
+class TestStringDomain:
+    def test_contains_by_length(self):
+        domain = StringDomain(2, 4)
+        assert domain.contains("ab")
+        assert domain.contains("abcd")
+        assert not domain.contains("a")
+        assert not domain.contains("abcde")
+        assert not domain.contains(42)
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(DomainError):
+            StringDomain(3, 2)
+        with pytest.raises(DomainError):
+            StringDomain(-1, 2)
+
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers())
+    def test_samples_have_valid_length(self, minimum, extra, seed):
+        domain = StringDomain(minimum, minimum + extra)
+        assert domain.contains(domain.sample(ReproRandom(seed)))
+
+    def test_boundaries(self):
+        domain = StringDomain(1, 5)
+        boundaries = domain.boundary_values()
+        assert all(domain.contains(value) for value in boundaries)
+        lengths = {len(value) for value in boundaries}
+        assert lengths == {1, 5}
+
+
+class TestBoolDomain:
+    def test_contains_only_bools(self):
+        domain = BoolDomain()
+        assert domain.contains(True)
+        assert domain.contains(False)
+        assert not domain.contains(1)
+        assert not domain.contains(0)
+
+    def test_boundaries(self):
+        assert BoolDomain().boundary_values() == (False, True)
+
+
+class _Thing:
+    pass
+
+
+class TestObjectDomain:
+    def test_unbound_is_structured(self):
+        domain = ObjectDomain("_Thing")
+        assert domain.is_structured
+        with pytest.raises(DomainError):
+            domain.sample(ReproRandom())
+
+    def test_bound_samples_via_factory(self, rng):
+        domain = ObjectDomain("_Thing", factory=lambda r: _Thing())
+        assert not domain.is_structured
+        assert isinstance(domain.sample(rng), _Thing)
+
+    def test_contains_by_class_name(self):
+        domain = ObjectDomain("_Thing")
+        assert domain.contains(_Thing())
+        assert not domain.contains(object())
+
+
+class TestPointerDomain:
+    def test_none_is_member(self):
+        domain = PointerDomain(ObjectDomain("_Thing"))
+        assert domain.contains(None)
+        assert domain.contains(_Thing())
+        assert not domain.contains(17)
+
+    def test_structured_follows_target(self):
+        unbound = PointerDomain(ObjectDomain("_Thing"))
+        assert unbound.is_structured
+        bound = PointerDomain(ObjectDomain("_Thing", factory=lambda r: _Thing()))
+        assert not bound.is_structured
+
+    def test_sampling_mixes_none(self):
+        domain = PointerDomain(
+            ObjectDomain("_Thing", factory=lambda r: _Thing()),
+            null_probability=0.5,
+        )
+        source = ReproRandom(13)
+        samples = [domain.sample(source) for _ in range(60)]
+        assert any(sample is None for sample in samples)
+        assert any(isinstance(sample, _Thing) for sample in samples)
+
+    def test_boundary_is_null(self):
+        assert PointerDomain(ObjectDomain("_Thing")).boundary_values() == (None,)
+
+
+class TestDescriptions:
+    @pytest.mark.parametrize("domain, fragment", [
+        (RangeDomain(1, 9), "range"),
+        (FloatRangeDomain(0.0, 1.0), "float"),
+        (SetDomain((1, 2)), "set"),
+        (StringDomain(0, 3), "string"),
+        (BoolDomain(), "bool"),
+        (ObjectDomain("X"), "object<X>"),
+        (PointerDomain(ObjectDomain("X")), "pointer"),
+    ])
+    def test_describe_mentions_kind(self, domain, fragment):
+        assert fragment in domain.describe()

@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exception_class", [
+        errors.SpecError,
+        errors.SpecParseError,
+        errors.SpecValidationError,
+        errors.DomainError,
+        errors.ModelError,
+        errors.NoTransactionError,
+        errors.ContractViolation,
+        errors.InvariantViolation,
+        errors.PreconditionViolation,
+        errors.PostconditionViolation,
+        errors.BitError,
+        errors.TestModeError,
+        errors.InstrumentationError,
+        errors.GenerationError,
+        errors.IncompleteTestCaseError,
+        errors.ExecutionError,
+        errors.MutationError,
+        errors.MutantCompileError,
+        errors.SandboxTimeout,
+    ])
+    def test_everything_derives_from_repro_error(self, exception_class):
+        instance = _construct(exception_class)
+        assert isinstance(instance, errors.ReproError)
+
+    def test_contract_branch(self):
+        for violation_class in (errors.InvariantViolation,
+                                errors.PreconditionViolation,
+                                errors.PostconditionViolation):
+            assert issubclass(violation_class, errors.ContractViolation)
+
+    def test_contract_is_not_bit_error(self):
+        # Contract violations are detected faults, not infrastructure misuse.
+        assert not issubclass(errors.ContractViolation, errors.BitError)
+
+
+def _construct(exception_class):
+    if exception_class is errors.SpecValidationError:
+        return exception_class(["problem"])
+    return exception_class("message")
+
+
+class TestMessages:
+    def test_parse_error_carries_location(self):
+        error = errors.SpecParseError("bad token", line=4, column=9)
+        assert error.line == 4
+        assert error.column == 9
+        assert "line 4" in str(error)
+
+    def test_parse_error_without_location(self):
+        error = errors.SpecParseError("truncated input")
+        assert "line" not in str(error)
+
+    def test_validation_error_joins_problems(self):
+        error = errors.SpecValidationError(["a is wrong", "b is missing"])
+        assert "a is wrong" in str(error)
+        assert "b is missing" in str(error)
+        assert error.problems == ["a is wrong", "b is missing"]
+
+    def test_contract_violation_default_message(self):
+        assert "violated" in str(errors.InvariantViolation())
+        assert "Pre-condition" in str(errors.PreconditionViolation())
+        assert "Post-condition" in str(errors.PostconditionViolation())
+
+    def test_contract_violation_subject(self):
+        violation = errors.InvariantViolation(subject="Stack")
+        assert violation.subject == "Stack"
+        assert "Stack" in str(violation)
+
+    def test_violation_kinds(self):
+        assert errors.InvariantViolation.kind == "invariant"
+        assert errors.PreconditionViolation.kind == "pre-condition"
+        assert errors.PostconditionViolation.kind == "post-condition"

@@ -1,0 +1,101 @@
+"""Tests for repro.core.rng: determinism, bounds, forking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import DEFAULT_SEED, ReproRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = ReproRandom(42)
+        second = ReproRandom(42)
+        assert [first.randint(0, 1000) for _ in range(20)] == [
+            second.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_default_seed_is_fixed(self):
+        assert ReproRandom().seed == DEFAULT_SEED
+
+    def test_different_seeds_differ(self):
+        a = [ReproRandom(1).randint(0, 10**9) for _ in range(5)]
+        b = [ReproRandom(2).randint(0, 10**9) for _ in range(5)]
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        assert ReproRandom(7).fork(3).seed == ReproRandom(7).fork(3).seed
+
+    def test_fork_decorrelates(self):
+        base = ReproRandom(7)
+        assert base.fork(1).seed != base.fork(2).seed
+
+    def test_fork_does_not_disturb_parent(self):
+        lone = ReproRandom(5)
+        expected = [lone.randint(0, 100) for _ in range(5)]
+        parent = ReproRandom(5)
+        parent.fork(99)
+        assert [parent.randint(0, 100) for _ in range(5)] == expected
+
+
+class TestBounds:
+    @given(st.integers(-10**6, 10**6), st.integers(0, 10**6))
+    def test_randint_within_bounds(self, low, span):
+        value = ReproRandom(1).randint(low, low + span)
+        assert low <= value <= low + span
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ReproRandom().randint(5, 4)
+
+    def test_uniform_within_bounds(self):
+        source = ReproRandom(3)
+        for _ in range(50):
+            value = source.uniform(-2.5, 7.5)
+            assert -2.5 <= value <= 7.5
+
+    def test_uniform_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            ReproRandom().uniform(1.0, 0.0)
+
+    def test_choice_from_singleton(self):
+        assert ReproRandom().choice(["only"]) == "only"
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReproRandom().choice([])
+
+    def test_sample_distinct(self):
+        picked = ReproRandom(9).sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+    def test_shuffle_preserves_elements(self):
+        items = list(range(30))
+        shuffled = list(items)
+        ReproRandom(4).shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestStrings:
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_printable_string_length(self, minimum, extra):
+        text = ReproRandom(2).printable_string(minimum, minimum + extra)
+        assert minimum <= len(text) <= minimum + extra
+
+    def test_printable_string_is_printable(self):
+        text = ReproRandom(8).printable_string(50, 50)
+        assert text.isprintable()
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ReproRandom().printable_string(5, 3)
+        with pytest.raises(ValueError):
+            ReproRandom().printable_string(-1, 3)
+
+    def test_boolean_bias(self):
+        source = ReproRandom(11)
+        always = [source.boolean(1.0) for _ in range(20)]
+        never = [source.boolean(0.0) for _ in range(20)]
+        assert all(always)
+        assert not any(never)

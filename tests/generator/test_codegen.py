@@ -1,0 +1,113 @@
+"""Tests for driver source generation (Figures 6–7)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.bit import access
+from repro.components import BoundedStack, Product, Provider, STACK_SPEC, PRODUCT_SPEC
+from repro.generator.codegen import generate_driver_source
+from repro.generator.driver import DriverGenerator
+from repro.generator.values import TypeBinding
+
+
+def small_stack_suite(cases=6):
+    suite = DriverGenerator(STACK_SPEC).generate()
+    from dataclasses import replace
+    return replace(suite, cases=suite.cases[:cases])
+
+
+class TestGeneratedSource:
+    def test_compiles(self):
+        source = generate_driver_source(
+            small_stack_suite(), "repro.components", "BoundedStack"
+        )
+        compile(source, "<driver>", "exec")
+
+    def test_one_function_per_case(self):
+        suite = small_stack_suite()
+        source = generate_driver_source(suite, "repro.components", "BoundedStack")
+        for case in suite.cases:
+            assert f"def test_case_{case.ident.lower()}(" in source
+
+    def test_mentions_transaction_in_docstring(self):
+        suite = small_stack_suite(2)
+        source = generate_driver_source(suite, "repro.components", "BoundedStack")
+        assert str(suite.cases[0].transaction) in source
+
+    def test_figure6_shape(self):
+        source = generate_driver_source(
+            small_stack_suite(3), "repro.components", "BoundedStack"
+        )
+        # The driver mirrors Figure 6: invariant around calls, current-method
+        # bookkeeping, OK / violation log lines, reporter at the end.
+        assert "_invariant(cut)" in source
+        assert "current_method" in source
+        assert "OK!" in source
+        assert "Method called:" in source
+        assert "_report(cut, log_file)" in source
+        assert "except ContractViolation" in source
+
+    def test_run_all_entry_point(self):
+        source = generate_driver_source(
+            small_stack_suite(3), "repro.components", "BoundedStack"
+        )
+        assert "def run_all(" in source
+        assert "ALL_TEST_CASES" in source
+
+
+class TestExecution:
+    def test_runs_green_against_component(self):
+        source = generate_driver_source(
+            small_stack_suite(8), "repro.components", "BoundedStack"
+        )
+        namespace = {}
+        exec(compile(source, "<driver>", "exec"), namespace)  # noqa: S102
+        log = io.StringIO()
+        with access.test_mode():
+            results = [
+                function(BoundedStack, log)
+                for function in namespace["ALL_TEST_CASES"]
+            ]
+        assert all(results)
+        assert "OK!" in log.getvalue()
+
+    def test_run_all_writes_log_file(self, tmp_path):
+        source = generate_driver_source(
+            small_stack_suite(4), "repro.components", "BoundedStack",
+            log_path=str(tmp_path / "Result.txt"),
+        )
+        namespace = {}
+        exec(compile(source, "<driver>", "exec"), namespace)  # noqa: S102
+        passed, failed = namespace["run_all"]()
+        assert passed == 4 and failed == 0
+        assert (tmp_path / "Result.txt").exists()
+
+
+class TestFixtures:
+    def test_holes_become_fixtures(self):
+        suite = DriverGenerator(PRODUCT_SPEC).generate()
+        from dataclasses import replace
+        incomplete = replace(suite, cases=suite.incomplete_cases[:2])
+        source = generate_driver_source(incomplete, "repro.components", "Product")
+        assert "FIXTURES = {" in source
+        assert "FIXTURES[" in source
+        assert "<hole prv" in source
+
+    def test_non_literal_values_become_fixtures(self):
+        bindings = TypeBinding({"Provider": lambda rng: Provider("p", 1)})
+        suite = DriverGenerator(PRODUCT_SPEC, bindings=bindings).generate()
+        from dataclasses import replace
+        with_objects = replace(
+            suite,
+            cases=tuple(
+                case for case in suite.cases
+                if any(
+                    isinstance(argument, Provider)
+                    for step in case.steps for argument in step.arguments
+                )
+            )[:2],
+        )
+        assert with_objects.cases, "need at least one case with a Provider value"
+        source = generate_driver_source(with_objects, "repro.components", "Product")
+        assert "instance of Provider" in source

@@ -1,0 +1,107 @@
+"""Tests for TestSuite derivation operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import PRODUCT_SPEC, STACK_SPEC, Provider
+from repro.generator.driver import DriverGenerator
+from repro.generator.values import TypeBinding
+
+
+@pytest.fixture
+def stack_suite():
+    return DriverGenerator(STACK_SPEC).generate()
+
+
+class TestViews:
+    def test_transactions_deduplicated(self, stack_suite):
+        idents = [t.ident for t in stack_suite.transactions]
+        assert len(idents) == len(set(idents))
+
+    def test_all_new_initially(self, stack_suite):
+        assert stack_suite.new_cases == stack_suite.cases
+        assert stack_suite.reused_cases == ()
+
+    def test_cases_for_transaction(self, stack_suite):
+        transaction = stack_suite.transactions[0]
+        cases = stack_suite.cases_for_transaction(transaction)
+        assert cases
+        assert all(case.transaction.ident == transaction.ident for case in cases)
+
+    def test_stats_and_summary(self, stack_suite):
+        stats = stack_suite.stats()
+        assert stats["cases"] == len(stack_suite)
+        assert str(stats["cases"]) in stack_suite.summary()
+
+
+class TestDerivation:
+    def test_filtered(self, stack_suite):
+        short = stack_suite.filtered(lambda case: len(case) <= 3)
+        assert all(len(case) <= 3 for case in short.cases)
+        assert len(short) < len(stack_suite)
+
+    def test_only_and_without_transactions_partition(self, stack_suite):
+        chosen = [stack_suite.transactions[0].ident]
+        inside = stack_suite.only_transactions(chosen)
+        outside = stack_suite.without_transactions(chosen)
+        assert len(inside) + len(outside) == len(stack_suite)
+        assert all(c.transaction.ident in chosen for c in inside.cases)
+        assert all(c.transaction.ident not in chosen for c in outside.cases)
+
+    def test_merged_with(self, stack_suite):
+        renumbered = stack_suite.renumbered("X")
+        merged = stack_suite.merged_with(renumbered)
+        assert len(merged) == 2 * len(stack_suite)
+
+    def test_merge_collision_rejected(self, stack_suite):
+        with pytest.raises(ValueError, match="duplicate"):
+            stack_suite.merged_with(stack_suite)
+
+    def test_marked_reused(self, stack_suite):
+        reused = stack_suite.marked_reused()
+        assert all(case.origin == "reused" for case in reused.cases)
+        assert reused.new_cases == ()
+
+    def test_renumbered(self, stack_suite):
+        renumbered = stack_suite.renumbered("Z")
+        assert [case.ident for case in renumbered.cases] == [
+            f"Z{i}" for i in range(len(stack_suite))
+        ]
+
+
+class TestCompletion:
+    def test_completed_fills_known_holes(self):
+        suite = DriverGenerator(PRODUCT_SPEC).generate()
+        assert not suite.is_executable
+        bindings = TypeBinding({"Provider": lambda rng: Provider("x", 1)})
+        completed = suite.completed(bindings)
+        assert completed.is_executable
+
+    def test_unknown_holes_left_in_place(self):
+        suite = DriverGenerator(PRODUCT_SPEC).generate()
+        completed = suite.completed(TypeBinding())
+        assert len(completed.incomplete_cases) == len(suite.incomplete_cases)
+
+    def test_completion_is_deterministic(self):
+        suite = DriverGenerator(PRODUCT_SPEC).generate()
+        bindings = TypeBinding({
+            "Provider": lambda rng: Provider("p", rng.randint(0, 10**6)),
+        })
+        first = suite.completed(bindings)
+        second = suite.completed(bindings)
+        first_codes = [
+            argument.code
+            for case in first.cases
+            for step in case.steps
+            for argument in step.arguments
+            if isinstance(argument, Provider)
+        ]
+        second_codes = [
+            argument.code
+            for case in second.cases
+            for step in case.steps
+            for argument in step.arguments
+            if isinstance(argument, Provider)
+        ]
+        assert first_codes and first_codes == second_codes

@@ -1,0 +1,122 @@
+"""Tests for value sampling, holes, and type bindings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domains import (
+    BoolDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from repro.core.rng import ReproRandom
+from repro.generator.values import Hole, TypeBinding, ValueSampler, is_hole
+
+
+class Widget:
+    pass
+
+
+class TestSampling:
+    def test_samplable_domains_yield_members(self, rng):
+        sampler = ValueSampler(rng)
+        for domain in (RangeDomain(0, 9), StringDomain(1, 4),
+                       SetDomain((1, 2, 3)), BoolDomain()):
+            value = sampler.sample("p", domain)
+            assert domain.contains(value)
+
+    def test_structured_yields_hole(self, rng):
+        sampler = ValueSampler(rng)
+        value = sampler.sample("prv", ObjectDomain("Widget"))
+        assert is_hole(value)
+        assert value.parameter == "prv"
+        assert value.class_name == "Widget"
+
+    def test_pointer_hole_class_name(self, rng):
+        sampler = ValueSampler(rng)
+        hole = sampler.sample("p", PointerDomain(ObjectDomain("Widget")))
+        assert is_hole(hole)
+        assert hole.class_name == "Widget"
+
+    def test_bound_factory_fills(self, rng):
+        bindings = TypeBinding({"Widget": lambda r: Widget()})
+        sampler = ValueSampler(rng, bindings=bindings)
+        value = sampler.sample("p", ObjectDomain("Widget"))
+        assert isinstance(value, Widget)
+
+    def test_bound_pointer_mixes_none(self):
+        bindings = TypeBinding({"Widget": lambda r: Widget()})
+        sampler = ValueSampler(ReproRandom(3), bindings=bindings)
+        domain = PointerDomain(ObjectDomain("Widget"), null_probability=0.5)
+        values = [sampler.sample("p", domain) for _ in range(50)]
+        assert any(value is None for value in values)
+        assert any(isinstance(value, Widget) for value in values)
+
+    def test_deterministic(self):
+        first = ValueSampler(ReproRandom(7))
+        second = ValueSampler(ReproRandom(7))
+        domain = RangeDomain(0, 10**6)
+        assert [first.sample("p", domain) for _ in range(10)] == [
+            second.sample("p", domain) for _ in range(10)
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(), st.floats(0.0, 1.0))
+    def test_boundary_mixing_stays_in_domain(self, seed, probability):
+        sampler = ValueSampler(ReproRandom(seed),
+                               boundary_probability=probability)
+        domain = RangeDomain(-5, 5)
+        for _ in range(20):
+            assert domain.contains(sampler.sample("p", domain))
+
+    def test_boundary_probability_one_yields_boundaries(self):
+        sampler = ValueSampler(ReproRandom(1), boundary_probability=1.0)
+        domain = RangeDomain(0, 100)
+        values = {sampler.sample("p", domain) for _ in range(50)}
+        assert values <= set(domain.boundary_values())
+
+    def test_invalid_boundary_probability(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ValueSampler(ReproRandom(), boundary_probability=1.5)
+
+    def test_can_sample(self, rng):
+        bindings = TypeBinding({"Widget": lambda r: Widget()})
+        sampler = ValueSampler(rng, bindings=bindings)
+        assert sampler.can_sample(RangeDomain(0, 1))
+        assert sampler.can_sample(ObjectDomain("Widget"))
+        assert not sampler.can_sample(ObjectDomain("Unknown"))
+
+
+class TestTypeBinding:
+    def test_bind_and_lookup(self):
+        binding = TypeBinding().bind("Widget", lambda r: Widget())
+        assert "Widget" in binding
+        assert binding.factory_for("Widget") is not None
+        assert binding.factory_for("Other") is None
+
+    def test_covers(self):
+        binding = TypeBinding({"Widget": lambda r: Widget()})
+        assert binding.covers(RangeDomain(0, 1))
+        assert binding.covers(ObjectDomain("Widget"))
+        assert binding.covers(PointerDomain(ObjectDomain("Widget")))
+        assert not binding.covers(ObjectDomain("Ghost"))
+
+    def test_domain_embedded_factory_covers(self):
+        domain = ObjectDomain("Widget", factory=lambda r: Widget())
+        assert TypeBinding().covers(domain)
+
+
+class TestHole:
+    def test_describe(self):
+        hole = Hole("prv", PointerDomain(ObjectDomain("Widget")))
+        text = hole.describe()
+        assert "prv" in text and "Widget" in text
+
+    def test_is_hole(self):
+        assert is_hole(Hole("p", ObjectDomain("X")))
+        assert not is_hole(None)
+        assert not is_hole(42)

@@ -1,0 +1,179 @@
+"""Tests for the test executor (the runtime of Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit.builtintest import BuiltInTest
+from repro.components import BoundedStack, STACK_SPEC
+from repro.core.errors import ExecutionError
+from repro.generator.driver import DriverGenerator
+from repro.generator.testcase import TestCase, TestStep
+from repro.generator.values import Hole
+from repro.core.domains import ObjectDomain
+from repro.harness.executor import TestExecutor, run_suite
+from repro.harness.logfile import ResultLog
+from repro.harness.outcomes import Verdict
+from repro.tfm.transactions import Transaction
+
+
+def case_of(*steps, ident="TC0") -> TestCase:
+    return TestCase(
+        ident=ident,
+        transaction=Transaction(tuple(f"n{i}" for i in range(len(steps)))),
+        steps=tuple(steps),
+        class_name="X",
+    )
+
+
+class Gadget(BuiltInTest):
+    def __init__(self, start: int = 0):
+        self.value = start
+        self.disposed = False
+
+    def class_invariant(self):
+        return self.value >= 0
+
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+    def crashy(self):
+        raise RuntimeError("kaboom")
+
+    def dispose(self):
+        self.disposed = True
+        self.value = 0
+        return "disposed"
+
+
+class TestRunCase:
+    def test_pass_verdict_and_observation(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (3,), is_construction=True),
+            TestStep("m2", "add", (4,)),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        assert result.verdict is Verdict.PASS
+        steps = result.observation.steps
+        assert steps[0].detail == "<constructed>"
+        assert steps[1].detail == 7
+        assert result.observation.final_state.as_dict()["value"] == 7
+
+    def test_crash_verdict(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (), is_construction=True),
+            TestStep("m2", "crashy", ()),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        assert result.verdict is Verdict.CRASH
+        assert "kaboom" in result.detail
+        assert "crashy()" in result.failing_method
+
+    def test_invariant_checked_after_each_call(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (5,), is_construction=True),
+            TestStep("m2", "add", (-50,)),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        assert result.verdict is Verdict.CONTRACT_VIOLATION
+        assert "add(-50)" in result.failing_method
+
+    def test_invariant_checking_disableable(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (5,), is_construction=True),
+            TestStep("m2", "add", (-50,)),
+        )
+        result = TestExecutor(Gadget, check_invariants=False).run_case(case)
+        assert result.verdict is Verdict.PASS
+
+    def test_destruction_calls_dispose(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (), is_construction=True),
+            TestStep("m3", "~Gadget", (), is_destruction=True),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        assert result.verdict is Verdict.PASS
+        assert result.observation.steps[-1].detail == "disposed"
+
+    def test_destruction_without_dispose_is_noop(self):
+        class Bare:
+            def __init__(self):
+                self.x = 1
+
+        case = case_of(
+            TestStep("m1", "Bare", (), is_construction=True),
+            TestStep("m2", "~Bare", (), is_destruction=True),
+        )
+        result = TestExecutor(Bare).run_case(case)
+        assert result.verdict is Verdict.PASS
+        assert result.observation.steps[-1].detail == "<deleted>"
+
+    def test_incomplete_case_skipped(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (), is_construction=True),
+            TestStep("m2", "add", (Hole("p", ObjectDomain("X")),)),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        assert result.verdict is Verdict.INCOMPLETE
+
+    def test_missing_method_is_harness_crash(self):
+        case = case_of(
+            TestStep("m1", "Gadget", (), is_construction=True),
+            TestStep("m2", "no_such_method", ()),
+        )
+        result = TestExecutor(Gadget).run_case(case)
+        # ExecutionError derives from ReproError, caught as a crash with a
+        # clear message naming the missing method.
+        assert result.verdict is Verdict.CRASH
+        assert "no_such_method" in result.detail
+
+    def test_constructor_crash(self):
+        class Fussy:
+            def __init__(self):
+                raise ValueError("cannot construct")
+
+        case = case_of(TestStep("m1", "Fussy", (), is_construction=True))
+        result = TestExecutor(Fussy).run_case(case)
+        assert result.verdict is Verdict.CRASH
+        assert result.observation.final_state is None
+
+    def test_rejects_non_class(self):
+        with pytest.raises(ExecutionError):
+            TestExecutor(Gadget())  # type: ignore[arg-type]
+
+
+class TestRunSuite:
+    def test_generated_suite_green(self):
+        suite = DriverGenerator(STACK_SPEC).generate()
+        result = run_suite(BoundedStack, suite)
+        assert result.all_passed
+        assert len(result) == len(suite)
+
+    def test_log_records_results(self):
+        suite = DriverGenerator(STACK_SPEC).generate()
+        log = ResultLog()
+        TestExecutor(BoundedStack, log=log).run_suite(suite)
+        text = log.text()
+        assert "OK!" in text
+        assert text.count("TestCase") >= len(suite)
+
+    def test_step_guard_sees_every_call(self):
+        from repro.mutation.sandbox import CallCountGuard
+
+        guard = CallCountGuard()
+        case = case_of(
+            TestStep("m1", "Gadget", (1,), is_construction=True),
+            TestStep("m2", "add", (2,)),
+        )
+        TestExecutor(Gadget, step_guard=guard).run_case(case)
+        # construction + invariant + add + invariant + state capture
+        assert guard.calls == 5
+
+    def test_test_mode_enabled_only_during_execution(self):
+        from repro.bit import access
+
+        case = case_of(TestStep("m1", "Gadget", (), is_construction=True))
+        assert not access.is_test_mode()
+        TestExecutor(Gadget).run_case(case)
+        assert not access.is_test_mode()

@@ -1,0 +1,83 @@
+"""Tests for the Figure-6 style result log."""
+
+from __future__ import annotations
+
+from repro.bit.reporter import StateReport
+from repro.harness.logfile import ResultLog
+from repro.harness.outcomes import Observation, TestResult, Verdict
+
+
+def passing_result(ident="TC0"):
+    return TestResult(
+        case_ident=ident,
+        class_name="X",
+        verdict=Verdict.PASS,
+        observation=Observation(
+            steps=(), final_state=StateReport("X", (("n", 1),))
+        ),
+    )
+
+
+def failing_result():
+    return TestResult(
+        case_ident="TC1",
+        class_name="X",
+        verdict=Verdict.CONTRACT_VIOLATION,
+        observation=Observation(steps=()),
+        detail="Invariant is violated!",
+        failing_method="Add(5)",
+    )
+
+
+class TestInMemory:
+    def test_ok_line(self):
+        log = ResultLog()
+        log.record(passing_result())
+        assert "TestCaseTC0 OK!" in log.text()
+
+    def test_failure_block(self):
+        log = ResultLog()
+        log.record(failing_result())
+        text = log.text()
+        assert "TestCaseTC1" in text
+        assert "Invariant is violated!" in text
+        assert "Method called: Add(5)" in text
+        assert "OK!" not in text
+
+    def test_state_report_appended(self):
+        log = ResultLog()
+        log.record(passing_result())
+        assert "state of X" in log.text()
+
+    def test_note(self):
+        log = ResultLog()
+        log.note("session start")
+        assert log.lines == ["session start"]
+
+    def test_lines_are_copies(self):
+        log = ResultLog()
+        log.note("a")
+        lines = log.lines
+        lines.append("tampered")
+        assert log.lines == ["a"]
+
+
+class TestOnDisk:
+    def test_appends_to_file(self, tmp_path):
+        path = str(tmp_path / "Result.txt")
+        log = ResultLog(path)
+        log.record(passing_result("TC0"))
+        log.record(passing_result("TC1"))
+        content = (tmp_path / "Result.txt").read_text()
+        assert "TestCaseTC0 OK!" in content
+        assert "TestCaseTC1 OK!" in content
+        assert log.path == path
+
+    def test_existing_content_preserved(self, tmp_path):
+        target = tmp_path / "Result.txt"
+        target.write_text("previous session\n")
+        log = ResultLog(str(target))
+        log.note("new session")
+        content = target.read_text()
+        assert content.startswith("previous session")
+        assert "new session" in content

@@ -1,0 +1,133 @@
+"""Tests for verdicts, observations, and result aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bit.reporter import StateReport
+from repro.harness.outcomes import (
+    Observation,
+    StepObservation,
+    SuiteResult,
+    TestResult,
+    Verdict,
+)
+
+
+def make_result(ident="TC0", verdict=Verdict.PASS, steps=()):
+    return TestResult(
+        case_ident=ident,
+        class_name="X",
+        verdict=verdict,
+        observation=Observation(steps=tuple(steps)),
+    )
+
+
+class TestVerdict:
+    def test_ran(self):
+        assert Verdict.PASS.ran
+        assert Verdict.CRASH.ran
+        assert Verdict.CONTRACT_VIOLATION.ran
+        assert Verdict.TIMEOUT.ran
+        assert not Verdict.INCOMPLETE.ran
+        assert not Verdict.HARNESS_ERROR.ran
+
+
+class TestObservation:
+    def test_of_return_snapshots(self):
+        observation = Observation.of_return("Get", [1, 2])
+        assert observation.detail == [1, 2]
+        assert observation.outcome == "return"
+
+    def test_of_raise(self):
+        observation = Observation.of_raise("Get", ValueError("bad"))
+        assert observation.outcome == "raise"
+        assert "ValueError: bad" in observation.detail
+
+    def test_equality(self):
+        first = Observation(steps=(StepObservation("a", "return", 1),))
+        second = Observation(steps=(StepObservation("a", "return", 1),))
+        assert first == second
+
+    def test_differs_from_step_detail(self):
+        first = Observation(steps=(StepObservation("a", "return", 1),))
+        second = Observation(steps=(StepObservation("a", "return", 2),))
+        differences = first.differs_from(second)
+        assert differences and "step 0" in differences[0]
+
+    def test_differs_from_step_count(self):
+        first = Observation(steps=(StepObservation("a", "return", 1),))
+        second = Observation(steps=())
+        assert any("step count" in line for line in first.differs_from(second))
+
+    def test_differs_from_final_state(self):
+        first = Observation(steps=(), final_state=StateReport("X", (("n", 1),)))
+        second = Observation(steps=(), final_state=StateReport("X", (("n", 2),)))
+        assert any("'n'" in line for line in first.differs_from(second))
+
+    def test_identical_no_differences(self):
+        observation = Observation(steps=(StepObservation("a", "return", 1),))
+        assert observation.differs_from(observation) == ()
+
+
+class TestTestResult:
+    def test_passed(self):
+        assert make_result().passed
+        assert not make_result(verdict=Verdict.CRASH).passed
+
+    def test_format(self):
+        result = TestResult(
+            case_ident="TC3",
+            class_name="X",
+            verdict=Verdict.CONTRACT_VIOLATION,
+            observation=Observation(steps=()),
+            detail="Invariant is violated!",
+            failing_method="Add(5)",
+        )
+        text = result.format()
+        assert "TC3" in text and "Invariant" in text and "Add(5)" in text
+
+
+class TestSuiteResult:
+    def make_suite_result(self):
+        return SuiteResult(
+            class_name="X",
+            results=(
+                make_result("TC0"),
+                make_result("TC1", Verdict.CRASH),
+                make_result("TC2", Verdict.CONTRACT_VIOLATION),
+                make_result("TC3", Verdict.INCOMPLETE),
+            ),
+        )
+
+    def test_partitions(self):
+        result = self.make_suite_result()
+        assert [r.case_ident for r in result.passed] == ["TC0"]
+        assert {r.case_ident for r in result.failed} == {"TC1", "TC2"}
+        assert not result.all_passed
+
+    def test_counts(self):
+        counts = self.make_suite_result().counts()
+        assert counts["pass"] == 1
+        assert counts["crash"] == 1
+        assert counts["contract_violation"] == 1
+        assert counts["incomplete"] == 1
+
+    def test_by_verdict(self):
+        result = self.make_suite_result()
+        assert len(result.by_verdict(Verdict.CRASH)) == 1
+
+    def test_result_for(self):
+        result = self.make_suite_result()
+        assert result.result_for("TC2").verdict is Verdict.CONTRACT_VIOLATION
+        with pytest.raises(KeyError):
+            result.result_for("TC99")
+
+    def test_summary(self):
+        text = self.make_suite_result().summary()
+        assert "4 cases" in text and "pass=1" in text
+
+    def test_container(self):
+        result = self.make_suite_result()
+        assert len(result) == 4
+        assert len(list(result)) == 4

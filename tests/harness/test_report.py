@@ -1,0 +1,99 @@
+"""Tests for human-readable suite reports."""
+
+from __future__ import annotations
+
+from repro.harness.outcomes import Observation, StepObservation, SuiteResult, TestResult, Verdict
+from repro.harness.report import (
+    compare_results,
+    failing_methods_histogram,
+    format_suite_result,
+    pass_rate,
+)
+
+
+def result(ident, verdict=Verdict.PASS, failing_method="", detail="", steps=()):
+    return TestResult(
+        case_ident=ident,
+        class_name="X",
+        verdict=verdict,
+        observation=Observation(steps=tuple(steps)),
+        detail=detail,
+        failing_method=failing_method,
+    )
+
+
+def suite_result(*results):
+    return SuiteResult(class_name="X", results=tuple(results))
+
+
+class TestFormat:
+    def test_green_report(self):
+        text = format_suite_result(suite_result(result("TC0"), result("TC1")))
+        assert "pass" in text
+        assert "failures" not in text
+
+    def test_failures_listed(self):
+        text = format_suite_result(suite_result(
+            result("TC0"),
+            result("TC1", Verdict.CRASH, detail="boom"),
+        ))
+        assert "failures (1 total" in text
+        assert "boom" in text
+
+    def test_failure_cap(self):
+        failures = [
+            result(f"TC{i}", Verdict.CRASH) for i in range(30)
+        ]
+        text = format_suite_result(suite_result(*failures), max_failures=5)
+        assert "showing 5" in text
+
+
+class TestHistogram:
+    def test_counts_by_method(self):
+        histogram = failing_methods_histogram(suite_result(
+            result("TC0", Verdict.CRASH, failing_method="Add(1)"),
+            result("TC1", Verdict.CRASH, failing_method="Add(2)"),
+            result("TC2", Verdict.CONTRACT_VIOLATION, failing_method="Remove()"),
+            result("TC3"),
+        ))
+        assert histogram == {"Add": 2, "Remove": 1}
+
+    def test_unknown_bucket(self):
+        histogram = failing_methods_histogram(suite_result(
+            result("TC0", Verdict.CRASH),
+        ))
+        assert histogram == {"<unknown>": 1}
+
+
+class TestCompare:
+    def test_detects_verdict_changes(self):
+        baseline = suite_result(result("TC0"), result("TC1"))
+        observed = suite_result(result("TC0"), result("TC1", Verdict.CRASH))
+        differing = compare_results(baseline, observed)
+        assert len(differing) == 1
+        assert differing[0][1].verdict is Verdict.CRASH
+
+    def test_detects_observation_changes(self):
+        baseline = suite_result(
+            result("TC0", steps=[StepObservation("Get", "return", 1)])
+        )
+        observed = suite_result(
+            result("TC0", steps=[StepObservation("Get", "return", 2)])
+        )
+        assert len(compare_results(baseline, observed)) == 1
+
+    def test_identical_runs_have_no_differences(self):
+        baseline = suite_result(result("TC0"))
+        assert compare_results(baseline, baseline) == ()
+
+    def test_unknown_cases_skipped(self):
+        baseline = suite_result(result("TC0"))
+        observed = suite_result(result("TC99", Verdict.CRASH))
+        assert compare_results(baseline, observed) == ()
+
+
+class TestPassRate:
+    def test_rates(self):
+        results = [result("TC0"), result("TC1", Verdict.CRASH)]
+        assert pass_rate(results) == 0.5
+        assert pass_rate([]) == 1.0

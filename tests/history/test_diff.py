@@ -1,0 +1,127 @@
+"""Tests for parent/subclass feature classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import CObList, CSortableObList, OBLIST_SPEC, SORTABLE_OBLIST_SPEC
+from repro.history.diff import (
+    MethodChange,
+    attribute_uses,
+    classify_methods,
+    classify_spec_methods,
+)
+
+
+class Base:
+    def __init__(self):
+        self.total = 0
+        self.name = ""
+
+    def add(self, n):
+        self.total += n
+
+    def reset(self):
+        self.total = 0
+
+    def label(self):
+        return self.name
+
+
+class Child(Base):
+    def add(self, n):  # redefined
+        self.total += 2 * n
+
+    def double(self):  # new
+        self.total *= 2
+
+
+class TestRuntimeClassification:
+    def test_new_redefined_inherited(self):
+        diff = classify_methods(Base, Child)
+        assert diff.change_for("double") is MethodChange.NEW
+        assert diff.change_for("add") is MethodChange.REDEFINED
+        assert diff.change_for("reset") is MethodChange.INHERITED
+        assert diff.change_for("label") is MethodChange.INHERITED
+
+    def test_modified_or_new_set(self):
+        diff = classify_methods(Base, Child)
+        assert diff.modified_or_new == {"double", "add"}
+
+    def test_unrelated_classes_rejected(self):
+        class Stranger:
+            pass
+
+        with pytest.raises(ValueError):
+            classify_methods(Base, Stranger)
+
+    def test_unknown_method_conservatively_new(self):
+        diff = classify_methods(Base, Child)
+        assert diff.change_for("ghost") is MethodChange.NEW
+
+    def test_signature_change_flagged(self):
+        class BadChild(Base):
+            def add(self, n, factor):  # changes the argument list
+                self.total += factor * n
+
+        diff = classify_methods(Base, BadChild)
+        assert any("argument list" in violation for violation in diff.violations)
+
+    def test_multiple_inheritance_flagged(self):
+        class Other:
+            pass
+
+        class Diamond(Base, Other):
+            pass
+
+        diff = classify_methods(Base, Diamond)
+        assert any("multiple inheritance" in v for v in diff.violations)
+
+    def test_attribute_refinement(self):
+        # "In case an attribute is modified, the methods using it are
+        # considered as modified" (sec. 3.4.2).
+        diff = classify_methods(Base, Child, changed_attributes={"name"})
+        assert diff.change_for("label") is MethodChange.REDEFINED
+        assert diff.change_for("reset") is MethodChange.INHERITED
+
+    def test_summary(self):
+        text = classify_methods(Base, Child).summary()
+        assert "Child vs Base" in text
+        assert "1 new" in text
+
+
+class TestAttributeUses:
+    def test_reads_and_writes_collected(self):
+        assert attribute_uses(Base, "add") == {"total"}
+        assert attribute_uses(Base, "label") == {"name"}
+
+    def test_missing_method(self):
+        assert attribute_uses(Base, "nothing") == set()
+
+
+class TestSpecClassification:
+    def test_experiment_specs(self):
+        diff = classify_spec_methods(OBLIST_SPEC, SORTABLE_OBLIST_SPEC)
+        assert diff.violations == ()
+        assert diff.modified_or_new == {
+            "Sort1", "Sort2", "ShellSort", "FindMax", "FindMin", "IsSorted",
+        }
+        assert diff.change_for("AddHead") is MethodChange.INHERITED
+
+    def test_constructors_excluded(self):
+        diff = classify_spec_methods(OBLIST_SPEC, SORTABLE_OBLIST_SPEC)
+        names = {name for name, _ in diff.changes}
+        assert "CObList" not in names
+        assert "CSortableObList" not in names
+        assert "~CObList" not in names
+
+    def test_wrong_superclass_flagged(self):
+        diff = classify_spec_methods(SORTABLE_OBLIST_SPEC, OBLIST_SPEC)
+        assert any("superclass" in violation for violation in diff.violations)
+
+    def test_runtime_matches_spec_for_experiment_classes(self):
+        spec_diff = classify_spec_methods(OBLIST_SPEC, SORTABLE_OBLIST_SPEC)
+        runtime_diff = classify_methods(CObList, CSortableObList)
+        spec_new = set(spec_diff.methods_with(MethodChange.NEW))
+        runtime_new = set(runtime_diff.methods_with(MethodChange.NEW))
+        assert spec_new == runtime_new

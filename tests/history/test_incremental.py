@@ -1,0 +1,106 @@
+"""Tests for the incremental subclass test planning (sec. 3.4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import OBLIST_SPEC, SORTABLE_OBLIST_SPEC
+from repro.generator.driver import DriverGenerator
+from repro.history.incremental import plan_subclass_testing
+from repro.history.model import TransactionStatus
+from repro.tfm.graph import TransactionFlowGraph
+
+
+@pytest.fixture(scope="module")
+def plan():
+    parent_suite = DriverGenerator(OBLIST_SPEC).generate()
+    return plan_subclass_testing(OBLIST_SPEC, SORTABLE_OBLIST_SPEC, parent_suite)
+
+
+class TestDecisions:
+    def test_every_subclass_transaction_decided(self, plan):
+        from repro.tfm.transactions import enumerate_transactions
+
+        graph = TransactionFlowGraph(SORTABLE_OBLIST_SPEC)
+        expected = {t.ident for t in enumerate_transactions(graph)}
+        decided = {d.transaction.ident for d in plan.decisions}
+        assert decided == expected
+
+    def test_new_transactions_name_their_triggers(self, plan):
+        new_methods = {"Sort1", "Sort2", "ShellSort", "FindMax", "FindMin",
+                       "IsSorted"}
+        for decision in plan.decisions_with(TransactionStatus.NEW):
+            assert decision.triggering_methods
+            assert set(decision.triggering_methods) <= new_methods
+
+    def test_reused_transactions_are_inherited_only(self, plan):
+        graph = TransactionFlowGraph(SORTABLE_OBLIST_SPEC)
+        new_methods = {"Sort1", "Sort2", "ShellSort", "FindMax", "FindMin",
+                       "IsSorted"}
+        for decision in plan.decisions_with(TransactionStatus.REUSED):
+            involved = {
+                method.name
+                for node in decision.transaction.path
+                for method in graph.node_methods(node)
+            }
+            assert not (involved & new_methods)
+
+    def test_no_retest_for_experiment_models(self, plan):
+        # Every inherited-only transaction of the subclass model exists in
+        # the base model (shared node idents), so RETEST is empty here.
+        assert plan.decisions_with(TransactionStatus.RETEST) == ()
+
+
+class TestSuites:
+    def test_full_suite_partitions_by_origin(self, plan):
+        assert len(plan.full_suite) == (
+            len(plan.full_suite.new_cases) + len(plan.full_suite.reused_cases)
+        )
+        assert plan.full_suite.new_cases
+        assert plan.full_suite.reused_cases
+
+    def test_executed_suite_is_new_cases_only(self, plan):
+        executed_idents = {case.ident for case in plan.executed_suite.cases}
+        new_idents = {case.ident for case in plan.full_suite.new_cases}
+        assert executed_idents == new_idents
+
+    def test_reused_cases_retagged(self, plan):
+        for case in plan.full_suite.reused_cases:
+            assert case.origin == "reused"
+            assert case.class_name == "CSortableObList"
+
+    def test_no_ident_collisions(self, plan):
+        idents = [case.ident for case in plan.full_suite.cases]
+        assert len(idents) == len(set(idents))
+
+    def test_paper_scale(self, plan):
+        # Paper: 233 new + 329 reused.  Same order of magnitude expected.
+        stats = plan.stats()
+        assert 150 <= stats["new_cases"] <= 600
+        assert 150 <= stats["reused_cases"] <= 600
+
+    def test_executed_suite_runs_green_on_subclass(self, plan):
+        from repro.components import CSortableObList
+        from repro.harness.executor import TestExecutor
+
+        result = TestExecutor(CSortableObList).run_suite(plan.executed_suite)
+        assert result.all_passed
+
+
+class TestHistoryOutput:
+    def test_history_matches_decisions(self, plan):
+        assert len(plan.history) == len(plan.decisions)
+        for decision in plan.decisions:
+            entry = plan.history.entry_for(decision.transaction.ident)
+            assert entry.status is decision.status
+
+    def test_history_stats_match_plan(self, plan):
+        history_stats = plan.history.stats()
+        plan_stats = plan.stats()
+        assert history_stats["new_cases"] == plan_stats["new_cases"]
+        assert history_stats["reused_cases"] == plan_stats["reused_cases"]
+
+    def test_summary_mentions_both_counts(self, plan):
+        text = plan.summary()
+        assert "new test cases" in text
+        assert "reused" in text

@@ -1,0 +1,83 @@
+"""Tests for testing-history records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.history.model import HistoryEntry, TestHistory, TransactionStatus
+
+
+def entry(ident, status, cases=("TC0",)):
+    return HistoryEntry(
+        transaction_ident=ident, status=status, case_idents=tuple(cases)
+    )
+
+
+class TestStatus:
+    def test_must_run(self):
+        assert TransactionStatus.NEW.must_run
+        assert TransactionStatus.RETEST.must_run
+        assert TransactionStatus.SELF.must_run
+        assert not TransactionStatus.REUSED.must_run
+
+
+class TestHistoryContainer:
+    def test_add_and_lookup(self):
+        history = TestHistory("Sub", parent_name="Base")
+        history.add(entry("n1>n2", TransactionStatus.NEW))
+        assert history.entry_for("n1>n2").status is TransactionStatus.NEW
+        with pytest.raises(KeyError):
+            history.entry_for("missing")
+
+    def test_rejects_duplicate_transaction(self):
+        history = TestHistory("Sub")
+        history.add(entry("n1>n2", TransactionStatus.NEW))
+        with pytest.raises(ValueError, match="already"):
+            history.add(entry("n1>n2", TransactionStatus.REUSED))
+
+    def test_views(self):
+        history = TestHistory("Sub")
+        history.add(entry("a", TransactionStatus.NEW, ("TC0", "TC1")))
+        history.add(entry("b", TransactionStatus.REUSED, ("TC2",)))
+        history.add(entry("c", TransactionStatus.RETEST, ("TC3",)))
+        assert len(history.with_status(TransactionStatus.NEW)) == 1
+        assert len(history.must_run_entries) == 2
+        assert len(history.reused_entries) == 1
+
+    def test_case_counts(self):
+        history = TestHistory("Sub")
+        history.add(entry("a", TransactionStatus.NEW, ("TC0", "TC1")))
+        history.add(entry("b", TransactionStatus.REUSED, ("TC2",)))
+        assert history.case_count() == 3
+        assert history.case_count((TransactionStatus.NEW,)) == 2
+
+    def test_stats_and_summary(self):
+        history = TestHistory("Sub", parent_name="Base")
+        history.add(entry("a", TransactionStatus.NEW, ("TC0", "TC1")))
+        history.add(entry("b", TransactionStatus.REUSED, ("TC2",)))
+        stats = history.stats()
+        assert stats == {"transactions": 2, "new_cases": 2, "reused_cases": 1}
+        text = history.summary()
+        assert "Sub" in text and "Base" in text and "2 new" in text
+
+    def test_iteration(self):
+        history = TestHistory("Sub")
+        history.add(entry("a", TransactionStatus.NEW))
+        assert len(history) == 1
+        assert [e.transaction_ident for e in history] == ["a"]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        history = TestHistory("Sub", parent_name="Base")
+        history.add(entry("a", TransactionStatus.NEW, ("TC0",)))
+        history.add(entry("b", TransactionStatus.REUSED, ("TC1", "TC2")))
+        payload = history.as_dict()
+        restored = TestHistory.from_dict(payload)
+        assert restored.class_name == "Sub"
+        assert restored.parent_name == "Base"
+        assert restored.entries == history.entries
+
+    def test_entry_roundtrip(self):
+        original = entry("x", TransactionStatus.RETEST, ("TC9",))
+        assert HistoryEntry.from_dict(original.as_dict()) == original

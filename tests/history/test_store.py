@@ -1,0 +1,82 @@
+"""Tests for history persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.history.model import HistoryEntry, TestHistory, TransactionStatus
+from repro.history.store import HistoryStore
+
+
+def sample_history(name="Sub", parent="Base"):
+    history = TestHistory(name, parent_name=parent)
+    history.add(HistoryEntry("n1>n2", TransactionStatus.NEW, ("TC0",)))
+    history.add(HistoryEntry("n1>n3", TransactionStatus.REUSED, ("TC1", "TC2")))
+    return history
+
+
+class TestStore:
+    def test_save_and_load(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        path = store.save(sample_history())
+        assert path.endswith("Sub.history.json")
+        loaded = store.load("Sub")
+        assert loaded.class_name == "Sub"
+        assert loaded.entries == sample_history().entries
+
+    def test_exists_and_delete(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        assert not store.exists("Sub")
+        store.save(sample_history())
+        assert store.exists("Sub")
+        assert store.delete("Sub")
+        assert not store.exists("Sub")
+        assert not store.delete("Sub")
+
+    def test_class_names_sorted(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.save(sample_history("Zeta", None))
+        store.save(sample_history("Alpha", None))
+        assert store.class_names() == ["Alpha", "Zeta"]
+
+    def test_save_overwrites(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.save(sample_history())
+        replacement = TestHistory("Sub", parent_name="Base")
+        store.save(replacement)
+        assert len(store.load("Sub")) == 0
+
+    def test_unusable_class_name(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.save(TestHistory("///"))
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        HistoryStore(str(nested))
+        assert nested.is_dir()
+
+
+class TestLineage:
+    def test_chain_walks_to_root(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.save(sample_history("Base", None))
+        store.save(sample_history("Middle", "Base"))
+        store.save(sample_history("Leaf", "Middle"))
+        chain = store.lineage("Leaf")
+        assert [history.class_name for history in chain] == [
+            "Leaf", "Middle", "Base",
+        ]
+
+    def test_chain_stops_at_missing_parent(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.save(sample_history("Leaf", "Ghost"))
+        chain = store.lineage("Leaf")
+        assert [history.class_name for history in chain] == ["Leaf"]
+
+    def test_chain_survives_cycles(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.save(sample_history("A", "B"))
+        store.save(sample_history("B", "A"))
+        chain = store.lineage("A")
+        assert len(chain) == 2  # terminates despite the cycle

@@ -1,0 +1,193 @@
+"""Tests for interclass generation and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import (
+    Product,
+    Provider,
+    WAREHOUSE_ASSEMBLY,
+    WAREHOUSE_ROLES,
+    reset_database,
+)
+from repro.core.errors import ExecutionError
+from repro.harness.outcomes import Verdict
+from repro.interclass import (
+    AssemblyExecutor,
+    AssemblyGraph,
+    InterclassDriverGenerator,
+    RoleRef,
+)
+
+
+@pytest.fixture(scope="module")
+def warehouse_suite():
+    return InterclassDriverGenerator(WAREHOUSE_ASSEMBLY, seed=7).generate()
+
+
+class TestAssemblyGraph:
+    def test_traversal_interface(self):
+        graph = AssemblyGraph(WAREHOUSE_ASSEMBLY)
+        assert graph.node_count == 8
+        assert graph.edge_count == 14
+        assert graph.is_birth(graph.birth_nodes[0])
+        assert graph.is_death(graph.death_nodes[0])
+
+    def test_validate_path(self):
+        graph = AssemblyGraph(WAREHOUSE_ASSEMBLY)
+        birth = graph.birth_nodes[0]
+        assert not graph.validate_path([birth])  # not at an end node
+        assert not graph.validate_path([])
+
+
+class TestGeneration:
+    def test_suite_shape(self, warehouse_suite):
+        assert len(warehouse_suite) > 20
+        assert warehouse_suite.transactions_total > 5
+        assert not warehouse_suite.truncated
+
+    def test_every_case_constructs_before_use(self, warehouse_suite):
+        for case in warehouse_suite.cases:
+            constructed = set()
+            for step in case.steps:
+                if step.is_construction:
+                    assert step.role not in constructed
+                    constructed.add(step.role)
+                else:
+                    assert step.role in constructed
+
+    def test_role_refs_for_provider_parameters(self, warehouse_suite):
+        refs = [
+            argument
+            for case in warehouse_suite.cases
+            for step in case.steps
+            for argument in step.arguments
+            if isinstance(argument, RoleRef)
+        ]
+        assert refs
+        assert {ref.role for ref in refs} == {"provider"}
+
+    def test_overload_alternatives_all_chosen(self, warehouse_suite):
+        # The three Product constructor overloads appear across the suite.
+        arities = {
+            len(step.arguments)
+            for case in warehouse_suite.cases
+            for step in case.steps
+            if step.is_construction and step.role == "product"
+        }
+        assert arities == {0, 1, 4}
+
+    def test_deterministic(self):
+        first = InterclassDriverGenerator(WAREHOUSE_ASSEMBLY, seed=7).generate()
+        second = InterclassDriverGenerator(WAREHOUSE_ASSEMBLY, seed=7).generate()
+        assert first == second
+
+    def test_ill_formed_variants_counted_not_silent(self):
+        # An assembly where one node mixes tasks of a role that may not be
+        # constructed yet on some variants.
+        from repro.interclass.builder import AssemblyBuilder
+
+        assembly = (
+            AssemblyBuilder("Tricky")
+            .role("a", Provider)
+            .role("b", Provider.__tspec__)
+            .node("birth", ["a.Provider"], start=True)
+            .node("mixed", ["a.~Provider", "b.Provider"])
+            .node("done", ["b.~Provider"], end=True)
+            .chain("birth", "mixed", "done")
+            .build()
+        )
+        suite = InterclassDriverGenerator(assembly, seed=1).generate()
+        # Variant choosing a.~Provider leaves role b unconstructed at "done".
+        assert suite.ill_formed_variants > 0
+
+    def test_case_formatting(self, warehouse_suite):
+        text = warehouse_suite.cases[0].format()
+        assert "provider.Provider" in text
+
+    def test_summary(self, warehouse_suite):
+        assert "Warehouse" in warehouse_suite.summary()
+
+
+class TestExecution:
+    def test_warehouse_runs_green(self, warehouse_suite):
+        reset_database()
+        executor = AssemblyExecutor(WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES)
+        result = executor.run_suite(warehouse_suite)
+        assert result.all_passed, result.summary()
+
+    def test_final_state_merges_roles(self, warehouse_suite):
+        reset_database()
+        executor = AssemblyExecutor(WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES)
+        case = next(
+            case for case in warehouse_suite.cases
+            if {"provider", "product"} <= set(case.roles_used)
+        )
+        result = executor.run_case(case)
+        names = [name for name, _ in result.observation.final_state.state]
+        assert any(name.startswith("provider.") for name in names)
+        assert any(name.startswith("product.") for name in names)
+
+    def test_role_ref_resolves_to_live_object(self, warehouse_suite):
+        reset_database()
+        # Execute a case where UpdateProv receives the provider RoleRef and
+        # verify via the observation that Product saw a real Provider.
+        executor = AssemblyExecutor(WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES)
+        case = next(
+            case for case in warehouse_suite.cases
+            if any(
+                isinstance(argument, RoleRef)
+                for step in case.steps for argument in step.arguments
+            )
+        )
+        result = executor.run_case(case)
+        assert result.verdict is Verdict.PASS
+
+    def test_missing_role_class_rejected(self):
+        with pytest.raises(ExecutionError, match="no class bound"):
+            AssemblyExecutor(WAREHOUSE_ASSEMBLY, {"provider": Provider})
+
+    def test_non_class_binding_rejected(self):
+        with pytest.raises(ExecutionError, match="not a class"):
+            AssemblyExecutor(
+                WAREHOUSE_ASSEMBLY,
+                {"provider": Provider, "product": Product()},
+            )
+
+    def test_interclass_fault_detected(self, warehouse_suite):
+        reset_database()
+
+        class ForgetfulProduct(Product):
+            def UpdateProv(self, prv):  # fault: drops the provider link
+                self.prov = None
+
+        executor = AssemblyExecutor(
+            WAREHOUSE_ASSEMBLY,
+            {"provider": Provider, "product": ForgetfulProduct},
+        )
+        reference = AssemblyExecutor(WAREHOUSE_ASSEMBLY, WAREHOUSE_ROLES)
+        reset_database()
+        baseline = reference.run_suite(warehouse_suite)
+        reset_database()
+        observed = executor.run_suite(warehouse_suite)
+
+        from repro.harness.report import compare_results
+        differing = compare_results(baseline, observed)
+        assert differing, "the dropped provider link must be observable"
+
+    def test_crash_verdict(self, warehouse_suite):
+        reset_database()
+
+        class ExplosiveProduct(Product):
+            def ShowAttributes(self):
+                raise RuntimeError("kaput")
+
+        executor = AssemblyExecutor(
+            WAREHOUSE_ASSEMBLY,
+            {"provider": Provider, "product": ExplosiveProduct},
+        )
+        result = executor.run_suite(warehouse_suite)
+        crashed = result.by_verdict(Verdict.CRASH)
+        assert crashed
+        assert any("kaput" in failure.detail for failure in crashed)

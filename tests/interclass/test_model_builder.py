@@ -1,0 +1,142 @@
+"""Tests for assembly specifications and their builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import (
+    BankAccount,
+    BoundedStack,
+    Product,
+    Provider,
+    WAREHOUSE_ASSEMBLY,
+)
+from repro.core.errors import SpecError, SpecValidationError
+from repro.interclass.builder import AssemblyBuilder
+from repro.interclass.model import QualifiedTask
+
+
+class TestQualifiedTask:
+    def test_parse_and_render(self):
+        task = QualifiedTask.parse("provider:m1")
+        assert task.role == "provider"
+        assert task.method_ident == "m1"
+        assert task.render() == "provider:m1"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(SpecValidationError):
+            QualifiedTask.parse("no_separator")
+        with pytest.raises(SpecValidationError):
+            QualifiedTask.parse(":m1")
+        with pytest.raises(SpecValidationError):
+            QualifiedTask.parse("role:")
+
+
+class TestBuilder:
+    def test_roles_from_self_testable_classes(self):
+        builder = AssemblyBuilder("Duo").role("a", BoundedStack).role("b", BankAccount)
+        spec = (
+            builder
+            .node("birth_a", ["a.BoundedStack"], start=True)
+            .node("birth_b", ["b.BankAccount"])
+            .node("work", ["a.Push", "b.Deposit"])
+            .node("done_a", ["a.~BoundedStack"])
+            .node("done", ["b.~BankAccount"], end=True)
+            .chain("birth_a", "birth_b", "work", "done_a", "done")
+            .build()
+        )
+        assert spec.role_names == ("a", "b")
+        assert spec.stats() == {"roles": 2, "nodes": 5, "links": 4}
+
+    def test_role_requires_self_testable(self):
+        class Plain:
+            pass
+
+        with pytest.raises(SpecError, match="not self-testable"):
+            AssemblyBuilder("X").role("p", Plain)
+
+    def test_role_accepts_explicit_spec(self):
+        builder = AssemblyBuilder("X").role("p", BoundedStack.__tspec__)
+        assert builder.build(check=False).role("p").class_spec.name == "BoundedStack"
+
+    def test_duplicate_role_rejected(self):
+        builder = AssemblyBuilder("X").role("p", BoundedStack)
+        with pytest.raises(SpecError, match="already declared"):
+            builder.role("p", BankAccount)
+
+    def test_unknown_role_in_task(self):
+        builder = AssemblyBuilder("X").role("p", BoundedStack)
+        with pytest.raises(SpecError, match="unknown role"):
+            builder.node("n", ["ghost.Push"])
+
+    def test_unknown_method_in_task(self):
+        builder = AssemblyBuilder("X").role("p", BoundedStack)
+        with pytest.raises(SpecError, match="no method"):
+            builder.node("n", ["p.Levitate"])
+
+    def test_unqualified_task_rejected(self):
+        builder = AssemblyBuilder("X").role("p", BoundedStack)
+        with pytest.raises(SpecError, match="qualified"):
+            builder.node("n", ["Push"])
+
+    def test_overloads_expand_to_alternatives(self):
+        builder = AssemblyBuilder("X").role("prod", Product)
+        builder.node("birth", ["prod.Product"], start=True)
+        spec = builder.build(check=False)
+        assert len(spec.node("a1").tasks) == 3  # the 3 Product constructors
+
+
+class TestAssemblyValidation:
+    def make_builder(self):
+        return (
+            AssemblyBuilder("X")
+            .role("p", Provider)
+            .node("birth", ["p.Provider"], start=True)
+            .node("done", ["p.~Provider"], end=True)
+        )
+
+    def test_valid(self):
+        spec = self.make_builder().edge("birth", "done").build()
+        assert spec.problems() == ()
+
+    def test_no_start_node(self):
+        builder = (
+            AssemblyBuilder("X")
+            .role("p", Provider)
+            .node("birth", ["p.Provider"])
+            .node("done", ["p.~Provider"], end=True)
+            .edge("birth", "done")
+        )
+        with pytest.raises(SpecValidationError, match="no start node"):
+            builder.build()
+
+    def test_start_node_must_construct(self):
+        builder = (
+            AssemblyBuilder("X")
+            .role("p", Product)
+            .node("birth", ["p.ShowAttributes"], start=True)
+            .node("done", ["p.~Product"], end=True)
+            .edge("birth", "done")
+        )
+        with pytest.raises(SpecValidationError, match="not a constructor"):
+            builder.build()
+
+    def test_edge_unknown_alias(self):
+        with pytest.raises(SpecError, match="unknown node alias"):
+            self.make_builder().edge("birth", "nowhere")
+
+
+class TestWarehouseAssembly:
+    def test_shape(self):
+        assert WAREHOUSE_ASSEMBLY.problems() == ()
+        assert WAREHOUSE_ASSEMBLY.stats() == {"roles": 2, "nodes": 8, "links": 14}
+        assert WAREHOUSE_ASSEMBLY.role_names == ("provider", "product")
+
+    def test_lookups(self):
+        role = WAREHOUSE_ASSEMBLY.role("product")
+        assert role.class_spec.name == "Product"
+        with pytest.raises(KeyError):
+            WAREHOUSE_ASSEMBLY.role("warehouse")
+
+    def test_describe(self):
+        assert "Warehouse" in WAREHOUSE_ASSEMBLY.describe()

@@ -1,0 +1,133 @@
+"""Tests for mutation analysis (kill classification, runs, aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import CObList, CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import KillReason, experiment_oracle
+from repro.mutation.analysis import MutationAnalysis, analyze_mutants
+from repro.mutation.generate import generate_mutants
+from repro.mutation.mutant import rebuild_subclass
+
+
+@pytest.fixture(scope="module")
+def findmax_mutants():
+    mutants, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return mutants
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    suite = DriverGenerator(CSortableObList.__tspec__).generate()
+    from dataclasses import replace
+    # Cases that actually visit FindMax/FindMin keep the run fast and the
+    # kill power realistic.
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin") for step in case.steps)
+    )[:120]
+    return replace(suite, cases=relevant)
+
+
+class TestAnalysis:
+    def test_reference_is_green(self, small_suite):
+        analysis = MutationAnalysis(CSortableObList, small_suite)
+        reference = analysis.reference_results()
+        assert reference.all_passed
+
+    def test_reference_cached(self, small_suite):
+        analysis = MutationAnalysis(CSortableObList, small_suite)
+        assert analysis.reference_results() is analysis.reference_results()
+
+    def test_most_findmax_mutants_killed(self, small_suite, findmax_mutants):
+        run = MutationAnalysis(
+            CSortableObList, small_suite,
+            oracle=experiment_oracle(CSortableObList.__tspec__),
+        ).analyze(findmax_mutants)
+        assert run.total == len(findmax_mutants)
+        assert len(run.killed) > 0.5 * run.total
+
+    def test_outcomes_carry_killing_case(self, small_suite, findmax_mutants):
+        run = MutationAnalysis(CSortableObList, small_suite).analyze(findmax_mutants)
+        for outcome in run.killed:
+            assert outcome.killing_case
+            assert outcome.reason is not KillReason.NONE
+            assert outcome.cases_run >= 1
+        for outcome in run.survivors:
+            assert outcome.killing_case == ""
+            assert outcome.cases_run == len(small_suite)
+
+    def test_stop_on_first_kill_short_circuits(self, small_suite, findmax_mutants):
+        eager = MutationAnalysis(
+            CSortableObList, small_suite, stop_on_first_kill=True
+        ).analyze(findmax_mutants[:10])
+        exhaustive = MutationAnalysis(
+            CSortableObList, small_suite, stop_on_first_kill=False
+        ).analyze(findmax_mutants[:10])
+        for eager_outcome, full_outcome in zip(eager.outcomes, exhaustive.outcomes):
+            assert eager_outcome.killed == full_outcome.killed
+            if eager_outcome.killed:
+                assert eager_outcome.killing_case == full_outcome.killing_case
+                assert len(full_outcome.killing_cases) >= 1
+
+    def test_kill_reason_counts(self, small_suite, findmax_mutants):
+        run = MutationAnalysis(CSortableObList, small_suite).analyze(findmax_mutants)
+        counts = run.kill_reason_counts()
+        assert sum(counts.values()) == len(run.killed)
+        assert "none" not in counts
+
+    def test_aggregation_views(self, small_suite, findmax_mutants):
+        run = MutationAnalysis(CSortableObList, small_suite).analyze(findmax_mutants)
+        assert run.outcomes_for_method("FindMax") == run.outcomes
+        assert run.outcomes_for_method("Sort1") == ()
+        per_operator = sum(
+            len(run.outcomes_for_operator(op))
+            for op in ("IndVarBitNeg", "IndVarRepGlob", "IndVarRepLoc",
+                       "IndVarRepExt", "IndVarRepReq")
+        )
+        assert per_operator == run.total
+
+    def test_summary(self, small_suite, findmax_mutants):
+        run = MutationAnalysis(CSortableObList, small_suite).analyze(findmax_mutants[:5])
+        text = run.summary()
+        assert "CSortableObList" in text and "mutants killed" in text
+
+    def test_analyze_mutants_convenience(self, small_suite, findmax_mutants):
+        run = analyze_mutants(CSortableObList, small_suite, findmax_mutants[:3])
+        assert run.total == 3
+
+
+class TestSubclassOverMutantBase:
+    def test_rebuild_subclass(self):
+        mutants, _ = generate_mutants(CObList, ["AddHead"])
+        mutant_base = mutants[0].build_class()
+        rebuilt = rebuild_subclass(CSortableObList, CObList, mutant_base)
+        assert rebuilt.__name__ == "CSortableObList"
+        assert rebuilt.__bases__ == (mutant_base,)
+        assert rebuilt.AddHead is mutant_base.AddHead
+        # Subclass methods preserved.
+        instance = rebuilt()
+        assert hasattr(instance, "Sort1")
+
+    def test_rebuild_requires_direct_base(self):
+        mutants, _ = generate_mutants(CObList, ["AddHead"])
+        with pytest.raises(ValueError):
+            rebuild_subclass(CObList, CSortableObList, mutants[0].build_class())
+
+    def test_base_mutants_analyzed_through_subclass(self):
+        mutants, _ = generate_mutants(
+            CObList, ["RemoveHead"], type_model=OBLIST_TYPE_MODEL
+        )
+        suite = DriverGenerator(CSortableObList.__tspec__).generate()
+        from dataclasses import replace
+        small = replace(suite, cases=suite.cases[:80])
+        builder = lambda m: rebuild_subclass(CSortableObList, CObList, m.build_class())
+        run = MutationAnalysis(
+            CSortableObList, small, class_builder=builder
+        ).analyze(mutants[:20])
+        assert run.total == 20
+        assert run.killed  # some base faults visible through the subclass

@@ -1,0 +1,87 @@
+"""Tests for the equivalence deep probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import experiment_oracle
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.equivalence import probe_equivalence
+from repro.mutation.generate import generate_mutants
+
+
+#: Keep probes cheap in unit tests: a capped probe model and few survivors.
+PROBE_OPTIONS = dict(max_transactions=30, extra_variants=0)
+
+
+@pytest.fixture(scope="module")
+def survivors():
+    """Survivors of a deliberately small suite over Sort1 mutants (capped)."""
+    mutants, _ = generate_mutants(
+        CSortableObList, ["Sort1"], type_model=OBLIST_TYPE_MODEL
+    )
+    suite = DriverGenerator(CSortableObList.__tspec__).generate()
+    from dataclasses import replace
+    tiny = replace(suite, cases=suite.cases[:40])
+    run = MutationAnalysis(
+        CSortableObList, tiny, oracle=experiment_oracle(CSortableObList.__tspec__)
+    ).analyze(mutants)
+    alive_idents = {o.mutant.ident for o in run.outcomes if not o.killed}
+    return [m for m in mutants if m.ident in alive_idents][:12]
+
+
+class TestProbe:
+    def test_partitions_survivors(self, survivors):
+        assert survivors, "the tiny suite must leave survivors"
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1,), **PROBE_OPTIONS,
+        )
+        classified = set(report.likely_equivalent) | set(report.escaped)
+        assert classified == {m.ident for m in survivors}
+        assert not (set(report.likely_equivalent) & set(report.escaped))
+
+    def test_probe_finds_escapes(self, survivors):
+        # A weak main suite leaves revealable mutants; the stronger probe
+        # must kill at least one of them.
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1, 2), **PROBE_OPTIONS,
+        )
+        assert report.escaped
+        for ident in report.escaped:
+            assert ident in report.probe_kill_reasons
+
+    def test_manual_overrides(self, survivors):
+        target = survivors[0].ident
+        forced_equivalent = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1,), manual_equivalent=[target], **PROBE_OPTIONS,
+        )
+        assert target in forced_equivalent.likely_equivalent
+
+        forced_not = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1,), manual_not_equivalent=[target], **PROBE_OPTIONS,
+        )
+        assert target in forced_not.escaped
+        assert target not in forced_not.likely_equivalent
+
+    def test_no_survivors_short_circuits(self):
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, [],
+        )
+        assert report.likely_equivalent == ()
+        assert report.escaped == ()
+        assert report.probe_suite_sizes == ()
+
+    def test_summary(self, survivors):
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors, seeds=(1,),
+            **PROBE_OPTIONS,
+        )
+        text = report.summary()
+        assert "likely-equivalent" in text
+        assert "escaped" in text

@@ -1,0 +1,149 @@
+"""Tests for test-quality estimation and quality-driven selection."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import experiment_oracle
+from repro.mutation.generate import generate_mutants
+from repro.mutation.quality import (
+    estimate_suite_quality,
+    select_by_budget,
+    select_by_quality,
+    wilson_interval,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return DriverGenerator(CSortableObList.__tspec__).generate()
+
+
+@pytest.fixture(scope="module")
+def small_suite(suite):
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin") for step in case.steps)
+    )[:80]
+    return replace(suite, cases=relevant)
+
+
+@pytest.fixture(scope="module")
+def findmax_mutants():
+    mutants, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return mutants
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_bounds_clamped(self):
+        low, high = wilson_interval(100, 100)
+        assert high <= 1.0
+        low, high = wilson_interval(0, 100)
+        assert low >= 0.0
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(80, 1000)
+        wide = wilson_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_no_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_higher_confidence_is_wider(self):
+        at_90 = wilson_interval(50, 100, confidence=0.90)
+        at_99 = wilson_interval(50, 100, confidence=0.99)
+        assert (at_99[1] - at_99[0]) > (at_90[1] - at_90[0])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.5)
+
+
+class TestEstimate:
+    def test_estimate_fields(self, suite):
+        estimate = estimate_suite_quality(
+            CSortableObList, suite, ["FindMax"],
+            sample_size=25, seed=3,
+            oracle=experiment_oracle(CSortableObList.__tspec__),
+            type_model=OBLIST_TYPE_MODEL,
+        )
+        assert estimate.sampled == 25
+        assert 0 <= estimate.killed <= 25
+        assert estimate.low <= estimate.estimate <= estimate.high
+        assert estimate.pool_size >= estimate.sampled
+        assert "confidence" in estimate.summary()
+
+    def test_sample_larger_than_pool_uses_pool(self, suite):
+        estimate = estimate_suite_quality(
+            CSortableObList, suite, ["FindMax"],
+            sample_size=10_000, seed=3, type_model=OBLIST_TYPE_MODEL,
+        )
+        assert estimate.sampled == estimate.pool_size
+
+    def test_deterministic_from_seed(self, small_suite):
+        first = estimate_suite_quality(
+            CSortableObList, small_suite, ["FindMax"],
+            sample_size=15, seed=9, type_model=OBLIST_TYPE_MODEL,
+        )
+        second = estimate_suite_quality(
+            CSortableObList, small_suite, ["FindMax"],
+            sample_size=15, seed=9, type_model=OBLIST_TYPE_MODEL,
+        )
+        assert first == second
+
+
+class TestSelection:
+    def test_select_by_quality_meets_target(self, small_suite, findmax_mutants):
+        reduced = select_by_quality(
+            CSortableObList, small_suite, findmax_mutants[:30],
+            target_quality=0.9,
+        )
+        assert reduced.quality_ratio >= 0.9
+        assert len(reduced.suite) < len(small_suite)
+
+    def test_full_quality_target(self, small_suite, findmax_mutants):
+        reduced = select_by_quality(
+            CSortableObList, small_suite, findmax_mutants[:30],
+            target_quality=1.0,
+        )
+        assert reduced.kill_power == reduced.full_kill_power
+
+    def test_select_by_budget_respects_budget(self, small_suite, findmax_mutants):
+        reduced = select_by_budget(
+            CSortableObList, small_suite, findmax_mutants[:30], max_cases=2
+        )
+        assert len(reduced.suite) <= 2
+        assert reduced.kill_power > 0
+
+    def test_bigger_budget_no_weaker(self, small_suite, findmax_mutants):
+        small = select_by_budget(
+            CSortableObList, small_suite, findmax_mutants[:30], max_cases=1
+        )
+        large = select_by_budget(
+            CSortableObList, small_suite, findmax_mutants[:30], max_cases=5
+        )
+        assert large.kill_power >= small.kill_power
+
+    def test_invalid_arguments(self, small_suite, findmax_mutants):
+        with pytest.raises(ValueError):
+            select_by_quality(CSortableObList, small_suite,
+                              findmax_mutants[:5], target_quality=0.0)
+        with pytest.raises(ValueError):
+            select_by_budget(CSortableObList, small_suite,
+                             findmax_mutants[:5], max_cases=0)
+
+    def test_summary(self, small_suite, findmax_mutants):
+        reduced = select_by_budget(
+            CSortableObList, small_suite, findmax_mutants[:10], max_cases=2
+        )
+        assert "reduced suite" in reduced.summary()

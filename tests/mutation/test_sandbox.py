@@ -1,0 +1,117 @@
+"""Tests for bounded mutant execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SandboxTimeout
+from repro.mutation.sandbox import CallCountGuard, StepBudgetGuard
+
+
+def finite_work(rounds):
+    total = 0
+    for _ in range(rounds):
+        total += 1
+    return total
+
+
+def infinite_loop():
+    while True:
+        pass
+
+
+class TestStepBudgetGuard:
+    def test_normal_calls_pass_through(self):
+        guard = StepBudgetGuard(budget=10_000)
+        assert guard(finite_work, 100) == 100
+        assert guard.timeouts == 0
+
+    def test_infinite_loop_cut(self):
+        guard = StepBudgetGuard(budget=5_000)
+        with pytest.raises(SandboxTimeout, match="budget"):
+            guard(infinite_loop)
+        assert guard.timeouts == 1
+
+    def test_budget_is_per_call(self):
+        guard = StepBudgetGuard(budget=2_000)
+        for _ in range(5):
+            guard(finite_work, 100)  # each call gets a fresh budget
+        assert guard.timeouts == 0
+
+    def test_deterministic_cutoff(self):
+        # Two identical runs must hit the budget identically (scores are
+        # exactly reproducible, unlike wall-clock timeouts).
+        def run_once():
+            guard = StepBudgetGuard(budget=1_000)
+            try:
+                guard(finite_work, 10_000)
+                return "finished"
+            except SandboxTimeout:
+                return "cut"
+
+        assert run_once() == run_once() == "cut"
+
+    def test_exceptions_propagate(self):
+        guard = StepBudgetGuard(budget=10_000)
+
+        def fail():
+            raise ValueError("inner")
+
+        with pytest.raises(ValueError, match="inner"):
+            guard(fail)
+
+    def test_trace_restored_after_call(self):
+        import sys
+
+        previous = sys.gettrace()
+        guard = StepBudgetGuard(budget=1_000)
+        guard(finite_work, 10)
+        assert sys.gettrace() is previous
+
+    def test_trace_restored_after_timeout(self):
+        import sys
+
+        previous = sys.gettrace()
+        guard = StepBudgetGuard(budget=500)
+        with pytest.raises(SandboxTimeout):
+            guard(infinite_loop)
+        assert sys.gettrace() is previous
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            StepBudgetGuard(budget=0)
+
+
+class TestCallCountGuard:
+    def test_counts_calls(self):
+        guard = CallCountGuard()
+        guard(finite_work, 1)
+        guard(finite_work, 2)
+        assert guard.calls == 2
+
+
+class TestGuardWithExecutor:
+    def test_looping_mutant_becomes_timeout_verdict(self):
+        from repro.components import CSortableObList
+        from repro.generator.testcase import TestCase, TestStep
+        from repro.harness.executor import TestExecutor
+        from repro.harness.outcomes import Verdict
+        from repro.tfm.transactions import Transaction
+
+        class Loopy(CSortableObList):
+            def Sort1(self):
+                while True:
+                    pass
+
+        case = TestCase(
+            ident="TC0",
+            transaction=Transaction(("n1", "n2")),
+            steps=(
+                TestStep("m1", "Loopy", (), is_construction=True),
+                TestStep("m2", "Sort1", ()),
+            ),
+            class_name="Loopy",
+        )
+        executor = TestExecutor(Loopy, step_guard=StepBudgetGuard(budget=2_000))
+        result = executor.run_case(case)
+        assert result.verdict is Verdict.TIMEOUT

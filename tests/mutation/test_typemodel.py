@@ -1,0 +1,238 @@
+"""Tests for the C++-typing compatibility gate."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.mutation.typemodel import (
+    TypeModel,
+    compatible,
+    constant_tag,
+    expression_tag,
+    infer_local_types,
+    merge_tags,
+    negatable,
+)
+
+MODEL = TypeModel(
+    attribute_types={"_head": "node", "_count": "int", "_tail": "node"},
+    method_return_types={"_take_node": "node", "GetCount": "int"},
+    parameter_types={"value": "value", "position": "int"},
+)
+
+
+def function_of(source: str) -> ast.FunctionDef:
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+class TestConstantTags:
+    def test_tags(self):
+        assert constant_tag(None) == "none"
+        assert constant_tag(True) == "bool"
+        assert constant_tag(5) == "int"
+        assert constant_tag(2.5) == "float"
+        assert constant_tag("s") == "str"
+        assert constant_tag(object()) is None
+
+
+class TestMergeTags:
+    def test_unknown_absorbs(self):
+        assert merge_tags(None, "int") == "int"
+        assert merge_tags("int", None) == "int"
+
+    def test_same(self):
+        assert merge_tags("node", "node") == "node"
+
+    def test_none_is_bottom(self):
+        assert merge_tags("none", "node") == "node"
+        assert merge_tags("node", "none") == "node"
+
+    def test_conflict_degrades_to_unknown(self):
+        assert merge_tags("int", "node") is None
+
+
+class TestCompatibility:
+    def test_same_tags_compatible(self):
+        assert compatible("int", "int")
+        assert compatible("node", "node")
+
+    def test_cross_type_incompatible(self):
+        assert not compatible("int", "node")
+        assert not compatible("node", "int")
+        assert not compatible("value", "int")
+
+    def test_null_assignable_to_pointers(self):
+        assert compatible("node", "none")
+        assert compatible("value", "none")
+        assert not compatible("int", "none")
+
+    def test_unknown_is_permissive(self):
+        assert compatible(None, "node")
+        assert compatible("int", None)
+
+    def test_negatable(self):
+        assert negatable("int")
+        assert negatable("bool")
+        assert negatable(None)
+        assert not negatable("node")
+        assert not negatable("value")
+
+
+class TestInference:
+    def test_attribute_assignment(self):
+        function = function_of("""
+        def m(self):
+            node = self._head
+            count = self._count
+            return node, count
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["node"] == "node"
+        assert types["count"] == "int"
+
+    def test_node_navigation(self):
+        function = function_of("""
+        def m(self):
+            current = self._head
+            following = current.next
+            preceding = current.prev
+            payload = current.value
+            return following, preceding, payload
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["following"] == "node"
+        assert types["preceding"] == "node"
+        assert types["payload"] == "value"
+
+    def test_arithmetic_is_int(self):
+        function = function_of("""
+        def m(self):
+            a = 1
+            b = a + 2
+            c = b - a
+            return c
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["b"] == "int"
+        assert types["c"] == "int"
+
+    def test_helper_call_types(self):
+        function = function_of("""
+        def m(self, value):
+            node = self._take_node(value)
+            count = self.GetCount()
+            return node, count
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["node"] == "node"
+        assert types["count"] == "int"
+
+    def test_parameter_propagation(self):
+        function = function_of("""
+        def m(self, value):
+            held = value
+            return held
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["held"] == "value"
+
+    def test_none_then_concrete_merges(self):
+        function = function_of("""
+        def m(self):
+            best = None
+            best = self._head
+            return best
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["best"] == "node"
+
+    def test_node_list_and_subscript(self):
+        function = function_of("""
+        def m(self):
+            nodes = []
+            walker = self._head
+            while walker is not None:
+                nodes.append(walker)
+                walker = walker.next
+            first = nodes[0]
+            return first
+        """)
+        types = infer_local_types(function, MODEL)
+        # Empty-list literal cannot prove node elements; subscript of an
+        # unknown container stays unknown (permissive).
+        assert types["walker"] == "node"
+
+    def test_comparisons_are_bool(self):
+        function = function_of("""
+        def m(self):
+            flag = self._count > 0
+            return flag
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["flag"] == "bool"
+
+    def test_augassign_keeps_int(self):
+        function = function_of("""
+        def m(self):
+            total = 0
+            total += 1
+            return total
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["total"] == "int"
+
+    def test_for_range_target_is_int(self):
+        function = function_of("""
+        def m(self):
+            total = 0
+            for index in range(3):
+                total = total + index
+            return total
+        """)
+        types = infer_local_types(function, MODEL)
+        assert types["index"] == "int"
+
+
+class TestExpressionTag:
+    def test_attribute(self):
+        expression = ast.parse("self._head", mode="eval").body
+        assert expression_tag(expression, MODEL, {}) == "node"
+
+    def test_constant(self):
+        expression = ast.parse("None", mode="eval").body
+        assert expression_tag(expression, MODEL, {}) == "none"
+
+    def test_local(self):
+        expression = ast.parse("x", mode="eval").body
+        assert expression_tag(expression, MODEL, {"x": "int"}) == "int"
+
+
+class TestGateOnExperimentClasses:
+    def test_gate_removes_cross_type_mutants(self):
+        from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+        from repro.mutation.generate import generate_mutants
+
+        untyped, untyped_report = generate_mutants(CSortableObList, ["Sort1"])
+        typed, typed_report = generate_mutants(
+            CSortableObList, ["Sort1"], type_model=OBLIST_TYPE_MODEL
+        )
+        assert len(typed) < len(untyped)
+        assert typed_report.type_incompatible > 0
+        assert untyped_report.type_incompatible == 0
+
+    def test_gate_keeps_same_type_replacements(self):
+        from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+        from repro.mutation.generate import generate_mutants
+
+        typed, _ = generate_mutants(
+            CSortableObList, ["Sort1"], type_model=OBLIST_TYPE_MODEL
+        )
+        # marker/scan are node locals: node attributes must remain available
+        # as replacements for them.
+        node_replacements = [
+            mutant for mutant in typed
+            if mutant.record.variable in ("marker", "scan")
+            and mutant.record.replacement == "self._head"
+        ]
+        assert node_replacements

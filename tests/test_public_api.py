@@ -1,0 +1,61 @@
+"""The public API surface: everything advertised must resolve and work."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.core",
+    "repro.tspec",
+    "repro.tfm",
+    "repro.bit",
+    "repro.generator",
+    "repro.harness",
+    "repro.history",
+    "repro.mutation",
+    "repro.components",
+    "repro.interclass",
+    "repro.experiments",
+)
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_all_is_sorted_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.{name} is exported but missing"
+            )
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The module docstring's quickstart must actually run."""
+        from repro import DriverGenerator, TestExecutor
+        from repro.components import BoundedStack
+
+        suite = DriverGenerator(BoundedStack.__tspec__).generate()
+        result = TestExecutor(BoundedStack).run_suite(suite)
+        assert result.all_passed
+
+    def test_error_hierarchy_reachable_from_top(self):
+        from repro import ContractViolation, InvariantViolation, ReproError
+
+        assert issubclass(InvariantViolation, ContractViolation)
+        assert issubclass(ContractViolation, ReproError)
+
+    def test_no_accidental_private_exports(self):
+        assert not [name for name in repro.__all__ if name.startswith("_")]

@@ -1,0 +1,111 @@
+"""Tests for TFM structural analysis."""
+
+from __future__ import annotations
+
+from repro.components import (
+    ACCOUNT_SPEC,
+    PRODUCT_SPEC,
+    SORTABLE_OBLIST_SPEC,
+    STACK_SPEC,
+)
+from repro.tfm.analysis import analyze, dead_end_nodes, unreachable_nodes
+from repro.tfm.graph import TransactionFlowGraph
+from repro.tspec.builder import SpecBuilder
+
+
+class TestMetrics:
+    def test_paper_model_size(self):
+        metrics = analyze(TransactionFlowGraph(SORTABLE_OBLIST_SPEC))
+        assert metrics.nodes == 16   # sec. 4: "16 nodes"
+        assert metrics.links == 43   # sec. 4: "43 links"
+
+    def test_cyclomatic(self):
+        metrics = analyze(TransactionFlowGraph(PRODUCT_SPEC))
+        assert metrics.cyclomatic == metrics.links - metrics.nodes + 2
+
+    def test_self_loops_counted(self):
+        metrics = analyze(TransactionFlowGraph(STACK_SPEC))
+        assert metrics.self_loops == 1  # push -> push
+
+    def test_birth_death_counts(self):
+        metrics = analyze(TransactionFlowGraph(ACCOUNT_SPEC))
+        assert metrics.birth_nodes == 1
+        assert metrics.death_nodes == 1
+
+    def test_cycle_nodes_include_self_loops(self):
+        metrics = analyze(TransactionFlowGraph(STACK_SPEC))
+        assert metrics.cycle_nodes >= 1
+
+    def test_dag_has_no_cycle_nodes(self):
+        metrics = analyze(TransactionFlowGraph(SORTABLE_OBLIST_SPEC))
+        assert metrics.cycle_nodes == 0  # the list model is a DAG
+
+    def test_summary_mentions_name(self):
+        metrics = analyze(TransactionFlowGraph(PRODUCT_SPEC))
+        assert "Product" in metrics.summary()
+
+    def test_method_alternatives_counted(self):
+        metrics = analyze(TransactionFlowGraph(PRODUCT_SPEC))
+        total = sum(len(node.methods) for node in PRODUCT_SPEC.nodes)
+        assert metrics.method_alternatives == total
+
+
+class TestSccCycles:
+    def test_two_node_cycle_detected(self):
+        spec = (
+            SpecBuilder("Cyclic")
+            .constructor("Create")
+            .method("A")
+            .method("B")
+            .destructor("Destroy")
+            .node("birth", ["Create"], start=True)
+            .node("a", ["A"])
+            .node("b", ["B"])
+            .node("death", ["Destroy"])
+            .chain("birth", "a", "b", "death")
+            .edge("b", "a")
+            .build()
+        )
+        metrics = analyze(TransactionFlowGraph(spec))
+        assert metrics.cycle_nodes == 2
+        assert metrics.self_loops == 0
+
+
+class TestDiagnostics:
+    def test_clean_models_have_no_findings(self):
+        for spec in (PRODUCT_SPEC, STACK_SPEC, ACCOUNT_SPEC):
+            graph = TransactionFlowGraph(spec)
+            assert dead_end_nodes(graph) == ()
+            assert unreachable_nodes(graph) == ()
+
+    def test_dead_end_detected(self):
+        spec = (
+            SpecBuilder("DeadEnd")
+            .constructor("Create")
+            .method("Trap")
+            .destructor("Destroy")
+            .node("birth", ["Create"], start=True)
+            .node("trap", ["Trap"])
+            .node("death", ["Destroy"])
+            .edge("birth", "trap")
+            .edge("birth", "death")
+            .build(check=False)
+        )
+        graph = TransactionFlowGraph(spec)
+        assert dead_end_nodes(graph) == ("n2",)
+
+    def test_unreachable_detected(self):
+        spec = (
+            SpecBuilder("Island")
+            .constructor("Create")
+            .method("Alone")
+            .destructor("Destroy")
+            .node("birth", ["Create"], start=True)
+            .node("island", ["Alone"])
+            .node("death", ["Destroy"])
+            .edge("birth", "death")
+            .edge("island", "death")
+            .build(check=False)
+        )
+        graph = TransactionFlowGraph(spec)
+        assert unreachable_nodes(graph) == ("n2",)

@@ -1,0 +1,115 @@
+"""Tests for the TransactionFlowGraph traversal view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components import PRODUCT_SPEC, STACK_SPEC
+from repro.core.errors import ModelError
+from repro.tfm.graph import TransactionFlowGraph
+from repro.tspec.builder import SpecBuilder
+from repro.tspec.model import ClassSpec
+
+
+@pytest.fixture
+def stack_graph() -> TransactionFlowGraph:
+    return TransactionFlowGraph(STACK_SPEC)
+
+
+class TestConstruction:
+    def test_rejects_modelless_spec(self):
+        with pytest.raises(ModelError, match="no test model"):
+            TransactionFlowGraph(ClassSpec(name="Empty"))
+
+    def test_rejects_model_without_birth(self):
+        spec = (
+            SpecBuilder("X")
+            .method("Work")
+            .destructor("~X")
+            .node("work", ["Work"])
+            .node("death", ["~X"])
+            .edge("work", "death")
+            .build(check=False)
+        )
+        with pytest.raises(ModelError, match="birth"):
+            TransactionFlowGraph(spec)
+
+    def test_rejects_model_without_death(self):
+        spec = (
+            SpecBuilder("X")
+            .constructor("X")
+            .method("Work")
+            .node("birth", ["X"], start=True)
+            .node("work", ["Work"])
+            .edge("birth", "work")
+            .build(check=False)
+        )
+        with pytest.raises(ModelError, match="death"):
+            TransactionFlowGraph(spec)
+
+
+class TestAccessors:
+    def test_counts_match_spec(self, stack_graph):
+        assert stack_graph.node_count == len(STACK_SPEC.nodes)
+        assert stack_graph.edge_count == len(STACK_SPEC.edges)
+
+    def test_birth_and_death(self, stack_graph):
+        assert stack_graph.birth_nodes == ("n1",)
+        assert stack_graph.is_birth("n1")
+        death = stack_graph.death_nodes[0]
+        assert stack_graph.is_death(death)
+
+    def test_successors_and_predecessors_are_consistent(self, stack_graph):
+        for ident in stack_graph.node_idents:
+            for successor in stack_graph.successors(ident):
+                assert ident in stack_graph.predecessors(successor)
+
+    def test_degrees(self, stack_graph):
+        for ident in stack_graph.node_idents:
+            assert stack_graph.out_degree(ident) == len(stack_graph.successors(ident))
+            assert stack_graph.in_degree(ident) == len(stack_graph.predecessors(ident))
+
+    def test_unknown_node_raises(self, stack_graph):
+        with pytest.raises(ModelError):
+            stack_graph.node("n99")
+        with pytest.raises(ModelError):
+            stack_graph.successors("n99")
+
+    def test_node_methods_resolved(self, stack_graph):
+        birth_methods = stack_graph.node_methods("n1")
+        assert [method.name for method in birth_methods] == ["BoundedStack"]
+
+    def test_edges_reflect_spec(self, stack_graph):
+        assert set(stack_graph.edges) == {
+            (edge.source, edge.target) for edge in STACK_SPEC.edges
+        }
+
+    def test_repr_mentions_size(self, stack_graph):
+        assert "BoundedStack" in repr(stack_graph)
+
+
+class TestValidatePath:
+    def test_valid_path(self):
+        graph = TransactionFlowGraph(PRODUCT_SPEC)
+        birth = graph.birth_nodes[0]
+        death = graph.death_nodes[0]
+        assert graph.validate_path([birth, death])
+
+    def test_path_must_start_at_birth(self, stack_graph):
+        death = stack_graph.death_nodes[0]
+        assert not stack_graph.validate_path([death])
+
+    def test_path_must_follow_edges(self, stack_graph):
+        birth = stack_graph.birth_nodes[0]
+        death = stack_graph.death_nodes[0]
+        # birth -> death directly exists in the stack spec; birth -> clear
+        # does not.
+        clear_node = next(
+            ident for ident in stack_graph.node_idents
+            if any(m.name == "Clear" for m in stack_graph.node_methods(ident))
+        )
+        assert not stack_graph.validate_path([birth, clear_node, death]) or \
+            clear_node in stack_graph.successors(birth)
+
+    def test_empty_path_invalid(self, stack_graph):
+        assert not stack_graph.validate_path([])

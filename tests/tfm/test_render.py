@@ -1,0 +1,73 @@
+"""Tests for TFM rendering (ASCII and DOT)."""
+
+from __future__ import annotations
+
+from repro.components import PRODUCT_SPEC
+from repro.tfm.graph import TransactionFlowGraph
+from repro.tfm.render import render_ascii, render_dot, render_transaction_table
+from repro.tfm.transactions import Transaction, enumerate_transactions
+
+
+def product_graph():
+    return TransactionFlowGraph(PRODUCT_SPEC)
+
+
+class TestAscii:
+    def test_lists_all_nodes_and_methods(self):
+        graph = product_graph()
+        text = render_ascii(graph)
+        for ident in graph.node_idents:
+            assert ident in text
+        assert "UpdateName" in text
+        assert "[birth]" in text and "[death]" in text
+
+    def test_highlight_stars_path(self):
+        graph = product_graph()
+        highlight = Transaction(path=(graph.birth_nodes[0], graph.death_nodes[0]))
+        text = render_ascii(graph, highlight=highlight)
+        assert "highlighted transaction" in text
+        starred = [line for line in text.splitlines() if line.startswith("*")]
+        assert len(starred) == 2  # both path nodes starred
+
+    def test_edges_shown(self):
+        text = render_ascii(product_graph())
+        assert "->" in text
+
+
+class TestDot:
+    def test_valid_digraph_structure(self):
+        graph = product_graph()
+        dot = render_dot(graph)
+        assert dot.startswith('digraph "Product" {')
+        assert dot.rstrip().endswith("}")
+        for source, target in graph.edges:
+            assert f"{source} -> {target}" in dot
+
+    def test_birth_death_shapes(self):
+        dot = render_dot(product_graph())
+        assert "invhouse" in dot
+        assert "house" in dot
+
+    def test_highlight_bold(self):
+        graph = product_graph()
+        highlight = Transaction(path=(graph.birth_nodes[0], graph.death_nodes[0]))
+        dot = render_dot(graph, highlight=highlight)
+        assert "penwidth=2" in dot
+
+    def test_custom_name(self):
+        dot = render_dot(product_graph(), graph_name="Fig2")
+        assert 'digraph "Fig2"' in dot
+
+
+class TestTransactionTable:
+    def test_numbered_rows(self):
+        graph = product_graph()
+        transactions = list(enumerate_transactions(graph))
+        table = render_transaction_table(transactions)
+        assert table.splitlines()[0].startswith("T0000")
+
+    def test_truncation_is_explicit(self):
+        graph = product_graph()
+        transactions = list(enumerate_transactions(graph))
+        table = render_transaction_table(transactions, limit=2)
+        assert "more transactions" in table

@@ -1,0 +1,186 @@
+"""Tests for transaction enumeration, including hypothesis properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components import PRODUCT_SPEC, STACK_SPEC
+from repro.core.errors import NoTransactionError
+from repro.tfm.graph import TransactionFlowGraph
+from repro.tfm.transactions import (
+    EnumerationResult,
+    Transaction,
+    enumerate_transactions,
+    shortest_transaction,
+    transactions_through,
+)
+from repro.tspec.builder import SpecBuilder
+
+
+@pytest.fixture
+def stack_graph():
+    return TransactionFlowGraph(STACK_SPEC)
+
+
+class TestTransaction:
+    def test_identity(self):
+        transaction = Transaction(path=("n1", "n2", "n3"))
+        assert transaction.ident == "n1>n2>n3"
+        assert transaction.length == 3
+        assert str(transaction) == "n1 -> n2 -> n3"
+
+    def test_edges(self):
+        transaction = Transaction(path=("a", "b", "c"))
+        assert transaction.edges() == (("a", "b"), ("b", "c"))
+
+    def test_visits(self):
+        transaction = Transaction(path=("a", "b", "a"))
+        assert transaction.visits("a") == 2
+        assert transaction.visits("z") == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Transaction(path=())
+
+
+class TestEnumeration:
+    def test_every_transaction_is_valid_path(self, stack_graph):
+        for transaction in enumerate_transactions(stack_graph):
+            assert stack_graph.validate_path(transaction.path)
+
+    def test_deterministic_order(self, stack_graph):
+        first = enumerate_transactions(stack_graph)
+        second = enumerate_transactions(stack_graph)
+        assert [t.ident for t in first] == [t.ident for t in second]
+
+    def test_no_duplicates(self, stack_graph):
+        enumeration = enumerate_transactions(stack_graph)
+        idents = [transaction.ident for transaction in enumeration]
+        assert len(idents) == len(set(idents))
+
+    def test_edge_bound_respected(self, stack_graph):
+        for bound in (1, 2, 3):
+            for transaction in enumerate_transactions(stack_graph, edge_bound=bound):
+                edge_counts = {}
+                for edge in transaction.edges():
+                    edge_counts[edge] = edge_counts.get(edge, 0) + 1
+                assert max(edge_counts.values(), default=0) <= bound
+
+    def test_higher_bound_superset(self, stack_graph):
+        bound1 = {t.ident for t in enumerate_transactions(stack_graph, edge_bound=1)}
+        bound2 = {t.ident for t in enumerate_transactions(stack_graph, edge_bound=2)}
+        assert bound1 <= bound2
+        assert len(bound2) > len(bound1)  # the stack model has self-loops
+
+    def test_truncation_reported(self, stack_graph):
+        result = enumerate_transactions(stack_graph, max_transactions=3)
+        assert result.truncated
+        assert len(result) == 3
+
+    def test_invalid_arguments(self, stack_graph):
+        with pytest.raises(ValueError):
+            enumerate_transactions(stack_graph, edge_bound=0)
+        with pytest.raises(ValueError):
+            enumerate_transactions(stack_graph, max_transactions=0)
+
+    def test_no_transaction_raises(self):
+        spec = (
+            SpecBuilder("Stuck")
+            .constructor("Stuck")
+            .method("Spin")
+            .destructor("~Stuck")
+            .node("birth", ["Stuck"], start=True)
+            .node("work", ["Spin"])
+            .node("death", ["~Stuck"])
+            .edge("birth", "work")
+            .edge("work", "work")
+            .edge("death", "work")   # death unreachable forward
+            .build(check=False)
+        )
+        graph = TransactionFlowGraph(spec)
+        with pytest.raises(NoTransactionError):
+            enumerate_transactions(graph)
+
+    def test_container_protocol(self, stack_graph):
+        result = enumerate_transactions(stack_graph)
+        assert isinstance(result, EnumerationResult)
+        assert len(list(result)) == len(result)
+        assert result[0].path[0] in stack_graph.birth_nodes
+
+
+class TestShortestTransaction:
+    def test_shortest_is_valid_and_minimal(self, stack_graph):
+        shortest = shortest_transaction(stack_graph)
+        assert stack_graph.validate_path(shortest.path)
+        all_lengths = [t.length for t in enumerate_transactions(stack_graph)]
+        assert shortest.length == min(all_lengths)
+
+    def test_product_use_case_exists(self):
+        graph = TransactionFlowGraph(PRODUCT_SPEC)
+        shortest = shortest_transaction(graph)
+        assert shortest.length == 2  # birth -> death is modelled
+
+
+class TestTransactionsThrough:
+    def test_filters_by_node(self, stack_graph):
+        result = enumerate_transactions(stack_graph)
+        clear_node = next(
+            ident for ident in stack_graph.node_idents
+            if any(m.name == "Clear" for m in stack_graph.node_methods(ident))
+        )
+        through = transactions_through(result, clear_node)
+        assert through
+        assert all(clear_node in t.path for t in through)
+        assert len(through) < len(result)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random layered graphs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def layered_graphs(draw):
+    """Random small layered models built through the builder (always valid)."""
+    layer_count = draw(st.integers(1, 3))
+    builder = SpecBuilder("Random").constructor("Create")
+    layers = []
+    for layer_index in range(layer_count):
+        name = f"Op{layer_index}"
+        builder.method(name)
+        layers.append(name)
+    builder.destructor("Destroy")
+    builder.node("birth", ["Create"], start=True)
+    for layer_index, name in enumerate(layers):
+        builder.node(f"layer{layer_index}", [name])
+    builder.node("death", ["Destroy"])
+
+    aliases = ["birth"] + [f"layer{i}" for i in range(layer_count)] + ["death"]
+    builder.chain(*aliases)
+    # Random skip edges (always forward: keeps the model a DAG).
+    for source_index in range(len(aliases) - 1):
+        for target_index in range(source_index + 1, len(aliases)):
+            if target_index - source_index > 1 and draw(st.booleans()):
+                builder.edge(aliases[source_index], aliases[target_index])
+    # Optional self loops.
+    for layer_index in range(layer_count):
+        if draw(st.booleans()):
+            builder.edge(f"layer{layer_index}", f"layer{layer_index}")
+    return TransactionFlowGraph(builder.build())
+
+
+class TestEnumerationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layered_graphs(), st.integers(1, 3))
+    def test_properties_hold(self, graph, bound):
+        result = enumerate_transactions(graph, edge_bound=bound,
+                                        max_transactions=5000)
+        idents = [t.ident for t in result]
+        assert len(idents) == len(set(idents))  # no duplicates
+        for transaction in result:
+            assert graph.validate_path(transaction.path)  # legal walks
+            counts = {}
+            for edge in transaction.edges():
+                counts[edge] = counts.get(edge, 0) + 1
+            assert max(counts.values(), default=0) <= bound  # bound holds

@@ -1,0 +1,139 @@
+"""Tests for the fluent SpecBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import RangeDomain, StringDomain
+from repro.core.errors import SpecError, SpecValidationError
+from repro.tspec.builder import SpecBuilder
+from repro.tspec.model import MethodCategory, ParameterSpec
+
+
+def counter_builder() -> SpecBuilder:
+    return (
+        SpecBuilder("Counter")
+        .constructor("Counter")
+        .destructor("~Counter")
+        .method("Increment", category="update")
+        .method("Value", category="access", return_type="int")
+        .node("birth", ["Counter"], start=True)
+        .node("work", ["Increment", "Value"])
+        .node("death", ["~Counter"])
+        .chain("birth", "work", "death")
+        .edge("work", "work")
+        .edge("birth", "death")
+    )
+
+
+class TestBuilding:
+    def test_builds_valid_spec(self):
+        spec = counter_builder().build()
+        assert spec.name == "Counter"
+        assert len(spec.methods) == 4
+        assert len(spec.nodes) == 3
+        assert len(spec.edges) == 4
+
+    def test_auto_idents(self):
+        spec = counter_builder().build()
+        assert spec.method_idents == ("m1", "m2", "m3", "m4")
+        assert [node.ident for node in spec.nodes] == ["n1", "n2", "n3"]
+
+    def test_explicit_ident(self):
+        spec = (
+            SpecBuilder("X")
+            .constructor("X", ident="ctor")
+            .destructor("~X")
+            .node("birth", ["X"], start=True)
+            .node("death", ["~X"])
+            .edge("birth", "death")
+            .build()
+        )
+        assert spec.methods[0].ident == "ctor"
+
+    def test_duplicate_explicit_ident_rejected(self):
+        builder = SpecBuilder("X").constructor("X", ident="m1")
+        with pytest.raises(SpecError, match="already used"):
+            builder.method("Y", ident="m1")
+
+    def test_parameters_from_tuples_and_specs(self):
+        builder = SpecBuilder("X").constructor("X")
+        builder.method("Mixed", [
+            ("a", RangeDomain(0, 5)),
+            ParameterSpec("b", StringDomain(1, 3)),
+        ])
+        builder.destructor("~X")
+        builder.node("birth", ["X"], start=True)
+        builder.node("work", ["Mixed"])
+        builder.node("death", ["~X"])
+        builder.chain("birth", "work", "death")
+        spec = builder.build()
+        mixed = spec.methods_by_name("Mixed")[0]
+        assert [parameter.name for parameter in mixed.parameters] == ["a", "b"]
+
+    def test_category_resolution(self):
+        spec = counter_builder().build()
+        increment = spec.methods_by_name("Increment")[0]
+        assert increment.category is MethodCategory.UPDATE
+
+    def test_class_name_property(self):
+        assert SpecBuilder("Thing").class_name == "Thing"
+
+
+class TestNodeResolution:
+    def test_node_groups_same_named_overloads(self):
+        builder = (
+            SpecBuilder("Multi")
+            .constructor("Multi")
+            .constructor("Multi", [("n", RangeDomain(0, 3))])
+            .destructor("~Multi")
+            .node("birth", ["Multi"], start=True)
+            .node("death", ["~Multi"])
+            .edge("birth", "death")
+        )
+        spec = builder.build()
+        assert spec.nodes[0].methods == ("m1", "m2")
+
+    def test_unknown_method_in_node(self):
+        builder = SpecBuilder("X").constructor("X")
+        with pytest.raises(SpecError, match="undeclared method"):
+            builder.node("n", ["Ghost"])
+
+    def test_duplicate_node_alias(self):
+        builder = SpecBuilder("X").constructor("X").node("birth", ["X"])
+        with pytest.raises(SpecError, match="already used"):
+            builder.node("birth", ["X"])
+
+    def test_edge_unknown_alias(self):
+        builder = SpecBuilder("X").constructor("X").node("birth", ["X"])
+        with pytest.raises(SpecError, match="unknown node alias"):
+            builder.edge("birth", "nowhere")
+
+    def test_node_ident_lookup(self):
+        builder = counter_builder()
+        assert builder.node_ident("work") == "n2"
+
+
+class TestValidationHook:
+    def test_build_validates_by_default(self):
+        builder = (
+            SpecBuilder("Broken")
+            .constructor("Broken")
+            .destructor("~Broken")
+            .node("birth", ["Broken"], start=True)
+            .node("death", ["~Broken"])
+            # no edge: death unreachable
+        )
+        with pytest.raises(SpecValidationError):
+            builder.build()
+
+    def test_build_unchecked(self):
+        builder = (
+            SpecBuilder("Broken")
+            .constructor("Broken")
+            .destructor("~Broken")
+            .node("birth", ["Broken"], start=True)
+            .node("death", ["~Broken"])
+        )
+        spec = builder.build(check=False)
+        assert spec.name == "Broken"

@@ -1,0 +1,133 @@
+"""Tests for skeleton t-spec derivation via dynamic introspection."""
+
+from __future__ import annotations
+
+from repro.core.domains import (
+    BoolDomain,
+    FloatRangeDomain,
+    ObjectDomain,
+    RangeDomain,
+    StringDomain,
+)
+from repro.tspec.introspect import derive_skeleton_spec, guess_domain
+from repro.tspec.model import MethodCategory
+from repro.tspec.validate import find_problems
+
+
+class _Gadget:
+    """Introspection subject with annotated and unannotated methods."""
+
+    def __init__(self, size: int, label: str = "g"):
+        self.size = size
+        self.label = label
+
+    def update_size(self, size: int) -> None:
+        self.size = size
+
+    def get_label(self) -> str:
+        return self.label
+
+    def process(self, factor: float, enabled: bool):
+        return self.size * factor if enabled else 0
+
+    def _internal(self):
+        return None
+
+
+class TestGuessDomain:
+    def test_known_annotations(self):
+        assert isinstance(guess_domain(int), RangeDomain)
+        assert isinstance(guess_domain(float), FloatRangeDomain)
+        assert isinstance(guess_domain(str), StringDomain)
+        assert isinstance(guess_domain(bool), BoolDomain)
+
+    def test_string_annotations(self):
+        assert isinstance(guess_domain("int"), RangeDomain)
+        assert isinstance(guess_domain("Widget"), ObjectDomain)
+
+    def test_class_annotation(self):
+        class Widget:
+            pass
+        domain = guess_domain(Widget)
+        assert isinstance(domain, ObjectDomain)
+        assert domain.class_name == "Widget"
+
+    def test_default_value_fallback(self):
+        import inspect
+        domain = guess_domain(inspect.Parameter.empty, default=3)
+        assert isinstance(domain, RangeDomain)
+
+    def test_unknown_becomes_object(self):
+        import inspect
+        domain = guess_domain(inspect.Parameter.empty)
+        assert isinstance(domain, ObjectDomain)
+
+
+class TestSkeleton:
+    def test_skeleton_is_valid(self):
+        spec = derive_skeleton_spec(_Gadget)
+        assert find_problems(spec) == []
+
+    def test_constructor_parameters(self):
+        spec = derive_skeleton_spec(_Gadget)
+        constructor = spec.constructor_methods[0]
+        assert [parameter.name for parameter in constructor.parameters] == [
+            "size", "label",
+        ]
+        assert isinstance(constructor.parameters[0].domain, RangeDomain)
+
+    def test_private_methods_excluded(self):
+        spec = derive_skeleton_spec(_Gadget)
+        names = {method.name for method in spec.methods}
+        assert "_internal" not in names
+
+    def test_categorization_heuristics(self):
+        spec = derive_skeleton_spec(_Gadget)
+        by_name = {method.name: method for method in spec.methods}
+        assert by_name["update_size"].category is MethodCategory.UPDATE
+        assert by_name["get_label"].category is MethodCategory.ACCESS
+        assert by_name["process"].category is MethodCategory.PROCESS
+
+    def test_star_model_shape(self):
+        spec = derive_skeleton_spec(_Gadget)
+        assert len(spec.nodes) == 3
+        adjacency = spec.adjacency()
+        work = spec.nodes[1].ident
+        assert work in adjacency[work]  # self loop: any order allowed
+
+    def test_synthetic_destructor(self):
+        spec = derive_skeleton_spec(_Gadget)
+        assert spec.destructor_methods[0].name == "~_Gadget"
+
+    def test_superclass_recorded(self):
+        class Base:
+            pass
+
+        class Derived(Base):
+            def work(self):
+                return 1
+
+        spec = derive_skeleton_spec(Derived)
+        assert spec.superclass == "Base"
+
+    def test_attribute_domains_passthrough(self):
+        spec = derive_skeleton_spec(
+            _Gadget, attribute_domains=[("size", RangeDomain(0, 10))]
+        )
+        assert spec.attribute_by_name("size").domain == RangeDomain(0, 10)
+
+    def test_methodless_class(self):
+        class Bare:
+            pass
+
+        spec = derive_skeleton_spec(Bare)
+        assert find_problems(spec) == []
+        assert len(spec.nodes) == 2  # birth and death only
+
+    def test_skeleton_drives_generation(self):
+        """The permissive skeleton must be generateable end to end."""
+        from repro.generator.driver import DriverGenerator
+
+        spec = derive_skeleton_spec(_Gadget)
+        suite = DriverGenerator(spec, max_transactions=200).generate()
+        assert len(suite) > 0

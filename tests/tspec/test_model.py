@@ -1,0 +1,147 @@
+"""Tests for the t-spec data model (lookups, derived views)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import RangeDomain
+from repro.core.errors import SpecValidationError
+from repro.tspec.model import (
+    AttributeSpec,
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+
+
+def small_spec() -> ClassSpec:
+    return ClassSpec(
+        name="Sample",
+        attributes=(AttributeSpec("count", RangeDomain(0, 9)),),
+        methods=(
+            MethodSpec("m1", "Sample", MethodCategory.CONSTRUCTOR),
+            MethodSpec("m2", "Work", MethodCategory.PROCESS,
+                       parameters=(ParameterSpec("n", RangeDomain(0, 5)),),
+                       return_type="int"),
+            MethodSpec("m3", "~Sample", MethodCategory.DESTRUCTOR),
+        ),
+        nodes=(
+            NodeSpec("n1", ("m1",), is_start=True),
+            NodeSpec("n2", ("m2",)),
+            NodeSpec("n3", ("m3",)),
+        ),
+        edges=(EdgeSpec("n1", "n2"), EdgeSpec("n2", "n3"), EdgeSpec("n1", "n3")),
+    )
+
+
+class TestLookups:
+    def test_method_by_ident(self):
+        spec = small_spec()
+        assert spec.method_by_ident("m2").name == "Work"
+        with pytest.raises(KeyError):
+            spec.method_by_ident("m9")
+
+    def test_methods_by_name(self):
+        spec = small_spec()
+        assert len(spec.methods_by_name("Work")) == 1
+        assert spec.methods_by_name("Missing") == ()
+
+    def test_node_by_ident(self):
+        spec = small_spec()
+        assert spec.node_by_ident("n2").methods == ("m2",)
+        with pytest.raises(KeyError):
+            spec.node_by_ident("n9")
+
+    def test_attribute_by_name(self):
+        spec = small_spec()
+        assert spec.attribute_by_name("count").domain == RangeDomain(0, 9)
+        with pytest.raises(KeyError):
+            spec.attribute_by_name("missing")
+
+
+class TestDerivedViews:
+    def test_constructor_and_destructor_views(self):
+        spec = small_spec()
+        assert [method.ident for method in spec.constructor_methods] == ["m1"]
+        assert [method.ident for method in spec.destructor_methods] == ["m3"]
+
+    def test_start_nodes_flagged(self):
+        spec = small_spec()
+        assert [node.ident for node in spec.start_nodes] == ["n1"]
+
+    def test_start_nodes_fall_back_to_constructors(self):
+        spec = small_spec()
+        from dataclasses import replace
+        unflagged = replace(
+            spec,
+            nodes=tuple(replace(node, is_start=False) for node in spec.nodes),
+        )
+        assert [node.ident for node in unflagged.start_nodes] == ["n1"]
+
+    def test_end_nodes_from_destructors(self):
+        spec = small_spec()
+        assert [node.ident for node in spec.end_nodes] == ["n3"]
+
+    def test_adjacency(self):
+        adjacency = small_spec().adjacency()
+        assert adjacency["n1"] == ("n2", "n3")
+        assert adjacency["n2"] == ("n3",)
+        assert adjacency["n3"] == ()
+
+    def test_in_out_edges(self):
+        spec = small_spec()
+        assert len(spec.outgoing_edges("n1")) == 2
+        assert len(spec.incoming_edges("n3")) == 2
+
+    def test_stats(self):
+        counts = small_spec().stats()
+        assert counts == {"attributes": 1, "methods": 3, "nodes": 3, "links": 3}
+
+    def test_describe_mentions_model_size(self):
+        text = small_spec().describe()
+        assert "3 nodes" in text and "3 links" in text
+
+    def test_iter_parameter_specs(self):
+        pairs = list(small_spec().iter_parameter_specs())
+        assert len(pairs) == 1
+        method, parameter = pairs[0]
+        assert method.ident == "m2" and parameter.name == "n"
+
+
+class TestMethodSpec:
+    def test_signature_rendering(self):
+        method = small_spec().method_by_ident("m2")
+        text = method.signature()
+        assert text.startswith("Work(")
+        assert "-> int" in text
+
+    def test_arity_and_structured(self):
+        method = small_spec().method_by_ident("m2")
+        assert method.arity == 1
+        assert not method.has_structured_parameters
+
+    def test_category_keywords(self):
+        assert MethodCategory.from_keyword("CONSTRUCTOR") is MethodCategory.CONSTRUCTOR
+        with pytest.raises(SpecValidationError):
+            MethodCategory.from_keyword("bogus")
+
+
+class TestNodeSpec:
+    def test_empty_node_rejected(self):
+        with pytest.raises(SpecValidationError):
+            NodeSpec("n1", ())
+
+
+class TestNormalized:
+    def test_fills_out_degrees(self):
+        spec = small_spec()
+        normalized = spec.normalized()
+        degrees = {node.ident: node.declared_out_degree for node in normalized.nodes}
+        assert degrees == {"n1": 2, "n2": 1, "n3": 0}
+
+    def test_idempotent(self):
+        spec = small_spec().normalized()
+        assert spec.normalized() == spec

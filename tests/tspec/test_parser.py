@@ -1,0 +1,236 @@
+"""Tests for the t-spec tokenizer and parser (Figure 3 format)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import (
+    BoolDomain,
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from repro.core.errors import SpecParseError
+from repro.tspec.model import MethodCategory
+from repro.tspec.parser import parse_tspec, tokenize
+
+MINIMAL = """
+// A minimal but complete specification.
+Class ('Counter', No, <empty>, <empty>)
+Method (m1, 'Counter', <empty>, constructor, 0)
+Method (m2, '~Counter', <empty>, destructor, 0)
+Node (n1, Yes, 1, [m1])
+Node (n2, No, 0, [m2])
+Edge (n1, n2)
+"""
+
+PRODUCT_LIKE = """
+Class ('Product', No, <empty>, ['product.cpp', 'product.h'])
+Attribute ('qty', range, 1, 99999)       // from Figure 3
+Attribute ('name', string, 1, 30)
+Attribute ('price', float_range, 0.0, 100.5)
+Method (m1, 'Product', <empty>, constructor, 0)
+Method (m5, 'UpdateName', void, update, 1)
+Parameter (m5, 'n', string, 1, 30)
+Method (m6, 'Mode', <empty>, update, 1)
+Parameter (m6, 'mode', set, ['p1', 'p2', 'p3'])
+Method (m7, 'UpdateProv', <empty>, update, 1)
+Parameter (m7, 'prv', pointer, 'Provider')
+Method (m9, '~Product', <empty>, destructor, 0)
+Node (n1, Yes, 2, [m1])
+Node (n2, No, 2, [m5, m6, m7])
+Node (n3, No, 0, [m9])
+Edge (n1, n2)
+Edge (n1, n3)
+Edge (n2, n2)
+Edge (n2, n3)
+"""
+
+
+class TestTokenizer:
+    def test_basic_kinds(self):
+        tokens = tokenize("Class ('X', No, <empty>, [1, -2, 3.5])")
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            "IDENT", "LPAREN", "STRING", "COMMA", "IDENT", "COMMA",
+            "EMPTY", "COMMA", "LBRACKET", "NUMBER", "COMMA", "NUMBER",
+            "COMMA", "NUMBER", "RBRACKET", "RPAREN",
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("(1, -2, 3.5, +4)")
+        values = [token.value for token in tokens if token.kind == "NUMBER"]
+        assert values == [1, -2, 3.5, 4]
+
+    def test_comment_stripping(self):
+        tokens = tokenize("Edge (n1, n2) // comment ignored")
+        assert all(token.kind != "STRING" for token in tokens)
+        assert len(tokens) == 6
+
+    def test_comment_inside_string_kept(self):
+        tokens = tokenize("Attribute ('path//name', string)")
+        strings = [token.value for token in tokens if token.kind == "STRING"]
+        assert strings == ["path//name"]
+
+    def test_double_quoted_strings(self):
+        tokens = tokenize('Class ("X", No, <empty>, <empty>)')
+        assert tokens[2].value == "X"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SpecParseError):
+            tokenize("Class ('oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpecParseError):
+            tokenize("Edge (n1 & n2)")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("Edge (n1, n2)\nEdge (n2, n3)")
+        assert tokens[0].line == 1
+        assert tokens[6].line == 2
+
+
+class TestParseMinimal:
+    def test_header(self):
+        spec = parse_tspec(MINIMAL)
+        assert spec.name == "Counter"
+        assert not spec.is_abstract
+        assert spec.superclass is None
+        assert spec.source_files == ()
+
+    def test_methods(self):
+        spec = parse_tspec(MINIMAL)
+        assert [method.ident for method in spec.methods] == ["m1", "m2"]
+        assert spec.method_by_ident("m1").category is MethodCategory.CONSTRUCTOR
+        assert spec.method_by_ident("m2").is_destructor
+
+    def test_nodes_and_edges(self):
+        spec = parse_tspec(MINIMAL)
+        assert [node.ident for node in spec.nodes] == ["n1", "n2"]
+        assert spec.nodes[0].is_start
+        assert spec.nodes[0].declared_out_degree == 1
+        assert spec.edges[0].source == "n1"
+        assert spec.edges[0].target == "n2"
+
+
+class TestParseDomains:
+    def test_attribute_domains(self):
+        spec = parse_tspec(PRODUCT_LIKE)
+        assert spec.attribute_by_name("qty").domain == RangeDomain(1, 99999)
+        assert spec.attribute_by_name("name").domain == StringDomain(1, 30)
+        assert spec.attribute_by_name("price").domain == FloatRangeDomain(0.0, 100.5)
+
+    def test_parameter_attachment_in_order(self):
+        spec = parse_tspec(PRODUCT_LIKE)
+        update_name = spec.method_by_ident("m5")
+        assert update_name.arity == 1
+        assert update_name.parameters[0].name == "n"
+        assert update_name.parameters[0].domain == StringDomain(1, 30)
+
+    def test_set_parameter(self):
+        spec = parse_tspec(PRODUCT_LIKE)
+        mode = spec.method_by_ident("m6")
+        assert mode.parameters[0].domain == SetDomain(("p1", "p2", "p3"))
+
+    def test_pointer_parameter(self):
+        spec = parse_tspec(PRODUCT_LIKE)
+        prov = spec.method_by_ident("m7")
+        assert prov.parameters[0].domain == PointerDomain(ObjectDomain("Provider"))
+
+    def test_source_file_list(self):
+        spec = parse_tspec(PRODUCT_LIKE)
+        assert spec.source_files == ("product.cpp", "product.h")
+
+    def test_bool_and_bare_string_domains(self):
+        text = """
+        Class ('X', No, <empty>, <empty>)
+        Attribute ('flag', bool)
+        Attribute ('tag', string)
+        Method (m1, 'X', <empty>, constructor, 0)
+        Method (m2, '~X', <empty>, destructor, 0)
+        Node (n1, Yes, 1, [m1])
+        Node (n2, No, 0, [m2])
+        Edge (n1, n2)
+        """
+        spec = parse_tspec(text)
+        assert spec.attribute_by_name("flag").domain == BoolDomain()
+        assert spec.attribute_by_name("tag").domain == StringDomain()
+
+    def test_object_domain(self):
+        text = """
+        Class ('X', No, <empty>, <empty>)
+        Method (m1, 'X', <empty>, constructor, 1)
+        Parameter (m1, 'o', object, 'Widget')
+        Method (m2, '~X', <empty>, destructor, 0)
+        Node (n1, Yes, 1, [m1])
+        Node (n2, No, 0, [m2])
+        Edge (n1, n2)
+        """
+        spec = parse_tspec(text)
+        domain = spec.method_by_ident("m1").parameters[0].domain
+        assert domain == ObjectDomain("Widget")
+
+
+class TestParseErrors:
+    def test_missing_class_record(self):
+        with pytest.raises(SpecParseError, match="no Class record"):
+            parse_tspec("Edge (n1, n2)")
+
+    def test_duplicate_class_record(self):
+        text = MINIMAL + "\nClass ('Another', No, <empty>, <empty>)"
+        with pytest.raises(SpecParseError, match="duplicate Class"):
+            parse_tspec(text)
+
+    def test_unknown_record_kind(self):
+        with pytest.raises(SpecParseError, match="unknown record"):
+            parse_tspec("Klass ('X', No, <empty>, <empty>)")
+
+    def test_parameter_for_unknown_method(self):
+        text = """
+        Class ('X', No, <empty>, <empty>)
+        Parameter (m9, 'n', string)
+        """
+        with pytest.raises(SpecParseError, match="unknown method"):
+            parse_tspec(text)
+
+    def test_bad_yes_no(self):
+        with pytest.raises(SpecParseError, match="Yes/No"):
+            parse_tspec("Class ('X', Maybe, <empty>, <empty>)")
+
+    def test_unknown_domain_kind(self):
+        text = """
+        Class ('X', No, <empty>, <empty>)
+        Attribute ('a', quaternion, 1, 2)
+        """
+        with pytest.raises(SpecParseError, match="unknown domain"):
+            parse_tspec(text)
+
+    def test_truncated_record(self):
+        with pytest.raises(SpecParseError):
+            parse_tspec("Class ('X', No, <empty>")
+
+    def test_unknown_category(self):
+        text = """
+        Class ('X', No, <empty>, <empty>)
+        Method (m1, 'X', <empty>, sideways, 0)
+        """
+        with pytest.raises(Exception, match="category"):
+            parse_tspec(text)
+
+    def test_superclass_string(self):
+        text = """
+        Class ('Y', No, 'X', <empty>)
+        Method (m1, 'Y', <empty>, constructor, 0)
+        Method (m2, '~Y', <empty>, destructor, 0)
+        Node (n1, Yes, 1, [m1])
+        Node (n2, No, 0, [m2])
+        Edge (n1, n2)
+        """
+        assert parse_tspec(text).superclass == "X"
+
+    def test_abstract_class(self):
+        text = "Class ('A', Yes, <empty>, <empty>)"
+        assert parse_tspec(text).is_abstract

@@ -1,0 +1,157 @@
+"""Tests for t-spec structural validation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.errors import SpecValidationError
+from repro.tspec.model import (
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+    ParameterSpec,
+)
+from repro.core.domains import RangeDomain
+from repro.tspec.validate import find_problems, validate
+
+
+def sound_spec() -> ClassSpec:
+    return ClassSpec(
+        name="Sound",
+        methods=(
+            MethodSpec("m1", "Sound", MethodCategory.CONSTRUCTOR),
+            MethodSpec("m2", "Work", MethodCategory.PROCESS),
+            MethodSpec("m3", "~Sound", MethodCategory.DESTRUCTOR),
+        ),
+        nodes=(
+            NodeSpec("n1", ("m1",), is_start=True),
+            NodeSpec("n2", ("m2",)),
+            NodeSpec("n3", ("m3",)),
+        ),
+        edges=(EdgeSpec("n1", "n2"), EdgeSpec("n2", "n3")),
+    )
+
+
+class TestSoundSpec:
+    def test_no_problems(self):
+        assert find_problems(sound_spec()) == []
+
+    def test_validate_returns_spec(self):
+        spec = sound_spec()
+        assert validate(spec) is spec
+
+
+class TestReferenceProblems:
+    def test_node_references_unknown_method(self):
+        spec = sound_spec()
+        broken = replace(spec, nodes=spec.nodes + (NodeSpec("n4", ("m99",)),))
+        problems = find_problems(broken)
+        assert any("unknown method" in problem for problem in problems)
+
+    def test_edge_references_unknown_node(self):
+        spec = sound_spec()
+        broken = replace(spec, edges=spec.edges + (EdgeSpec("n1", "n99"),))
+        assert any("unknown target node" in p for p in find_problems(broken))
+
+    def test_duplicate_edge(self):
+        spec = sound_spec()
+        broken = replace(spec, edges=spec.edges + (EdgeSpec("n1", "n2"),))
+        assert any("duplicate edge" in p for p in find_problems(broken))
+
+    def test_duplicate_method_ident(self):
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            methods=spec.methods + (
+                MethodSpec("m1", "Clone", MethodCategory.PROCESS),
+            ),
+        )
+        assert any("duplicate method ident" in p for p in find_problems(broken))
+
+    def test_duplicate_parameter_names(self):
+        method = MethodSpec(
+            "m2", "Work", MethodCategory.PROCESS,
+            parameters=(
+                ParameterSpec("x", RangeDomain(0, 1)),
+                ParameterSpec("x", RangeDomain(0, 1)),
+            ),
+        )
+        spec = sound_spec()
+        broken = replace(spec, methods=(spec.methods[0], method, spec.methods[2]))
+        assert any("repeats parameter" in p for p in find_problems(broken))
+
+    def test_declared_out_degree_mismatch(self):
+        spec = sound_spec()
+        node = replace(spec.nodes[0], declared_out_degree=5)
+        broken = replace(spec, nodes=(node,) + spec.nodes[1:])
+        assert any("out-degree" in p for p in find_problems(broken))
+
+
+class TestShapeProblems:
+    def test_missing_constructor(self):
+        spec = sound_spec()
+        broken = replace(spec, methods=spec.methods[1:],
+                         nodes=(replace(spec.nodes[0], methods=("m2",)),)
+                         + spec.nodes[1:])
+        assert any("no constructor" in p for p in find_problems(broken))
+
+    def test_missing_destructor_method(self):
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            methods=spec.methods[:2],
+            nodes=(spec.nodes[0], spec.nodes[1],
+                   replace(spec.nodes[2], methods=("m2",))),
+        )
+        assert any("no destructor" in p for p in find_problems(broken))
+
+    def test_unreachable_node(self):
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            nodes=spec.nodes + (NodeSpec("n4", ("m2",)),),
+            edges=spec.edges + (EdgeSpec("n4", "n3"),),
+        )
+        assert any("unreachable" in p for p in find_problems(broken))
+
+    def test_stuck_node(self):
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            nodes=spec.nodes + (NodeSpec("n4", ("m2",)),),
+            edges=spec.edges + (EdgeSpec("n1", "n4"),),
+        )
+        assert any("cannot reach any death node" in p for p in find_problems(broken))
+
+    def test_mixed_birth_node(self):
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            nodes=(replace(spec.nodes[0], methods=("m1", "m2")),) + spec.nodes[1:],
+        )
+        assert any("homogeneous" in p for p in find_problems(broken))
+
+    def test_abstract_class_may_have_empty_model(self):
+        spec = ClassSpec(name="Abstract", is_abstract=True)
+        assert find_problems(spec) == []
+
+    def test_concrete_class_needs_nodes(self):
+        spec = ClassSpec(
+            name="Empty",
+            methods=(
+                MethodSpec("m1", "Empty", MethodCategory.CONSTRUCTOR),
+                MethodSpec("m2", "~Empty", MethodCategory.DESTRUCTOR),
+            ),
+        )
+        assert any("no nodes" in p for p in find_problems(spec))
+
+    def test_validate_raises_with_all_problems(self):
+        spec = sound_spec()
+        broken = replace(spec, edges=())
+        with pytest.raises(SpecValidationError) as excinfo:
+            validate(broken)
+        assert len(excinfo.value.problems) >= 1

@@ -1,0 +1,145 @@
+"""Round-trip tests: write_tspec ∘ parse_tspec is the identity (normalized).
+
+Includes a hypothesis strategy that builds random-but-valid specs through
+the builder, so the round-trip property is checked over a broad family of
+specs, not just the shipped components.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components import (
+    ACCOUNT_SPEC,
+    OBLIST_SPEC,
+    PRODUCT_SPEC,
+    PROVIDER_SPEC,
+    SORTABLE_OBLIST_SPEC,
+    STACK_SPEC,
+)
+from repro.core.domains import (
+    BoolDomain,
+    FloatRangeDomain,
+    ObjectDomain,
+    PointerDomain,
+    RangeDomain,
+    SetDomain,
+    StringDomain,
+)
+from repro.tspec.builder import SpecBuilder
+from repro.tspec.parser import parse_tspec
+from repro.tspec.writer import write_tspec
+
+ALL_COMPONENT_SPECS = (
+    OBLIST_SPEC,
+    SORTABLE_OBLIST_SPEC,
+    PRODUCT_SPEC,
+    PROVIDER_SPEC,
+    STACK_SPEC,
+    ACCOUNT_SPEC,
+)
+
+
+class TestComponentSpecsRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_COMPONENT_SPECS,
+                             ids=lambda spec: spec.name)
+    def test_roundtrip(self, spec):
+        text = write_tspec(spec)
+        assert parse_tspec(text) == spec.normalized()
+
+    @pytest.mark.parametrize("spec", ALL_COMPONENT_SPECS,
+                             ids=lambda spec: spec.name)
+    def test_written_text_mentions_every_method(self, spec):
+        text = write_tspec(spec)
+        for method in spec.methods:
+            assert method.ident in text
+            assert method.name in text
+
+    def test_written_text_is_stable(self):
+        first = write_tspec(PRODUCT_SPEC)
+        second = write_tspec(parse_tspec(first))
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trip over generated specs
+# ---------------------------------------------------------------------------
+
+_identifiers = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+_safe_text = st.from_regex(r"[A-Za-z0-9_ .-]{1,12}", fullmatch=True)
+
+
+@st.composite
+def domains(draw):
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        low = draw(st.integers(-1000, 1000))
+        return RangeDomain(low, low + draw(st.integers(0, 1000)))
+    if choice == 1:
+        low = draw(st.integers(-100, 100))
+        return FloatRangeDomain(float(low), float(low + draw(st.integers(0, 50))))
+    if choice == 2:
+        members = draw(st.lists(
+            st.one_of(st.integers(-50, 50), _safe_text), min_size=1, max_size=4,
+            unique_by=lambda v: (type(v).__name__, v),
+        ))
+        return SetDomain(tuple(members))
+    if choice == 3:
+        minimum = draw(st.integers(0, 5))
+        return StringDomain(minimum, minimum + draw(st.integers(0, 10)))
+    if choice == 4:
+        return BoolDomain()
+    if choice == 5:
+        return ObjectDomain(draw(_identifiers))
+    return PointerDomain(ObjectDomain(draw(_identifiers)))
+
+
+@st.composite
+def specs(draw):
+    builder = SpecBuilder(draw(_identifiers))
+    attribute_names = draw(st.lists(_identifiers, max_size=3, unique=True))
+    for name in attribute_names:
+        builder.attribute(name, draw(domains()))
+    builder.constructor("Create")
+    method_count = draw(st.integers(0, 4))
+    method_names = []
+    for index in range(method_count):
+        name = f"Op{index}"
+        method_names.append(name)
+        parameters = [
+            (f"p{position}", draw(domains()))
+            for position in range(draw(st.integers(0, 3)))
+        ]
+        builder.method(name, parameters, category=draw(
+            st.sampled_from(["update", "access", "process"])
+        ))
+    builder.destructor("Destroy")
+    builder.node("birth", ["Create"], start=True)
+    if method_names:
+        builder.node("work", method_names)
+        builder.node("death", ["Destroy"])
+        builder.chain("birth", "work", "death")
+        if draw(st.booleans()):
+            builder.edge("work", "work")
+        if draw(st.booleans()):
+            builder.edge("birth", "death")
+    else:
+        builder.node("death", ["Destroy"])
+        builder.edge("birth", "death")
+    return builder.build()
+
+
+class TestGeneratedSpecsRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(specs())
+    def test_roundtrip_property(self, spec):
+        text = write_tspec(spec)
+        assert parse_tspec(text) == spec.normalized()
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs())
+    def test_double_write_is_stable(self, spec):
+        once = write_tspec(spec)
+        twice = write_tspec(parse_tspec(once))
+        assert once == twice
