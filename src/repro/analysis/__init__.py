@@ -1,0 +1,48 @@
+"""``concat-lint``: static conformance analysis for self-testable components.
+
+The paper's central claim (sec. 3.2-(vii)) is that embedding the t-spec in
+the component lets a tester detect "incompleteness, ambiguity and
+inconsistency".  The rest of this repository discovers source/spec drift
+*dynamically*, at driver-execution time; this subsystem closes the gap
+statically, cross-checking the component's Python AST against its declared
+:class:`~repro.tspec.model.ClassSpec` and transaction flow model before any
+test runs.
+
+Public surface:
+
+* :func:`lint_paths` / :func:`lint_units` — run the rule suite;
+* :class:`LintConfig` — per-rule enable/disable and severity overrides;
+* :class:`Finding` / :class:`LintResult` / :class:`Severity` — results;
+* :func:`default_registry` — the shipped rule suite (``CL001``–``CL011``);
+* ``python -m repro.analysis`` — the command line (see :mod:`.cli`).
+
+Inline suppression: append ``# concat-lint: disable=CL001 -- reason`` to the
+offending line (or the ``class`` line to cover a whole component).
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding, LintResult, Severity
+from .registry import Rule, RuleRegistry, default_registry, register
+from .report import render_json, render_sarif, render_text
+from .runner import lint_paths, lint_units
+from .unit import ComponentUnit, SourceCache, units_from_module
+
+__all__ = [
+    "ComponentUnit",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "SourceCache",
+    "default_registry",
+    "lint_paths",
+    "lint_units",
+    "register",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "units_from_module",
+]

@@ -1,0 +1,77 @@
+"""Per-rule configuration for ``concat-lint``.
+
+A :class:`LintConfig` decides, for every registered rule, whether it runs and
+at which severity.  Rules are addressable by short id (``CL001``) or by slug
+(``spec-missing-method``); both spellings work everywhere a rule is named —
+``--disable``, ``--select``, severity overrides, and inline suppression
+directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, TYPE_CHECKING
+
+from .findings import Severity
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard for annotations only
+    from .registry import Rule
+
+
+def _normalize(names: Iterable[str]) -> FrozenSet[str]:
+    return frozenset(name.strip().lower() for name in names if name.strip())
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, and at which severity.
+
+    * ``disabled`` — rule ids/names switched off;
+    * ``selected`` — when non-empty, *only* these rules run;
+    * ``severity_overrides`` — rule id/name → severity replacing the default;
+    * ``strict`` — exit non-zero on warnings too (consumed by the CLI).
+    """
+
+    disabled: FrozenSet[str] = frozenset()
+    selected: FrozenSet[str] = frozenset()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    strict: bool = False
+
+    @classmethod
+    def build(cls,
+              disable: Iterable[str] = (),
+              select: Iterable[str] = (),
+              severities: Optional[Mapping[str, str]] = None,
+              strict: bool = False) -> "LintConfig":
+        overrides: Dict[str, Severity] = {}
+        for name, keyword in (severities or {}).items():
+            overrides[name.strip().lower()] = Severity.from_keyword(keyword)
+        return cls(
+            disabled=_normalize(disable),
+            selected=_normalize(select),
+            severity_overrides=overrides,
+            strict=strict,
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def _keys(self, rule: "Rule") -> FrozenSet[str]:
+        return frozenset((rule.id.lower(), rule.name.lower()))
+
+    def is_enabled(self, rule: "Rule") -> bool:
+        keys = self._keys(rule)
+        if keys & self.disabled:
+            return False
+        if self.selected:
+            return bool(keys & self.selected)
+        return True
+
+    def severity_for(self, rule: "Rule") -> Severity:
+        for key in self._keys(rule):
+            if key in self.severity_overrides:
+                return self.severity_overrides[key]
+        return rule.severity
+
+
+#: The out-of-the-box configuration: every rule on, default severities.
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,114 @@
+"""Findings: the structured output records of ``concat-lint``.
+
+A finding is one detected conformance problem between a component's Python
+source and its embedded t-spec (paper sec. 3.2-(vii): the embedded
+specification lets a tester detect "incompleteness, ambiguity and
+inconsistency").  Findings carry everything the three emitters (human text,
+JSON, SARIF) need: rule identity, severity, location, and message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.Enum):
+    """Severity ladder; only :attr:`ERROR` findings fail the lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "Severity":
+        try:
+            return cls(keyword.lower())
+        except ValueError:
+            valid = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown severity {keyword!r} (valid: {valid})"
+            ) from None
+
+    @property
+    def sarif_level(self) -> str:
+        """SARIF ``level`` keyword (``info`` is spelled ``note`` in SARIF)."""
+        return "note" if self is Severity.INFO else self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One conformance problem, anchored to a source location."""
+
+    rule_id: str          # short stable id, e.g. "CL001"
+    rule_name: str        # readable slug, e.g. "spec-missing-method"
+    severity: Severity
+    path: str             # source file the finding anchors to
+    line: int             # 1-based line in ``path``
+    message: str
+    component: str = ""   # class name of the component under analysis
+    suppressed: bool = False
+    justification: Optional[str] = None  # text after ``--`` in the directive
+
+    def with_severity(self, severity: Severity) -> "Finding":
+        from dataclasses import replace
+        return replace(self, severity=severity)
+
+    def with_suppression(self, justification: Optional[str]) -> "Finding":
+        from dataclasses import replace
+        return replace(self, suppressed=True, justification=justification)
+
+    def to_json(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "component": self.component,
+        }
+        if self.suppressed:
+            record["suppressed"] = True
+            if self.justification:
+                record["justification"] = self.justification
+        return record
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line: [id name] severity: message``."""
+        tag = f"[{self.rule_id} {self.rule_name}]"
+        text = f"{self.path}:{self.line}: {tag} {self.severity.value}: {self.message}"
+        if self.suppressed:
+            reason = f" ({self.justification})" if self.justification else ""
+            text += f" [suppressed{reason}]"
+        return text
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run: active findings plus suppression stats."""
+
+    findings: list = field(default_factory=list)       # List[Finding], active
+    suppressed: list = field(default_factory=list)     # List[Finding]
+    components: int = 0
+    files: int = 0
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when error findings (or warnings under --strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0

@@ -1,0 +1,113 @@
+"""Target discovery: turn CLI arguments into imported component modules.
+
+Accepts three spellings:
+
+* a **directory** — every ``*.py`` file under it (recursively) is a target;
+* a **file** — that one module;
+* a **dotted module path** (``repro.components.stack``) — imported directly.
+
+Files inside a package (an ``__init__.py`` chain) are imported under their
+real dotted name so package ``__init__`` side effects run — crucially, the
+components package attaches ``__tspec__`` in its ``__init__``.  Loose files
+(e.g. test fixtures) are imported by location.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+from typing import Iterable, List
+
+from ..core.errors import ReproError
+
+
+class TargetError(ReproError):
+    """A lint target could not be resolved or imported."""
+
+
+def resolve_targets(arguments: Iterable[str]) -> List[Path]:
+    """Expand CLI arguments into concrete ``.py`` file paths."""
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(
+                sorted(
+                    candidate
+                    for candidate in path.rglob("*.py")
+                    if candidate.name != "__init__.py"
+                    and "__pycache__" not in candidate.parts
+                )
+            )
+        elif path.is_file():
+            files.append(path)
+        elif _looks_dotted(argument):
+            module = import_dotted(argument)
+            origin = getattr(module, "__file__", None)
+            if origin is None:
+                raise TargetError(f"module {argument!r} has no source file")
+            files.append(Path(origin))
+        else:
+            raise TargetError(f"no such file, directory, or module: {argument!r}")
+    return files
+
+
+def _looks_dotted(argument: str) -> bool:
+    return all(part.isidentifier() for part in argument.split("."))
+
+
+def import_dotted(dotted: str) -> ModuleType:
+    try:
+        return importlib.import_module(dotted)
+    except ImportError as error:
+        raise TargetError(f"cannot import module {dotted!r}: {error}") from error
+
+
+def load_module(file: Path) -> ModuleType:
+    """Import one source file, preferring its real package identity."""
+    file = file.resolve()
+    dotted = _dotted_name_for(file)
+    if dotted is not None:
+        root_parent = str(_package_root(file).parent)
+        if root_parent not in sys.path:
+            sys.path.insert(0, root_parent)
+        try:
+            return importlib.import_module(dotted)
+        except ImportError as error:
+            raise TargetError(
+                f"cannot import {file} as {dotted!r}: {error}"
+            ) from error
+    alias = f"_concat_lint_{file.stem}"
+    if alias in sys.modules:
+        return sys.modules[alias]
+    spec = importlib.util.spec_from_file_location(alias, file)
+    if spec is None or spec.loader is None:
+        raise TargetError(f"cannot load {file}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[alias] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as error:
+        sys.modules.pop(alias, None)
+        raise TargetError(f"error importing {file}: {error}") from error
+    return module
+
+
+def _dotted_name_for(file: Path) -> str | None:
+    """``src/repro/components/stack.py`` → ``repro.components.stack``."""
+    if (file.parent / "__init__.py").exists():
+        root = _package_root(file)
+        relative = file.relative_to(root.parent).with_suffix("")
+        return ".".join(relative.parts)
+    return None
+
+
+def _package_root(file: Path) -> Path:
+    """Topmost directory in the ``__init__.py`` chain containing ``file``."""
+    current = file.parent
+    while (current.parent / "__init__.py").exists():
+        current = current.parent
+    return current

@@ -1,0 +1,120 @@
+"""The ``concat-lint`` rule registry.
+
+Each rule is a small object with a stable id (``CL###``), a readable slug, a
+default severity, and a :meth:`Rule.check` that inspects one
+:class:`~repro.analysis.unit.ComponentUnit` and yields findings.  Rules
+register themselves with the :func:`register` decorator at import time; the
+rule modules are imported lazily by :func:`default_registry` so importing
+:mod:`repro.analysis` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, TYPE_CHECKING
+
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .unit import ComponentUnit
+
+
+class Rule:
+    """Base class of all conformance rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.  The
+    severity recorded on emitted findings is the *default*; the runner
+    re-labels findings when the config overrides a rule's severity.
+    """
+
+    #: Stable short id, e.g. ``CL001``.  Never reuse a retired id.
+    id: str = "CL000"
+    #: Readable kebab-case slug, e.g. ``spec-missing-method``.
+    name: str = "abstract-rule"
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.WARNING
+    #: One-line description for ``--list-rules`` and SARIF rule metadata.
+    summary: str = ""
+
+    def check(self, unit: "ComponentUnit") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def finding(self, unit: "ComponentUnit", line: int, message: str,
+                path: Optional[str] = None) -> Finding:
+        """Build a finding anchored in the unit's defining file by default."""
+        return Finding(
+            rule_id=self.id,
+            rule_name=self.name,
+            severity=self.severity,
+            path=path or unit.path,
+            line=line,
+            message=message,
+            component=unit.class_name,
+        )
+
+
+class RuleRegistry:
+    """Ordered, addressable collection of rules."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: List[Rule] = []
+        self._by_key: Dict[str, Rule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        for key in (rule.id.lower(), rule.name.lower()):
+            if key in self._by_key:
+                raise ValueError(f"duplicate rule key {key!r}")
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: r.id)
+        self._by_key[rule.id.lower()] = rule
+        self._by_key[rule.name.lower()] = rule
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def by_key(self, key: str) -> Rule:
+        try:
+            return self._by_key[key.strip().lower()]
+        except KeyError:
+            raise KeyError(f"unknown rule {key!r}") from None
+
+    def known_keys(self) -> List[str]:
+        return sorted(self._by_key)
+
+    def table(self) -> List[Dict[str, str]]:
+        """Rows for ``--list-rules`` and the README rule table."""
+        return [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "summary": rule.summary,
+            }
+            for rule in self._rules
+        ]
+
+
+#: Rules annotated with :func:`register` land here at module import time.
+_REGISTERED: List[Rule] = []
+
+
+def register(cls):
+    """Class decorator: instantiate the rule and record it for the registry."""
+    _REGISTERED.append(cls())
+    return cls
+
+
+def default_registry() -> RuleRegistry:
+    """The full shipped rule suite (imports rule modules on first use)."""
+    from . import rules_contracts  # noqa: F401
+    from . import rules_interface  # noqa: F401
+    from . import rules_model  # noqa: F401
+    from . import rules_mutation  # noqa: F401
+
+    return RuleRegistry(_REGISTERED)

@@ -1,0 +1,112 @@
+"""Test-model rules: the TFM's node/edge structure vs the class it models.
+
+The dynamic pipeline only notices a broken model when the driver generator
+walks it; these rules catch the same defects statically — a node whose
+method ident vanished from the spec, transactions that can never start, and
+states from which no death node is reachable (the paper's birth-to-death
+transaction shape, sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .findings import Finding, Severity
+from .registry import Rule, register
+from .unit import ComponentUnit
+
+
+@register
+class TfmDanglingMethod(Rule):
+    """TFM node referencing a method ident the spec no longer declares."""
+
+    id = "CL008"
+    name = "tfm-dangling-method"
+    severity = Severity.ERROR
+    summary = "TFM node references a method ident missing from the t-spec"
+
+    def check(self, unit: ComponentUnit) -> Iterable[Finding]:
+        known = set(unit.spec.method_idents)
+        for node in unit.spec.nodes:
+            for method_ident in node.methods:
+                if method_ident not in known:
+                    yield self.finding(
+                        unit, unit.class_line,
+                        f"{unit.class_name}: TFM node {node.ident} references "
+                        f"method {method_ident!r}, which the t-spec does not "
+                        "declare",
+                    )
+
+
+@register
+class TfmReachability(Rule):
+    """Transactions that can never start, or never reach a death node."""
+
+    id = "CL009"
+    name = "tfm-reachability"
+    severity = Severity.ERROR
+    summary = ("TFM has no birth/death node, unreachable nodes, or states "
+               "that cannot terminate")
+
+    def check(self, unit: ComponentUnit) -> Iterable[Finding]:
+        spec = unit.spec
+        if not spec.nodes:
+            if not spec.is_abstract:
+                yield self.finding(
+                    unit, unit.class_line,
+                    f"{unit.class_name}: t-spec carries no test model nodes",
+                )
+            return
+
+        births = {node.ident for node in spec.start_nodes}
+        deaths = {node.ident for node in spec.end_nodes}
+        if not births:
+            yield self.finding(
+                unit, unit.class_line,
+                f"{unit.class_name}: test model has no birth node — no "
+                "transaction can ever start",
+            )
+        if not deaths:
+            yield self.finding(
+                unit, unit.class_line,
+                f"{unit.class_name}: test model has no death node — no "
+                "transaction can ever terminate",
+            )
+        if not births or not deaths:
+            return
+
+        adjacency = spec.adjacency()
+        reachable = _forward_closure(births, adjacency)
+        for node in spec.nodes:
+            if node.ident not in reachable:
+                yield self.finding(
+                    unit, unit.class_line,
+                    f"{unit.class_name}: TFM node {node.ident} is statically "
+                    "unreachable from every birth node",
+                )
+
+        reverse: Dict[str, List[str]] = {node.ident: [] for node in spec.nodes}
+        for source, targets in adjacency.items():
+            for target in targets:
+                reverse.setdefault(target, []).append(source)
+        terminating = _forward_closure(deaths, reverse)
+        for node in spec.nodes:
+            if node.ident in reachable and node.ident not in terminating:
+                yield self.finding(
+                    unit, unit.class_line,
+                    f"{unit.class_name}: TFM node {node.ident} cannot reach "
+                    "any death node — transactions through it never terminate",
+                )
+
+
+def _forward_closure(seeds: Set[str],
+                     adjacency: Dict[str, Tuple[str, ...]]) -> Set[str]:
+    seen: Set[str] = set()
+    frontier = list(seeds)
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(adjacency.get(current, ()))
+    return seen

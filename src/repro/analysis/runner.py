@@ -1,0 +1,75 @@
+"""The lint engine: apply every enabled rule to every component unit.
+
+Order of operations per finding: rule emits at its default severity → the
+config's severity override re-labels it → inline suppression directives
+(finding line or class line) move it to the suppressed list.  Findings come
+back sorted by file, line, then rule id, so output is stable across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding, LintResult
+from .loader import load_module, resolve_targets
+from .registry import RuleRegistry, default_registry
+from .unit import ComponentUnit, SourceCache, units_from_module
+
+
+def lint_units(units: Sequence[ComponentUnit],
+               config: LintConfig = DEFAULT_CONFIG,
+               registry: Optional[RuleRegistry] = None) -> LintResult:
+    registry = registry or default_registry()
+    result = LintResult(components=len(units))
+    for unit in units:
+        for rule in registry:
+            if not config.is_enabled(rule):
+                continue
+            severity = config.severity_for(rule)
+            for finding in rule.check(unit):
+                if severity is not finding.severity:
+                    finding = finding.with_severity(severity)
+                directive = unit.suppression_at(
+                    finding.rule_id, finding.rule_name,
+                    finding.path, finding.line,
+                )
+                if directive is not None:
+                    result.suppressed.append(
+                        finding.with_suppression(directive.justification)
+                    )
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=_sort_key)
+    result.suppressed.sort(key=_sort_key)
+    return result
+
+
+def lint_paths(paths: Iterable[str],
+               config: LintConfig = DEFAULT_CONFIG,
+               registry: Optional[RuleRegistry] = None) -> LintResult:
+    """Lint every component found under the given files/dirs/module paths."""
+    files = resolve_targets(paths)
+    cache = SourceCache()
+    units: List[ComponentUnit] = []
+    seen_classes = set()
+    for file in files:
+        module = load_module(file)
+        for unit in units_from_module(module, cache):
+            if unit.klass not in seen_classes:
+                seen_classes.add(unit.klass)
+                units.append(unit)
+    result = lint_units(units, config, registry)
+    result.files = len(files)
+    return result
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.rule_id, finding.message)
+
+
+def default_component_target() -> str:
+    """The shipped components package directory (the CLI's default target)."""
+    import repro.components
+    return str(Path(repro.components.__file__).parent)

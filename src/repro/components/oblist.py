@@ -86,7 +86,7 @@ class CObList(BuiltInTest):
             return self._head is None and self._tail is None
         return self._head is not None and self._tail is not None
 
-    def deep_check(self) -> bool:
+    def deep_check(self) -> bool:  # concat-lint: disable=CL001 -- test-suite diagnostic aid, deliberately outside the t-spec interface
         """Full structural validation (chain walk + count); test-suite aid,
         not part of the embedded assertion oracle."""
         if self._count < 0:

@@ -30,7 +30,7 @@ PRICE_MAX = 100000.0
 NAME_MAX_LENGTH = 30
 
 
-class Provider(BuiltInTest):
+class Provider(BuiltInTest):  # concat-lint: disable=CL011 -- two-method lifecycle class; its methods define no locals for the IND operators to perturb
     """A goods provider; referenced by :class:`Product` (Figure 1)."""
 
     def __init__(self, name: str = "default provider", code: int = 1):
@@ -211,7 +211,7 @@ class Product(BuiltInTest):
 
     # ------------------------------------------------------------------
 
-    def row(self) -> Dict[str, Any]:
+    def row(self) -> Dict[str, Any]:  # concat-lint: disable=CL001 -- database-substrate helper consumed by ProductDatabase, not a tested transaction method
         """The database row for this product."""
         return {
             "name": self.name,

@@ -154,6 +154,7 @@ def build_product_spec() -> ClassSpec:
         .attribute("qty", RangeDomain(1, 99999))
         .attribute("name", StringDomain(1, 30))
         .attribute("price", FloatRangeDomain(0.0, 100000.0))
+        .attribute("prov", provider_pointer)
         .constructor("Product", ident="m1")
         .constructor(
             "Product",
@@ -202,6 +203,7 @@ def build_provider_spec() -> ClassSpec:
     """T-spec of Provider: minimal (birth → death)."""
     return (
         SpecBuilder("Provider", source_files=("repro/components/product.py",))
+        .attribute("name", StringDomain(1, 20))
         .attribute("code", RangeDomain(0, 9999))
         .constructor(
             "Provider",
@@ -253,6 +255,7 @@ def build_account_spec() -> ClassSpec:
     builder = (
         SpecBuilder("BankAccount", source_files=("repro/components/account.py",))
         .attribute("balance", RangeDomain(0, 1_000_000))
+        .attribute("owner", StringDomain(1, 64))
         .constructor(
             "BankAccount",
             [("owner", StringDomain(1, 10)), ("opening_balance", RangeDomain(0, 1000))],

@@ -48,7 +48,10 @@ def _check_unique_idents(spec: ClassSpec) -> List[str]:
     seen_methods: Set[str] = set()
     for method in spec.methods:
         if method.ident in seen_methods:
-            problems.append(f"duplicate method ident {method.ident!r}")
+            problems.append(
+                f"duplicate method ident {method.ident!r} "
+                f"({method.category.value} method {method.name!r})"
+            )
         seen_methods.add(method.ident)
     seen_nodes: Set[str] = set()
     for node in spec.nodes:

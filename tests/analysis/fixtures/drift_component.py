@@ -1,0 +1,161 @@
+"""Fixture components, each seeded with spec-drift defects for concat-lint.
+
+Every rule class of the analyzer has at least one deliberate defect here:
+
+* ``DriftInterface`` — interface drift (CL001–CL007);
+* ``DriftModel``     — test-model drift (CL008, CL009);
+* ``DriftContracts`` — contract predicates that cannot resolve (CL010);
+* ``DriftBarren``    — an interface the IND operators cannot mutate (CL011).
+
+The specs are intentionally *internally* inconsistent in places (dangling
+node idents, unreachable nodes), so ``DriftModel``'s spec is built from raw
+model records rather than through :class:`SpecBuilder` (which validates).
+"""
+
+from __future__ import annotations
+
+from repro.bit.assertions import check_precondition, ensure
+from repro.bit.builtintest import BuiltInTest
+from repro.core.domains import RangeDomain, StringDomain
+from repro.tspec.builder import SpecBuilder
+from repro.tspec.model import (
+    ClassSpec,
+    EdgeSpec,
+    MethodCategory,
+    MethodSpec,
+    NodeSpec,
+)
+
+
+class DriftInterface(BuiltInTest):
+    """Interface drift: CL001, CL002, CL003, CL004, CL005, CL006, CL007."""
+
+    def __init__(self):
+        self.level = 0          # CL007: spec declares level in range [1, 10]
+        self.mystery = 1        # CL005: public attribute, no declared domain
+
+    def Pay(self, amount):      # CL003: spec passes two arguments
+        total = amount + 0      # a local, so CL011 stays quiet on this class
+        return total
+
+    def Rename(self, text):     # CL004: spec names this parameter 'new_name'
+        self._label = str(text)
+
+    def Extra(self):            # CL001: not declared in the t-spec
+        return 42
+
+
+DriftInterface.__tspec__ = (
+    SpecBuilder("DriftInterface")
+    .attribute("level", RangeDomain(1, 10))
+    .attribute("ghost", RangeDomain(0, 1))      # CL006: never assigned
+    .constructor("DriftInterface")
+    .method("Pay", [("a", RangeDomain(0, 9)), ("b", RangeDomain(0, 9))],
+            category="update")
+    .method("Rename", [("new_name", StringDomain(1, 8))], category="update")
+    .method("Vanished", category="process")     # CL002: no implementation
+    .destructor("~DriftInterface")
+    .node("birth", ["DriftInterface"], start=True)
+    .node("work", ["Pay", "Rename", "Vanished"])
+    .node("death", ["~DriftInterface"])
+    .edge("birth", "work")
+    .edge("work", "work")
+    .edge("work", "death")
+    .edge("birth", "death")
+    .build()
+)
+
+
+class DriftModel(BuiltInTest):
+    """Test-model drift: CL008 (dangling ident), CL009 (unreachable/stuck)."""
+
+    def __init__(self):
+        self._state = 0
+
+    def Step(self):
+        advanced = self._state + 1
+        self._state = advanced
+        return advanced
+
+
+DriftModel.__tspec__ = ClassSpec(
+    name="DriftModel",
+    methods=(
+        MethodSpec(ident="c1", name="DriftModel",
+                   category=MethodCategory.CONSTRUCTOR),
+        MethodSpec(ident="p1", name="Step", category=MethodCategory.PROCESS),
+        MethodSpec(ident="d1", name="~DriftModel",
+                   category=MethodCategory.DESTRUCTOR),
+    ),
+    nodes=(
+        NodeSpec(ident="birth", methods=("c1",), is_start=True),
+        NodeSpec(ident="work", methods=("p1",)),
+        NodeSpec(ident="ghost", methods=("x9",)),   # CL008: unknown ident
+        NodeSpec(ident="orphan", methods=("p1",)),  # CL009: unreachable
+        NodeSpec(ident="trap", methods=("p1",)),    # CL009: cannot terminate
+        NodeSpec(ident="death", methods=("d1",)),
+    ),
+    edges=(
+        EdgeSpec("birth", "work"),
+        EdgeSpec("birth", "ghost"),
+        EdgeSpec("ghost", "death"),
+        EdgeSpec("work", "death"),
+        EdgeSpec("work", "trap"),
+        EdgeSpec("trap", "trap"),
+        EdgeSpec("orphan", "death"),
+    ),
+)
+
+
+class DriftContracts(BuiltInTest):
+    """Contract drift: CL010 — predicates referencing undefined names."""
+
+    def __init__(self):
+        self._value = 0
+
+    @ensure(lambda self, result: result <= missing_ceiling)  # noqa: F821 — CL010
+    def Bump(self):
+        step = 1
+        check_precondition(lambda: step < unknown_limit)  # noqa: F821 — CL010
+        self._value += step
+        return self._value
+
+
+DriftContracts.__tspec__ = (
+    SpecBuilder("DriftContracts")
+    .constructor("DriftContracts")
+    .method("Bump", category="update", return_type="int")
+    .destructor("~DriftContracts")
+    .node("birth", ["DriftContracts"], start=True)
+    .node("work", ["Bump"])
+    .node("death", ["~DriftContracts"])
+    .edge("birth", "work")
+    .edge("work", "work")
+    .edge("work", "death")
+    .build()
+)
+
+
+class DriftBarren(BuiltInTest):
+    """Mutation drift: CL011 — no locals anywhere for IND operators."""
+
+    def __init__(self):
+        self._flag = True
+
+    def Ping(self):
+        return 1
+
+
+DriftBarren.__tspec__ = (
+    SpecBuilder("DriftBarren")
+    .constructor("DriftBarren")
+    .method("Ping", category="access", return_type="int")
+    .destructor("~DriftBarren")
+    .node("birth", ["DriftBarren"], start=True)
+    .node("work", ["Ping"])
+    .node("death", ["~DriftBarren"])
+    .edge("birth", "work")
+    .edge("work", "death")
+    .edge("birth", "death")
+    .build()
+)

@@ -1,0 +1,116 @@
+"""CLI tests: exit codes, output formats, and the acceptance criterion —
+clean on shipped components, non-zero with the expected rule ids on the
+drift-seeded fixture."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.runner import default_component_target
+
+FIXTURE = Path(__file__).parent / "fixtures" / "drift_component.py"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_shipped_components_exit_zero(self, capsys):
+        assert main([default_component_target()]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_default_target_is_shipped_components(self, capsys):
+        assert main([]) == 0
+        assert "6 components" in capsys.readouterr().out
+
+    def test_fixture_exits_nonzero(self, capsys):
+        assert main([str(FIXTURE)]) == 1
+        output = capsys.readouterr().out
+        for rule_id in ("CL001", "CL002", "CL003", "CL007", "CL008",
+                        "CL009", "CL010"):
+            assert rule_id in output
+
+    def test_warnings_pass_unless_strict(self, capsys):
+        assert main([str(FIXTURE), "--select", "CL004"]) == 0
+        assert main([str(FIXTURE), "--select", "CL004", "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_unresolvable_target_exits_two(self, capsys):
+        assert main(["no/such/thing.py"]) == 2
+        capsys.readouterr()
+
+    def test_bad_severity_spec_exits_two(self, capsys):
+        assert main([str(FIXTURE), "--severity", "nonsense"]) == 2
+        capsys.readouterr()
+
+
+class TestFormats:
+    def test_json_payload(self, capsys):
+        assert main([str(FIXTURE), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "concat-lint"
+        assert payload["summary"]["errors"] > 0
+        rule_ids = {finding["rule_id"] for finding in payload["findings"]}
+        assert rule_ids == {f"CL{index:03d}" for index in range(1, 12)}
+
+    def test_json_on_clean_target(self, capsys):
+        assert main([default_component_target(), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["summary"]["suppressed"] == 3
+
+    def test_sarif_document(self, capsys):
+        assert main([str(FIXTURE), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "concat-lint"
+        assert len(run["tool"]["driver"]["rules"]) == 11
+        assert run["results"]
+        for entry in run["results"]:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for index in range(1, 12):
+            assert f"CL{index:03d}" in output
+
+    def test_disable_flag(self, capsys):
+        code = main([str(FIXTURE), "--disable",
+                     "CL001,CL002,CL003,CL007,CL008,CL009,CL010"])
+        assert code == 0  # only warnings remain
+        capsys.readouterr()
+
+    def test_dotted_module_target(self, capsys):
+        assert main(["repro.components.stack", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["components"] == 1
+
+
+class TestModuleInvocation:
+    """End-to-end: the real ``python -m repro.analysis`` process."""
+
+    def _run(self, *arguments):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *arguments],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+
+    def test_process_clean_on_components(self):
+        completed = self._run("src/repro/components", "--format", "json")
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["summary"]["errors"] == 0
+
+    def test_process_fails_on_fixture(self):
+        completed = self._run(str(FIXTURE))
+        assert completed.returncode == 1
+        assert "CL00" in completed.stdout

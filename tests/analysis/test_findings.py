@@ -1,0 +1,93 @@
+"""Unit tests for the finding records, severity ladder, and emitters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Finding, LintResult, Severity
+from repro.analysis.report import render_json, render_sarif, summary_line
+
+
+def make_finding(rule_id="CL001", severity=Severity.ERROR, line=10):
+    return Finding(
+        rule_id=rule_id,
+        rule_name="spec-missing-method",
+        severity=severity,
+        path="src/thing.py",
+        line=line,
+        message="method 'X' is not declared",
+        component="Thing",
+    )
+
+
+class TestSeverity:
+    def test_from_keyword(self):
+        assert Severity.from_keyword("ERROR") is Severity.ERROR
+        assert Severity.from_keyword("info") is Severity.INFO
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ValueError):
+            Severity.from_keyword("fatal")
+
+    def test_sarif_level_spelling(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.INFO.sarif_level == "note"
+
+
+class TestFinding:
+    def test_render_shape(self):
+        text = make_finding().render()
+        assert text.startswith("src/thing.py:10: [CL001 spec-missing-method]")
+        assert "error:" in text
+
+    def test_with_severity_relabels(self):
+        relabeled = make_finding().with_severity(Severity.WARNING)
+        assert relabeled.severity is Severity.WARNING
+        assert relabeled.message == make_finding().message
+
+    def test_suppression_carries_justification(self):
+        suppressed = make_finding().with_suppression("known helper")
+        assert suppressed.suppressed
+        assert "known helper" in suppressed.render()
+        assert suppressed.to_json()["justification"] == "known helper"
+
+    def test_json_round_trip(self):
+        record = make_finding().to_json()
+        assert json.loads(json.dumps(record)) == record
+        assert record["severity"] == "error"
+
+
+class TestLintResult:
+    def test_exit_codes(self):
+        clean = LintResult()
+        assert clean.exit_code() == 0
+        warned = LintResult(findings=[make_finding(severity=Severity.WARNING)])
+        assert warned.exit_code() == 0
+        assert warned.exit_code(strict=True) == 1
+        failed = LintResult(findings=[make_finding()])
+        assert failed.exit_code() == 1
+
+    def test_summary_line_counts(self):
+        result = LintResult(
+            findings=[make_finding(), make_finding(severity=Severity.WARNING)],
+            suppressed=[make_finding()],
+            components=2,
+        )
+        line = summary_line(result)
+        assert "1 error" in line and "1 warning" in line
+        assert "(1 suppressed)" in line
+
+    def test_render_json_is_sorted_and_parseable(self):
+        result = LintResult(findings=[make_finding()], components=1, files=1)
+        payload = json.loads(render_json(result))
+        assert payload["summary"]["components"] == 1
+        assert payload["findings"][0]["rule_id"] == "CL001"
+
+    def test_render_sarif_minimal_document(self):
+        result = LintResult(findings=[make_finding()])
+        document = json.loads(render_sarif(result))
+        entry = document["runs"][0]["results"][0]
+        assert entry["ruleId"] == "CL001"
+        assert entry["level"] == "error"

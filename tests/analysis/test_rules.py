@@ -1,0 +1,170 @@
+"""Rule-level tests: every concat-lint rule fires on its seeded defect, and
+the shipped components come back clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    Severity,
+    default_registry,
+    lint_paths,
+    lint_units,
+    units_from_module,
+)
+from repro.analysis.loader import load_module
+from repro.analysis.runner import default_component_target
+
+FIXTURE = Path(__file__).parent / "fixtures" / "drift_component.py"
+
+
+@pytest.fixture(scope="module")
+def fixture_result():
+    module = load_module(FIXTURE)
+    units = units_from_module(module)
+    assert len(units) == 4  # the four Drift* classes
+    return lint_units(units)
+
+
+def fired(result, rule_id):
+    return [f for f in result.findings if f.rule_id == rule_id]
+
+
+class TestSeededDefects:
+    def test_every_rule_fires(self, fixture_result):
+        expected = {f"CL{index:03d}" for index in range(1, 12)}
+        assert {f.rule_id for f in fixture_result.findings} == expected
+
+    def test_cl001_extra_method(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL001")
+        assert finding.component == "DriftInterface"
+        assert "'Extra'" in finding.message
+        assert finding.severity is Severity.ERROR
+
+    def test_cl002_vanished_method(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL002")
+        assert "'Vanished'" in finding.message
+
+    def test_cl003_arity_mismatch(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL003")
+        assert "Pay" in finding.message
+        assert "2 argument(s)" in finding.message
+
+    def test_cl004_parameter_name(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL004")
+        assert "'new_name'" in finding.message and "'text'" in finding.message
+        assert finding.severity is Severity.WARNING
+
+    def test_cl005_undeclared_public_attribute(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL005")
+        assert "'mystery'" in finding.message
+
+    def test_cl006_never_assigned_attribute(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL006")
+        assert "'ghost'" in finding.message
+
+    def test_cl007_domain_violating_literal(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL007")
+        assert "'level'" in finding.message and "range [1, 10]" in finding.message
+
+    def test_cl008_dangling_node_ident(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL008")
+        assert "'x9'" in finding.message
+
+    def test_cl009_unreachable_and_stuck(self, fixture_result):
+        findings = fired(fixture_result, "CL009")
+        messages = " | ".join(f.message for f in findings)
+        assert "orphan" in messages and "unreachable" in messages
+        assert "trap" in messages and "never terminate" in messages
+
+    def test_cl010_both_contract_sites(self, fixture_result):
+        findings = fired(fixture_result, "CL010")
+        names = {name for f in findings for name in ("missing_ceiling",
+                                                     "unknown_limit")
+                 if name in f.message}
+        assert names == {"missing_ceiling", "unknown_limit"}
+
+    def test_cl011_barren_interface(self, fixture_result):
+        (finding,) = fired(fixture_result, "CL011")
+        assert finding.component == "DriftBarren"
+
+    def test_findings_have_real_locations(self, fixture_result):
+        for finding in fixture_result.findings:
+            assert finding.path.endswith("drift_component.py")
+            assert finding.line >= 1
+
+    def test_result_fails_the_run(self, fixture_result):
+        assert fixture_result.errors > 0
+        assert fixture_result.exit_code() == 1
+
+
+class TestShippedComponentsClean:
+    def test_no_active_findings(self):
+        result = lint_paths([default_component_target()])
+        assert result.findings == []
+        assert result.exit_code(strict=True) == 0
+
+    def test_known_suppressions_carry_justifications(self):
+        result = lint_paths([default_component_target()])
+        assert len(result.suppressed) == 3
+        assert all(f.justification for f in result.suppressed)
+        assert {f.rule_id for f in result.suppressed} == {"CL001", "CL011"}
+
+    def test_component_census(self):
+        result = lint_paths([default_component_target()])
+        assert result.components == 6  # the six shipped __tspec__ classes
+
+
+class TestConfig:
+    def test_disable_by_id(self):
+        module = load_module(FIXTURE)
+        units = units_from_module(module)
+        result = lint_units(units, LintConfig.build(disable=["CL001"]))
+        assert not fired(result, "CL001")
+        assert fired(result, "CL002")
+
+    def test_disable_by_slug(self):
+        module = load_module(FIXTURE)
+        units = units_from_module(module)
+        result = lint_units(
+            units, LintConfig.build(disable=["spec-missing-method"]))
+        assert not fired(result, "CL001")
+
+    def test_select_runs_only_listed_rules(self):
+        module = load_module(FIXTURE)
+        units = units_from_module(module)
+        result = lint_units(units, LintConfig.build(select=["CL004"]))
+        assert {f.rule_id for f in result.findings} == {"CL004"}
+
+    def test_severity_override(self):
+        module = load_module(FIXTURE)
+        units = units_from_module(module)
+        result = lint_units(
+            units, LintConfig.build(severities={"CL004": "error"}))
+        (finding,) = fired(result, "CL004")
+        assert finding.severity is Severity.ERROR
+
+    def test_unknown_severity_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig.build(severities={"CL004": "catastrophic"})
+
+
+class TestRegistry:
+    def test_eleven_rules_with_stable_ids(self):
+        registry = default_registry()
+        assert len(registry) == 11
+        assert [row["id"] for row in registry.table()] == [
+            f"CL{index:03d}" for index in range(1, 12)
+        ]
+
+    def test_lookup_by_either_key(self):
+        registry = default_registry()
+        assert registry.by_key("CL001") is registry.by_key("spec-missing-method")
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.add(registry.by_key("CL001"))

@@ -50,6 +50,44 @@ class TestMetrics:
         assert metrics.method_alternatives == total
 
 
+class TestMultiBirthSelfLoop:
+    """Metrics on a graph with two birth nodes and one self-loop."""
+
+    def spec(self):
+        return (
+            SpecBuilder("TwinBirth")
+            .constructor("Create")
+            .constructor("Load")
+            .method("Spin")
+            .destructor("Destroy")
+            .node("birth_new", ["Create"], start=True)
+            .node("birth_load", ["Load"], start=True)
+            .node("work", ["Spin"])
+            .node("death", ["Destroy"])
+            .edge("birth_new", "work")
+            .edge("birth_load", "work")
+            .edge("work", "work")
+            .edge("work", "death")
+            .build()
+        )
+
+    def test_counts_both_birth_nodes(self):
+        metrics = analyze(TransactionFlowGraph(self.spec()))
+        assert metrics.birth_nodes == 2
+        assert metrics.death_nodes == 1
+
+    def test_cyclomatic_with_self_loop(self):
+        metrics = analyze(TransactionFlowGraph(self.spec()))
+        assert metrics.nodes == 4
+        assert metrics.links == 4
+        assert metrics.cyclomatic == 2  # E - N + 2
+
+    def test_self_loop_node_counts_as_cycle_node(self):
+        metrics = analyze(TransactionFlowGraph(self.spec()))
+        assert metrics.self_loops == 1
+        assert metrics.cycle_nodes == 1  # only the self-looping work node
+
+
 class TestSccCycles:
     def test_two_node_cycle_detected(self):
         spec = (

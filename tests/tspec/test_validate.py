@@ -72,6 +72,19 @@ class TestReferenceProblems:
         )
         assert any("duplicate method ident" in p for p in find_problems(broken))
 
+    def test_duplicate_method_ident_names_category(self):
+        """The message identifies the offending method's reuse category."""
+        spec = sound_spec()
+        broken = replace(
+            spec,
+            methods=spec.methods + (
+                MethodSpec("m1", "Clone", MethodCategory.PROCESS),
+            ),
+        )
+        (problem,) = [p for p in find_problems(broken)
+                      if "duplicate method ident" in p]
+        assert "process" in problem and "'Clone'" in problem
+
     def test_duplicate_parameter_names(self):
         method = MethodSpec(
             "m2", "Work", MethodCategory.PROCESS,
@@ -138,6 +151,22 @@ class TestShapeProblems:
     def test_abstract_class_may_have_empty_model(self):
         spec = ClassSpec(name="Abstract", is_abstract=True)
         assert find_problems(spec) == []
+
+    def test_empty_model_fast_path_skips_reachability(self):
+        """A node-less concrete spec short-circuits before graph traversal.
+
+        ``_check_model_shape`` returns right after the "no nodes" report, so
+        the birth/death and reachability diagnostics must not pile on top.
+        """
+        spec = ClassSpec(
+            name="Hollow",
+            methods=(
+                MethodSpec("m1", "Hollow", MethodCategory.CONSTRUCTOR),
+                MethodSpec("m2", "~Hollow", MethodCategory.DESTRUCTOR),
+            ),
+        )
+        problems = find_problems(spec)
+        assert problems == ["test model has no nodes"]
 
     def test_concrete_class_needs_nodes(self):
         spec = ClassSpec(
