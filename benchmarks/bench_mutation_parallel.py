@@ -1,0 +1,105 @@
+"""Parallel mutation engine — serial vs 2/4-worker wall-clock.
+
+Runs the Table 1 workload (the full typed mutant pool over the Table 2
+target methods of ``CSortableObList``, truncated suite) once serially and
+once per worker count, checks the parallel runs are field-for-field
+identical to the serial one, and writes ``BENCH_mutation_parallel.json``
+at the repository root.
+
+Speedup is *recorded*, not asserted: on a single-CPU container (common in
+CI) the process pool cannot beat the serial loop and speedup hovers at or
+below 1.0.  The property this benchmark guards is serial equivalence
+under real load; the wall-clocks are there for machines with cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.experiments.config import TABLE2_METHODS, sortable_oracle, sortable_suite
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.generate import generate_mutants
+from repro.mutation.parallel import ParallelMutationAnalysis
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_mutation_parallel.json"
+
+WORKER_COUNTS = (2, 4)
+MAX_CASES = 200
+
+
+def _workload():
+    suite = sortable_suite()
+    suite = replace(suite, cases=suite.cases[:MAX_CASES])
+    mutants, _ = generate_mutants(
+        CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL
+    )
+    return suite, mutants
+
+
+def run_bench() -> dict:
+    suite, mutants = _workload()
+
+    serial = MutationAnalysis(
+        CSortableObList, suite, oracle=sortable_oracle()
+    ).analyze(mutants)
+
+    runs = []
+    for workers in WORKER_COUNTS:
+        parallel = ParallelMutationAnalysis(
+            CSortableObList, suite, oracle=sortable_oracle(), workers=workers
+        ).analyze(mutants)
+        runs.append({
+            "workers": workers,
+            "seconds": round(parallel.elapsed_seconds, 3),
+            "speedup": round(
+                serial.elapsed_seconds / parallel.elapsed_seconds, 3
+            ),
+            "identical_to_serial": parallel.same_results(serial),
+            "step_timeouts": parallel.step_timeouts,
+        })
+
+    return {
+        "benchmark": "mutation_parallel",
+        "workload": {
+            "class": "CSortableObList",
+            "methods": list(TABLE2_METHODS),
+            "mutants": len(mutants),
+            "suite_cases": len(suite),
+            "killed": len(serial.killed),
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial.elapsed_seconds, 3),
+        "serial_step_timeouts": serial.step_timeouts,
+        "runs": runs,
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_parallel_engine_scaling(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    # The contract under real load: every parallel run is serial-identical.
+    assert all(run["identical_to_serial"] for run in data["runs"])
+    assert [run["workers"] for run in data["runs"]] == list(WORKER_COUNTS)
+    assert data["serial_seconds"] > 0
+    assert OUTPUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    write_report(report)
+    print(json.dumps(report, indent=2))

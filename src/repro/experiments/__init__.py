@@ -18,6 +18,7 @@ from .ablations import (
 )
 from .config import (
     EXPERIMENT_SEED,
+    SubclassOverMutantBase,
     TABLE2_METHODS,
     TABLE3_METHODS,
     incremental_plan,
@@ -53,6 +54,7 @@ __all__ = [
     "OperatorDemo",
     "OracleAblationResult",
     "OverheadResult",
+    "SubclassOverMutantBase",
     "TABLE2_METHODS",
     "TABLE3_METHODS",
     "Table1Result",

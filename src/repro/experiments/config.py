@@ -24,6 +24,7 @@ paper rationale:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Tuple
 
 from ..components import (
@@ -82,11 +83,23 @@ def oblist_oracle() -> CompositeOracle:
     return experiment_oracle(CObList.__tspec__)
 
 
-def subclass_over_mutant_base() -> ClassBuilder:
+@dataclass(frozen=True)
+class SubclassOverMutantBase:
     """Experiment 2's class builder: the subclass re-derived over a mutated
-    base, i.e. re-linking ``CSortableObList`` against a faulty ``CObList``."""
+    base, i.e. re-linking ``CSortableObList`` against a faulty ``CObList``.
 
-    def build(mutant: CompiledMutant) -> type:
-        return rebuild_subclass(CSortableObList, CObList, mutant.build_class())
+    A dataclass rather than a closure so the builder pickles: the parallel
+    mutation engine ships it to worker processes, which re-derive the
+    subclass over each locally recompiled mutant base.
+    """
 
-    return build
+    subclass: type
+    base: type
+
+    def __call__(self, mutant: CompiledMutant) -> type:
+        return rebuild_subclass(self.subclass, self.base, mutant.build_class())
+
+
+def subclass_over_mutant_base() -> ClassBuilder:
+    """The experiment-2 builder bound to the paper's class pair."""
+    return SubclassOverMutantBase(CSortableObList, CObList)

@@ -16,14 +16,16 @@ Paper reference points (for EXPERIMENTS.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import argparse
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
 
 from ..components import CSortableObList, OBLIST_TYPE_MODEL
 from ..generator.suite import TestSuite
 from ..mutation.analysis import MutationAnalysis, MutationRun
 from ..mutation.equivalence import EquivalenceReport, probe_equivalence
 from ..mutation.generate import GenerationReport, generate_mutants
+from ..mutation.parallel import ParallelMutationAnalysis
 from ..mutation.score import ScoreTable, build_score_table
 from .config import (
     EXPERIMENT_SEED,
@@ -56,17 +58,28 @@ class Table2Result:
 def run_table2(seed: int = EXPERIMENT_SEED,
                methods: Tuple[str, ...] = TABLE2_METHODS,
                with_equivalence: bool = True,
-               stop_on_first_kill: bool = True) -> Table2Result:
-    """Execute experiment 1 end to end."""
+               stop_on_first_kill: bool = True,
+               workers: int = 1,
+               max_cases: Optional[int] = None) -> Table2Result:
+    """Execute experiment 1 end to end.
+
+    ``workers > 1`` runs the mutant battery on the parallel engine (results
+    are field-for-field identical to the serial run).  ``max_cases``
+    truncates the suite — a smoke/bench hook, not a paper configuration.
+    """
     suite = sortable_suite(seed)
+    if max_cases is not None:
+        suite = replace(suite, cases=suite.cases[:max_cases])
     mutants, generation = generate_mutants(
         CSortableObList, methods, type_model=OBLIST_TYPE_MODEL
     )
-    analysis = MutationAnalysis(
+    engine = ParallelMutationAnalysis if workers > 1 else MutationAnalysis
+    analysis = engine(
         CSortableObList,
         suite,
         oracle=sortable_oracle(),
         stop_on_first_kill=stop_on_first_kill,
+        **({"workers": workers} if workers > 1 else {}),
     )
     run = analysis.analyze(mutants)
 
@@ -88,3 +101,37 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         equivalence=equivalence,
         table=table,
     )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.experiments.table2 [--workers N] …``."""
+    parser = argparse.ArgumentParser(
+        description="Run experiment 1 (Table 2: CSortableObList mutation)."
+    )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="mutation-analysis worker processes (default: 1)")
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="suite-generation seed")
+    parser.add_argument("--methods", nargs="+", default=list(TABLE2_METHODS),
+                        help="methods to mutate (default: the Table 2 rows)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="truncate the suite (smoke runs only)")
+    parser.add_argument("--no-equivalence", action="store_true",
+                        help="skip the equivalence probe")
+    arguments = parser.parse_args(argv)
+    result = run_table2(
+        seed=arguments.seed,
+        methods=tuple(arguments.methods),
+        with_equivalence=not arguments.no_equivalence,
+        workers=arguments.workers,
+        max_cases=arguments.max_cases,
+    )
+    print(result.generation.summary())
+    print(result.table.format())
+    print(result.run.summary())
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,13 +15,16 @@ can also run the base class's own full suite and the subclass's full
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+import argparse
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
 
 from ..components import CObList, CSortableObList, OBLIST_TYPE_MODEL
+from ..generator.suite import TestSuite
 from ..history.incremental import IncrementalPlan
 from ..mutation.analysis import MutationAnalysis, MutationRun
 from ..mutation.generate import GenerationReport, generate_mutants
+from ..mutation.parallel import ParallelMutationAnalysis
 from ..mutation.score import ScoreTable, build_score_table
 from .config import (
     EXPERIMENT_SEED,
@@ -73,14 +76,25 @@ class Table3Result:
         return "; ".join(parts)
 
 
+def _truncated(suite: TestSuite, max_cases: Optional[int]) -> TestSuite:
+    if max_cases is None:
+        return suite
+    return replace(suite, cases=suite.cases[:max_cases])
+
+
 def run_table3(seed: int = EXPERIMENT_SEED,
                methods: Tuple[str, ...] = TABLE3_METHODS,
-               with_contrast_runs: bool = False) -> Table3Result:
+               with_contrast_runs: bool = False,
+               workers: int = 1,
+               max_cases: Optional[int] = None) -> Table3Result:
     """Execute experiment 2 end to end.
 
     ``with_contrast_runs`` additionally scores the same mutants under the
     base class's own suite and under the subclass's full suite — the
     comparison that substantiates the "retest inherited features" message.
+    ``workers > 1`` runs every mutant battery on the parallel engine
+    (serial-identical results); ``max_cases`` truncates the suites — a
+    smoke/bench hook, not a paper configuration.
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
@@ -88,27 +102,29 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     )
     builder = subclass_over_mutant_base()
 
-    incremental_run = MutationAnalysis(
-        CSortableObList,
-        plan.executed_suite,
-        oracle=sortable_oracle(),
-        class_builder=builder,
+    def analysis(original_class, suite, oracle, class_builder=None):
+        engine = ParallelMutationAnalysis if workers > 1 else MutationAnalysis
+        return engine(
+            original_class,
+            _truncated(suite, max_cases),
+            oracle=oracle,
+            class_builder=class_builder,
+            **({"workers": workers} if workers > 1 else {}),
+        )
+
+    incremental_run = analysis(
+        CSortableObList, plan.executed_suite, sortable_oracle(), builder
     ).analyze(mutants)
     incremental_table = build_score_table(incremental_run, methods=methods)
 
     base_suite_run = None
     full_suite_run = None
     if with_contrast_runs:
-        base_suite_run = MutationAnalysis(
-            CObList,
-            oblist_suite(seed),
-            oracle=oblist_oracle(),
+        base_suite_run = analysis(
+            CObList, oblist_suite(seed), oblist_oracle()
         ).analyze(mutants)
-        full_suite_run = MutationAnalysis(
-            CSortableObList,
-            sortable_suite(seed),
-            oracle=sortable_oracle(),
-            class_builder=builder,
+        full_suite_run = analysis(
+            CSortableObList, sortable_suite(seed), sortable_oracle(), builder
         ).analyze(mutants)
 
     return Table3Result(
@@ -119,3 +135,37 @@ def run_table3(seed: int = EXPERIMENT_SEED,
         base_suite_run=base_suite_run,
         full_suite_run=full_suite_run,
     )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.experiments.table3 [--workers N] …``."""
+    parser = argparse.ArgumentParser(
+        description="Run experiment 2 (Table 3: base-class faults, "
+                    "incremental subclass suite)."
+    )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="mutation-analysis worker processes (default: 1)")
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="suite-generation seed")
+    parser.add_argument("--methods", nargs="+", default=list(TABLE3_METHODS),
+                        help="base-class methods to mutate")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="truncate the suites (smoke runs only)")
+    parser.add_argument("--contrast", action="store_true",
+                        help="also run the base-suite and full-suite contrasts")
+    arguments = parser.parse_args(argv)
+    result = run_table3(
+        seed=arguments.seed,
+        methods=tuple(arguments.methods),
+        with_contrast_runs=arguments.contrast,
+        workers=arguments.workers,
+        max_cases=arguments.max_cases,
+    )
+    print(result.generation.summary())
+    print(result.incremental_table.format())
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

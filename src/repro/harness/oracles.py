@@ -27,12 +27,23 @@ from .outcomes import TestResult, Verdict
 
 
 class KillReason(enum.Enum):
-    """Why a run was judged different/faulty (paper sec. 4 kill rule)."""
+    """Why a run was judged different/faulty (paper sec. 4 kill rule).
+
+    The last two members are rule (i) observed at the *process* boundary:
+    the paper ran every mutant as a separate program, where "the program
+    crashed" covers the process dying or never terminating.  The parallel
+    engine (:mod:`repro.mutation.parallel`) reproduces that view — a mutant
+    that takes its worker process down, or hangs past the wall-clock
+    backstop, is killed with its own distinct reason so the in-process
+    detectors stay exactly comparable to the serial engine.
+    """
 
     NONE = "none"
     CRASH = "crash"                    # rule (i)
     ASSERTION = "assertion"            # rule (ii)
     OUTPUT_DIFFERENCE = "output_diff"  # rule (iii)
+    WORKER_CRASH = "worker_crash"      # rule (i): the worker process died
+    WALL_TIMEOUT = "wall_timeout"      # rule (i): hung past the backstop
 
 
 @dataclass(frozen=True)

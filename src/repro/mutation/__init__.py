@@ -13,7 +13,18 @@ from .equivalence import (
     probe_equivalence,
 )
 from .generate import GenerationReport, MutantGenerator, generate_mutants
-from .mutant import CompiledMutant, Mutant, rebuild_subclass
+from .mutant import (
+    CompiledMutant,
+    Mutant,
+    compile_mutant_function,
+    rebuild_compiled_mutant,
+    rebuild_subclass,
+)
+from .parallel import (
+    DEFAULT_WALL_CLOCK_BACKSTOP,
+    ParallelMutationAnalysis,
+    analyze_mutants_parallel,
+)
 from .operators import (
     ALL_OPERATORS,
     OPERATOR_NAMES,
@@ -47,6 +58,7 @@ __all__ = [
     "CompiledMutant",
     "DEFAULT_PROBE_SEEDS",
     "DEFAULT_STEP_BUDGET",
+    "DEFAULT_WALL_CLOCK_BACKSTOP",
     "EquivalenceReport",
     "GenerationReport",
     "IndVarBitNeg",
@@ -63,6 +75,7 @@ __all__ = [
     "MutationPoint",
     "MutationRun",
     "OPERATOR_NAMES",
+    "ParallelMutationAnalysis",
     "OperatorColumn",
     "QualityEstimate",
     "ReducedSuite",
@@ -72,8 +85,11 @@ __all__ = [
     "TypeModel",
     "UseSite",
     "analyze_mutants",
+    "analyze_mutants_parallel",
     "build_score_table",
+    "compile_mutant_function",
     "generate_mutants",
+    "rebuild_compiled_mutant",
     "compatible",
     "constant_tag",
     "infer_local_types",

@@ -60,6 +60,26 @@ class MutationRun:
     outcomes: Tuple[MutantOutcome, ...]
     reference: SuiteResult
     elapsed_seconds: float
+    #: Total StepBudgetGuard cuts across every mutant (observability: how
+    #: often the sandbox had to bound a runaway mutant).  Aggregated across
+    #: workers by the parallel engine.
+    step_timeouts: int = 0
+
+    def same_results(self, other: "MutationRun") -> bool:
+        """Field-for-field equality, wall-clock excluded.
+
+        This is the serial-equivalence contract of the parallel engine: a
+        parallel run and a serial run over the same mutants must agree on
+        every outcome, the reference, and the aggregated sandbox-timeout
+        count — only ``elapsed_seconds`` may differ.
+        """
+        return (
+            self.class_name == other.class_name
+            and self.suite_size == other.suite_size
+            and self.outcomes == other.outcomes
+            and self.reference == other.reference
+            and self.step_timeouts == other.step_timeouts
+        )
 
     # -- aggregates -----------------------------------------------------------
 
@@ -116,9 +136,15 @@ class MutationAnalysis:
                  step_budget: int = DEFAULT_STEP_BUDGET,
                  stop_on_first_kill: bool = True,
                  check_invariants: bool = True,
-                 setup: Optional[Callable[[], None]] = None):
+                 setup: Optional[Callable[[], None]] = None,
+                 reference: Optional[SuiteResult] = None):
         """``setup`` runs before every suite execution (e.g. resetting an
-        ambient database) so runs are independent."""
+        ambient database) so runs are independent.
+
+        ``reference`` seeds the original class's recorded run: a parallel
+        worker receives the parent's reference instead of re-executing the
+        suite, so every worker judges against bit-identical golden results.
+        """
         self._original = original_class
         self._suite = suite
         self._oracle = oracle or paper_oracle()
@@ -129,7 +155,8 @@ class MutationAnalysis:
         self._stop_on_first_kill = stop_on_first_kill
         self._check_invariants = check_invariants
         self._setup = setup
-        self._reference: Optional[SuiteResult] = None
+        self._reference: Optional[SuiteResult] = reference
+        self._reference_by_ident: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
 
@@ -148,29 +175,49 @@ class MutationAnalysis:
             self._reference = executor.run_suite(self._suite)
         return self._reference
 
+    def _reference_map(self) -> Dict[str, object]:
+        if self._reference_by_ident is None:
+            self._reference_by_ident = {
+                result.case_ident: result
+                for result in self.reference_results().results
+            }
+        return self._reference_by_ident
+
     # ------------------------------------------------------------------
 
     def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
         """Run the suite over every mutant."""
         reference = self.reference_results()
-        reference_by_ident = {
-            result.case_ident: result for result in reference.results
-        }
         started = time.perf_counter()
-        outcomes = tuple(
-            self._analyze_one(mutant, reference_by_ident) for mutant in mutants
-        )
+        outcomes: List[MutantOutcome] = []
+        step_timeouts = 0
+        for mutant in mutants:
+            outcome, timeouts = self.analyze_single(mutant)
+            outcomes.append(outcome)
+            step_timeouts += timeouts
         elapsed = time.perf_counter() - started
         return MutationRun(
             class_name=self._original.__name__,
             suite_size=len(self._suite),
-            outcomes=outcomes,
+            outcomes=tuple(outcomes),
             reference=reference,
             elapsed_seconds=elapsed,
+            step_timeouts=step_timeouts,
         )
 
+    def analyze_single(self, mutant: CompiledMutant
+                       ) -> Tuple[MutantOutcome, int]:
+        """Run the suite over one mutant.
+
+        Returns the outcome plus the number of step-budget timeouts the
+        sandbox recorded for this mutant (the unit the parallel engine
+        aggregates across workers).
+        """
+        return self._analyze_one(mutant, self._reference_map())
+
     def _analyze_one(self, mutant: CompiledMutant,
-                     reference_by_ident: Dict[str, object]) -> MutantOutcome:
+                     reference_by_ident: Dict[str, object]
+                     ) -> Tuple[MutantOutcome, int]:
         mutant_class = self._builder(mutant)
         guard = StepBudgetGuard(self._budget)
         executor = TestExecutor(
@@ -204,7 +251,7 @@ class MutationAnalysis:
                     break
 
         killed = first_reason is not KillReason.NONE
-        return MutantOutcome(
+        outcome = MutantOutcome(
             mutant=mutant.record,
             killed=killed,
             reason=first_reason,
@@ -213,10 +260,23 @@ class MutationAnalysis:
             killing_cases=tuple(killing_cases),
             detail=first_detail,
         )
+        return outcome, guard.timeouts
 
 
 def analyze_mutants(original_class: type, suite: TestSuite,
                     mutants: Sequence[CompiledMutant],
+                    workers: int = 1,
                     **options) -> MutationRun:
-    """One-call convenience over :class:`MutationAnalysis`."""
+    """One-call convenience over :class:`MutationAnalysis`.
+
+    ``workers > 1`` dispatches to the process-pool engine
+    (:class:`~repro.mutation.parallel.ParallelMutationAnalysis`), whose
+    result is field-for-field identical to the serial run.
+    """
+    if workers > 1:
+        from .parallel import ParallelMutationAnalysis
+
+        return ParallelMutationAnalysis(
+            original_class, suite, workers=workers, **options
+        ).analyze(mutants)
     return MutationAnalysis(original_class, suite, **options).analyze(mutants)

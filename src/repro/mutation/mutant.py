@@ -12,12 +12,25 @@ and knows how to **materialise** itself as a separate class:
   with the mutated method installed (experiment 1's shape);
 * :func:`rebuild_subclass` — re-derives a subclass on top of a mutated base
   (experiment 2: faults in ``CObList``, tests through ``CSortableObList``).
+
+Compiled function objects do not pickle, but the :class:`Mutant` record is
+pure data and the owner class is importable, so a ``CompiledMutant``
+pickles by shipping ``(record, owner)`` and **recompiling the mutated
+source on arrival** (:func:`rebuild_compiled_mutant`).  That is what lets
+the parallel engine fan mutants out to worker processes: each worker
+rebuilds the exact mutant class from its source payload, the in-process
+analogue of the paper's "individually compiled" separate programs.
 """
 
 from __future__ import annotations
 
+import ast
+import inspect
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.errors import MutationError
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,46 @@ class CompiledMutant:
 
     def __repr__(self) -> str:
         return f"CompiledMutant({self.record.title()})"
+
+    def __reduce__(self):
+        # Function objects do not pickle; ship the source-bearing record and
+        # the (importable) owner, and recompile on the receiving side.
+        return (rebuild_compiled_mutant, (self.record, self.owner))
+
+
+def compile_mutant_function(record: Mutant, owner: type) -> Callable:
+    """Recompile a mutant's method from its recorded source.
+
+    The mutated source is executed in the owner's defining-module globals so
+    imported helpers (contract checks, node classes) resolve exactly as they
+    did when the mutant was first generated.
+    """
+    try:
+        module = ast.parse(record.mutated_source)
+    except SyntaxError as error:
+        raise MutationError(
+            f"cannot re-parse mutated source of {record.ident}: {error}"
+        ) from error
+    with warnings.catch_warnings():
+        # Injected faults like `0 is None` trip SyntaxWarning by design.
+        warnings.simplefilter("ignore", SyntaxWarning)
+        code = compile(module, filename=f"<mutant {record.ident}>", mode="exec")
+    defining_module = inspect.getmodule(owner)
+    globals_dict: Dict = dict(vars(defining_module)) if defining_module else {}
+    namespace: Dict = {}
+    exec(code, globals_dict, namespace)  # noqa: S102 — mutant reconstruction
+    try:
+        return namespace[record.method_name]
+    except KeyError:
+        raise MutationError(
+            f"mutated source of {record.ident} did not define "
+            f"{record.method_name!r}"
+        ) from None
+
+
+def rebuild_compiled_mutant(record: Mutant, owner: type) -> CompiledMutant:
+    """Reconstruct a :class:`CompiledMutant` from its picklable payload."""
+    return CompiledMutant(record, owner, compile_mutant_function(record, owner))
 
 
 def rebuild_subclass(subclass: type, original_base: type,

@@ -1,0 +1,452 @@
+"""Process-pool mutation analysis with serial-equivalent results.
+
+The paper ran every mutant "as a separate class … individually compiled"
+(sec. 4) — each mutant execution is an independent program, which is
+exactly the independence that makes per-mutant fan-out safe.  This module
+exploits it: mutants are distributed over N worker processes, each worker
+**recompiles the mutant from its source payload** (the pickle protocol of
+:class:`~repro.mutation.mutant.CompiledMutant`), runs the suite under a
+fresh :class:`~repro.mutation.sandbox.StepBudgetGuard`, and ships the
+outcome back to the parent.
+
+Two contracts, both tested differentially against the serial engine:
+
+* **Determinism.**  Outcomes are merged back *in submission order*, every
+  worker judges against the parent's single recorded reference run, and the
+  step-budget sandbox makes each mutant's verdict schedule-independent — so
+  the parallel :class:`~repro.mutation.analysis.MutationRun` is
+  field-for-field identical to the serial one (wall-clock aside; see
+  :meth:`~repro.mutation.analysis.MutationRun.same_results`).
+
+* **Robustness.**  The paper's kill rule (i) is "the program crashed while
+  running the test cases".  In-process, the step budget already converts
+  runaway loops into deterministic ``TIMEOUT`` verdicts; what it cannot
+  catch is a mutant that takes the whole process down (``os._exit``, a
+  segfaulting extension, an interpreter abort) or blocks without executing
+  Python lines.  Those become the *worker boundary*'s problem: a dead
+  worker marks its in-flight mutant killed with
+  :attr:`~repro.harness.oracles.KillReason.WORKER_CRASH`, a worker silent
+  past the wall-clock backstop is killed and its mutant marked
+  :attr:`~repro.harness.oracles.KillReason.WALL_TIMEOUT`, and a
+  replacement worker is spawned so every remaining mutant still runs.  The
+  engine never wedges on a hostile mutant.
+
+Per-worker ``StepBudgetGuard.timeouts`` counters are aggregated into
+``MutationRun.step_timeouts`` so sandbox activity stays observable across
+process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from ..generator.suite import TestSuite
+from ..harness.oracles import CompositeOracle, KillReason
+from ..harness.outcomes import SuiteResult
+from .analysis import (
+    ClassBuilder,
+    MutantOutcome,
+    MutationAnalysis,
+    MutationRun,
+)
+from .mutant import CompiledMutant
+from .sandbox import DEFAULT_STEP_BUDGET
+
+#: Default wall-clock backstop per mutant, in seconds.  Generous: the step
+#: budget catches ordinary runaway mutants deterministically within
+#: milliseconds; the backstop only exists for mutants that block without
+#: executing traceable Python lines, where only elapsed time is observable.
+DEFAULT_WALL_CLOCK_BACKSTOP = 60.0
+
+#: How long the parent waits on worker pipes before running a health pass.
+_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild the serial analysis (picklable)."""
+
+    original_class: type
+    suite: TestSuite
+    oracle: Optional[CompositeOracle]
+    class_builder: Optional[ClassBuilder]
+    step_budget: int
+    stop_on_first_kill: bool
+    check_invariants: bool
+    setup: Optional[Callable[[], None]]
+    reference: SuiteResult
+
+
+def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
+    """Worker loop: receive ``(index, mutant)`` tasks, send outcomes back.
+
+    The worker is a plain serial :class:`MutationAnalysis` seeded with the
+    parent's reference run; parallelism changes *where* a mutant runs,
+    never *how*.
+    """
+    analysis = MutationAnalysis(
+        spec.original_class,
+        spec.suite,
+        oracle=spec.oracle,
+        class_builder=spec.class_builder,
+        step_budget=spec.step_budget,
+        stop_on_first_kill=spec.stop_on_first_kill,
+        check_invariants=spec.check_invariants,
+        setup=spec.setup,
+        reference=spec.reference,
+    )
+    try:
+        while True:
+            message = connection.recv()
+            if message is None:
+                break
+            index, mutant = message
+            try:
+                outcome, timeouts = analysis.analyze_single(mutant)
+                connection.send(("done", index, outcome, timeouts))
+            except KeyboardInterrupt:
+                raise
+            except BaseException as error:  # noqa: BLE001 — must not die
+                # A harness-level failure (builder blew up, SystemExit from
+                # mutated code, …).  Report it instead of taking the worker
+                # down; the parent classifies it as a worker-boundary kill.
+                connection.send(
+                    ("error", index, f"{type(error).__name__}: {error}")
+                )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away or shut us down; nothing to clean up
+    finally:
+        connection.close()
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("process", "connection", "task", "started_at")
+
+    def __init__(self, process, connection: Connection):
+        self.process = process
+        self.connection = connection
+        self.task: Optional[Tuple[int, CompiledMutant]] = None
+        self.started_at = 0.0
+
+
+@dataclass
+class _PoolState:
+    """Mutable bookkeeping for one ``analyze`` call."""
+
+    pending: Deque[Tuple[int, CompiledMutant]]
+    results: List[Optional[MutantOutcome]]
+    remaining: int
+    step_timeouts: int = 0
+    pool: List[_Worker] = field(default_factory=list)
+
+    def record(self, index: int, outcome: MutantOutcome,
+               timeouts: int = 0) -> None:
+        """Fill one result slot exactly once (duplicates are dropped)."""
+        if self.results[index] is None:
+            self.results[index] = outcome
+            self.remaining -= 1
+            self.step_timeouts += timeouts
+
+
+class ParallelMutationAnalysis:
+    """Fans mutants out to worker processes; merges serial-identical results.
+
+    Accepts the same configuration as :class:`MutationAnalysis` plus the
+    pool shape.  Every configuration object (suite, oracle, class builder,
+    setup hook) must be picklable because workers are rebuilt from them;
+    all shipped configurations in :mod:`repro.experiments.config` are.
+    """
+
+    def __init__(self, original_class: type, suite: TestSuite,
+                 oracle: Optional[CompositeOracle] = None,
+                 class_builder: Optional[ClassBuilder] = None,
+                 step_budget: int = DEFAULT_STEP_BUDGET,
+                 stop_on_first_kill: bool = True,
+                 check_invariants: bool = True,
+                 setup: Optional[Callable[[], None]] = None,
+                 reference: Optional[SuiteResult] = None,
+                 workers: Optional[int] = None,
+                 wall_clock_backstop: float = DEFAULT_WALL_CLOCK_BACKSTOP):
+        if wall_clock_backstop <= 0:
+            raise ValueError("wall-clock backstop must be positive")
+        self._original = original_class
+        self._suite = suite
+        self._oracle = oracle
+        self._class_builder = class_builder
+        self._step_budget = step_budget
+        self._stop_on_first_kill = stop_on_first_kill
+        self._check_invariants = check_invariants
+        self._setup = setup
+        self._workers = max(1, workers if workers is not None
+                            else (os.cpu_count() or 1))
+        self._backstop = wall_clock_backstop
+        # The reference run is computed (or seeded) in the parent, once, by
+        # a plain serial analysis; workers inherit it verbatim.
+        self._serial = MutationAnalysis(
+            original_class, suite, oracle=oracle, class_builder=class_builder,
+            step_budget=step_budget, stop_on_first_kill=stop_on_first_kill,
+            check_invariants=check_invariants, setup=setup,
+            reference=reference,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def suite(self) -> TestSuite:
+        return self._suite
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def reference_results(self) -> SuiteResult:
+        return self._serial.reference_results()
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
+        """Run the suite over every mutant across the worker pool."""
+        mutants = list(mutants)
+        reference = self.reference_results()
+        started = time.perf_counter()
+        state = self._run_pool(mutants, reference)
+        elapsed = time.perf_counter() - started
+        outcomes = tuple(
+            outcome for outcome in state.results if outcome is not None
+        )
+        return MutationRun(
+            class_name=self._original.__name__,
+            suite_size=len(self._suite),
+            outcomes=outcomes,
+            reference=reference,
+            elapsed_seconds=elapsed,
+            step_timeouts=state.step_timeouts,
+        )
+
+    # ------------------------------------------------------------------
+    # Pool mechanics
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, mutants: List[CompiledMutant],
+                  reference: SuiteResult) -> _PoolState:
+        state = _PoolState(
+            pending=deque(enumerate(mutants)),
+            results=[None] * len(mutants),
+            remaining=len(mutants),
+        )
+        if not mutants:
+            return state
+        spec = WorkerSpec(
+            original_class=self._original,
+            suite=self._suite,
+            oracle=self._oracle,
+            class_builder=self._class_builder,
+            step_budget=self._step_budget,
+            stop_on_first_kill=self._stop_on_first_kill,
+            check_invariants=self._check_invariants,
+            setup=self._setup,
+            reference=reference,
+        )
+        context = self._mp_context()
+        try:
+            for _ in range(min(self._workers, len(mutants))):
+                worker = self._spawn(context, spec)
+                state.pool.append(worker)
+                self._dispatch(worker, state)
+            while state.remaining > 0:
+                readable = connection_wait(
+                    [worker.connection for worker in state.pool],
+                    timeout=_POLL_INTERVAL,
+                ) if state.pool else ()
+                for connection in readable:
+                    worker = self._worker_for(state.pool, connection)
+                    if worker is not None:
+                        self._receive(worker, state)
+                self._health_pass(context, spec, state)
+        finally:
+            self._shutdown(state.pool)
+        return state
+
+    def _receive(self, worker: _Worker, state: _PoolState) -> None:
+        """Drain one readable worker connection and hand out the next task."""
+        try:
+            message = worker.connection.recv()
+        except (EOFError, OSError):
+            return  # pipe closed mid-task: the next health pass classifies it
+        self._apply_message(worker, state, message)
+        self._dispatch(worker, state)
+
+    def _apply_message(self, worker: _Worker, state: _PoolState,
+                       message: Tuple) -> None:
+        kind, index = message[0], message[1]
+        if kind == "done":
+            state.record(index, message[2], message[3])
+        elif kind == "error":
+            state.record(index, self._boundary_outcome(
+                self._mutant_record(worker, index),
+                KillReason.WORKER_CRASH,
+                f"worker failed to run mutant: {message[2]}",
+            ))
+        if worker.task is not None and worker.task[0] == index:
+            worker.task = None
+
+    def _health_pass(self, context, spec: WorkerSpec,
+                     state: _PoolState) -> None:
+        """Classify dead/hung workers; keep the pool sized while work remains."""
+        now = time.perf_counter()
+        for worker in list(state.pool):
+            if worker.process.is_alive():
+                if (worker.task is not None
+                        and now - worker.started_at > self._backstop):
+                    self._retire_hung(worker, state)
+                continue
+            self._retire_dead(worker, state)
+        while state.pending and len(state.pool) < self._workers:
+            replacement = self._spawn(context, spec)
+            state.pool.append(replacement)
+            self._dispatch(replacement, state)
+
+    def _retire_hung(self, worker: _Worker, state: _PoolState) -> None:
+        # The verdict may have landed in the pipe while we were not looking;
+        # salvage it first — only a genuinely silent worker is a hang.
+        self._salvage(worker, state)
+        if worker.task is None:
+            self._dispatch(worker, state)
+            return
+        index, mutant = worker.task
+        worker.process.kill()
+        worker.process.join()
+        worker.connection.close()
+        state.pool.remove(worker)
+        state.record(index, self._boundary_outcome(
+            mutant.record, KillReason.WALL_TIMEOUT,
+            f"no verdict within the {self._backstop:.1f}s wall-clock "
+            f"backstop; worker killed",
+        ))
+
+    def _retire_dead(self, worker: _Worker, state: _PoolState) -> None:
+        # Salvage results the worker sent before dying, then classify
+        # whatever was still in flight as a process-boundary crash kill.
+        worker.process.join()
+        self._salvage(worker, state)
+        if worker.task is not None:
+            index, mutant = worker.task
+            state.record(index, self._boundary_outcome(
+                mutant.record, KillReason.WORKER_CRASH,
+                f"worker process died (exitcode {worker.process.exitcode}) "
+                f"while running the suite",
+            ))
+            worker.task = None
+        worker.connection.close()
+        state.pool.remove(worker)
+
+    def _salvage(self, worker: _Worker, state: _PoolState) -> None:
+        """Apply any messages already sitting in the worker's pipe."""
+        try:
+            while worker.connection.poll(0):
+                self._apply_message(worker, state, worker.connection.recv())
+        except (EOFError, OSError):
+            pass
+
+    def _dispatch(self, worker: _Worker, state: _PoolState) -> None:
+        if worker.task is not None:
+            return
+        try:
+            if state.pending:
+                index, mutant = state.pending.popleft()
+                worker.task = (index, mutant)
+                worker.started_at = time.perf_counter()
+                worker.connection.send((index, mutant))
+            else:
+                worker.connection.send(None)
+        except (BrokenPipeError, OSError):
+            # Worker already dead; the health pass classifies the in-flight
+            # task as a crash kill (a crashing mutant is never retried).
+            pass
+
+    def _spawn(self, context, spec: WorkerSpec) -> _Worker:
+        parent_connection, child_connection = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main, args=(child_connection, spec), daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        return _Worker(process, parent_connection)
+
+    def _shutdown(self, pool: List[_Worker]) -> None:
+        for worker in pool:
+            try:
+                worker.connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in pool:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _mp_context():
+        # fork keeps worker start cheap and inherits loaded modules; fall
+        # back to the platform default where fork is unavailable.
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    @staticmethod
+    def _worker_for(pool: List[_Worker],
+                    connection: Connection) -> Optional[_Worker]:
+        for worker in pool:
+            if worker.connection is connection:
+                return worker
+        return None
+
+    @staticmethod
+    def _boundary_outcome(record, reason: KillReason,
+                          detail: str) -> MutantOutcome:
+        """The paper's "program crashed" clause, applied at the process
+        boundary: the mutant is killed, but no in-process case verdict
+        exists, so ``killing_case`` stays empty and ``cases_run`` is 0."""
+        return MutantOutcome(
+            mutant=record,
+            killed=True,
+            reason=reason,
+            killing_case="",
+            cases_run=0,
+            killing_cases=(),
+            detail=detail,
+        )
+
+    @staticmethod
+    def _mutant_record(worker: _Worker, index: int):
+        if worker.task is not None and worker.task[0] == index:
+            return worker.task[1].record
+        raise RuntimeError(
+            f"worker reported a result for task {index} it was not assigned"
+        )
+
+
+def analyze_mutants_parallel(original_class: type, suite: TestSuite,
+                             mutants: Sequence[CompiledMutant],
+                             workers: Optional[int] = None,
+                             **options) -> MutationRun:
+    """One-call convenience over :class:`ParallelMutationAnalysis`."""
+    return ParallelMutationAnalysis(
+        original_class, suite, workers=workers, **options
+    ).analyze(mutants)

@@ -1,0 +1,116 @@
+"""Smoke tests for the frozen experiment tables on tiny configurations.
+
+These are deliberately small: one method, a truncated suite.  They pin
+down the *shape* of each table (rows, operators, totals that must agree)
+and the parallel contract — ``workers=2`` must reproduce the ``workers=1``
+rows exactly — without paying for the full paper workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    OPERATOR_DEFINITIONS,
+    TABLE2_METHODS,
+    TABLE3_METHODS,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.table2 import main as table2_main
+from repro.experiments.table3 import main as table3_main
+from repro.mutation.operators import ALL_OPERATORS
+
+OPERATOR_NAMES = tuple(operator.name for operator in ALL_OPERATORS)
+
+
+class TestTable1:
+    def test_parallel_reproduces_serial_rows(self):
+        serial = run_table1()
+        parallel = run_table1(workers=2)
+        assert parallel == serial
+        assert parallel.demos == serial.demos
+
+    def test_row_shape(self):
+        result = run_table1()
+        assert len(result.demos) == len(OPERATOR_NAMES)
+        assert tuple(demo.operator for demo in result.demos) == OPERATOR_NAMES
+        for demo in result.demos:
+            assert demo.definition == OPERATOR_DEFINITIONS[demo.operator]
+            assert 0 < demo.typed_mutants <= demo.untyped_mutants
+            assert demo.example != "<no mutants>"
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_table2(methods=("FindMax",), with_equivalence=False,
+                          max_cases=120)
+
+    def test_row_shape(self, serial):
+        table = serial.table
+        assert table.class_name == "CSortableObList"
+        assert table.methods == ("FindMax",)
+        assert table.operators == OPERATOR_NAMES
+        assert table.total_generated == serial.run.total
+        assert sum(table.per_method.values()) == table.total_generated
+        assert len(serial.suite) == 120
+        assert serial.run.suite_size == 120
+
+    def test_workers_2_reproduces_serial(self, serial):
+        parallel = run_table2(methods=("FindMax",), with_equivalence=False,
+                              max_cases=120, workers=2)
+        assert parallel.run.same_results(serial.run)
+        assert parallel.table == serial.table
+        assert parallel.suite == serial.suite
+
+    def test_methods_default_is_table2(self):
+        assert TABLE2_METHODS == (
+            "Sort1", "Sort2", "ShellSort", "FindMax", "FindMin"
+        )
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_table3(methods=("RemoveHead",), max_cases=80)
+
+    def test_row_shape(self, serial):
+        table = serial.incremental_table
+        assert table.class_name == "CSortableObList"
+        assert table.methods == ("RemoveHead",)
+        assert table.operators == OPERATOR_NAMES
+        assert table.total_generated == serial.incremental_run.total
+        # Contrast runs are off by default.
+        assert serial.base_suite_run is None
+        assert serial.full_suite_run is None
+        assert serial.plan.executed_suite is not None
+
+    def test_workers_2_reproduces_serial(self, serial):
+        parallel = run_table3(methods=("RemoveHead",), max_cases=80, workers=2)
+        assert parallel.incremental_run.same_results(serial.incremental_run)
+        assert parallel.incremental_table == serial.incremental_table
+
+    def test_methods_default_is_table3(self):
+        assert TABLE3_METHODS == ("AddHead", "RemoveAt", "RemoveHead")
+
+
+class TestCommandLine:
+    def test_table2_cli_smoke(self, capsys):
+        exit_code = table2_main([
+            "--methods", "FindMax", "--max-cases", "40",
+            "--workers", "2", "--no-equivalence",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Mutation results for class CSortableObList" in output
+        assert "Table 2" in output
+
+    def test_table3_cli_smoke(self, capsys):
+        exit_code = table3_main([
+            "--methods", "RemoveHead", "--max-cases", "40",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output

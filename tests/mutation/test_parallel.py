@@ -1,0 +1,253 @@
+"""Differential and robustness tests for the parallel mutation engine.
+
+The serial-equivalence tests are the determinism property the step-budget
+sandbox was designed to guarantee: for any worker count, the parallel
+``MutationRun`` must equal the serial run outcome-for-outcome (killed flag,
+``KillReason``, ``killing_case``, ``cases_run``, mutation score, aggregated
+sandbox timeouts).  The robustness tests feed the engine hostile mutants —
+one that kills its worker process outright and one that hangs past the
+wall-clock backstop — and assert the paper's "program crashed" clause is
+applied at the process boundary while every remaining mutant still runs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import KillReason, experiment_oracle
+from repro.mutation.analysis import MutationAnalysis, analyze_mutants
+from repro.mutation.generate import generate_mutants
+from repro.mutation.mutant import Mutant, rebuild_compiled_mutant
+from repro.mutation.parallel import (
+    ParallelMutationAnalysis,
+    analyze_mutants_parallel,
+)
+from repro.mutation.score import build_score_table
+
+SEEDS = (20010701, 7, 99)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def small_suite(seed: int):
+    """A compact suite whose cases all visit the mutated methods."""
+    suite = DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin")
+               for step in case.steps)
+    )[:60]
+    return replace(suite, cases=relevant)
+
+
+def oracle():
+    return experiment_oracle(CSortableObList.__tspec__)
+
+
+@pytest.fixture(scope="module")
+def findmax_mutants():
+    mutants, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return mutants[:30]
+
+
+@pytest.fixture(scope="module")
+def serial_runs(findmax_mutants):
+    """One serial reference run per RNG seed (the differential baseline)."""
+    return {
+        seed: MutationAnalysis(
+            CSortableObList, small_suite(seed), oracle=oracle()
+        ).analyze(findmax_mutants)
+        for seed in SEEDS
+    }
+
+
+class TestSerialEquivalence:
+    """Parallel == serial, field for field, across schedules and seeds."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_run_equals_serial(self, workers, seed, findmax_mutants,
+                               serial_runs):
+        serial = serial_runs[seed]
+        parallel = ParallelMutationAnalysis(
+            CSortableObList, small_suite(seed), oracle=oracle(),
+            workers=workers,
+        ).analyze(findmax_mutants)
+
+        assert parallel.same_results(serial)
+        # The explicit outcome-for-outcome contract, spelled out:
+        assert len(parallel.outcomes) == len(serial.outcomes)
+        for mine, theirs in zip(parallel.outcomes, serial.outcomes):
+            assert mine.mutant == theirs.mutant          # submission order
+            assert mine.killed == theirs.killed
+            assert mine.reason is theirs.reason
+            assert mine.killing_case == theirs.killing_case
+            assert mine.cases_run == theirs.cases_run
+        assert parallel.kill_reason_counts() == serial.kill_reason_counts()
+        assert parallel.step_timeouts == serial.step_timeouts
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_mutation_score_identical(self, workers, findmax_mutants,
+                                      serial_runs):
+        seed = SEEDS[0]
+        parallel = ParallelMutationAnalysis(
+            CSortableObList, small_suite(seed), oracle=oracle(),
+            workers=workers,
+        ).analyze(findmax_mutants)
+        serial_table = build_score_table(serial_runs[seed])
+        parallel_table = build_score_table(parallel)
+        assert parallel_table == serial_table
+        assert parallel_table.total_score == serial_table.total_score
+
+    def test_analyze_mutants_workers_dispatch(self, findmax_mutants):
+        suite = small_suite(SEEDS[1])
+        serial = analyze_mutants(
+            CSortableObList, suite, findmax_mutants[:5], oracle=oracle()
+        )
+        parallel = analyze_mutants(
+            CSortableObList, suite, findmax_mutants[:5], oracle=oracle(),
+            workers=2,
+        )
+        assert parallel.same_results(serial)
+
+    def test_convenience_wrapper(self, findmax_mutants, serial_runs):
+        seed = SEEDS[0]
+        run = analyze_mutants_parallel(
+            CSortableObList, small_suite(seed), findmax_mutants,
+            workers=2, oracle=oracle(),
+        )
+        assert run.same_results(serial_runs[seed])
+
+    def test_empty_battery(self):
+        run = ParallelMutationAnalysis(
+            CSortableObList, small_suite(SEEDS[0]), oracle=oracle(), workers=2
+        ).analyze([])
+        assert run.total == 0
+        assert run.outcomes == ()
+
+
+class TestMutantReconstruction:
+    """Mutants must round-trip the process boundary by source recompilation."""
+
+    def test_pickle_roundtrip_preserves_record_and_owner(self, findmax_mutants):
+        original = findmax_mutants[0]
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.record == original.record
+        assert clone.owner is original.owner
+        assert clone.function is not original.function  # recompiled
+
+    def test_reconstructed_mutant_behaves_identically(self, findmax_mutants):
+        original = findmax_mutants[0]
+        clone = pickle.loads(pickle.dumps(original))
+        suite = small_suite(SEEDS[0])
+        run_a = MutationAnalysis(
+            CSortableObList, suite, oracle=oracle()
+        ).analyze([original])
+        run_b = MutationAnalysis(
+            CSortableObList, suite, oracle=oracle()
+        ).analyze([clone])
+        assert run_a.same_results(run_b)
+
+
+# ---------------------------------------------------------------------------
+# Hostile-mutant fixtures (the paper's "program crashed" clause)
+# ---------------------------------------------------------------------------
+
+#: A mutant whose method takes the entire worker process down.
+CRASH_SOURCE = (
+    "def FindMax(self):\n"
+    "    import os\n"
+    "    os._exit(23)\n"
+)
+
+#: A mutant that blocks in C-level sleeps: line events accumulate far too
+#: slowly for the step budget to matter, so only wall-clock observes it.
+HANG_SOURCE = (
+    "def FindMax(self):\n"
+    "    import time\n"
+    "    while True:\n"
+    "        time.sleep(0.005)\n"
+)
+
+
+def hostile_mutant(ident: str, source: str):
+    record = Mutant(
+        ident=ident,
+        operator="IndVarRepReq",
+        class_name="CSortableObList",
+        method_name="FindMax",
+        variable="pos",
+        occurrence=0,
+        line=1,
+        replacement="0",
+        description="hostile fixture mutant",
+        mutated_source=source,
+    )
+    return rebuild_compiled_mutant(record, CSortableObList)
+
+
+class TestWorkerCrashRobustness:
+    def test_crashing_mutant_killed_with_distinct_reason(self, findmax_mutants):
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0001", CRASH_SOURCE)
+        tail = list(findmax_mutants[:6])
+        run = ParallelMutationAnalysis(
+            CSortableObList, suite, oracle=oracle(), workers=2,
+        ).analyze([hostile] + tail)
+
+        assert run.total == 7
+        first = run.outcomes[0]
+        assert first.killed
+        assert first.reason is KillReason.WORKER_CRASH
+        assert "exitcode" in first.detail
+        assert first.killing_case == ""
+        assert first.cases_run == 0
+        # The engine completed every remaining mutant, serial-identically.
+        serial_tail = MutationAnalysis(
+            CSortableObList, suite, oracle=oracle()
+        ).analyze(tail)
+        assert run.outcomes[1:] == serial_tail.outcomes
+
+    def test_crash_counts_as_kill_in_reason_tally(self, findmax_mutants):
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0003", CRASH_SOURCE)
+        run = ParallelMutationAnalysis(
+            CSortableObList, suite, oracle=oracle(), workers=2,
+        ).analyze([hostile, findmax_mutants[0]])
+        counts = run.kill_reason_counts()
+        assert counts[KillReason.WORKER_CRASH.value] == 1
+
+
+class TestWallClockBackstopRobustness:
+    def test_hanging_mutant_killed_and_engine_completes(self, findmax_mutants):
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0002", HANG_SOURCE)
+        tail = list(findmax_mutants[:4])
+        run = ParallelMutationAnalysis(
+            CSortableObList, suite, oracle=oracle(), workers=2,
+            wall_clock_backstop=1.5,
+        ).analyze([hostile] + tail)
+
+        assert run.total == 5
+        first = run.outcomes[0]
+        assert first.killed
+        assert first.reason is KillReason.WALL_TIMEOUT
+        assert "backstop" in first.detail
+        assert first.cases_run == 0
+        serial_tail = MutationAnalysis(
+            CSortableObList, suite, oracle=oracle()
+        ).analyze(tail)
+        assert run.outcomes[1:] == serial_tail.outcomes
+
+    def test_invalid_backstop_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMutationAnalysis(
+                CSortableObList, small_suite(SEEDS[0]),
+                wall_clock_backstop=0.0,
+            )

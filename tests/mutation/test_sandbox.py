@@ -90,6 +90,67 @@ class TestCallCountGuard:
         assert guard.calls == 2
 
 
+class TestStepTimeoutsSurfacedInRun:
+    """The per-mutant guard's ``timeouts`` counter must reach ``MutationRun``."""
+
+    @staticmethod
+    def _fixture(body: str):
+        from repro.components import CSortableObList
+        from repro.mutation.mutant import Mutant, rebuild_compiled_mutant
+
+        record = Mutant(
+            ident="L0001",
+            operator="IndVarRepReq",
+            class_name="CSortableObList",
+            method_name="FindMax",
+            variable="pos",
+            occurrence=0,
+            line=1,
+            replacement="0",
+            description="sandbox fixture mutant",
+            mutated_source=body,
+        )
+        return rebuild_compiled_mutant(record, CSortableObList)
+
+    @staticmethod
+    def _findmax_suite():
+        from dataclasses import replace
+
+        from repro.components import CSortableObList
+        from repro.generator.driver import DriverGenerator
+
+        suite = DriverGenerator(CSortableObList.__tspec__, seed=7).generate()
+        cases = tuple(
+            case for case in suite.cases
+            if any(step.method_name == "FindMax" for step in case.steps)
+        )[:5]
+        return replace(suite, cases=cases)
+
+    def test_looping_mutant_timeouts_aggregate_into_run(self):
+        from repro.components import CSortableObList
+        from repro.mutation.analysis import MutationAnalysis
+
+        mutant = self._fixture(
+            "def FindMax(self):\n    while True:\n        pass\n"
+        )
+        run = MutationAnalysis(
+            CSortableObList, self._findmax_suite(), step_budget=2_000
+        ).analyze([mutant])
+        assert run.outcomes[0].killed
+        assert run.step_timeouts >= 1
+
+    def test_clean_mutant_reports_zero_timeouts(self):
+        from repro.components import CSortableObList
+        from repro.mutation.analysis import MutationAnalysis
+
+        mutant = self._fixture("def FindMax(self):\n    return None\n")
+        run = MutationAnalysis(
+            CSortableObList, self._findmax_suite()
+        ).analyze([mutant])
+        assert run.outcomes[0].killed
+        assert run.step_timeouts == 0
+
+
 class TestGuardWithExecutor:
     def test_looping_mutant_becomes_timeout_verdict(self):
         from repro.components import CSortableObList
