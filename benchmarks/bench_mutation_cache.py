@@ -1,0 +1,140 @@
+"""Incremental outcome cache — cold vs warm wall-clock.
+
+Runs the Table 1 workload (the full typed mutant pool over the Table 2
+target methods of ``CSortableObList``, truncated suite) three times into a
+fresh cache directory — once with no cache (fresh baseline), once cold
+(populating), once warm (replaying) — plus a warm run on the 2-worker
+engine, and writes ``BENCH_mutation_cache.json`` at the repository root.
+
+The asserted contract is the cached≡fresh guarantee under real load: both
+warm runs must pass ``same_results`` against the fresh baseline with a
+100% hit rate (zero mutant executions).  The cold/warm wall-clocks and the
+speedup are *recorded* for machines to compare; warm time is dominated by
+the reference-suite execution the cache deliberately never skips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.experiments.config import TABLE2_METHODS, sortable_oracle, sortable_suite
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.generate import generate_mutants
+from repro.mutation.parallel import ParallelMutationAnalysis
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_mutation_cache.json"
+
+MAX_CASES = 200
+
+
+def _workload():
+    suite = sortable_suite()
+    suite = replace(suite, cases=suite.cases[:MAX_CASES])
+    mutants, _ = generate_mutants(
+        CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL
+    )
+    return suite, mutants
+
+
+def _stats_dict(run):
+    stats = run.cache_stats
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "invalidations": stats.invalidations,
+        "corrupt": stats.corrupt,
+        "hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+def run_bench() -> dict:
+    suite, mutants = _workload()
+
+    fresh = MutationAnalysis(
+        CSortableObList, suite, oracle=sortable_oracle()
+    ).analyze(mutants)
+
+    with tempfile.TemporaryDirectory(prefix="bench-mutation-cache-") as root:
+        cache = MutationOutcomeCache(root)
+        cold = MutationAnalysis(
+            CSortableObList, suite, oracle=sortable_oracle(), cache=cache
+        ).analyze(mutants)
+        warm = MutationAnalysis(
+            CSortableObList, suite, oracle=sortable_oracle(), cache=cache
+        ).analyze(mutants)
+        warm_parallel = ParallelMutationAnalysis(
+            CSortableObList, suite, oracle=sortable_oracle(), cache=cache,
+            workers=2,
+        ).analyze(mutants)
+        entry_files = sum(
+            1 for _ in (Path(root) / "objects").rglob("*.pkl")
+        )
+
+    return {
+        "benchmark": "mutation_cache",
+        "workload": {
+            "class": "CSortableObList",
+            "methods": list(TABLE2_METHODS),
+            "mutants": len(mutants),
+            "suite_cases": len(suite),
+            "killed": len(fresh.killed),
+        },
+        "cpu_count": os.cpu_count(),
+        "fresh_seconds": round(fresh.elapsed_seconds, 3),
+        "cold": {
+            "seconds": round(cold.elapsed_seconds, 3),
+            "identical_to_fresh": cold.same_results(fresh),
+            "cache": _stats_dict(cold),
+        },
+        "warm": {
+            "seconds": round(warm.elapsed_seconds, 3),
+            "identical_to_fresh": warm.same_results(fresh),
+            "speedup_vs_cold": round(
+                cold.elapsed_seconds / warm.elapsed_seconds, 3
+            ),
+            "cache": _stats_dict(warm),
+        },
+        "warm_parallel_2": {
+            "seconds": round(warm_parallel.elapsed_seconds, 3),
+            "identical_to_fresh": warm_parallel.same_results(fresh),
+            "cache": _stats_dict(warm_parallel),
+        },
+        "entry_files": entry_files,
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_cache_cold_vs_warm(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    # The contract under real load: cached is fresh-identical, full hit.
+    assert data["cold"]["identical_to_fresh"]
+    assert data["warm"]["identical_to_fresh"]
+    assert data["warm_parallel_2"]["identical_to_fresh"]
+    assert data["cold"]["cache"]["hits"] == 0
+    assert data["warm"]["cache"]["hit_rate"] == 1.0
+    assert data["warm_parallel_2"]["cache"]["hit_rate"] == 1.0
+    assert data["entry_files"] == data["workload"]["mutants"]
+    assert OUTPUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    write_report(report)
+    print(json.dumps(report, indent=2))

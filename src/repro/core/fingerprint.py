@@ -1,0 +1,113 @@
+"""Canonical content encoding and SHA-256 fingerprints.
+
+The incremental mutation-analysis cache (:mod:`repro.mutation.cache`) keys
+outcomes by *content*: a cached verdict may be replayed only when every
+input that could change it — the mutated source, the test cases, the
+oracle, the sandbox budget — is byte-identical.  That requires a rendering
+of arbitrary configuration objects that is
+
+* **stable across processes** — no ``id()``, no memory addresses, no
+  ``repr`` of function objects;
+* **structural** — two separately constructed but equal-valued objects
+  (e.g. two ``paper_oracle()`` instances) render identically;
+* **source-sensitive for classes** — a class reference embeds a hash of
+  its source text where retrievable, so editing a component implementation
+  invalidates every fingerprint that mentions the class.
+
+:func:`canonical` produces that rendering; :func:`sha256_hex` folds the
+parts into a hex digest.  Unknown object kinds degrade to their type
+identity rather than raising: a coarser fingerprint only costs cache
+misses, never correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+from typing import Any
+
+#: Nesting bound for :func:`canonical`.  Deep enough for every structure
+#: the library fingerprints (suite → case → step → argument is depth ~7);
+#: cyclic object graphs bottom out instead of recursing forever.
+MAX_CANONICAL_DEPTH = 16
+
+
+def sha256_hex(*parts: str) -> str:
+    """SHA-256 over the parts, each terminated so concatenation is unambiguous."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def canonical(value: Any, _depth: int = 0) -> str:
+    """A deterministic, identity-free textual encoding of ``value``."""
+    if _depth > MAX_CANONICAL_DEPTH:
+        return "<max-depth>"
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return f"bool:{value}"
+    if isinstance(value, int):
+        return f"int:{value}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    if isinstance(value, str):
+        return f"str:{value!r}"
+    if isinstance(value, bytes):
+        return f"bytes:{value.hex()}"
+    if isinstance(value, enum.Enum):
+        return f"enum:{type(value).__qualname__}.{value.name}"
+    if isinstance(value, type):
+        return _canonical_type(value)
+    if isinstance(value, (tuple, list)):
+        tag = "tuple" if isinstance(value, tuple) else "list"
+        rendered = ",".join(canonical(item, _depth + 1) for item in value)
+        return f"{tag}:[{rendered}]"
+    if isinstance(value, (set, frozenset)):
+        rendered = ",".join(sorted(canonical(item, _depth + 1) for item in value))
+        return f"set:{{{rendered}}}"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical(key, _depth + 1), canonical(item, _depth + 1))
+            for key, item in value.items()
+        )
+        rendered = ",".join(f"{key}={item}" for key, item in items)
+        return f"dict:{{{rendered}}}"
+    if dataclasses.is_dataclass(value):
+        fields = ",".join(
+            f"{field.name}={canonical(getattr(value, field.name), _depth + 1)}"
+            for field in dataclasses.fields(value)
+        )
+        return f"data:{type(value).__qualname__}({fields})"
+    if inspect.isroutine(value):
+        module = getattr(value, "__module__", "?")
+        qualname = getattr(value, "__qualname__", type(value).__qualname__)
+        return f"callable:{module}.{qualname}"
+    state = getattr(value, "__dict__", None)
+    if isinstance(state, dict):
+        return (
+            f"object:{type(value).__module__}.{type(value).__qualname__}"
+            f"({canonical(state, _depth + 1)})"
+        )
+    return f"opaque:{type(value).__module__}.{type(value).__qualname__}"
+
+
+def _canonical_type(cls: type) -> str:
+    """Type identity plus a source digest (where source is retrievable).
+
+    Embedding the source hash makes any fingerprint that references a class
+    sensitive to edits of that class's implementation — the original class
+    and the class-builder operands invalidate cached mutant outcomes when
+    their behaviour could have changed.  Dynamically built classes have no
+    retrievable source; they degrade to name identity.
+    """
+    try:
+        source = inspect.getsource(cls)
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    except (OSError, TypeError):
+        digest = "nosource"
+    return f"type:{cls.__module__}.{cls.__qualname__}#{digest}"

@@ -1,0 +1,55 @@
+"""Shared CLI plumbing for the table experiments.
+
+Every table CLI accepts the same incremental-run flags:
+
+* ``--cache-dir DIR`` — replay mutant outcomes from (and record them into)
+  a content-addressed cache under ``DIR``; a warm rerun of an unchanged
+  experiment executes zero mutant test cases (see
+  :mod:`repro.mutation.cache` and README "Incremental runs");
+* ``--no-cache`` — force caching off even when a wrapper always passes
+  ``--cache-dir``;
+* ``--cache-stats`` — print hit/miss/invalidation counters after each
+  mutation run (lines start with ``cache`` so table output can be compared
+  across runs with a simple filter).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from ..mutation.analysis import MutationRun
+from ..mutation.cache import MutationOutcomeCache
+
+
+def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("incremental runs (outcome cache)")
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed mutant-outcome cache directory "
+             "(warm reruns of an unchanged experiment re-execute nothing)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the outcome cache even if --cache-dir is given",
+    )
+    group.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache hit/miss/invalidation counters after the run",
+    )
+
+
+def cache_from_arguments(arguments: argparse.Namespace
+                         ) -> Optional[MutationOutcomeCache]:
+    """The cache the flags describe, or ``None`` when caching is off."""
+    if arguments.no_cache or not arguments.cache_dir:
+        return None
+    return MutationOutcomeCache(arguments.cache_dir)
+
+
+def print_cache_stats(run: Optional[MutationRun], label: str = "cache") -> None:
+    """One ``cache…`` line per run (kept greppable for CI comparisons)."""
+    if run is None or run.cache_stats is None:
+        print(f"{label}: disabled")
+        return
+    print(f"{label}: {run.cache_stats.format()}")

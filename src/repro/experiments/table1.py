@@ -6,19 +6,34 @@ that each operator, applied to the experiment's subject methods, produces
 the documented class of mutants: for every operator we report its
 definition, how many mutation points it derives (before and after the
 C++-typing gate), and one concrete example mutant.
+
+``--with-analysis`` additionally *executes* the typed ``CSortableObList``
+pool under the experiment suite and appends per-operator kill counts — the
+workload the incremental outcome cache (:mod:`repro.mutation.cache`)
+accelerates: a warm rerun with ``--cache-dir`` replays every verdict and
+executes zero mutant test cases while printing identical rows.
 """
 
 from __future__ import annotations
 
 import argparse
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..components import CObList, CSortableObList, OBLIST_TYPE_MODEL
-from ..mutation.generate import MutantGenerator
+from ..mutation.analysis import MutationAnalysis, MutationRun
+from ..mutation.cache import MutationOutcomeCache
+from ..mutation.generate import MutantGenerator, generate_mutants
 from ..mutation.operators import ALL_OPERATORS
-from .config import TABLE2_METHODS, TABLE3_METHODS
+from ..mutation.parallel import ParallelMutationAnalysis
+from .config import (
+    EXPERIMENT_SEED,
+    TABLE2_METHODS,
+    TABLE3_METHODS,
+    sortable_oracle,
+    sortable_suite,
+)
 
 #: Operator definitions, verbatim from Table 1.
 OPERATOR_DEFINITIONS: Dict[str, str] = {
@@ -52,10 +67,25 @@ class OperatorDemo:
 @dataclass(frozen=True)
 class Table1Result:
     demos: Tuple[OperatorDemo, ...]
+    #: The executed battery (``--with-analysis`` only): the typed
+    #: ``CSortableObList`` pool under the experiment suite.
+    run: Optional[MutationRun] = None
 
     def format(self) -> str:
         header = "Table 1. Interface mutation operators applied"
-        return "\n".join([header] + [demo.format() for demo in self.demos])
+        lines = [header] + [demo.format() for demo in self.demos]
+        if self.run is not None:
+            lines.append(
+                f"Kill counts over {self.run.total} executed "
+                f"CSortableObList mutants ({self.run.suite_size}-case suite):"
+            )
+            for demo in self.demos:
+                outcomes = self.run.outcomes_for_operator(demo.operator)
+                killed = sum(1 for outcome in outcomes if outcome.killed)
+                lines.append(
+                    f"  {demo.operator:<15} {killed}/{len(outcomes)} killed"
+                )
+        return "\n".join(lines)
 
     def demo_for(self, operator: str) -> OperatorDemo:
         for demo in self.demos:
@@ -97,12 +127,20 @@ def _operator_demo(operator_name: str) -> OperatorDemo:
     )
 
 
-def run_table1(workers: int = 1) -> Table1Result:
+def run_table1(workers: int = 1,
+               with_analysis: bool = False,
+               seed: int = EXPERIMENT_SEED,
+               max_cases: Optional[int] = None,
+               cache: Optional[MutationOutcomeCache] = None) -> Table1Result:
     """Regenerate Table 1 over the experiments' subject methods.
 
     ``workers > 1`` fans the five operator columns out to a process pool;
     rows come back in operator order, so the result is identical to the
-    serial run.
+    serial run.  ``with_analysis`` additionally executes the typed
+    ``CSortableObList`` pool under the experiment suite (on the parallel
+    engine when ``workers > 1``) and reports per-operator kill counts;
+    ``cache`` replays unchanged verdicts from the outcome cache, and
+    ``max_cases`` truncates the suite (smoke/CI hook).
     """
     names = [operator.name for operator in ALL_OPERATORS]
     if workers > 1:
@@ -110,11 +148,29 @@ def run_table1(workers: int = 1) -> Table1Result:
             demos = tuple(pool.map(_operator_demo, names))
     else:
         demos = tuple(_operator_demo(name) for name in names)
-    return Table1Result(demos=demos)
+    run = None
+    if with_analysis:
+        suite = sortable_suite(seed)
+        if max_cases is not None:
+            suite = replace(suite, cases=suite.cases[:max_cases])
+        mutants, _ = generate_mutants(
+            CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL
+        )
+        engine = ParallelMutationAnalysis if workers > 1 else MutationAnalysis
+        run = engine(
+            CSortableObList,
+            suite,
+            oracle=sortable_oracle(),
+            cache=cache,
+            **({"workers": workers} if workers > 1 else {}),
+        ).analyze(mutants)
+    return Table1Result(demos=demos, run=run)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI: ``python -m repro.experiments.table1 [--workers N]``."""
+    """CLI: ``python -m repro.experiments.table1 [--workers N] …``."""
+    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+
     parser = argparse.ArgumentParser(
         description="Regenerate Table 1 (interface mutation operators)."
     )
@@ -122,8 +178,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--workers", type=int, default=1,
         help="process-pool size for the per-operator fan-out (default: 1)",
     )
+    parser.add_argument(
+        "--with-analysis", action="store_true",
+        help="also execute the typed CSortableObList pool and report "
+             "per-operator kill counts",
+    )
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="suite-generation seed (with --with-analysis)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="truncate the suite (smoke runs only)")
+    add_cache_arguments(parser)
     arguments = parser.parse_args(argv)
-    print(run_table1(workers=arguments.workers).format())
+    result = run_table1(
+        workers=arguments.workers,
+        with_analysis=arguments.with_analysis,
+        seed=arguments.seed,
+        max_cases=arguments.max_cases,
+        cache=cache_from_arguments(arguments),
+    )
+    print(result.format())
+    if arguments.cache_stats:
+        print_cache_stats(result.run)
     return 0
 
 

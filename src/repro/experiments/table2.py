@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Tuple
 from ..components import CSortableObList, OBLIST_TYPE_MODEL
 from ..generator.suite import TestSuite
 from ..mutation.analysis import MutationAnalysis, MutationRun
+from ..mutation.cache import MutationOutcomeCache
 from ..mutation.equivalence import EquivalenceReport, probe_equivalence
 from ..mutation.generate import GenerationReport, generate_mutants
 from ..mutation.parallel import ParallelMutationAnalysis
@@ -60,12 +61,15 @@ def run_table2(seed: int = EXPERIMENT_SEED,
                with_equivalence: bool = True,
                stop_on_first_kill: bool = True,
                workers: int = 1,
-               max_cases: Optional[int] = None) -> Table2Result:
+               max_cases: Optional[int] = None,
+               cache: Optional[MutationOutcomeCache] = None) -> Table2Result:
     """Execute experiment 1 end to end.
 
     ``workers > 1`` runs the mutant battery on the parallel engine (results
     are field-for-field identical to the serial run).  ``max_cases``
     truncates the suite — a smoke/bench hook, not a paper configuration.
+    ``cache`` replays unchanged mutant verdicts from the incremental
+    outcome cache (cached runs are ``same_results``-identical to fresh).
     """
     suite = sortable_suite(seed)
     if max_cases is not None:
@@ -79,6 +83,7 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         suite,
         oracle=sortable_oracle(),
         stop_on_first_kill=stop_on_first_kill,
+        cache=cache,
         **({"workers": workers} if workers > 1 else {}),
     )
     run = analysis.analyze(mutants)
@@ -118,6 +123,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suite (smoke runs only)")
     parser.add_argument("--no-equivalence", action="store_true",
                         help="skip the equivalence probe")
+    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+
+    add_cache_arguments(parser)
     arguments = parser.parse_args(argv)
     result = run_table2(
         seed=arguments.seed,
@@ -125,11 +133,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with_equivalence=not arguments.no_equivalence,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
+        cache=cache_from_arguments(arguments),
     )
     print(result.generation.summary())
     print(result.table.format())
     print(result.run.summary())
     print(result.summary())
+    if arguments.cache_stats:
+        print_cache_stats(result.run)
     return 0
 
 

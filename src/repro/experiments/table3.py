@@ -23,6 +23,7 @@ from ..components import CObList, CSortableObList, OBLIST_TYPE_MODEL
 from ..generator.suite import TestSuite
 from ..history.incremental import IncrementalPlan
 from ..mutation.analysis import MutationAnalysis, MutationRun
+from ..mutation.cache import MutationOutcomeCache
 from ..mutation.generate import GenerationReport, generate_mutants
 from ..mutation.parallel import ParallelMutationAnalysis
 from ..mutation.score import ScoreTable, build_score_table
@@ -86,7 +87,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
                methods: Tuple[str, ...] = TABLE3_METHODS,
                with_contrast_runs: bool = False,
                workers: int = 1,
-               max_cases: Optional[int] = None) -> Table3Result:
+               max_cases: Optional[int] = None,
+               cache: Optional[MutationOutcomeCache] = None) -> Table3Result:
     """Execute experiment 2 end to end.
 
     ``with_contrast_runs`` additionally scores the same mutants under the
@@ -94,7 +96,9 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     comparison that substantiates the "retest inherited features" message.
     ``workers > 1`` runs every mutant battery on the parallel engine
     (serial-identical results); ``max_cases`` truncates the suites — a
-    smoke/bench hook, not a paper configuration.
+    smoke/bench hook, not a paper configuration.  ``cache`` is shared by
+    all three batteries: each run's entries are keyed by its own suite,
+    oracle and builder, so the contrast runs never cross-contaminate.
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
@@ -109,6 +113,7 @@ def run_table3(seed: int = EXPERIMENT_SEED,
             _truncated(suite, max_cases),
             oracle=oracle,
             class_builder=class_builder,
+            cache=cache,
             **({"workers": workers} if workers > 1 else {}),
         )
 
@@ -153,6 +158,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suites (smoke runs only)")
     parser.add_argument("--contrast", action="store_true",
                         help="also run the base-suite and full-suite contrasts")
+    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+
+    add_cache_arguments(parser)
     arguments = parser.parse_args(argv)
     result = run_table3(
         seed=arguments.seed,
@@ -160,10 +168,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with_contrast_runs=arguments.contrast,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
+        cache=cache_from_arguments(arguments),
     )
     print(result.generation.summary())
     print(result.incremental_table.format())
     print(result.summary())
+    if arguments.cache_stats:
+        print_cache_stats(result.incremental_run, label="cache[incremental]")
+        if result.base_suite_run is not None:
+            print_cache_stats(result.base_suite_run, label="cache[base-suite]")
+        if result.full_suite_run is not None:
+            print_cache_stats(result.full_suite_run, label="cache[full-suite]")
     return 0
 
 

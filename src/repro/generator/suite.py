@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..core.fingerprint import canonical, sha256_hex
 from ..core.rng import ReproRandom
 from ..tfm.transactions import Transaction
 from .testcase import TestCase
@@ -150,6 +151,21 @@ class TestSuite:
             for index, case in enumerate(self.cases)
         )
         return replace(self, cases=completed_cases)
+
+    # -- identity -------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 content hash of the suite, stable across processes.
+
+        Derived purely from the suite's *value* — class name, seed, bounds,
+        and every case's transaction, steps and argument values (via
+        :func:`repro.core.fingerprint.canonical`, which never encodes
+        object identity or wall-clock).  Two suites generated from the same
+        spec and seed therefore share a fingerprint, and a suite that
+        round-trips pickling keeps its fingerprint — the property the
+        mutation outcome cache keys on.
+        """
+        return sha256_hex("testsuite", canonical(self))
 
     # -- reporting ------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from ..generator.suite import TestSuite
 from ..harness.executor import TestExecutor
 from ..harness.oracles import CompositeOracle, KillReason, paper_oracle
 from ..harness.outcomes import SuiteResult, Verdict
+from .cache import CacheStats, MutationOutcomeCache, experiment_fingerprint
 from .mutant import CompiledMutant, Mutant
 from .sandbox import DEFAULT_STEP_BUDGET, StepBudgetGuard
 
@@ -64,14 +65,20 @@ class MutationRun:
     #: often the sandbox had to bound a runaway mutant).  Aggregated across
     #: workers by the parallel engine.
     step_timeouts: int = 0
+    #: Outcome-cache lookup counters for this run (``None`` when the run
+    #: was executed without a cache).  Excluded from ``same_results``: a
+    #: warm run differs from a cold run only here and in wall-clock.
+    cache_stats: Optional[CacheStats] = None
 
     def same_results(self, other: "MutationRun") -> bool:
-        """Field-for-field equality, wall-clock excluded.
+        """Field-for-field equality, wall-clock and cache counters excluded.
 
-        This is the serial-equivalence contract of the parallel engine: a
-        parallel run and a serial run over the same mutants must agree on
-        every outcome, the reference, and the aggregated sandbox-timeout
-        count — only ``elapsed_seconds`` may differ.
+        This is both the serial-equivalence contract of the parallel engine
+        and the cached≡fresh contract of the outcome cache: a parallel or
+        warm-cache run over the same mutants must agree with the serial or
+        cold run on every outcome, the reference, and the aggregated
+        sandbox-timeout count — only ``elapsed_seconds`` and
+        ``cache_stats`` may differ.
         """
         return (
             self.class_name == other.class_name
@@ -137,13 +144,18 @@ class MutationAnalysis:
                  stop_on_first_kill: bool = True,
                  check_invariants: bool = True,
                  setup: Optional[Callable[[], None]] = None,
-                 reference: Optional[SuiteResult] = None):
+                 reference: Optional[SuiteResult] = None,
+                 cache: Optional[MutationOutcomeCache] = None):
         """``setup`` runs before every suite execution (e.g. resetting an
         ambient database) so runs are independent.
 
         ``reference`` seeds the original class's recorded run: a parallel
         worker receives the parent's reference instead of re-executing the
         suite, so every worker judges against bit-identical golden results.
+
+        ``cache`` replays previously computed outcomes whose content
+        fingerprint (mutant source, suite, oracle, budget, builder, flags)
+        is unchanged; see :mod:`repro.mutation.cache`.
         """
         self._original = original_class
         self._suite = suite
@@ -151,10 +163,15 @@ class MutationAnalysis:
         self._builder: ClassBuilder = class_builder or (
             lambda mutant: mutant.build_class()
         )
+        #: The raw ``class_builder`` argument (``None`` = default
+        #: ``build_class``) — what the cache fingerprints, since the
+        #: per-instance default lambda has no stable identity.
+        self._builder_spec = class_builder
         self._budget = step_budget
         self._stop_on_first_kill = stop_on_first_kill
         self._check_invariants = check_invariants
         self._setup = setup
+        self._cache = cache
         self._reference: Optional[SuiteResult] = reference
         self._reference_by_ident: Optional[Dict[str, object]] = None
 
@@ -186,13 +203,26 @@ class MutationAnalysis:
     # ------------------------------------------------------------------
 
     def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
-        """Run the suite over every mutant."""
+        """Run the suite over every mutant (replaying cached outcomes)."""
         reference = self.reference_results()
         started = time.perf_counter()
+        cache = self._cache
+        keys = None
+        stats_before = None
+        if cache is not None:
+            experiment = self.experiment_fingerprint()
+            keys = [cache.key_for(experiment, mutant) for mutant in mutants]
+            stats_before = cache.snapshot()
         outcomes: List[MutantOutcome] = []
         step_timeouts = 0
-        for mutant in mutants:
-            outcome, timeouts = self.analyze_single(mutant)
+        for index, mutant in enumerate(mutants):
+            entry = cache.lookup(keys[index]) if cache is not None else None
+            if entry is not None:
+                outcome, timeouts = entry.outcome, entry.step_timeouts
+            else:
+                outcome, timeouts = self.analyze_single(mutant)
+                if cache is not None:
+                    cache.store(keys[index], outcome, timeouts)
             outcomes.append(outcome)
             step_timeouts += timeouts
         elapsed = time.perf_counter() - started
@@ -203,6 +233,21 @@ class MutationAnalysis:
             reference=reference,
             elapsed_seconds=elapsed,
             step_timeouts=step_timeouts,
+            cache_stats=(cache.snapshot().since(stats_before)
+                         if cache is not None else None),
+        )
+
+    def experiment_fingerprint(self) -> str:
+        """The cache fingerprint of this configuration (mutants excluded)."""
+        return experiment_fingerprint(
+            self._original,
+            self._suite,
+            self._oracle,
+            self._builder_spec,
+            self._budget,
+            self._stop_on_first_kill,
+            self._check_invariants,
+            self._setup,
         )
 
     def analyze_single(self, mutant: CompiledMutant

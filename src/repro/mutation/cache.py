@@ -1,0 +1,321 @@
+"""Incremental mutation analysis: a content-addressed outcome cache.
+
+The paper's evaluation (Tables 1-3) re-executes every mutant's full test
+sequence on every run, even though most (mutant, suite) pairs are unchanged
+between invocations.  This module eliminates that redundancy the same way
+Harrold-style incremental reuse (:mod:`repro.history`) does at the
+test-case level: a verdict already computed for *identical inputs* is
+replayed instead of re-derived.
+
+**Key anatomy.**  A cache entry is addressed by the SHA-256 fingerprint of
+every input that can change a mutant's outcome:
+
+* the **mutant** — its full record (operator, location, replacement, and
+  crucially the mutated source) plus the owner class's identity and source
+  hash;
+* the **suite** — :meth:`~repro.generator.suite.TestSuite.fingerprint`,
+  a content hash over every case's steps, argument values and seed;
+* the **oracle configuration** — the composite's detector chain and each
+  detector's parameters (e.g. the observed-method set);
+* the **sandbox step budget** and the analysis flags
+  (``stop_on_first_kill``, ``check_invariants``) — both change
+  ``cases_run`` or verdicts;
+* the **class-builder identity** and the original class (identity + source
+  hash) — experiment 2 re-derives the subclass over the mutated base, so a
+  different builder means different behaviour;
+* the **setup hook** and the cache format version.
+
+Change any component — one mutant's source, one test-case value, one
+oracle flag, the budget — and only the affected entries miss; everything
+untouched still hits.
+
+**Cached ≡ fresh.**  Because the stored value is the exact
+:class:`~repro.mutation.analysis.MutantOutcome` (plus the mutant's
+sandbox-timeout count) and the key covers every input the verdict depends
+on, a warm run assembles a :class:`~repro.mutation.analysis.MutationRun`
+that passes ``same_results`` against a cold run — the differential suite
+in ``tests/mutation/test_cache.py`` enforces this for serial and parallel
+engines alike.  Worker-boundary kills (``WORKER_CRASH``/``WALL_TIMEOUT``)
+are never cached: they depend on wall-clock and process scheduling, not on
+the fingerprinted inputs.
+
+**Robustness.**  Writes are atomic (temp file + ``os.replace``), so a
+concurrent parallel run can share a cache directory; a truncated,
+unpicklable, or version-skewed entry is treated as a miss (and counted as
+``corrupt``), never a crash.  A sidecar slot index — one small file per
+(owner, mutant ident) — records the latest entry fingerprint so that a
+miss caused by a *changed* experiment is observable as an ``invalidation``
+rather than a plain cold miss.  Superseded entries are left in place:
+reverting a change hits the old entries again.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..core.fingerprint import canonical, sha256_hex
+
+if TYPE_CHECKING:  # imported lazily to keep cache <- analysis acyclic
+    from ..generator.suite import TestSuite
+    from ..harness.oracles import CompositeOracle
+    from .analysis import MutantOutcome
+    from .mutant import CompiledMutant
+
+#: Bumped whenever the entry layout or fingerprint recipe changes; part of
+#: every fingerprint, so a format change reads as a clean cold cache.
+CACHE_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def experiment_fingerprint(original_class: type,
+                           suite: "TestSuite",
+                           oracle: Optional["CompositeOracle"],
+                           class_builder: Optional[Callable],
+                           step_budget: int,
+                           stop_on_first_kill: bool,
+                           check_invariants: bool,
+                           setup: Optional[Callable] = None) -> str:
+    """Hash of everything mutants of one analysis configuration share.
+
+    Computed once per ``analyze`` call and combined with each mutant's own
+    fingerprint to address entries.  ``oracle=None`` and an explicitly
+    passed default oracle hash identically only if they are *structurally*
+    equal — callers pass the effective oracle, not the constructor arg.
+    """
+    return sha256_hex(
+        "experiment",
+        f"v{CACHE_FORMAT_VERSION}",
+        canonical(original_class),
+        suite.fingerprint(),
+        canonical(oracle),
+        canonical(class_builder),
+        canonical(step_budget),
+        canonical(stop_on_first_kill),
+        canonical(check_invariants),
+        canonical(setup),
+    )
+
+
+def mutant_fingerprint(mutant: "CompiledMutant") -> str:
+    """Hash of one mutant: full record (incl. mutated source) + owner."""
+    return sha256_hex(
+        "mutant", canonical(mutant.owner), canonical(mutant.record)
+    )
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Where one (experiment, mutant) pair lives in the store."""
+
+    entry: str  # content address: experiment fingerprint x mutant fingerprint
+    slot: str   # logical slot: (owner, mutant ident) — for invalidation counting
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Lookup counters, surfaced on ``MutationRun.cache_stats``.
+
+    ``invalidations`` counts misses whose slot previously held an entry
+    under a different fingerprint (the experiment changed); ``corrupt``
+    counts entries that existed but could not be loaded (truncated file,
+    unpicklable payload, version skew) — those are also misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta between two snapshots of one cache's counters."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            invalidations=self.invalidations - earlier.invalidations,
+            corrupt=self.corrupt - earlier.corrupt,
+        )
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            invalidations=self.invalidations + other.invalidations,
+            corrupt=self.corrupt + other.corrupt,
+        )
+
+    def format(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses "
+            f"({self.invalidations} invalidated, {self.corrupt} corrupt) — "
+            f"hit rate {self.hit_rate:.1%}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored verdict: the outcome plus its sandbox-timeout count."""
+
+    version: int
+    fingerprint: str           # the entry address this payload was stored under
+    outcome: "MutantOutcome"
+    step_timeouts: int
+
+
+class MutationOutcomeCache:
+    """Content-addressed, on-disk store of :class:`MutantOutcome`\\ s.
+
+    Layout under ``directory``::
+
+        objects/<aa>/<fingerprint>.pkl   # pickled CacheEntry
+        index/<aa>/<slot>.fp             # latest entry fingerprint per slot
+
+    The same directory may be shared by serial and parallel runs, and by
+    different experiments (tables 1-3): entries are pure content addresses
+    and never collide across configurations.
+    """
+
+    def __init__(self, directory) -> None:
+        self._directory = Path(directory)
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._corrupt = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    # -- statistics -----------------------------------------------------
+
+    def snapshot(self) -> CacheStats:
+        """Immutable view of the lifetime counters (diff with ``since``)."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            invalidations=self._invalidations,
+            corrupt=self._corrupt,
+        )
+
+    # -- addressing -----------------------------------------------------
+
+    def key_for(self, experiment: str, mutant: "CompiledMutant") -> CacheKey:
+        """The (content, slot) address of one mutant under one experiment."""
+        owner = f"{mutant.owner.__module__}.{mutant.owner.__qualname__}"
+        return CacheKey(
+            entry=sha256_hex("entry", experiment, mutant_fingerprint(mutant)),
+            slot=sha256_hex("slot", owner, mutant.record.ident),
+        )
+
+    def _entry_path(self, key: CacheKey) -> Path:
+        return self._directory / "objects" / key.entry[:2] / f"{key.entry}.pkl"
+
+    def _slot_path(self, key: CacheKey) -> Path:
+        return self._directory / "index" / key.slot[:2] / f"{key.slot}.fp"
+
+    # -- lookup / store -------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[CacheEntry]:
+        """The stored entry, or ``None`` (miss).  Never raises.
+
+        A present-but-unreadable entry (truncated pickle, garbage bytes,
+        version skew, wrong payload) counts as ``corrupt`` and is removed
+        so the rewritten entry starts clean.
+        """
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if (not isinstance(entry, CacheEntry)
+                    or entry.version != CACHE_FORMAT_VERSION
+                    or entry.fingerprint != key.entry):
+                raise ValueError("cache entry does not match its address")
+        except FileNotFoundError:
+            self._misses += 1
+            if self._slot_points_elsewhere(key):
+                self._invalidations += 1
+            return None
+        except Exception:  # noqa: BLE001 — any corruption is a miss, never a crash
+            self._misses += 1
+            self._corrupt += 1
+            self._remove_quietly(path)
+            return None
+        self._hits += 1
+        return entry
+
+    def store(self, key: CacheKey, outcome: "MutantOutcome",
+              step_timeouts: int) -> None:
+        """Persist one verdict atomically; best-effort, never raises.
+
+        Identical keys always carry identical payloads (determinism of the
+        analysis), so concurrent writers replacing the same entry are safe.
+        """
+        entry = CacheEntry(
+            version=CACHE_FORMAT_VERSION,
+            fingerprint=key.entry,
+            outcome=outcome,
+            step_timeouts=step_timeouts,
+        )
+        try:
+            self._atomic_write(self._entry_path(key), pickle.dumps(entry))
+            self._atomic_write(self._slot_path(key),
+                               key.entry.encode("ascii"))
+        except OSError:
+            pass  # a full/read-only disk degrades to no caching
+
+    # -- internals ------------------------------------------------------
+
+    def _slot_points_elsewhere(self, key: CacheKey) -> bool:
+        """True when this slot was last stored under a *different* entry."""
+        try:
+            recorded = self._slot_path(key).read_text(encoding="ascii").strip()
+        except OSError:
+            return False
+        return bool(recorded) and recorded != key.entry
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except OSError:
+            MutationOutcomeCache._remove_quietly(Path(temp_name))
+            raise
+
+    @staticmethod
+    def _remove_quietly(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -55,6 +55,7 @@ from .analysis import (
     MutationAnalysis,
     MutationRun,
 )
+from .cache import CacheKey, MutationOutcomeCache
 from .mutant import CompiledMutant
 from .sandbox import DEFAULT_STEP_BUDGET
 
@@ -146,6 +147,11 @@ class _PoolState:
     remaining: int
     step_timeouts: int = 0
     pool: List[_Worker] = field(default_factory=list)
+    #: Outcome cache + per-index entry keys; ``None`` when caching is off.
+    #: Only in-process verdicts ("done" messages) are written back — a
+    #: worker-boundary kill depends on scheduling, not fingerprinted input.
+    cache: Optional[MutationOutcomeCache] = None
+    keys: Optional[List[CacheKey]] = None
 
     def record(self, index: int, outcome: MutantOutcome,
                timeouts: int = 0) -> None:
@@ -174,7 +180,8 @@ class ParallelMutationAnalysis:
                  setup: Optional[Callable[[], None]] = None,
                  reference: Optional[SuiteResult] = None,
                  workers: Optional[int] = None,
-                 wall_clock_backstop: float = DEFAULT_WALL_CLOCK_BACKSTOP):
+                 wall_clock_backstop: float = DEFAULT_WALL_CLOCK_BACKSTOP,
+                 cache: Optional[MutationOutcomeCache] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
         self._original = original_class
@@ -188,8 +195,15 @@ class ParallelMutationAnalysis:
         self._workers = max(1, workers if workers is not None
                             else (os.cpu_count() or 1))
         self._backstop = wall_clock_backstop
+        # The cache lives in the parent only: hits are resolved before any
+        # worker is scheduled, and write-backs happen as verdicts arrive.
+        # Workers stay cache-oblivious, so a worker process never touches
+        # the store and the serial-equivalence contract is unaffected.
+        self._cache = cache
         # The reference run is computed (or seeded) in the parent, once, by
-        # a plain serial analysis; workers inherit it verbatim.
+        # a plain serial analysis; workers inherit it verbatim.  The serial
+        # helper also owns the experiment fingerprint (it sees the same
+        # configuration), but is never given the cache itself.
         self._serial = MutationAnalysis(
             original_class, suite, oracle=oracle, class_builder=class_builder,
             step_budget=step_budget, stop_on_first_kill=stop_on_first_kill,
@@ -213,11 +227,29 @@ class ParallelMutationAnalysis:
     # ------------------------------------------------------------------
 
     def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
-        """Run the suite over every mutant across the worker pool."""
+        """Run the suite over every mutant across the worker pool.
+
+        With a cache attached, hits are replayed in the parent before the
+        pool is sized: a fully warm run spawns zero workers and executes
+        zero mutant test cases, yet still assembles a ``same_results``-
+        identical ``MutationRun``.
+        """
         mutants = list(mutants)
         reference = self.reference_results()
         started = time.perf_counter()
-        state = self._run_pool(mutants, reference)
+        cache = self._cache
+        keys: Optional[List[CacheKey]] = None
+        prefilled: dict = {}
+        stats_before = None
+        if cache is not None:
+            experiment = self._serial.experiment_fingerprint()
+            keys = [cache.key_for(experiment, mutant) for mutant in mutants]
+            stats_before = cache.snapshot()
+            for index in range(len(mutants)):
+                entry = cache.lookup(keys[index])
+                if entry is not None:
+                    prefilled[index] = (entry.outcome, entry.step_timeouts)
+        state = self._run_pool(mutants, reference, prefilled, cache, keys)
         elapsed = time.perf_counter() - started
         outcomes = tuple(
             outcome for outcome in state.results if outcome is not None
@@ -229,6 +261,8 @@ class ParallelMutationAnalysis:
             reference=reference,
             elapsed_seconds=elapsed,
             step_timeouts=state.step_timeouts,
+            cache_stats=(cache.snapshot().since(stats_before)
+                         if cache is not None else None),
         )
 
     # ------------------------------------------------------------------
@@ -236,13 +270,24 @@ class ParallelMutationAnalysis:
     # ------------------------------------------------------------------
 
     def _run_pool(self, mutants: List[CompiledMutant],
-                  reference: SuiteResult) -> _PoolState:
+                  reference: SuiteResult,
+                  prefilled: Optional[dict] = None,
+                  cache: Optional[MutationOutcomeCache] = None,
+                  keys: Optional[List[CacheKey]] = None) -> _PoolState:
+        prefilled = prefilled or {}
         state = _PoolState(
-            pending=deque(enumerate(mutants)),
+            pending=deque(
+                (index, mutant) for index, mutant in enumerate(mutants)
+                if index not in prefilled
+            ),
             results=[None] * len(mutants),
             remaining=len(mutants),
+            cache=cache,
+            keys=keys,
         )
-        if not mutants:
+        for index, (outcome, timeouts) in prefilled.items():
+            state.record(index, outcome, timeouts)
+        if not state.pending:
             return state
         spec = WorkerSpec(
             original_class=self._original,
@@ -289,6 +334,12 @@ class ParallelMutationAnalysis:
         kind, index = message[0], message[1]
         if kind == "done":
             state.record(index, message[2], message[3])
+            if state.cache is not None and state.keys is not None:
+                # Write-back happens in the parent so workers never touch
+                # the store; identical keys carry identical payloads, so a
+                # duplicate store (e.g. during salvage) is a harmless
+                # atomic overwrite.
+                state.cache.store(state.keys[index], message[2], message[3])
         elif kind == "error":
             state.record(index, self._boundary_outcome(
                 self._mutant_record(worker, index),

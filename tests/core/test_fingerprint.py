@@ -1,0 +1,107 @@
+"""The canonical-encoding substrate under every cache fingerprint.
+
+``canonical`` must be identity-free (no ``id()``, no default ``repr``
+addresses), order-stable for unordered containers, and source-sensitive
+for types and routines — those properties are what make the cache key
+both *stable* (warm runs hit) and *honest* (edits invalidate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.fingerprint import MAX_CANONICAL_DEPTH, canonical, sha256_hex
+
+
+class Colour(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+class Plain:
+    def __init__(self, value):
+        self.value = value
+
+
+class TestSha256Hex:
+    def test_deterministic(self):
+        assert sha256_hex("a", "b") == sha256_hex("a", "b")
+
+    def test_parts_are_delimited(self):
+        """("ab", "c") and ("a", "bc") must not collide."""
+        assert sha256_hex("ab", "c") != sha256_hex("a", "bc")
+
+    def test_is_hex_digest(self):
+        digest = sha256_hex("x")
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestCanonicalStability:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -7, 3.25, "text", b"bytes",
+        (1, 2), [1, [2, 3]], {"k": "v"}, Colour.RED, Point(1, 2),
+    ])
+    def test_equal_values_encode_identically(self, value):
+        assert canonical(value) == canonical(value)
+
+    def test_identity_free_for_objects(self):
+        assert canonical(Plain(7)) == canonical(Plain(7))
+        assert canonical(Plain(7)) != canonical(Plain(8))
+
+    def test_no_memory_addresses_leak(self):
+        instance = Plain(7)
+        assert hex(id(instance))[2:] not in canonical(instance)
+
+    def test_dict_insertion_order_is_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_set_iteration_order_is_irrelevant(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+        assert canonical(frozenset("abc")) == canonical(frozenset("cba"))
+
+    def test_distinguishes_container_kinds(self):
+        assert canonical((1, 2)) != canonical([1, 2])
+        assert canonical({1, 2}) != canonical((1, 2))
+
+    def test_distinguishes_scalar_types(self):
+        assert canonical(1) != canonical(1.0)
+        assert canonical(True) != canonical(1)
+        assert canonical("1") != canonical(1)
+        assert canonical(None) != canonical("None")
+
+
+class TestCanonicalSourceSensitivity:
+    def test_type_embeds_source_hash(self):
+        encoded = canonical(Plain)
+        assert "Plain" in encoded
+        assert "#" in encoded  # qualname#digest
+
+    def test_routine_encodes_by_qualified_name(self):
+        assert canonical(sha256_hex) == canonical(sha256_hex)
+        assert canonical(sha256_hex) != canonical(canonical)
+
+    def test_dataclass_field_values_matter(self):
+        assert canonical(Point(1, 2)) != canonical(Point(2, 1))
+
+
+class TestCanonicalDepthCap:
+    def test_deep_nesting_is_capped_not_fatal(self):
+        value = "leaf"
+        for _ in range(MAX_CANONICAL_DEPTH + 10):
+            value = [value]
+        assert isinstance(canonical(value), str)
+
+    def test_self_referential_object_terminates(self):
+        loop = Plain(None)
+        loop.value = loop
+        assert isinstance(canonical(loop), str)

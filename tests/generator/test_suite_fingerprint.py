@@ -1,0 +1,88 @@
+"""Regression: suite fingerprints are pure functions of (spec, seed).
+
+The cache key would be worthless if ``TestSuite.fingerprint`` leaked
+wall-clock time or object identity (``id()``/``repr`` addresses) into the
+hash — every run would be a cold run.  Same spec + same seed must yield
+the same fingerprint across independently generated suite objects and
+across processes; any content change must move it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import replace
+
+from repro.components import CSortableObList
+from repro.generator.driver import DriverGenerator
+
+SEED = 20010701
+
+
+def fresh_suite(seed: int = SEED):
+    return DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+
+
+class TestFingerprintDeterminism:
+    def test_same_spec_and_seed_same_fingerprint(self):
+        first = fresh_suite()
+        second = fresh_suite()
+        assert first is not second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_is_stable_within_one_object(self):
+        suite = fresh_suite()
+        assert suite.fingerprint() == suite.fingerprint()
+
+    def test_different_seed_different_fingerprint(self):
+        assert fresh_suite(SEED).fingerprint() != fresh_suite(SEED + 1).fingerprint()
+
+    def test_fingerprint_survives_process_boundary(self):
+        """No ``id()``/address/wall-clock leakage: a subprocess computing the
+        same suite's fingerprint must agree byte-for-byte."""
+        program = (
+            "from repro.components import CSortableObList\n"
+            "from repro.generator.driver import DriverGenerator\n"
+            f"suite = DriverGenerator(CSortableObList.__tspec__, seed={SEED}).generate()\n"
+            "print(suite.fingerprint())\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True,
+        )
+        assert completed.stdout.strip() == fresh_suite().fingerprint()
+
+
+class TestFingerprintSensitivity:
+    def test_dropping_a_case_changes_fingerprint(self):
+        suite = fresh_suite()
+        truncated = replace(suite, cases=suite.cases[:-1])
+        assert truncated.fingerprint() != suite.fingerprint()
+
+    def test_changing_one_argument_changes_fingerprint(self):
+        suite = fresh_suite()
+        case_index, step_index, step = next(
+            (ci, si, step)
+            for ci, case in enumerate(suite.cases)
+            for si, step in enumerate(case.steps)
+            if step.arguments and isinstance(step.arguments[0], int)
+        )
+        case = suite.cases[case_index]
+        perturbed_case = replace(
+            case,
+            steps=case.steps[:step_index]
+            + (replace(step, arguments=(step.arguments[0] + 1,)
+                       + step.arguments[1:]),)
+            + case.steps[step_index + 1:],
+        )
+        perturbed = replace(
+            suite,
+            cases=suite.cases[:case_index] + (perturbed_case,)
+            + suite.cases[case_index + 1:],
+        )
+        assert perturbed.fingerprint() != suite.fingerprint()
+
+    def test_seed_field_is_part_of_the_content(self):
+        suite = fresh_suite()
+        relabeled = replace(suite, seed=suite.seed + 1)
+        assert relabeled.fingerprint() != suite.fingerprint()

@@ -1,0 +1,180 @@
+"""Invalidation semantics of the mutation-outcome cache.
+
+Content addressing means "invalidation" is not a deletion pass: changing
+any fingerprinted input simply re-addresses the affected entries, so they
+miss (and the slot index reports them as *invalidations*, not cold
+misses), while every untouched entry keeps hitting — and reverting the
+change hits the original entries again.  Corrupt entries (truncated,
+garbage, empty) are misses, never crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import assertions_only_oracle, experiment_oracle
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.generate import generate_mutants
+from repro.mutation.mutant import CompiledMutant, compile_mutant_function
+
+SEED = 20010701
+MUTANT_COUNT = 8
+
+
+def small_suite(seed: int = SEED):
+    suite = DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin")
+               for step in case.steps)
+    )[:30]
+    return replace(suite, cases=relevant)
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    pool, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return pool[:MUTANT_COUNT]
+
+
+@pytest.fixture()
+def warm_cache(mutants, tmp_path):
+    """A cache populated by one cold run of the canonical configuration."""
+    cache = MutationOutcomeCache(tmp_path)
+    MutationAnalysis(
+        CSortableObList, small_suite(), oracle=experiment_oracle(
+            CSortableObList.__tspec__
+        ), cache=cache,
+    ).analyze(mutants)
+    return cache
+
+
+def run(mutants, cache, *, suite=None, oracle=None, **options):
+    analysis = MutationAnalysis(
+        CSortableObList,
+        suite if suite is not None else small_suite(),
+        oracle=oracle or experiment_oracle(CSortableObList.__tspec__),
+        cache=cache,
+        **options,
+    )
+    return analysis.analyze(mutants)
+
+
+def perturbed_mutant(mutant: CompiledMutant) -> CompiledMutant:
+    """The same mutant with semantically-neutral but different source."""
+    record = replace(
+        mutant.record,
+        mutated_source=mutant.record.mutated_source + "\n# touched",
+    )
+    return CompiledMutant(
+        record, mutant.owner, compile_mutant_function(record, mutant.owner)
+    )
+
+
+class TestComponentInvalidation:
+    """Each fingerprint component invalidates exactly the affected entries."""
+
+    def test_one_mutant_source_change_misses_only_that_entry(
+            self, mutants, warm_cache):
+        edited = list(mutants)
+        edited[0] = perturbed_mutant(mutants[0])
+        result = run(edited, warm_cache)
+        assert result.cache_stats.hits == len(mutants) - 1
+        assert result.cache_stats.misses == 1
+        # The slot index knows this mutant existed under another fingerprint.
+        assert result.cache_stats.invalidations == 1
+
+    def test_one_test_case_value_invalidates_the_suite_entries(
+            self, mutants, warm_cache):
+        suite = small_suite()
+        case = suite.cases[0]
+        step_index, step = next(
+            (index, step) for index, step in enumerate(case.steps)
+            if step.arguments and isinstance(step.arguments[0], int)
+        )
+        perturbed_step = replace(
+            step, arguments=(step.arguments[0] + 1,) + step.arguments[1:]
+        )
+        perturbed_case = replace(
+            case,
+            steps=case.steps[:step_index]
+            + (perturbed_step,)
+            + case.steps[step_index + 1:],
+        )
+        perturbed = replace(suite, cases=(perturbed_case,) + suite.cases[1:])
+        assert perturbed.fingerprint() != suite.fingerprint()
+
+        # Every entry of this experiment ran under the old suite, so every
+        # lookup misses — and each is an invalidation, not a cold miss.
+        result = run(mutants, warm_cache, suite=perturbed)
+        assert result.cache_stats.hits == 0
+        assert result.cache_stats.misses == len(mutants)
+        assert result.cache_stats.invalidations == len(mutants)
+
+    def test_oracle_configuration_invalidates(self, mutants, warm_cache):
+        result = run(mutants, warm_cache, oracle=assertions_only_oracle())
+        assert result.cache_stats.hits == 0
+        assert result.cache_stats.invalidations == len(mutants)
+
+    def test_step_budget_invalidates(self, mutants, warm_cache):
+        result = run(mutants, warm_cache, step_budget=123_456)
+        assert result.cache_stats.hits == 0
+        assert result.cache_stats.invalidations == len(mutants)
+
+    def test_analysis_flags_invalidate(self, mutants, warm_cache):
+        result = run(mutants, warm_cache, stop_on_first_kill=False)
+        assert result.cache_stats.hits == 0
+        assert result.cache_stats.invalidations == len(mutants)
+
+    def test_revert_hits_the_original_entries_again(self, mutants, warm_cache):
+        run(mutants, warm_cache, step_budget=123_456)  # supersedes the slots
+        reverted = run(mutants, warm_cache)
+        assert reverted.cache_stats.hits == len(mutants)
+        assert reverted.cache_stats.misses == 0
+
+
+class TestCorruptEntries:
+    """A present-but-unreadable entry is a miss, never a crash."""
+
+    def entry_paths(self, mutants, cache):
+        analysis = MutationAnalysis(
+            CSortableObList, small_suite(),
+            oracle=experiment_oracle(CSortableObList.__tspec__), cache=cache,
+        )
+        experiment = analysis.experiment_fingerprint()
+        return [cache._entry_path(cache.key_for(experiment, mutant))
+                for mutant in mutants]
+
+    @pytest.mark.parametrize("damage", [
+        lambda path: path.write_bytes(path.read_bytes()[:7]),   # truncated
+        lambda path: path.write_bytes(b"\x80garbage not pickle"),
+        lambda path: path.write_bytes(b""),                     # empty file
+    ])
+    def test_damaged_entry_is_a_miss_then_healed(self, damage, mutants,
+                                                 warm_cache):
+        victim = self.entry_paths(mutants, warm_cache)[0]
+        damage(victim)
+        result = run(mutants, warm_cache)
+        assert result.cache_stats.hits == len(mutants) - 1
+        assert result.cache_stats.misses == 1
+        assert result.cache_stats.corrupt == 1
+        # The rerun rewrote the entry; the next run is fully warm again.
+        healed = run(mutants, warm_cache)
+        assert healed.cache_stats.hits == len(mutants)
+        assert healed.cache_stats.corrupt == 0
+
+    def test_wrong_payload_type_is_corrupt(self, mutants, warm_cache):
+        import pickle
+
+        victim = self.entry_paths(mutants, warm_cache)[0]
+        victim.write_bytes(pickle.dumps({"not": "a CacheEntry"}))
+        result = run(mutants, warm_cache)
+        assert result.cache_stats.corrupt == 1
+        assert result.cache_stats.hits == len(mutants) - 1
