@@ -1,0 +1,169 @@
+"""Coverage-guided pruning — executed-case reduction and wall-clock.
+
+Runs the two paper subjects' mutant batteries twice each — exhaustive and
+pruned — on truncated suites, and writes ``BENCH_mutation_coverage.json``
+at the repository root:
+
+* ``CSortableObList`` over the Table 2 methods (each mutant lives in one of
+  five methods, so most suite cases are irrelevant to most mutants);
+* ``CObList`` over the Table 3 methods under its own suite.
+
+The asserted contract is the pruned≡unpruned guarantee under real load:
+both pruned runs must pass ``same_results`` against their exhaustive
+counterparts, and at least one subject must skip ≥30% of its mutant×case
+executions.  Wall-clock speedups are *recorded* for machines to compare.
+
+Also asserts the :class:`~repro.mutation.sandbox.StepBudgetGuard` tracer's
+overhead stays within a generous bound (the guard's fast path is the
+hottest code in any mutant run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.components import CObList, CSortableObList, OBLIST_TYPE_MODEL
+from repro.experiments.config import (
+    TABLE2_METHODS,
+    TABLE3_METHODS,
+    oblist_oracle,
+    oblist_suite,
+    sortable_oracle,
+    sortable_suite,
+)
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.generate import generate_mutants
+from repro.mutation.sandbox import StepBudgetGuard
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_mutation_coverage.json"
+
+MAX_CASES = 150
+
+#: Line-event tracing costs tens of interpreter operations per line; the
+#: bound is deliberately generous (CI machines vary) — it exists to catch a
+#: rewrite that accidentally makes the tracer's fast path quadratic or
+#: re-renders something per event, not to benchmark the interpreter.
+GUARD_OVERHEAD_BOUND = 200.0
+
+
+def _subject_bench(name, cut_class, methods, suite, oracle) -> dict:
+    suite = replace(suite, cases=suite.cases[:MAX_CASES])
+    mutants, _ = generate_mutants(
+        cut_class, methods, type_model=OBLIST_TYPE_MODEL
+    )
+
+    exhaustive = MutationAnalysis(
+        cut_class, suite, oracle=oracle, prune=False
+    ).analyze(mutants)
+    pruned = MutationAnalysis(
+        cut_class, suite, oracle=oracle, prune=True
+    ).analyze(mutants)
+
+    reduction = (
+        1.0 - pruned.cases_executed / exhaustive.cases_executed
+        if exhaustive.cases_executed else 0.0
+    )
+    return {
+        "class": name,
+        "methods": list(methods),
+        "mutants": len(mutants),
+        "suite_cases": len(suite),
+        "killed": len(pruned.killed),
+        "identical_to_exhaustive": pruned.same_results(exhaustive),
+        "cases_executed_exhaustive": exhaustive.cases_executed,
+        "cases_executed_pruned": pruned.cases_executed,
+        "cases_skipped": pruned.cases_skipped,
+        "executed_case_reduction": round(reduction, 4),
+        "exhaustive_seconds": round(exhaustive.elapsed_seconds, 3),
+        "pruned_seconds": round(pruned.elapsed_seconds, 3),
+        "speedup": round(
+            exhaustive.elapsed_seconds / pruned.elapsed_seconds, 3
+        ) if pruned.elapsed_seconds else 0.0,
+    }
+
+
+def _guard_overhead(repeats: int = 5) -> dict:
+    """Min-over-repeats ratio of guarded vs unguarded execution time."""
+
+    def workload():
+        total = 0
+        for value in range(20_000):
+            total += value
+        return total
+
+    guard = StepBudgetGuard(budget=10_000_000)
+    plain_best = min(
+        _timed(workload) for _ in range(repeats)
+    )
+    guarded_best = min(
+        _timed(lambda: guard(workload)) for _ in range(repeats)
+    )
+    return {
+        "plain_seconds": round(plain_best, 6),
+        "guarded_seconds": round(guarded_best, 6),
+        "overhead_ratio": round(guarded_best / plain_best, 2),
+        "bound": GUARD_OVERHEAD_BOUND,
+    }
+
+
+def _timed(function) -> float:
+    started = time.perf_counter()
+    function()
+    return time.perf_counter() - started
+
+
+def run_bench() -> dict:
+    return {
+        "benchmark": "mutation_coverage",
+        "cpu_count": os.cpu_count(),
+        "subjects": [
+            _subject_bench(
+                "CSortableObList", CSortableObList, TABLE2_METHODS,
+                sortable_suite(), sortable_oracle(),
+            ),
+            _subject_bench(
+                "CObList", CObList, TABLE3_METHODS,
+                oblist_suite(), oblist_oracle(),
+            ),
+        ],
+        "step_budget_guard": _guard_overhead(),
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_coverage_pruning_reduction(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    # The contract under real load: pruning changes cost, never verdicts.
+    for subject in data["subjects"]:
+        assert subject["identical_to_exhaustive"], subject["class"]
+        assert (subject["cases_executed_pruned"] + subject["cases_skipped"]
+                >= subject["cases_executed_exhaustive"])
+    # The headline: at least one paper subject skips >=30% of executions.
+    assert any(
+        subject["executed_case_reduction"] >= 0.30
+        for subject in data["subjects"]
+    ), [s["executed_case_reduction"] for s in data["subjects"]]
+    guard = data["step_budget_guard"]
+    assert guard["overhead_ratio"] < guard["bound"]
+    assert OUTPUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    write_report(report)
+    print(json.dumps(report, indent=2))

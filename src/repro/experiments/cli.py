@@ -11,6 +11,13 @@ Every table CLI accepts the same incremental-run flags:
 * ``--cache-stats`` — print hit/miss/invalidation counters after each
   mutation run (lines start with ``cache`` so table output can be compared
   across runs with a simple filter).
+
+They also share the coverage-guided pruning switch:
+
+* ``--no-prune`` — disable coverage-guided mutant×case pruning (on by
+  default; pruning skips test cases whose reference execution never
+  reaches the mutated method — verdicts are bit-identical either way, see
+  :mod:`repro.mutation.coverage`).
 """
 
 from __future__ import annotations
@@ -37,6 +44,21 @@ def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-stats", action="store_true",
         help="print cache hit/miss/invalidation counters after the run",
     )
+
+
+def add_prune_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("coverage-guided pruning")
+    group.add_argument(
+        "--no-prune", action="store_true",
+        help="disable coverage-guided mutant×case pruning (pruning skips "
+             "cases that never execute the mutated method; verdicts are "
+             "identical with or without it)",
+    )
+
+
+def prune_from_arguments(arguments: argparse.Namespace) -> bool:
+    """Whether pruning is enabled (default) under the parsed flags."""
+    return not arguments.no_prune
 
 
 def cache_from_arguments(arguments: argparse.Namespace

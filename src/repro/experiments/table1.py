@@ -131,7 +131,8 @@ def run_table1(workers: int = 1,
                with_analysis: bool = False,
                seed: int = EXPERIMENT_SEED,
                max_cases: Optional[int] = None,
-               cache: Optional[MutationOutcomeCache] = None) -> Table1Result:
+               cache: Optional[MutationOutcomeCache] = None,
+               prune: bool = True) -> Table1Result:
     """Regenerate Table 1 over the experiments' subject methods.
 
     ``workers > 1`` fans the five operator columns out to a process pool;
@@ -139,8 +140,10 @@ def run_table1(workers: int = 1,
     serial run.  ``with_analysis`` additionally executes the typed
     ``CSortableObList`` pool under the experiment suite (on the parallel
     engine when ``workers > 1``) and reports per-operator kill counts;
-    ``cache`` replays unchanged verdicts from the outcome cache, and
-    ``max_cases`` truncates the suite (smoke/CI hook).
+    ``cache`` replays unchanged verdicts from the outcome cache,
+    ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
+    are identical either way), and ``max_cases`` truncates the suite
+    (smoke/CI hook).
     """
     names = [operator.name for operator in ALL_OPERATORS]
     if workers > 1:
@@ -162,6 +165,7 @@ def run_table1(workers: int = 1,
             suite,
             oracle=sortable_oracle(),
             cache=cache,
+            prune=prune,
             **({"workers": workers} if workers > 1 else {}),
         ).analyze(mutants)
     return Table1Result(demos=demos, run=run)
@@ -169,7 +173,13 @@ def run_table1(workers: int = 1,
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: ``python -m repro.experiments.table1 [--workers N] …``."""
-    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+    from .cli import (
+        add_cache_arguments,
+        add_prune_arguments,
+        cache_from_arguments,
+        print_cache_stats,
+        prune_from_arguments,
+    )
 
     parser = argparse.ArgumentParser(
         description="Regenerate Table 1 (interface mutation operators)."
@@ -188,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-cases", type=int, default=None,
                         help="truncate the suite (smoke runs only)")
     add_cache_arguments(parser)
+    add_prune_arguments(parser)
     arguments = parser.parse_args(argv)
     result = run_table1(
         workers=arguments.workers,
@@ -195,6 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=arguments.seed,
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments),
+        prune=prune_from_arguments(arguments),
     )
     print(result.format())
     if arguments.cache_stats:

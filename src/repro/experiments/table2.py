@@ -62,14 +62,17 @@ def run_table2(seed: int = EXPERIMENT_SEED,
                stop_on_first_kill: bool = True,
                workers: int = 1,
                max_cases: Optional[int] = None,
-               cache: Optional[MutationOutcomeCache] = None) -> Table2Result:
+               cache: Optional[MutationOutcomeCache] = None,
+               prune: bool = True) -> Table2Result:
     """Execute experiment 1 end to end.
 
     ``workers > 1`` runs the mutant battery on the parallel engine (results
     are field-for-field identical to the serial run).  ``max_cases``
     truncates the suite — a smoke/bench hook, not a paper configuration.
     ``cache`` replays unchanged mutant verdicts from the incremental
-    outcome cache (cached runs are ``same_results``-identical to fresh).
+    outcome cache (cached runs are ``same_results``-identical to fresh);
+    ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
+    are identical either way).
     """
     suite = sortable_suite(seed)
     if max_cases is not None:
@@ -84,6 +87,7 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         oracle=sortable_oracle(),
         stop_on_first_kill=stop_on_first_kill,
         cache=cache,
+        prune=prune,
         **({"workers": workers} if workers > 1 else {}),
     )
     run = analysis.analyze(mutants)
@@ -123,9 +127,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suite (smoke runs only)")
     parser.add_argument("--no-equivalence", action="store_true",
                         help="skip the equivalence probe")
-    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+    from .cli import (
+        add_cache_arguments,
+        add_prune_arguments,
+        cache_from_arguments,
+        print_cache_stats,
+        prune_from_arguments,
+    )
 
     add_cache_arguments(parser)
+    add_prune_arguments(parser)
     arguments = parser.parse_args(argv)
     result = run_table2(
         seed=arguments.seed,
@@ -134,6 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=arguments.workers,
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments),
+        prune=prune_from_arguments(arguments),
     )
     print(result.generation.summary())
     print(result.table.format())

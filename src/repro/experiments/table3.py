@@ -88,7 +88,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
                with_contrast_runs: bool = False,
                workers: int = 1,
                max_cases: Optional[int] = None,
-               cache: Optional[MutationOutcomeCache] = None) -> Table3Result:
+               cache: Optional[MutationOutcomeCache] = None,
+               prune: bool = True) -> Table3Result:
     """Execute experiment 2 end to end.
 
     ``with_contrast_runs`` additionally scores the same mutants under the
@@ -99,6 +100,10 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     smoke/bench hook, not a paper configuration.  ``cache`` is shared by
     all three batteries: each run's entries are keyed by its own suite,
     oracle and builder, so the contrast runs never cross-contaminate.
+    ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
+    are identical either way; pruning here must see through inheritance —
+    base-class mutants are reached via inherited subclass methods, which
+    the dynamic coverage recorder observes).
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
@@ -114,6 +119,7 @@ def run_table3(seed: int = EXPERIMENT_SEED,
             oracle=oracle,
             class_builder=class_builder,
             cache=cache,
+            prune=prune,
             **({"workers": workers} if workers > 1 else {}),
         )
 
@@ -158,9 +164,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suites (smoke runs only)")
     parser.add_argument("--contrast", action="store_true",
                         help="also run the base-suite and full-suite contrasts")
-    from .cli import add_cache_arguments, cache_from_arguments, print_cache_stats
+    from .cli import (
+        add_cache_arguments,
+        add_prune_arguments,
+        cache_from_arguments,
+        print_cache_stats,
+        prune_from_arguments,
+    )
 
     add_cache_arguments(parser)
+    add_prune_arguments(parser)
     arguments = parser.parse_args(argv)
     result = run_table3(
         seed=arguments.seed,
@@ -169,6 +182,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=arguments.workers,
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments),
+        prune=prune_from_arguments(arguments),
     )
     print(result.generation.summary())
     print(result.incremental_table.format())

@@ -22,7 +22,7 @@ test mode.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, ContextManager, List, Optional
 
 from ..bit import access
 from ..bit.reporter import StateReport
@@ -38,6 +38,12 @@ DESTRUCTOR_METHOD = "dispose"
 #: A guard receives the callable + arguments and runs it (possibly bounded).
 StepGuard = Callable[..., Any]
 
+#: A case tracer wraps one complete case's execution in a context manager —
+#: the seam the coverage recorder (:mod:`repro.mutation.coverage`) hooks to
+#: observe which CUT methods a case dynamically reaches.  Tracers observe
+#: only; results must be identical with or without one.
+CaseTracer = Callable[[TestCase], ContextManager[None]]
+
 
 def _plain_guard(function: Callable, *args, **kwargs) -> Any:
     return function(*args, **kwargs)
@@ -51,7 +57,8 @@ class TestExecutor:
     def __init__(self, component_class: type,
                  check_invariants: bool = True,
                  log: Optional[ResultLog] = None,
-                 step_guard: Optional[StepGuard] = None):
+                 step_guard: Optional[StepGuard] = None,
+                 case_tracer: Optional[CaseTracer] = None):
         if not isinstance(component_class, type):
             raise ExecutionError(
                 f"component under test must be a class, got {component_class!r}"
@@ -60,6 +67,7 @@ class TestExecutor:
         self._check_invariants = check_invariants
         self._log = log
         self._guard: StepGuard = step_guard or _plain_guard
+        self._case_tracer = case_tracer
 
     @property
     def component_class(self) -> type:
@@ -83,7 +91,11 @@ class TestExecutor:
                 detail="structured parameters not completed",
             )
         with access.test_mode():
-            result = self._run_complete_case(case)
+            if self._case_tracer is None:
+                result = self._run_complete_case(case)
+            else:
+                with self._case_tracer(case):
+                    result = self._run_complete_case(case)
         if self._log is not None:
             self._log.record(result)
         return result
@@ -94,11 +106,14 @@ class TestExecutor:
 
     def _run_complete_case(self, case: TestCase) -> TestResult:
         observations: List[StepObservation] = []
-        current_method = "<none>"
+        # The failing-call description is rendered lazily: only the three
+        # failure paths below need the repr of the current step's arguments,
+        # so the hot (passing) path never pays for building it.
+        current_step: Optional[TestStep] = None
         cut: Any = None
         try:
             for index, step in enumerate(case.steps):
-                current_method = self._describe_call(step)
+                current_step = step
                 if index == 0:
                     cut = self._guard(self._class, *step.arguments)
                     observations.append(
@@ -110,15 +125,18 @@ class TestExecutor:
                     self._invoke(cut, step, observations)
                 self._check_invariant(cut)
         except ContractViolation as violation:
+            current_method = self._describe_call(current_step)
             observations.append(Observation.of_raise(current_method, violation))
             return self._result(case, cut, observations,
                                 Verdict.CONTRACT_VIOLATION,
                                 str(violation), current_method)
         except SandboxTimeout as timeout:
+            current_method = self._describe_call(current_step)
             observations.append(Observation.of_raise(current_method, timeout))
             return self._result(case, cut, observations, Verdict.TIMEOUT,
                                 str(timeout), current_method)
         except Exception as error:
+            current_method = self._describe_call(current_step)
             observations.append(Observation.of_raise(current_method, error))
             return self._result(case, cut, observations, Verdict.CRASH,
                                 f"{type(error).__name__}: {error}", current_method)
@@ -173,7 +191,9 @@ class TestExecutor:
         )
 
     @staticmethod
-    def _describe_call(step: TestStep) -> str:
+    def _describe_call(step: Optional[TestStep]) -> str:
+        if step is None:
+            return "<none>"
         rendered = ", ".join(repr(argument) for argument in step.arguments)
         return f"{step.method_name}({rendered})"
 

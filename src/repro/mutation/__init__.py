@@ -16,6 +16,11 @@ from .cache import (
     experiment_fingerprint,
     mutant_fingerprint,
 )
+from .coverage import (
+    CoverageMatrix,
+    MethodCoverageTracer,
+    record_coverage,
+)
 from .equivalence import (
     DEFAULT_PROBE_SEEDS,
     EquivalenceReport,
@@ -69,6 +74,8 @@ __all__ = [
     "ClassBuilder",
     "CallCountGuard",
     "CompiledMutant",
+    "CoverageMatrix",
+    "MethodCoverageTracer",
     "MutationOutcomeCache",
     "DEFAULT_PROBE_SEEDS",
     "DEFAULT_STEP_BUDGET",
@@ -106,6 +113,7 @@ __all__ = [
     "generate_mutants",
     "mutant_fingerprint",
     "rebuild_compiled_mutant",
+    "record_coverage",
     "compatible",
     "constant_tag",
     "infer_local_types",

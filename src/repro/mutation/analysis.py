@@ -14,12 +14,23 @@ oracle (:func:`~repro.harness.oracles.paper_oracle`).  By default the
 analysis stops at a mutant's first killing test case (what an experimenter
 does in practice); ``stop_on_first_kill=False`` measures how many distinct
 cases kill each mutant instead.
+
+**Coverage-guided pruning** (on by default, ``prune=False`` for the
+exhaustive run): the reference pass additionally records, per test case,
+the set of CUT methods its execution dynamically reaches
+(:mod:`repro.mutation.coverage`).  A case whose coverage set does not
+contain a mutant's ``method_name`` executes code identical to the original
+and deterministically replays the reference outcome, so the analysis skips
+it and synthesizes that replay instead of executing it — verdicts, kill
+reasons, killing cases and details are bit-identical to the unpruned run;
+only the executed/skipped case counters differ (which is why
+:meth:`MutationRun.same_results` compares outcomes modulo those counters).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..generator.suite import TestSuite
@@ -27,6 +38,7 @@ from ..harness.executor import TestExecutor
 from ..harness.oracles import CompositeOracle, KillReason, paper_oracle
 from ..harness.outcomes import SuiteResult, Verdict
 from .cache import CacheStats, MutationOutcomeCache, experiment_fingerprint
+from .coverage import CoverageMatrix, record_coverage
 from .mutant import CompiledMutant, Mutant
 from .sandbox import DEFAULT_STEP_BUDGET, StepBudgetGuard
 
@@ -46,10 +58,23 @@ class MutantOutcome:
     cases_run: int = 0
     killing_cases: Tuple[str, ...] = ()  # populated when not stopping early
     detail: str = ""
+    #: Cases skipped by coverage-guided pruning (their reference outcome was
+    #: synthesized instead of executed).  Observability only: together with
+    #: ``cases_run`` it accounts for every case the analysis considered.
+    cases_skipped: int = 0
 
     @property
     def survived(self) -> bool:
         return not self.killed
+
+    def comparable(self) -> "MutantOutcome":
+        """This outcome with the executed-case counters zeroed.
+
+        The projection :meth:`MutationRun.same_results` compares on: a
+        pruned and an unpruned run agree on every verdict-bearing field
+        but legitimately differ in how many cases they physically ran.
+        """
+        return replace(self, cases_run=0, cases_skipped=0)
 
 
 @dataclass(frozen=True)
@@ -71,28 +96,46 @@ class MutationRun:
     cache_stats: Optional[CacheStats] = None
 
     def same_results(self, other: "MutationRun") -> bool:
-        """Field-for-field equality, wall-clock and cache counters excluded.
+        """Field-for-field equality, wall-clock, cache and executed-case
+        counters excluded.
 
-        This is both the serial-equivalence contract of the parallel engine
-        and the cached≡fresh contract of the outcome cache: a parallel or
-        warm-cache run over the same mutants must agree with the serial or
-        cold run on every outcome, the reference, and the aggregated
-        sandbox-timeout count — only ``elapsed_seconds`` and
-        ``cache_stats`` may differ.
+        This is the serial-equivalence contract of the parallel engine, the
+        cached≡fresh contract of the outcome cache, *and* the pruned≡
+        unpruned contract of coverage-guided pruning: any two runs over the
+        same mutants must agree on every verdict-bearing field of every
+        outcome (killed, reason, killing case(s), detail), the reference,
+        and the aggregated sandbox-timeout count.  Only ``elapsed_seconds``,
+        ``cache_stats`` and the per-outcome ``cases_run``/``cases_skipped``
+        counters may differ — the last pair because a pruned run executes
+        fewer cases while synthesizing identical verdicts.
         """
         return (
             self.class_name == other.class_name
             and self.suite_size == other.suite_size
-            and self.outcomes == other.outcomes
+            and self._comparable_outcomes() == other._comparable_outcomes()
             and self.reference == other.reference
             and self.step_timeouts == other.step_timeouts
         )
+
+    def _comparable_outcomes(self) -> Tuple[MutantOutcome, ...]:
+        return tuple(outcome.comparable() for outcome in self.outcomes)
 
     # -- aggregates -----------------------------------------------------------
 
     @property
     def total(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def cases_executed(self) -> int:
+        """Total test-case executions across the battery (the cost metric
+        coverage-guided pruning reduces)."""
+        return sum(outcome.cases_run for outcome in self.outcomes)
+
+    @property
+    def cases_skipped(self) -> int:
+        """Total (mutant, case) pairs skipped by coverage-guided pruning."""
+        return sum(outcome.cases_skipped for outcome in self.outcomes)
 
     @property
     def killed(self) -> Tuple[MutantOutcome, ...]:
@@ -145,7 +188,9 @@ class MutationAnalysis:
                  check_invariants: bool = True,
                  setup: Optional[Callable[[], None]] = None,
                  reference: Optional[SuiteResult] = None,
-                 cache: Optional[MutationOutcomeCache] = None):
+                 cache: Optional[MutationOutcomeCache] = None,
+                 prune: bool = True,
+                 coverage: Optional[CoverageMatrix] = None):
         """``setup`` runs before every suite execution (e.g. resetting an
         ambient database) so runs are independent.
 
@@ -156,6 +201,13 @@ class MutationAnalysis:
         ``cache`` replays previously computed outcomes whose content
         fingerprint (mutant source, suite, oracle, budget, builder, flags)
         is unchanged; see :mod:`repro.mutation.cache`.
+
+        ``prune`` enables coverage-guided mutant×case pruning (the
+        default): only cases whose reference-run coverage reaches the
+        mutant's method are executed; the rest provably replay the
+        reference outcome, which is synthesized instead.  ``coverage``
+        seeds the recorded matrix the same way ``reference`` seeds the
+        golden run (the parallel engine ships both to its workers).
         """
         self._original = original_class
         self._suite = suite
@@ -172,6 +224,8 @@ class MutationAnalysis:
         self._check_invariants = check_invariants
         self._setup = setup
         self._cache = cache
+        self._prune = prune
+        self._coverage: Optional[CoverageMatrix] = coverage if prune else None
         self._reference: Optional[SuiteResult] = reference
         self._reference_by_ident: Optional[Dict[str, object]] = None
 
@@ -182,15 +236,47 @@ class MutationAnalysis:
         return self._suite
 
     def reference_results(self) -> SuiteResult:
-        """The original class's run (computed once, then cached)."""
+        """The original class's run (computed once, then cached).
+
+        With pruning enabled this is the *one instrumented pass*: the same
+        execution that records the golden results also records the
+        per-case method-coverage matrix, so pruning never costs an extra
+        suite run.
+        """
         if self._reference is None:
-            if self._setup is not None:
-                self._setup()
-            executor = TestExecutor(
-                self._original, check_invariants=self._check_invariants
-            )
-            self._reference = executor.run_suite(self._suite)
+            if self._prune:
+                self._reference, recorded = record_coverage(
+                    self._original, self._suite,
+                    check_invariants=self._check_invariants,
+                    setup=self._setup,
+                )
+                if self._coverage is None:
+                    self._coverage = recorded
+            else:
+                if self._setup is not None:
+                    self._setup()
+                executor = TestExecutor(
+                    self._original, check_invariants=self._check_invariants
+                )
+                self._reference = executor.run_suite(self._suite)
         return self._reference
+
+    def coverage_matrix(self) -> Optional[CoverageMatrix]:
+        """The recorded (or seeded) coverage matrix; ``None`` when pruning
+        is off.  Recording happens alongside the reference run; when the
+        reference was seeded externally without a matrix, one dedicated
+        instrumented pass over the original records it."""
+        if not self._prune:
+            return None
+        if self._coverage is None:
+            self.reference_results()
+        if self._coverage is None:
+            _, self._coverage = record_coverage(
+                self._original, self._suite,
+                check_invariants=self._check_invariants,
+                setup=self._setup,
+            )
+        return self._coverage
 
     def _reference_map(self) -> Dict[str, object]:
         if self._reference_by_ident is None:
@@ -238,7 +324,14 @@ class MutationAnalysis:
         )
 
     def experiment_fingerprint(self) -> str:
-        """The cache fingerprint of this configuration (mutants excluded)."""
+        """The cache fingerprint of this configuration (mutants excluded).
+
+        Incorporates the pruning flag and the coverage matrix's content
+        hash, so outcomes computed under pruning can only be replayed
+        under the exact matrix that justified their skips — pruned and
+        unpruned cache entries never cross-contaminate.
+        """
+        coverage = self.coverage_matrix()
         return experiment_fingerprint(
             self._original,
             self._suite,
@@ -248,6 +341,10 @@ class MutationAnalysis:
             self._stop_on_first_kill,
             self._check_invariants,
             self._setup,
+            prune=self._prune,
+            coverage_fingerprint=(
+                coverage.fingerprint() if coverage is not None else ""
+            ),
         )
 
     def analyze_single(self, mutant: CompiledMutant
@@ -263,6 +360,8 @@ class MutationAnalysis:
     def _analyze_one(self, mutant: CompiledMutant,
                      reference_by_ident: Dict[str, object]
                      ) -> Tuple[MutantOutcome, int]:
+        coverage = self.coverage_matrix()
+        target_method = mutant.record.method_name
         mutant_class = self._builder(mutant)
         guard = StepBudgetGuard(self._budget)
         executor = TestExecutor(
@@ -278,8 +377,17 @@ class MutationAnalysis:
         first_detail = ""
         killing_cases: List[str] = []
         cases_run = 0
+        cases_skipped = 0
 
         for case in self._suite.cases:
+            if (coverage is not None
+                    and not coverage.covers(case.ident, target_method)):
+                # The case's reference run never entered the mutated method,
+                # so the mutant run executes identical code and replays the
+                # reference outcome — synthesize that replay (no kill, no
+                # detail) instead of executing it.
+                cases_skipped += 1
+                continue
             cases_run += 1
             observed = executor.run_case(case)
             if observed.verdict is Verdict.INCOMPLETE:
@@ -304,6 +412,7 @@ class MutationAnalysis:
             cases_run=cases_run,
             killing_cases=tuple(killing_cases),
             detail=first_detail,
+            cases_skipped=cases_skipped,
         )
         return outcome, guard.timeouts
 

@@ -20,6 +20,12 @@ every input that can change a mutant's outcome:
 * the **sandbox step budget** and the analysis flags
   (``stop_on_first_kill``, ``check_invariants``) — both change
   ``cases_run`` or verdicts;
+* the **pruning configuration** — the coverage-guided pruning flag plus
+  the content hash of the recorded coverage matrix
+  (:meth:`~repro.mutation.coverage.CoverageMatrix.fingerprint`), so
+  outcomes computed under pruning are only replayed under the exact
+  matrix that justified their skips and pruned/unpruned entries never
+  cross-contaminate;
 * the **class-builder identity** and the original class (identity + source
   hash) — experiment 2 re-derives the subclass over the mutated base, so a
   different builder means different behaviour;
@@ -68,7 +74,9 @@ if TYPE_CHECKING:  # imported lazily to keep cache <- analysis acyclic
 
 #: Bumped whenever the entry layout or fingerprint recipe changes; part of
 #: every fingerprint, so a format change reads as a clean cold cache.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``MutantOutcome`` grew ``cases_skipped`` and the experiment
+#: fingerprint grew the pruning flag + coverage-matrix hash.
+CACHE_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -83,13 +91,18 @@ def experiment_fingerprint(original_class: type,
                            step_budget: int,
                            stop_on_first_kill: bool,
                            check_invariants: bool,
-                           setup: Optional[Callable] = None) -> str:
+                           setup: Optional[Callable] = None,
+                           prune: bool = False,
+                           coverage_fingerprint: str = "") -> str:
     """Hash of everything mutants of one analysis configuration share.
 
     Computed once per ``analyze`` call and combined with each mutant's own
     fingerprint to address entries.  ``oracle=None`` and an explicitly
     passed default oracle hash identically only if they are *structurally*
     equal — callers pass the effective oracle, not the constructor arg.
+    ``prune``/``coverage_fingerprint`` bind pruned outcomes to the exact
+    coverage matrix that licensed their skipped cases (unpruned runs pass
+    ``False``/``""``), keeping pruned and unpruned entries disjoint.
     """
     return sha256_hex(
         "experiment",
@@ -102,6 +115,8 @@ def experiment_fingerprint(original_class: type,
         canonical(stop_on_first_kill),
         canonical(check_invariants),
         canonical(setup),
+        canonical(prune),
+        coverage_fingerprint,
     )
 
 

@@ -93,6 +93,14 @@ class MutantGenerator:
         original_sources = {
             name: self._context(name).source for name in method_names
         }
+        # The no-op check compares against the *normalized* original (parsed
+        # and unparsed, so formatting differences don't count as mutations).
+        # Normalizing is O(method source) — hoisted out of the per-point loop,
+        # which runs operators x points times per method.
+        normalized_originals = {
+            name: ast.unparse(ast.parse(source)).strip()
+            for name, source in original_sources.items()
+        }
         for method_name in method_names:
             context = self._context(method_name)
             local_types = (
@@ -114,9 +122,7 @@ class MutantGenerator:
                     if key in seen_sources:
                         report.duplicates += 1
                         continue
-                    if mutated_source.strip() == ast.unparse(
-                        ast.parse(original_sources[method_name])
-                    ).strip():
+                    if mutated_source.strip() == normalized_originals[method_name]:
                         # Textual no-op: not a mutant at all.
                         report.duplicates += 1
                         continue

@@ -56,6 +56,7 @@ from .analysis import (
     MutationRun,
 )
 from .cache import CacheKey, MutationOutcomeCache
+from .coverage import CoverageMatrix
 from .mutant import CompiledMutant
 from .sandbox import DEFAULT_STEP_BUDGET
 
@@ -82,6 +83,11 @@ class WorkerSpec:
     check_invariants: bool
     setup: Optional[Callable[[], None]]
     reference: SuiteResult
+    #: Coverage-guided pruning: the matrix is recorded once in the parent
+    #: (alongside the reference) and shipped verbatim, so every worker
+    #: skips exactly the (mutant, case) pairs the serial engine would.
+    prune: bool = True
+    coverage: Optional[CoverageMatrix] = None
 
 
 def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
@@ -101,6 +107,8 @@ def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
         check_invariants=spec.check_invariants,
         setup=spec.setup,
         reference=spec.reference,
+        prune=spec.prune,
+        coverage=spec.coverage,
     )
     try:
         while True:
@@ -181,7 +189,9 @@ class ParallelMutationAnalysis:
                  reference: Optional[SuiteResult] = None,
                  workers: Optional[int] = None,
                  wall_clock_backstop: float = DEFAULT_WALL_CLOCK_BACKSTOP,
-                 cache: Optional[MutationOutcomeCache] = None):
+                 cache: Optional[MutationOutcomeCache] = None,
+                 prune: bool = True,
+                 coverage: Optional[CoverageMatrix] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
         self._original = original_class
@@ -200,15 +210,18 @@ class ParallelMutationAnalysis:
         # Workers stay cache-oblivious, so a worker process never touches
         # the store and the serial-equivalence contract is unaffected.
         self._cache = cache
-        # The reference run is computed (or seeded) in the parent, once, by
-        # a plain serial analysis; workers inherit it verbatim.  The serial
-        # helper also owns the experiment fingerprint (it sees the same
-        # configuration), but is never given the cache itself.
+        self._prune = prune
+        # The reference run — and, under pruning, the coverage matrix it
+        # records in the same instrumented pass — is computed (or seeded)
+        # in the parent, once, by a plain serial analysis; workers inherit
+        # both verbatim.  The serial helper also owns the experiment
+        # fingerprint (it sees the same configuration), but is never given
+        # the cache itself.
         self._serial = MutationAnalysis(
             original_class, suite, oracle=oracle, class_builder=class_builder,
             step_budget=step_budget, stop_on_first_kill=stop_on_first_kill,
             check_invariants=check_invariants, setup=setup,
-            reference=reference,
+            reference=reference, prune=prune, coverage=coverage,
         )
 
     # ------------------------------------------------------------------
@@ -223,6 +236,9 @@ class ParallelMutationAnalysis:
 
     def reference_results(self) -> SuiteResult:
         return self._serial.reference_results()
+
+    def coverage_matrix(self) -> Optional[CoverageMatrix]:
+        return self._serial.coverage_matrix()
 
     # ------------------------------------------------------------------
 
@@ -299,6 +315,8 @@ class ParallelMutationAnalysis:
             check_invariants=self._check_invariants,
             setup=self._setup,
             reference=reference,
+            prune=self._prune,
+            coverage=self._serial.coverage_matrix(),
         )
         context = self._mp_context()
         try:

@@ -36,16 +36,22 @@ class StepBudgetGuard:
         self.timeouts = 0  # how many guarded calls were cut (observability)
 
     def __call__(self, function: Callable, *args: Any, **kwargs: Any) -> Any:
-        remaining = [self.budget]
+        # The tracer runs once per traced event, so it is the hottest code in
+        # a mutant run.  Non-"line" events (call/return/exception) bail out
+        # first, and the countdown lives in a closure cell rather than a list
+        # so the common path is one compare + one subtract.
+        remaining = self.budget
 
         def tracer(frame, event, arg):  # noqa: ARG001 — sys.settrace API
-            if event == "line":
-                remaining[0] -= 1
-                if remaining[0] <= 0:
-                    raise SandboxTimeout(
-                        f"step budget of {self.budget} line events exhausted "
-                        f"in {getattr(function, '__name__', function)!r}"
-                    )
+            nonlocal remaining
+            if event != "line":
+                return tracer
+            remaining -= 1
+            if remaining <= 0:
+                raise SandboxTimeout(
+                    f"step budget of {self.budget} line events exhausted "
+                    f"in {getattr(function, '__name__', function)!r}"
+                )
             return tracer
 
         previous = sys.gettrace()
