@@ -1,0 +1,135 @@
+"""Run-telemetry overhead — instrumented vs plain mutation analysis.
+
+Runs the ``CSortableObList`` Table-2 mutant battery twice on a truncated
+suite — once with telemetry off (the ``NULL_TELEMETRY`` default) and once
+streaming a full JSONL trace — and writes ``BENCH_obs_overhead.json`` at
+the repository root.
+
+Two contracts are asserted under real load:
+
+* **No verdict drift** — the instrumented run passes
+  ``MutationRun.same_results`` against the plain run (the differential
+  suite proves this across seeds/workers/cache; the bench proves it on
+  the full battery).
+* **Bounded cost** — enabled telemetry stays under
+  :data:`OVERHEAD_BOUND` (10%) of the plain run's wall-clock, min over
+  :data:`REPEATS` repeats of each configuration.  The null path's cost is
+  not separately measurable (it *is* the plain run — instrumented call
+  sites default to the null object), which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.experiments.config import (
+    TABLE2_METHODS,
+    sortable_oracle,
+    sortable_suite,
+)
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.generate import generate_mutants
+from repro.obs import JsonlSink, Telemetry, validate_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_obs_overhead.json"
+
+MAX_CASES = 120
+REPEATS = 3
+
+#: The acceptance bound: telemetry on must cost <10% over telemetry off.
+OVERHEAD_BOUND = 0.10
+
+
+def _battery(telemetry=None):
+    suite = replace(
+        sortable_suite(), cases=sortable_suite().cases[:MAX_CASES]
+    )
+    mutants, _ = generate_mutants(
+        CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL,
+        telemetry=telemetry,
+    )
+    run = MutationAnalysis(
+        CSortableObList, suite, oracle=sortable_oracle(),
+        telemetry=telemetry,
+    ).analyze(mutants)
+    return run
+
+
+def _timed(function):
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+def run_bench(trace_dir=None) -> dict:
+    trace_dir = Path(trace_dir) if trace_dir is not None else REPO_ROOT
+    plain_best, plain_run = None, None
+    for _ in range(REPEATS):
+        seconds, run = _timed(_battery)
+        if plain_best is None or seconds < plain_best:
+            plain_best, plain_run = seconds, run
+
+    traced_best, traced_run, events = None, None, 0
+    trace_path = trace_dir / "bench_obs_trace.jsonl"
+    for _ in range(REPEATS):
+        telemetry = Telemetry(sink=JsonlSink(trace_path))
+        seconds, run = _timed(lambda: _battery(telemetry))
+        telemetry.close()
+        if traced_best is None or seconds < traced_best:
+            traced_best, traced_run = seconds, run
+            events = telemetry.events_emitted
+    with open(trace_path, "r", encoding="utf-8") as stream:
+        validated = validate_jsonl(stream)
+    trace_path.unlink()
+
+    overhead = traced_best / plain_best - 1.0
+    return {
+        "benchmark": "obs_overhead",
+        "cpu_count": os.cpu_count(),
+        "subject": "CSortableObList",
+        "methods": list(TABLE2_METHODS),
+        "suite_cases": MAX_CASES,
+        "mutants": len(plain_run.outcomes),
+        "repeats": REPEATS,
+        "same_results": traced_run.same_results(plain_run),
+        "events_emitted": events,
+        "events_validated": validated,
+        "plain_seconds": round(plain_best, 3),
+        "traced_seconds": round(traced_best, 3),
+        "overhead_ratio": round(overhead, 4),
+        "bound": OVERHEAD_BOUND,
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_obs_overhead(benchmark, tmp_path):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench, tmp_path)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    assert data["same_results"], "telemetry changed a verdict"
+    assert data["events_emitted"] == data["events_validated"] > 0
+    assert data["overhead_ratio"] < data["bound"], (
+        f"telemetry overhead {data['overhead_ratio']:.1%} exceeds "
+        f"{data['bound']:.0%}"
+    )
+    assert OUTPUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    write_report(report)
+    print(json.dumps(report, indent=2))

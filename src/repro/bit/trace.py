@@ -50,23 +50,39 @@ class CallTracer:
         self.enabled = True
 
     # -- recording ---------------------------------------------------------
+    #
+    # The enabled/capacity gate runs *before* any string rendering: a
+    # disabled tracer (deployment mode) or a full buffer must not charge
+    # every call the cost of repr-ing its result and arguments.  The gate
+    # keeps the exact observable behaviour of the recorded path — same
+    # events, same ``dropped`` accounting — it only moves the rendering
+    # behind it.
 
     def record_return(self, instance: Any, method: str,
                       args: tuple, kwargs: dict, result: Any) -> None:
-        self._record(instance, method, args, kwargs, "return", _safe_repr(result))
+        if not self._admit():
+            return
+        self._append(instance, method, args, kwargs, "return",
+                     _safe_repr(result))
 
     def record_raise(self, instance: Any, method: str,
                      args: tuple, kwargs: dict, error: BaseException) -> None:
-        detail = f"{type(error).__name__}: {error}"
-        self._record(instance, method, args, kwargs, "raise", detail)
-
-    def _record(self, instance: Any, method: str, args: tuple,
-                kwargs: dict, outcome: str, detail: str) -> None:
-        if not self.enabled:
+        if not self._admit():
             return
+        self._append(instance, method, args, kwargs, "raise",
+                     f"{type(error).__name__}: {error}")
+
+    def _admit(self) -> bool:
+        """Whether the next event will be stored; counts a drop if not."""
+        if not self.enabled:
+            return False
         if len(self._events) >= self._capacity:
             self._dropped += 1
-            return
+            return False
+        return True
+
+    def _append(self, instance: Any, method: str, args: tuple,
+                kwargs: dict, outcome: str, detail: str) -> None:
         arguments = tuple(
             [_safe_repr(a) for a in args]
             + [f"{k}={_safe_repr(v)}" for k, v in kwargs.items()]

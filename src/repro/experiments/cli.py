@@ -18,6 +18,18 @@ They also share the coverage-guided pruning switch:
   default; pruning skips test cases whose reference execution never
   reaches the mutated method — verdicts are bit-identical either way, see
   :mod:`repro.mutation.coverage`).
+
+And the run-telemetry flags (:mod:`repro.obs`):
+
+* ``--trace-out PATH`` — stream schema-versioned JSONL span/counter
+  events for the whole run (generation, reference pass, per-mutant and
+  per-case execution, worker lifecycle, cache counters) to ``PATH``;
+* ``--obs-summary`` — print the human-readable telemetry summary after
+  the run (every line starts with ``obs`` so row comparisons can strip
+  it, like the ``cache…`` lines).
+
+Telemetry is off when neither flag is given — zero events are emitted —
+and changes no verdicts when on (DESIGN §5 documents the guarantee).
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from typing import Optional
 
 from ..mutation.analysis import MutationRun
 from ..mutation.cache import MutationOutcomeCache
+from ..obs import JsonlSink, Telemetry
 
 
 def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -56,17 +69,58 @@ def add_prune_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("run telemetry")
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write schema-versioned JSONL telemetry events to PATH "
+             "(spans, point events, final counters; validate with "
+             "`python -m repro.obs PATH`)",
+    )
+    group.add_argument(
+        "--obs-summary", action="store_true",
+        help="print the telemetry summary after the run (lines start "
+             "with 'obs' for easy filtering)",
+    )
+
+
 def prune_from_arguments(arguments: argparse.Namespace) -> bool:
     """Whether pruning is enabled (default) under the parsed flags."""
     return not arguments.no_prune
 
 
-def cache_from_arguments(arguments: argparse.Namespace
+def telemetry_from_arguments(arguments: argparse.Namespace
+                             ) -> Optional[Telemetry]:
+    """The telemetry session the flags describe, or ``None`` (off).
+
+    Off is the default: with neither ``--trace-out`` nor
+    ``--obs-summary``, no session exists and the pipeline runs on the
+    shared null object, emitting zero events.
+    """
+    if not arguments.trace_out and not arguments.obs_summary:
+        return None
+    sink = JsonlSink(arguments.trace_out) if arguments.trace_out else None
+    return Telemetry(sink=sink)
+
+
+def finish_telemetry(telemetry: Optional[Telemetry],
+                     arguments: argparse.Namespace) -> None:
+    """Close the session (emitting the counters event) and print the
+    summary when asked."""
+    if telemetry is None:
+        return
+    telemetry.close()
+    if arguments.obs_summary:
+        print(telemetry.summary())
+
+
+def cache_from_arguments(arguments: argparse.Namespace,
+                         telemetry: Optional[Telemetry] = None
                          ) -> Optional[MutationOutcomeCache]:
     """The cache the flags describe, or ``None`` when caching is off."""
     if arguments.no_cache or not arguments.cache_dir:
         return None
-    return MutationOutcomeCache(arguments.cache_dir)
+    return MutationOutcomeCache(arguments.cache_dir, telemetry=telemetry)
 
 
 def print_cache_stats(run: Optional[MutationRun], label: str = "cache") -> None:

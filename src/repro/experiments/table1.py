@@ -27,6 +27,7 @@ from ..mutation.cache import MutationOutcomeCache
 from ..mutation.generate import MutantGenerator, generate_mutants
 from ..mutation.operators import ALL_OPERATORS
 from ..mutation.parallel import ParallelMutationAnalysis
+from ..obs import Telemetry
 from .config import (
     EXPERIMENT_SEED,
     TABLE2_METHODS,
@@ -132,7 +133,8 @@ def run_table1(workers: int = 1,
                seed: int = EXPERIMENT_SEED,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
-               prune: bool = True) -> Table1Result:
+               prune: bool = True,
+               telemetry: Optional[Telemetry] = None) -> Table1Result:
     """Regenerate Table 1 over the experiments' subject methods.
 
     ``workers > 1`` fans the five operator columns out to a process pool;
@@ -143,7 +145,10 @@ def run_table1(workers: int = 1,
     ``cache`` replays unchanged verdicts from the outcome cache,
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
     are identical either way), and ``max_cases`` truncates the suite
-    (smoke/CI hook).
+    (smoke/CI hook).  ``telemetry`` attaches a run-telemetry session to
+    generation and analysis (the per-operator demo fan-out runs in
+    worker processes and stays un-instrumented); rows are identical
+    with or without it.
     """
     names = [operator.name for operator in ALL_OPERATORS]
     if workers > 1:
@@ -157,7 +162,8 @@ def run_table1(workers: int = 1,
         if max_cases is not None:
             suite = replace(suite, cases=suite.cases[:max_cases])
         mutants, _ = generate_mutants(
-            CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL
+            CSortableObList, TABLE2_METHODS, type_model=OBLIST_TYPE_MODEL,
+            telemetry=telemetry,
         )
         engine = ParallelMutationAnalysis if workers > 1 else MutationAnalysis
         run = engine(
@@ -166,6 +172,7 @@ def run_table1(workers: int = 1,
             oracle=sortable_oracle(),
             cache=cache,
             prune=prune,
+            telemetry=telemetry,
             **({"workers": workers} if workers > 1 else {}),
         ).analyze(mutants)
     return Table1Result(demos=demos, run=run)
@@ -175,10 +182,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: ``python -m repro.experiments.table1 [--workers N] …``."""
     from .cli import (
         add_cache_arguments,
+        add_obs_arguments,
         add_prune_arguments,
         cache_from_arguments,
+        finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        telemetry_from_arguments,
     )
 
     parser = argparse.ArgumentParser(
@@ -199,18 +209,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suite (smoke runs only)")
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
+    telemetry = telemetry_from_arguments(arguments)
     result = run_table1(
         workers=arguments.workers,
         with_analysis=arguments.with_analysis,
         seed=arguments.seed,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments),
+        cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        telemetry=telemetry,
     )
     print(result.format())
     if arguments.cache_stats:
         print_cache_stats(result.run)
+    finish_telemetry(telemetry, arguments)
     return 0
 
 

@@ -28,6 +28,7 @@ from ..mutation.equivalence import EquivalenceReport, probe_equivalence
 from ..mutation.generate import GenerationReport, generate_mutants
 from ..mutation.parallel import ParallelMutationAnalysis
 from ..mutation.score import ScoreTable, build_score_table
+from ..obs import Telemetry
 from .config import (
     EXPERIMENT_SEED,
     TABLE2_METHODS,
@@ -63,7 +64,8 @@ def run_table2(seed: int = EXPERIMENT_SEED,
                workers: int = 1,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
-               prune: bool = True) -> Table2Result:
+               prune: bool = True,
+               telemetry: Optional[Telemetry] = None) -> Table2Result:
     """Execute experiment 1 end to end.
 
     ``workers > 1`` runs the mutant battery on the parallel engine (results
@@ -72,13 +74,15 @@ def run_table2(seed: int = EXPERIMENT_SEED,
     ``cache`` replays unchanged mutant verdicts from the incremental
     outcome cache (cached runs are ``same_results``-identical to fresh);
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
-    are identical either way).
+    are identical either way).  ``telemetry`` attaches a run-telemetry
+    session (rows are identical with or without it).
     """
     suite = sortable_suite(seed)
     if max_cases is not None:
         suite = replace(suite, cases=suite.cases[:max_cases])
     mutants, generation = generate_mutants(
-        CSortableObList, methods, type_model=OBLIST_TYPE_MODEL
+        CSortableObList, methods, type_model=OBLIST_TYPE_MODEL,
+        telemetry=telemetry,
     )
     engine = ParallelMutationAnalysis if workers > 1 else MutationAnalysis
     analysis = engine(
@@ -88,6 +92,7 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         stop_on_first_kill=stop_on_first_kill,
         cache=cache,
         prune=prune,
+        telemetry=telemetry,
         **({"workers": workers} if workers > 1 else {}),
     )
     run = analysis.analyze(mutants)
@@ -129,23 +134,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="skip the equivalence probe")
     from .cli import (
         add_cache_arguments,
+        add_obs_arguments,
         add_prune_arguments,
         cache_from_arguments,
+        finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        telemetry_from_arguments,
     )
 
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
+    telemetry = telemetry_from_arguments(arguments)
     result = run_table2(
         seed=arguments.seed,
         methods=tuple(arguments.methods),
         with_equivalence=not arguments.no_equivalence,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments),
+        cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        telemetry=telemetry,
     )
     print(result.generation.summary())
     print(result.table.format())
@@ -153,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(result.summary())
     if arguments.cache_stats:
         print_cache_stats(result.run)
+    finish_telemetry(telemetry, arguments)
     return 0
 
 

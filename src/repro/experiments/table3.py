@@ -27,6 +27,7 @@ from ..mutation.cache import MutationOutcomeCache
 from ..mutation.generate import GenerationReport, generate_mutants
 from ..mutation.parallel import ParallelMutationAnalysis
 from ..mutation.score import ScoreTable, build_score_table
+from ..obs import Telemetry
 from .config import (
     EXPERIMENT_SEED,
     TABLE3_METHODS,
@@ -89,7 +90,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
                workers: int = 1,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
-               prune: bool = True) -> Table3Result:
+               prune: bool = True,
+               telemetry: Optional[Telemetry] = None) -> Table3Result:
     """Execute experiment 2 end to end.
 
     ``with_contrast_runs`` additionally scores the same mutants under the
@@ -107,7 +109,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
-        CObList, methods, ident_prefix="B", type_model=OBLIST_TYPE_MODEL
+        CObList, methods, ident_prefix="B", type_model=OBLIST_TYPE_MODEL,
+        telemetry=telemetry,
     )
     builder = subclass_over_mutant_base()
 
@@ -120,6 +123,7 @@ def run_table3(seed: int = EXPERIMENT_SEED,
             class_builder=class_builder,
             cache=cache,
             prune=prune,
+            telemetry=telemetry,
             **({"workers": workers} if workers > 1 else {}),
         )
 
@@ -166,23 +170,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also run the base-suite and full-suite contrasts")
     from .cli import (
         add_cache_arguments,
+        add_obs_arguments,
         add_prune_arguments,
         cache_from_arguments,
+        finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        telemetry_from_arguments,
     )
 
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
+    telemetry = telemetry_from_arguments(arguments)
     result = run_table3(
         seed=arguments.seed,
         methods=tuple(arguments.methods),
         with_contrast_runs=arguments.contrast,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments),
+        cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        telemetry=telemetry,
     )
     print(result.generation.summary())
     print(result.incremental_table.format())
@@ -193,6 +203,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print_cache_stats(result.base_suite_run, label="cache[base-suite]")
         if result.full_suite_run is not None:
             print_cache_stats(result.full_suite_run, label="cache[full-suite]")
+    finish_telemetry(telemetry, arguments)
     return 0
 
 

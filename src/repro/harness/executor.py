@@ -29,6 +29,7 @@ from ..bit.reporter import StateReport
 from ..core.errors import ContractViolation, ExecutionError, SandboxTimeout
 from ..generator.suite import TestSuite
 from ..generator.testcase import TestCase, TestStep
+from ..obs import Telemetry, coalesce
 from .logfile import ResultLog
 from .outcomes import Observation, StepObservation, SuiteResult, TestResult, Verdict
 
@@ -58,7 +59,8 @@ class TestExecutor:
                  check_invariants: bool = True,
                  log: Optional[ResultLog] = None,
                  step_guard: Optional[StepGuard] = None,
-                 case_tracer: Optional[CaseTracer] = None):
+                 case_tracer: Optional[CaseTracer] = None,
+                 telemetry: Optional[Telemetry] = None):
         if not isinstance(component_class, type):
             raise ExecutionError(
                 f"component under test must be a class, got {component_class!r}"
@@ -68,6 +70,9 @@ class TestExecutor:
         self._log = log
         self._guard: StepGuard = step_guard or _plain_guard
         self._case_tracer = case_tracer
+        # Per-case timing spans; the default null session records nothing
+        # and the executor never branches on it (observation only).
+        self._obs = coalesce(telemetry)
 
     @property
     def component_class(self) -> type:
@@ -90,12 +95,15 @@ class TestExecutor:
                 observation=Observation(steps=()),
                 detail="structured parameters not completed",
             )
-        with access.test_mode():
-            if self._case_tracer is None:
-                result = self._run_complete_case(case)
-            else:
-                with self._case_tracer(case):
+        with self._obs.span("executor.case", case=case.ident,
+                            component=self._class.__name__) as span:
+            with access.test_mode():
+                if self._case_tracer is None:
                     result = self._run_complete_case(case)
+                else:
+                    with self._case_tracer(case):
+                        result = self._run_complete_case(case)
+            span.set("verdict", result.verdict.value)
         if self._log is not None:
             self._log.record(result)
         return result

@@ -8,17 +8,27 @@ in-memory log for tests (pass no path).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TextIO
 
 from .outcomes import TestResult, Verdict
 
 
 class ResultLog:
-    """Append-only test log in the Figure-6 format."""
+    """Append-only test log in the Figure-6 format.
+
+    The backing file is opened **once**, lazily, in append mode, and held
+    for the log's lifetime — not reopened per line, which under the
+    parallel engine's case volume meant O(lines) ``open`` syscalls and
+    allowed other writers to interleave between lines of one record.
+    Each record is flushed so the file stays live-tailable; ``close()``
+    releases the handle (the log reopens transparently if written again),
+    and the log works as a context manager.
+    """
 
     def __init__(self, path: Optional[str] = None):
         self._path = path
         self._lines: List[str] = []
+        self._stream: Optional[TextIO] = None
 
     @property
     def path(self) -> Optional[str]:
@@ -46,15 +56,37 @@ class ResultLog:
         if result.observation.final_state is not None:
             self._write(result.observation.final_state.format())
         self._write("")
+        self._flush()
 
     def note(self, message: str) -> None:
         """Free-form line (session banners, suite summaries)."""
         self._write(message)
+        self._flush()
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the file handle (idempotent; in-memory lines remain)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "ResultLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
 
     def _write(self, line: str) -> None:
         self._lines.append(line)
         if self._path is not None:
-            with open(self._path, "a", encoding="utf-8") as stream:
-                stream.write(line + "\n")
+            if self._stream is None:
+                self._stream = open(self._path, "a", encoding="utf-8")
+            self._stream.write(line + "\n")
+
+    def _flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()

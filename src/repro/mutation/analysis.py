@@ -37,6 +37,7 @@ from ..generator.suite import TestSuite
 from ..harness.executor import TestExecutor
 from ..harness.oracles import CompositeOracle, KillReason, paper_oracle
 from ..harness.outcomes import SuiteResult, Verdict
+from ..obs import Telemetry, coalesce
 from .cache import CacheStats, MutationOutcomeCache, experiment_fingerprint
 from .coverage import CoverageMatrix, record_coverage
 from .mutant import CompiledMutant, Mutant
@@ -190,7 +191,8 @@ class MutationAnalysis:
                  reference: Optional[SuiteResult] = None,
                  cache: Optional[MutationOutcomeCache] = None,
                  prune: bool = True,
-                 coverage: Optional[CoverageMatrix] = None):
+                 coverage: Optional[CoverageMatrix] = None,
+                 telemetry: Optional[Telemetry] = None):
         """``setup`` runs before every suite execution (e.g. resetting an
         ambient database) so runs are independent.
 
@@ -208,6 +210,12 @@ class MutationAnalysis:
         reference outcome, which is synthesized instead.  ``coverage``
         seeds the recorded matrix the same way ``reference`` seeds the
         golden run (the parallel engine ships both to its workers).
+
+        ``telemetry`` attaches a run-telemetry session
+        (:mod:`repro.obs`): the reference pass and every mutant get
+        spans carrying kill reason, case counters and cache hit/miss.
+        Purely observational — verdicts are identical with or without
+        it; the default null session records nothing.
         """
         self._original = original_class
         self._suite = suite
@@ -225,6 +233,7 @@ class MutationAnalysis:
         self._setup = setup
         self._cache = cache
         self._prune = prune
+        self._obs = coalesce(telemetry)
         self._coverage: Optional[CoverageMatrix] = coverage if prune else None
         self._reference: Optional[SuiteResult] = reference
         self._reference_by_ident: Optional[Dict[str, object]] = None
@@ -244,21 +253,28 @@ class MutationAnalysis:
         suite run.
         """
         if self._reference is None:
-            if self._prune:
-                self._reference, recorded = record_coverage(
-                    self._original, self._suite,
-                    check_invariants=self._check_invariants,
-                    setup=self._setup,
-                )
-                if self._coverage is None:
-                    self._coverage = recorded
-            else:
-                if self._setup is not None:
-                    self._setup()
-                executor = TestExecutor(
-                    self._original, check_invariants=self._check_invariants
-                )
-                self._reference = executor.run_suite(self._suite)
+            with self._obs.span("analysis.reference",
+                                component=self._original.__name__,
+                                cases=len(self._suite),
+                                prune=self._prune):
+                if self._prune:
+                    self._reference, recorded = record_coverage(
+                        self._original, self._suite,
+                        check_invariants=self._check_invariants,
+                        setup=self._setup,
+                        telemetry=self._obs,
+                    )
+                    if self._coverage is None:
+                        self._coverage = recorded
+                else:
+                    if self._setup is not None:
+                        self._setup()
+                    executor = TestExecutor(
+                        self._original,
+                        check_invariants=self._check_invariants,
+                        telemetry=self._obs,
+                    )
+                    self._reference = executor.run_suite(self._suite)
         return self._reference
 
     def coverage_matrix(self) -> Optional[CoverageMatrix]:
@@ -275,6 +291,7 @@ class MutationAnalysis:
                 self._original, self._suite,
                 check_invariants=self._check_invariants,
                 setup=self._setup,
+                telemetry=self._obs,
             )
         return self._coverage
 
@@ -302,13 +319,24 @@ class MutationAnalysis:
         outcomes: List[MutantOutcome] = []
         step_timeouts = 0
         for index, mutant in enumerate(mutants):
-            entry = cache.lookup(keys[index]) if cache is not None else None
-            if entry is not None:
-                outcome, timeouts = entry.outcome, entry.step_timeouts
-            else:
-                outcome, timeouts = self.analyze_single(mutant)
-                if cache is not None:
-                    cache.store(keys[index], outcome, timeouts)
+            with self._obs.span("analysis.mutant",
+                                mutant=mutant.record.ident,
+                                operator=mutant.record.operator,
+                                method=mutant.record.method_name) as span:
+                entry = cache.lookup(keys[index]) if cache is not None else None
+                if entry is not None:
+                    outcome, timeouts = entry.outcome, entry.step_timeouts
+                    span.set("cache", "hit")
+                else:
+                    if cache is not None:
+                        span.set("cache", "miss")
+                    outcome, timeouts = self.analyze_single(mutant)
+                    if cache is not None:
+                        cache.store(keys[index], outcome, timeouts)
+                span.set("killed", outcome.killed)
+                span.set("reason", outcome.reason.value)
+                span.set("cases_run", outcome.cases_run)
+                span.set("cases_skipped", outcome.cases_skipped)
             outcomes.append(outcome)
             step_timeouts += timeouts
         elapsed = time.perf_counter() - started
@@ -368,6 +396,7 @@ class MutationAnalysis:
             mutant_class,
             check_invariants=self._check_invariants,
             step_guard=guard,
+            telemetry=self._obs,
         )
         if self._setup is not None:
             self._setup()

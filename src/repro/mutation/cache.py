@@ -65,6 +65,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.fingerprint import canonical, sha256_hex
+from ..obs import Telemetry, coalesce
 
 if TYPE_CHECKING:  # imported lazily to keep cache <- analysis acyclic
     from ..generator.suite import TestSuite
@@ -216,12 +217,16 @@ class MutationOutcomeCache:
     and never collide across configurations.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self._directory = Path(directory)
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
         self._corrupt = 0
+        # Mirrors the lifetime counters into a run-telemetry session
+        # (``cache.hits`` …); observation only, the default records nothing.
+        self._obs = coalesce(telemetry)
 
     @property
     def directory(self) -> Path:
@@ -273,15 +278,20 @@ class MutationOutcomeCache:
                 raise ValueError("cache entry does not match its address")
         except FileNotFoundError:
             self._misses += 1
+            self._obs.count("cache.misses")
             if self._slot_points_elsewhere(key):
                 self._invalidations += 1
+                self._obs.count("cache.invalidations")
             return None
         except Exception:  # noqa: BLE001 — any corruption is a miss, never a crash
             self._misses += 1
             self._corrupt += 1
+            self._obs.count("cache.misses")
+            self._obs.count("cache.corrupt")
             self._remove_quietly(path)
             return None
         self._hits += 1
+        self._obs.count("cache.hits")
         return entry
 
     def store(self, key: CacheKey, outcome: "MutantOutcome",
@@ -301,6 +311,7 @@ class MutationOutcomeCache:
             self._atomic_write(self._entry_path(key), pickle.dumps(entry))
             self._atomic_write(self._slot_path(key),
                                key.entry.encode("ascii"))
+            self._obs.count("cache.stores")
         except OSError:
             pass  # a full/read-only disk degrades to no caching
 

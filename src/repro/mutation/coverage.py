@@ -179,13 +179,16 @@ class MethodCoverageTracer:
 def record_coverage(cut_class: type, suite: "TestSuite",
                     check_invariants: bool = True,
                     setup: Optional[Callable[[], None]] = None,
+                    telemetry=None,
                     ) -> Tuple["SuiteResult", CoverageMatrix]:
     """One instrumented pass: the reference results *and* their coverage.
 
     This is the single extra-cost operation of pruning — the suite runs
     once on the original class under the profile hook, yielding both the
     golden :class:`~repro.harness.outcomes.SuiteResult` the oracles judge
-    against and the matrix that licenses every later skip.
+    against and the matrix that licenses every later skip.  ``telemetry``
+    (a :class:`repro.obs.Telemetry`) gives the pass per-case timing spans;
+    observation only.
     """
     from ..harness.executor import TestExecutor
 
@@ -196,6 +199,7 @@ def record_coverage(cut_class: type, suite: "TestSuite",
         cut_class,
         check_invariants=check_invariants,
         case_tracer=tracer.tracing,
+        telemetry=telemetry,
     )
     reference = executor.run_suite(suite)
     return reference, tracer.matrix()

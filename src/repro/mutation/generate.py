@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import MutationError
+from ..obs import Telemetry, coalesce
 from .mutant import CompiledMutant, Mutant
 from .operators import ALL_OPERATORS
 from .operators.base import (
@@ -70,12 +71,16 @@ class MutantGenerator:
     def __init__(self, target: type,
                  operators: Sequence[MutationOperator] = ALL_OPERATORS,
                  ident_prefix: str = "M",
-                 type_model: Optional[TypeModel] = None):
+                 type_model: Optional[TypeModel] = None,
+                 telemetry: Optional[Telemetry] = None):
         self._target = target
         self._operators = tuple(operators)
         self._prefix = ident_prefix
         self._universe = infer_attribute_universe(target)
         self._type_model = type_model
+        # Per-(method, operator) generation spans; the default null
+        # session records nothing.
+        self._obs = coalesce(telemetry)
 
     @property
     def target(self) -> type:
@@ -108,45 +113,55 @@ class MutantGenerator:
                 if self._type_model is not None else {}
             )
             for operator in self._operators:
-                for point in operator.points(context):
-                    if not self._type_compatible(point, local_types):
-                        report.type_incompatible += 1
-                        continue
-                    try:
-                        module = context.mutate_use(point.site, point.replacement)
-                        mutated_source = ast.unparse(module)
-                    except MutationError:
-                        report.compile_failures += 1
-                        continue
-                    key = (method_name, mutated_source)
-                    if key in seen_sources:
-                        report.duplicates += 1
-                        continue
-                    if mutated_source.strip() == normalized_originals[method_name]:
-                        # Textual no-op: not a mutant at all.
-                        report.duplicates += 1
-                        continue
-                    seen_sources.add(key)
-                    try:
-                        function = context.compile_mutant(module)
-                    except (MutationError, SyntaxError):
-                        report.compile_failures += 1
-                        continue
-                    number += 1
-                    record = Mutant(
-                        ident=f"{self._prefix}{number:04d}",
-                        operator=operator.name,
-                        class_name=self._target.__name__,
-                        method_name=method_name,
-                        variable=point.site.variable,
-                        occurrence=point.site.occurrence,
-                        line=point.site.line,
-                        replacement=render_expr(point.replacement),
-                        description=point.description,
-                        mutated_source=mutated_source,
-                    )
-                    mutants.append(CompiledMutant(record, self._target, function))
-                    report.count(method_name, operator.name)
+                with self._obs.span("generate.operator",
+                                    method=method_name,
+                                    operator=operator.name) as span:
+                    produced_before = report.generated
+                    for point in operator.points(context):
+                        if not self._type_compatible(point, local_types):
+                            report.type_incompatible += 1
+                            continue
+                        try:
+                            module = context.mutate_use(
+                                point.site, point.replacement
+                            )
+                            mutated_source = ast.unparse(module)
+                        except MutationError:
+                            report.compile_failures += 1
+                            continue
+                        key = (method_name, mutated_source)
+                        if key in seen_sources:
+                            report.duplicates += 1
+                            continue
+                        if (mutated_source.strip()
+                                == normalized_originals[method_name]):
+                            # Textual no-op: not a mutant at all.
+                            report.duplicates += 1
+                            continue
+                        seen_sources.add(key)
+                        try:
+                            function = context.compile_mutant(module)
+                        except (MutationError, SyntaxError):
+                            report.compile_failures += 1
+                            continue
+                        number += 1
+                        record = Mutant(
+                            ident=f"{self._prefix}{number:04d}",
+                            operator=operator.name,
+                            class_name=self._target.__name__,
+                            method_name=method_name,
+                            variable=point.site.variable,
+                            occurrence=point.site.occurrence,
+                            line=point.site.line,
+                            replacement=render_expr(point.replacement),
+                            description=point.description,
+                            mutated_source=mutated_source,
+                        )
+                        mutants.append(
+                            CompiledMutant(record, self._target, function)
+                        )
+                        report.count(method_name, operator.name)
+                    span.set("mutants", report.generated - produced_before)
         return mutants, report
 
     def _context(self, method_name: str) -> MethodContext:
@@ -177,6 +192,7 @@ def generate_mutants(target: type, method_names: Sequence[str],
                      operators: Optional[Sequence[MutationOperator]] = None,
                      ident_prefix: str = "M",
                      type_model: Optional[TypeModel] = None,
+                     telemetry: Optional[Telemetry] = None,
                      ) -> Tuple[List[CompiledMutant], GenerationReport]:
     """One-call convenience over :class:`MutantGenerator`."""
     generator = MutantGenerator(
@@ -184,5 +200,6 @@ def generate_mutants(target: type, method_names: Sequence[str],
         operators=operators if operators is not None else ALL_OPERATORS,
         ident_prefix=ident_prefix,
         type_model=type_model,
+        telemetry=telemetry,
     )
     return generator.generate(method_names)

@@ -49,6 +49,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 from ..generator.suite import TestSuite
 from ..harness.oracles import CompositeOracle, KillReason
 from ..harness.outcomes import SuiteResult
+from ..obs import Telemetry, coalesce
 from .analysis import (
     ClassBuilder,
     MutantOutcome,
@@ -155,6 +156,9 @@ class _PoolState:
     remaining: int
     step_timeouts: int = 0
     pool: List[_Worker] = field(default_factory=list)
+    #: When the pending queue was filled — dispatch events report each
+    #: task's queue wait relative to this instant.
+    enqueued_at: float = 0.0
     #: Outcome cache + per-index entry keys; ``None`` when caching is off.
     #: Only in-process verdicts ("done" messages) are written back — a
     #: worker-boundary kill depends on scheduling, not fingerprinted input.
@@ -191,7 +195,8 @@ class ParallelMutationAnalysis:
                  wall_clock_backstop: float = DEFAULT_WALL_CLOCK_BACKSTOP,
                  cache: Optional[MutationOutcomeCache] = None,
                  prune: bool = True,
-                 coverage: Optional[CoverageMatrix] = None):
+                 coverage: Optional[CoverageMatrix] = None,
+                 telemetry: Optional[Telemetry] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
         self._original = original_class
@@ -211,6 +216,12 @@ class ParallelMutationAnalysis:
         # the store and the serial-equivalence contract is unaffected.
         self._cache = cache
         self._prune = prune
+        # Telemetry lives in the parent only: worker lifecycle, dispatch
+        # waits and task turnarounds are recorded here, while workers run
+        # un-instrumented (the WorkerSpec never carries a session), so the
+        # trace stays single-writer and workers stay byte-identical to the
+        # serial engine.
+        self._obs = coalesce(telemetry)
         # The reference run — and, under pruning, the coverage matrix it
         # records in the same instrumented pass — is computed (or seeded)
         # in the parent, once, by a plain serial analysis; workers inherit
@@ -222,6 +233,7 @@ class ParallelMutationAnalysis:
             step_budget=step_budget, stop_on_first_kill=stop_on_first_kill,
             check_invariants=check_invariants, setup=setup,
             reference=reference, prune=prune, coverage=coverage,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -257,15 +269,20 @@ class ParallelMutationAnalysis:
         keys: Optional[List[CacheKey]] = None
         prefilled: dict = {}
         stats_before = None
-        if cache is not None:
-            experiment = self._serial.experiment_fingerprint()
-            keys = [cache.key_for(experiment, mutant) for mutant in mutants]
-            stats_before = cache.snapshot()
-            for index in range(len(mutants)):
-                entry = cache.lookup(keys[index])
-                if entry is not None:
-                    prefilled[index] = (entry.outcome, entry.step_timeouts)
-        state = self._run_pool(mutants, reference, prefilled, cache, keys)
+        with self._obs.span("parallel.run", mutants=len(mutants),
+                            workers=self._workers) as span:
+            if cache is not None:
+                experiment = self._serial.experiment_fingerprint()
+                keys = [cache.key_for(experiment, mutant)
+                        for mutant in mutants]
+                stats_before = cache.snapshot()
+                for index in range(len(mutants)):
+                    entry = cache.lookup(keys[index])
+                    if entry is not None:
+                        prefilled[index] = (entry.outcome,
+                                            entry.step_timeouts)
+                span.set("cache_hits", len(prefilled))
+            state = self._run_pool(mutants, reference, prefilled, cache, keys)
         elapsed = time.perf_counter() - started
         outcomes = tuple(
             outcome for outcome in state.results if outcome is not None
@@ -300,6 +317,7 @@ class ParallelMutationAnalysis:
             remaining=len(mutants),
             cache=cache,
             keys=keys,
+            enqueued_at=time.perf_counter(),
         )
         for index, (outcome, timeouts) in prefilled.items():
             state.record(index, outcome, timeouts)
@@ -352,6 +370,13 @@ class ParallelMutationAnalysis:
         kind, index = message[0], message[1]
         if kind == "done":
             state.record(index, message[2], message[3])
+            if worker.task is not None and worker.task[0] == index:
+                self._obs.event(
+                    "parallel.task", index=index,
+                    mutant=worker.task[1].record.ident,
+                    seconds=round(
+                        time.perf_counter() - worker.started_at, 6),
+                )
             if state.cache is not None and state.keys is not None:
                 # Write-back happens in the parent so workers never touch
                 # the store; identical keys carry identical payloads, so a
@@ -359,6 +384,7 @@ class ParallelMutationAnalysis:
                 # atomic overwrite.
                 state.cache.store(state.keys[index], message[2], message[3])
         elif kind == "error":
+            self._obs.count("parallel.worker_errors")
             state.record(index, self._boundary_outcome(
                 self._mutant_record(worker, index),
                 KillReason.WORKER_CRASH,
@@ -380,6 +406,7 @@ class ParallelMutationAnalysis:
             self._retire_dead(worker, state)
         while state.pending and len(state.pool) < self._workers:
             replacement = self._spawn(context, spec)
+            self._obs.count("parallel.respawns")
             state.pool.append(replacement)
             self._dispatch(replacement, state)
 
@@ -395,6 +422,10 @@ class ParallelMutationAnalysis:
         worker.process.join()
         worker.connection.close()
         state.pool.remove(worker)
+        self._obs.event("parallel.wall_timeout", index=index,
+                        mutant=mutant.record.ident,
+                        backstop=self._backstop)
+        self._obs.count("parallel.wall_timeouts")
         state.record(index, self._boundary_outcome(
             mutant.record, KillReason.WALL_TIMEOUT,
             f"no verdict within the {self._backstop:.1f}s wall-clock "
@@ -408,6 +439,10 @@ class ParallelMutationAnalysis:
         self._salvage(worker, state)
         if worker.task is not None:
             index, mutant = worker.task
+            self._obs.event("parallel.worker_crash", index=index,
+                            mutant=mutant.record.ident,
+                            exitcode=worker.process.exitcode)
+            self._obs.count("parallel.worker_crashes")
             state.record(index, self._boundary_outcome(
                 mutant.record, KillReason.WORKER_CRASH,
                 f"worker process died (exitcode {worker.process.exitcode}) "
@@ -433,6 +468,11 @@ class ParallelMutationAnalysis:
                 index, mutant = state.pending.popleft()
                 worker.task = (index, mutant)
                 worker.started_at = time.perf_counter()
+                self._obs.event(
+                    "parallel.dispatch", index=index,
+                    mutant=mutant.record.ident,
+                    waited=round(worker.started_at - state.enqueued_at, 6),
+                )
                 worker.connection.send((index, mutant))
             else:
                 worker.connection.send(None)
@@ -448,6 +488,8 @@ class ParallelMutationAnalysis:
         )
         process.start()
         child_connection.close()
+        self._obs.event("parallel.worker_spawned", pid=process.pid)
+        self._obs.count("parallel.workers_spawned")
         return _Worker(process, parent_connection)
 
     def _shutdown(self, pool: List[_Worker]) -> None:

@@ -1,0 +1,117 @@
+"""The telemetry event schema: versioned, validated, parseable downstream.
+
+Every event the telemetry layer emits is a flat JSON object carrying the
+schema version, so downstream tooling (the CI trace gate, ad-hoc ``jq``
+pipelines, dashboards) can parse traces from any revision — or refuse
+them loudly.  Three kinds exist:
+
+``span``
+    A timed region: ``name``, start offset ``t`` (seconds since the
+    telemetry clock's origin, monotonic), duration ``dur`` (seconds),
+    plus free-form scalar ``attrs``.
+``point``
+    An instantaneous occurrence (a worker respawn, a wall-timeout kill):
+    ``name``, ``t``, ``attrs``.
+``counters``
+    The final counter snapshot, emitted once when the telemetry session
+    closes: ``counters`` maps counter name to its integer total.
+
+:func:`validate_event` is the single source of truth for well-formedness;
+the emitter in :mod:`repro.obs.telemetry` shapes events to satisfy it and
+the CI job re-validates every line of the recorded artifact through
+``python -m repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Tuple
+
+#: Bumped whenever an event field is added, removed or retyped.
+SCHEMA_VERSION = 1
+
+#: The event kinds this schema version defines.
+EVENT_KINDS: Tuple[str, ...] = ("span", "point", "counters")
+
+#: Attribute values are JSON scalars only — nested payloads would make
+#: line-oriented consumers (grep/jq one-liners) order-dependent.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class SchemaError(ValueError):
+    """An event that does not conform to the telemetry schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_attrs(attrs: Any) -> None:
+    _require(isinstance(attrs, dict), f"attrs must be a dict, got {type(attrs).__name__}")
+    for key, value in attrs.items():
+        _require(isinstance(key, str) and key != "",
+                 f"attr key must be a non-empty string, got {key!r}")
+        _require(isinstance(value, _SCALAR_TYPES),
+                 f"attr {key!r} must be a JSON scalar, got {type(value).__name__}")
+
+
+def _check_seconds(event: Dict[str, Any], field: str) -> None:
+    value = event.get(field)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{field!r} must be a number, got {value!r}")
+    _require(value >= 0, f"{field!r} must be non-negative, got {value!r}")
+
+
+def validate_event(event: Any) -> Dict[str, Any]:
+    """Check one event against the schema; raise :class:`SchemaError` else.
+
+    Returns the event unchanged so callers can chain
+    (``validate_event(json.loads(line))``).
+    """
+    _require(isinstance(event, dict), f"event must be a dict, got {type(event).__name__}")
+    _require(event.get("v") == SCHEMA_VERSION,
+             f"unsupported schema version {event.get('v')!r} "
+             f"(this validator understands v{SCHEMA_VERSION})")
+    kind = event.get("kind")
+    _require(kind in EVENT_KINDS, f"unknown event kind {kind!r}")
+    name = event.get("name")
+    _require(isinstance(name, str) and name != "",
+             f"'name' must be a non-empty string, got {name!r}")
+    _check_seconds(event, "t")
+    if kind == "span":
+        _check_seconds(event, "dur")
+        _check_attrs(event.get("attrs", {}))
+    elif kind == "point":
+        _check_attrs(event.get("attrs", {}))
+    else:  # counters
+        counters = event.get("counters")
+        _require(isinstance(counters, dict), "'counters' must be a dict")
+        for key, value in counters.items():
+            _require(isinstance(key, str) and key != "",
+                     f"counter name must be a non-empty string, got {key!r}")
+            _require(isinstance(value, int) and not isinstance(value, bool),
+                     f"counter {key!r} must be an int, got {value!r}")
+    return event
+
+
+def validate_jsonl(lines: Iterable[str]) -> int:
+    """Validate an iterable of JSONL lines; return the event count.
+
+    Raises :class:`SchemaError` naming the first offending line (1-based);
+    blank lines are ignored (a trailing newline is not an event).
+    """
+    count = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SchemaError(f"line {number}: not valid JSON ({error})") from error
+        try:
+            validate_event(event)
+        except SchemaError as error:
+            raise SchemaError(f"line {number}: {error}") from error
+        count += 1
+    return count

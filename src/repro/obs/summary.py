@@ -1,0 +1,47 @@
+"""Human-readable rendering of one telemetry session's aggregates.
+
+The ``--obs-summary`` flag prints this after a table run.  Every line is
+prefixed ``obs`` (the same convention as the cache's ``cache…`` lines) so
+CI row-diffs between instrumented and plain runs can strip it with one
+``grep -v '^obs'``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:
+    from .telemetry import Telemetry
+
+
+def _duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def render_summary(telemetry: "Telemetry") -> str:
+    """Span aggregates (count/total/mean/max) plus final counter values."""
+    lines: List[str] = [
+        f"obs telemetry summary: {telemetry.events_emitted} events emitted"
+    ]
+    stats = telemetry.span_stats()
+    if stats:
+        lines.append(f"obs {'span':<28} {'count':>7} {'total':>9} "
+                     f"{'mean':>9} {'max':>9}")
+        for name in sorted(stats, key=lambda n: -stats[n]["total_s"]):
+            row = stats[name]
+            lines.append(
+                f"obs {name:<28} {row['count']:>7} "
+                f"{_duration(row['total_s']):>9} "
+                f"{_duration(row['mean_s']):>9} "
+                f"{_duration(row['max_s']):>9}"
+            )
+    counters = telemetry.counters()
+    if counters:
+        lines.append(f"obs {'counter':<28} {'value':>7}")
+        for name in sorted(counters):
+            lines.append(f"obs {name:<28} {counters[name]:>7}")
+    return "\n".join(lines)

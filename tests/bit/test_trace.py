@@ -55,6 +55,44 @@ class TestRecording:
         assert "dropped" in tracer.format()
 
 
+class NeverRepr:
+    """An object whose repr must not run — regression guard for the
+    render-before-gate bug: a disabled or full tracer used to repr every
+    argument and result before checking whether the event would be kept."""
+
+    def __repr__(self):
+        raise AssertionError("repr rendered despite the admission gate")
+
+
+class TestLazyRendering:
+    def test_disabled_tracer_never_renders(self):
+        tracer = CallTracer()
+        tracer.enabled = False
+        tracer.record_return(Subject(), "m", (NeverRepr(),),
+                             {"k": NeverRepr()}, NeverRepr())
+        tracer.record_raise(Subject(), "m", (NeverRepr(),), {},
+                            ValueError("x"))
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_full_tracer_never_renders(self):
+        tracer = CallTracer(capacity=1)
+        tracer.record_return(Subject(), "first", (), {}, None)
+        tracer.record_return(Subject(), "over", (NeverRepr(),), {},
+                             NeverRepr())
+        tracer.record_raise(Subject(), "over", (), {"k": NeverRepr()},
+                            ValueError("x"))
+        assert len(tracer) == 1
+        assert tracer.dropped == 2  # drops still counted, just unrendered
+
+    def test_admitted_events_render_as_before(self):
+        tracer = CallTracer()
+        tracer.record_return(Subject(), "work", (1,), {"k": "v"}, 2)
+        event = tracer.events[0]
+        assert event.arguments == ("1", "k='v'")
+        assert event.detail == "2"
+
+
 class TestQueries:
     def test_calls_to(self):
         tracer = CallTracer()

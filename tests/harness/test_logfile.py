@@ -81,3 +81,65 @@ class TestOnDisk:
         content = target.read_text()
         assert content.startswith("previous session")
         assert "new session" in content
+
+
+class TestSingleHandle:
+    """Regression: the backing file is opened once, not once per line."""
+
+    @staticmethod
+    def counting_open(monkeypatch):
+        import builtins
+
+        counts = {"opens": 0}
+        real_open = builtins.open
+
+        def spy(file, *args, **kwargs):
+            counts["opens"] += 1
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", spy)
+        return counts
+
+    def test_one_open_across_many_records(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "Result.txt")
+        log = ResultLog(path)
+        counts = self.counting_open(monkeypatch)
+        for index in range(25):
+            log.record(passing_result(f"TC{index}"))
+        log.note("done")
+        assert counts["opens"] == 1
+        content = (tmp_path / "Result.txt").read_text()
+        assert content.count("OK!") == 25
+        assert content.rstrip().endswith("done")
+
+    def test_records_flushed_while_open(self, tmp_path):
+        """The file stays live-tailable: each record lands before close."""
+        target = tmp_path / "Result.txt"
+        log = ResultLog(str(target))
+        log.record(passing_result("TC0"))
+        assert "TestCaseTC0 OK!" in target.read_text()
+
+    def test_close_idempotent_and_reopens_on_next_write(self, tmp_path):
+        target = tmp_path / "Result.txt"
+        log = ResultLog(str(target))
+        log.note("first")
+        log.close()
+        log.close()
+        log.note("second")  # transparently reopens, still appending
+        log.close()
+        assert target.read_text() == "first\nsecond\n"
+        assert log.lines == ["first", "second"]
+
+    def test_context_manager_closes(self, tmp_path):
+        target = tmp_path / "Result.txt"
+        with ResultLog(str(target)) as log:
+            log.note("inside")
+        assert log._stream is None
+        assert target.read_text() == "inside\n"
+
+    def test_in_memory_log_never_opens(self, monkeypatch):
+        counts = self.counting_open(monkeypatch)
+        log = ResultLog()
+        log.record(passing_result())
+        log.close()
+        assert counts["opens"] == 0

@@ -1,0 +1,150 @@
+"""Differential proof: telemetry observes, never decides.
+
+The tentpole guarantee of :mod:`repro.obs` — instrumented runs produce
+verdicts field-for-field identical (``MutationRun.same_results``) to plain
+runs — checked the same way the cache's cached≡fresh and the parallel
+engine's serial-equivalence are: across seeds × worker counts × cache
+temperatures.  Plus the "off means off" contract: a default
+(un-instrumented) analysis must never reach the emitter at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import experiment_oracle
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.generate import generate_mutants
+from repro.mutation.parallel import ParallelMutationAnalysis
+from repro.obs import MemorySink, Telemetry, validate_event
+
+SEEDS = (20010701, 7, 99)
+WORKER_COUNTS = (1, 2)
+MUTANT_COUNT = 20
+
+
+def small_suite(seed: int):
+    """A compact suite whose cases all visit the mutated methods."""
+    suite = DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin")
+               for step in case.steps)
+    )[:50]
+    return replace(suite, cases=relevant)
+
+
+def oracle():
+    return experiment_oracle(CSortableObList.__tspec__)
+
+
+@pytest.fixture(scope="module")
+def findmax_mutants():
+    mutants, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return mutants[:MUTANT_COUNT]
+
+
+@pytest.fixture(scope="module")
+def plain_runs(findmax_mutants):
+    """Per seed: the un-instrumented, cache-less baseline run."""
+    return {
+        seed: MutationAnalysis(
+            CSortableObList, small_suite(seed), oracle=oracle()
+        ).analyze(findmax_mutants)
+        for seed in SEEDS
+    }
+
+
+class TestSameResultsOnVsOff:
+    """3 seeds × workers {1, 2} × cache {cold, warm}: observed ≡ plain."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_traced_run_matches_plain(self, seed, workers, findmax_mutants,
+                                      plain_runs, tmp_path):
+        plain = plain_runs[seed]
+        cache = MutationOutcomeCache(tmp_path / "outcomes",
+                                     telemetry=None)
+
+        def run(telemetry, cache_obj):
+            engine = (ParallelMutationAnalysis if workers > 1
+                      else MutationAnalysis)
+            return engine(
+                CSortableObList, small_suite(seed), oracle=oracle(),
+                cache=cache_obj, telemetry=telemetry,
+                **({"workers": workers} if workers > 1 else {}),
+            ).analyze(findmax_mutants)
+
+        # Cold cache, telemetry on: every mutant executes under spans.
+        sink_cold = MemorySink()
+        cold = run(Telemetry(sink=sink_cold), cache)
+        assert cold.same_results(plain)
+        assert cold.cache_stats.misses == len(findmax_mutants)
+
+        # Warm cache, telemetry on: every verdict replays under spans.
+        sink_warm = MemorySink()
+        warm = run(Telemetry(sink=sink_warm), cache)
+        assert warm.same_results(plain)
+        assert warm.same_results(cold)
+        assert warm.cache_stats.hits == len(findmax_mutants)
+
+        # The traces themselves are schema-conformant and non-trivial.
+        for sink in (sink_cold, sink_warm):
+            assert sink.events
+            for event in sink.events:
+                validate_event(event)
+        spans = [e["name"] for e in sink_cold.events if e["kind"] == "span"]
+        if workers == 1:
+            assert spans.count("analysis.mutant") == len(findmax_mutants)
+        else:
+            # Parent-only instrumentation: one run span, one task event
+            # per mutant executed in a worker (workers stay untraced).
+            assert "parallel.run" in spans
+            tasks = [e for e in sink_cold.events
+                     if e["kind"] == "point" and e["name"] == "parallel.task"]
+            assert len(tasks) == len(findmax_mutants)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mutant_spans_carry_verdict_attrs(self, seed, findmax_mutants,
+                                              plain_runs):
+        """Span attributes mirror the run's outcomes exactly."""
+        sink = MemorySink()
+        observed = MutationAnalysis(
+            CSortableObList, small_suite(seed), oracle=oracle(),
+            telemetry=Telemetry(sink=sink),
+        ).analyze(findmax_mutants)
+        assert observed.same_results(plain_runs[seed])
+        by_ident = {
+            event["attrs"]["mutant"]: event["attrs"]
+            for event in sink.events
+            if event["kind"] == "span" and event["name"] == "analysis.mutant"
+        }
+        for outcome in observed.outcomes:
+            attrs = by_ident[outcome.mutant.ident]
+            assert attrs["killed"] == outcome.killed
+            assert attrs["reason"] == outcome.reason.value
+            assert attrs["cases_run"] == outcome.cases_run
+            assert attrs["cases_skipped"] == outcome.cases_skipped
+
+
+class TestZeroEventsWhenDisabled:
+    """A default (telemetry-less) analysis never reaches the emitter."""
+
+    def test_default_analysis_emits_nothing(self, findmax_mutants,
+                                            monkeypatch, tmp_path):
+        def explode(self, event):
+            raise AssertionError("disabled telemetry emitted an event")
+
+        monkeypatch.setattr(Telemetry, "_emit", explode)
+        run = MutationAnalysis(
+            CSortableObList, small_suite(SEEDS[0]), oracle=oracle(),
+            cache=MutationOutcomeCache(tmp_path / "outcomes"),
+        ).analyze(findmax_mutants[:5])
+        assert len(run.outcomes) == 5

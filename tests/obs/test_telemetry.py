@@ -1,0 +1,268 @@
+"""Unit tests for the run-telemetry layer (spans, sinks, schema, CLI)."""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    JsonlSink,
+    MemorySink,
+    NullTelemetry,
+    SCHEMA_VERSION,
+    SchemaError,
+    Telemetry,
+    coalesce,
+    render_summary,
+    validate_event,
+    validate_jsonl,
+)
+from repro.obs.__main__ import main as obs_main
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.25):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_span_duration_from_monotonic_clock(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock(step=0.25))
+        with telemetry.span("work", job="j1"):
+            pass
+        [event] = sink.events
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+        assert event["dur"] == pytest.approx(0.25)
+        assert event["t"] == pytest.approx(0.25)  # one read for the origin
+        assert event["attrs"] == {"job": "j1"}
+
+    def test_mid_flight_attributes_chainable(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        with telemetry.span("work") as span:
+            assert span.set("killed", True).set("reason", "state") is span
+        assert sink.events[0]["attrs"] == {"killed": True, "reason": "state"}
+
+    def test_exception_recorded_and_reraised(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        with pytest.raises(ValueError):
+            with telemetry.span("work"):
+                raise ValueError("boom")
+        assert sink.events[0]["attrs"]["error"] == "ValueError"
+
+    def test_nonscalar_attrs_coerced_to_strings(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        with telemetry.span("work", payload=[1, 2]):
+            pass
+        assert sink.events[0]["attrs"]["payload"] == "[1, 2]"
+        validate_event(sink.events[0])
+
+    def test_span_stats_aggregate(self):
+        telemetry = Telemetry(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with telemetry.span("work"):
+                pass
+        stats = telemetry.span_stats()["work"]
+        assert stats["count"] == 3
+        assert stats["total_s"] == pytest.approx(3.0)
+        assert stats["mean_s"] == pytest.approx(1.0)
+        assert stats["max_s"] == pytest.approx(1.0)
+
+
+class TestCountersAndEvents:
+    def test_counters_only_emitted_at_close(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        telemetry.count("hits")
+        telemetry.count("hits", 4)
+        assert sink.events == []  # no per-increment traffic
+        telemetry.close()
+        [event] = sink.events
+        assert event["kind"] == "counters"
+        assert event["counters"] == {"hits": 5}
+
+    def test_point_event(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        telemetry.event("respawn", worker=3)
+        [event] = sink.events
+        assert event["kind"] == "point"
+        assert event["attrs"] == {"worker": 3}
+
+    def test_close_is_idempotent_and_closes_sink(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        telemetry.close()
+        telemetry.close()
+        assert len(sink.events) == 1
+        assert sink.closed
+
+    def test_every_emitted_event_validates(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink, clock=FakeClock())
+        with telemetry.span("s", a=1):
+            pass
+        telemetry.event("p", b="x")
+        telemetry.count("c")
+        telemetry.close()
+        for event in sink.events:
+            validate_event(event)
+        assert telemetry.events_emitted == len(sink.events) == 3
+
+
+class TestNullTelemetry:
+    def test_off_means_zero_events(self, monkeypatch):
+        """The null object never reaches the emitter at all."""
+
+        def explode(self, event):
+            raise AssertionError("NULL_TELEMETRY emitted an event")
+
+        monkeypatch.setattr(Telemetry, "_emit", explode)
+        with NULL_TELEMETRY.span("work", a=1) as span:
+            span.set("k", "v")
+        NULL_TELEMETRY.event("p")
+        NULL_TELEMETRY.count("c")
+        NULL_TELEMETRY.close()
+        assert NULL_TELEMETRY.events_emitted == 0
+
+    def test_null_span_is_shared_singleton(self):
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+
+    def test_enabled_flags(self):
+        assert Telemetry(clock=FakeClock()).enabled
+        assert not NullTelemetry().enabled
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_TELEMETRY
+        live = Telemetry(clock=FakeClock())
+        assert coalesce(live) is live
+
+
+class TestJsonlSink:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path), clock=FakeClock())
+        with telemetry.span("work", job="j1"):
+            pass
+        telemetry.count("hits", 2)
+        telemetry.close()
+        lines = path.read_text().splitlines()
+        assert validate_jsonl(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["name"] == "work"
+        assert events[1]["counters"] == {"hits": 2}
+
+    def test_truncates_previous_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale line\n")
+        sink = JsonlSink(path)
+        sink.close()
+        assert path.read_text() == ""
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestSchemaValidation:
+    def good_span(self):
+        return {"v": SCHEMA_VERSION, "kind": "span", "name": "s",
+                "t": 0.0, "dur": 0.1, "attrs": {"a": 1}}
+
+    def test_accepts_good_span(self):
+        assert validate_event(self.good_span()) == self.good_span()
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda e: e.update(v=99), "schema version"),
+        (lambda e: e.update(kind="mystery"), "kind"),
+        (lambda e: e.update(name=""), "name"),
+        (lambda e: e.update(t=-1.0), "non-negative"),
+        (lambda e: e.update(dur="fast"), "dur"),
+        (lambda e: e.update(attrs={"a": [1]}), "scalar"),
+        (lambda e: e.update(attrs="no"), "dict"),
+    ])
+    def test_rejects_malformed(self, mutate, fragment):
+        event = self.good_span()
+        mutate(event)
+        with pytest.raises(SchemaError, match=fragment):
+            validate_event(event)
+
+    def test_rejects_bool_counter(self):
+        event = {"v": SCHEMA_VERSION, "kind": "counters", "name": "c",
+                 "t": 0.0, "counters": {"x": True}}
+        with pytest.raises(SchemaError, match="int"):
+            validate_event(event)
+
+    def test_jsonl_names_offending_line(self):
+        lines = [json.dumps(self.good_span()), "", "not json"]
+        with pytest.raises(SchemaError, match="line 3"):
+            validate_jsonl(lines)
+
+    def test_jsonl_skips_blanks(self):
+        lines = ["", json.dumps(self.good_span()), "   "]
+        assert validate_jsonl(lines) == 1
+
+
+class TestSummary:
+    def test_every_line_prefixed_obs(self):
+        telemetry = Telemetry(clock=FakeClock())
+        with telemetry.span("work"):
+            pass
+        telemetry.count("hits", 3)
+        text = render_summary(telemetry)
+        assert text == telemetry.summary()
+        for line in text.splitlines():
+            assert line.startswith("obs ")
+        assert "work" in text
+        assert "hits" in text
+
+    def test_empty_session_renders_header_only(self):
+        text = render_summary(Telemetry(clock=FakeClock()))
+        assert text == "obs telemetry summary: 0 events emitted"
+
+
+class TestValidatorCli:
+    def run(self, *argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = obs_main(list(argv))
+        return code, out.getvalue(), err.getvalue()
+
+    def test_ok_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry = Telemetry(sink=JsonlSink(path), clock=FakeClock())
+        with telemetry.span("s"):
+            pass
+        telemetry.close()
+        code, out, _ = self.run(str(path))
+        assert code == 0
+        assert "ok — 2 events" in out
+
+    def test_schema_violation_exits_1(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 99}\n')
+        code, _, err = self.run(str(path))
+        assert code == 1
+        assert "line 1" in err
+
+    def test_unreadable_exits_2(self, tmp_path):
+        code, _, err = self.run(str(tmp_path / "absent.jsonl"))
+        assert code == 2
+        assert "unreadable" in err
