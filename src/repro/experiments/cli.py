@@ -19,6 +19,14 @@ They also share the coverage-guided pruning switch:
   reaches the mutated method — verdicts are bit-identical either way, see
   :mod:`repro.mutation.coverage`).
 
+And the static-triage switch:
+
+* ``--no-static-triage`` — disable the static equivalent-mutant triage
+  pass (on by default; triage proves mutants equivalent by normalized-AST
+  or bytecode identity and groups bytecode-redundant mutants so only one
+  representative executes — every *executed* mutant's verdict is
+  bit-identical either way, see :mod:`repro.mutation.triage`).
+
 And the run-telemetry flags (:mod:`repro.obs`):
 
 * ``--trace-out PATH`` — stream schema-versioned JSONL span/counter
@@ -69,6 +77,17 @@ def add_prune_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_triage_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("static equivalent-mutant triage")
+    group.add_argument(
+        "--no-static-triage", action="store_true",
+        help="disable the static triage pass (triage proves equivalents "
+             "by AST/bytecode identity and executes one representative "
+             "per redundancy class; executed verdicts are identical "
+             "with or without it)",
+    )
+
+
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("run telemetry")
     group.add_argument(
@@ -87,6 +106,11 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
 def prune_from_arguments(arguments: argparse.Namespace) -> bool:
     """Whether pruning is enabled (default) under the parsed flags."""
     return not arguments.no_prune
+
+
+def static_triage_from_arguments(arguments: argparse.Namespace) -> bool:
+    """Whether static triage is enabled (default) under the parsed flags."""
+    return not arguments.no_static_triage
 
 
 def telemetry_from_arguments(arguments: argparse.Namespace

@@ -77,7 +77,7 @@ class Table1Result:
         lines = [header] + [demo.format() for demo in self.demos]
         if self.run is not None:
             lines.append(
-                f"Kill counts over {self.run.total} executed "
+                f"Kill counts over {self.run.total} analyzed "
                 f"CSortableObList mutants ({self.run.suite_size}-case suite):"
             )
             for demo in self.demos:
@@ -86,6 +86,19 @@ class Table1Result:
                 lines.append(
                     f"  {demo.operator:<15} {killed}/{len(outcomes)} killed"
                 )
+            total = self.run.total
+            killed = len(self.run.killed)
+            equivalent = len(self.run.statically_equivalent)
+            raw = killed / total if total else 1.0
+            pool = total - equivalent
+            adjusted = killed / pool if pool else 1.0
+            lines.append(
+                f"  score: {raw:.1%} raw, {adjusted:.1%} adjusted "
+                f"({equivalent} statically-equivalent mutants excluded; "
+                f"{self.run.dispatched_count} of {total} dispatched)"
+            )
+            if self.run.triage is not None:
+                lines.append(f"  {self.run.triage.summary()}")
         return "\n".join(lines)
 
     def demo_for(self, operator: str) -> OperatorDemo:
@@ -134,6 +147,7 @@ def run_table1(workers: int = 1,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
+               static_triage: bool = True,
                telemetry: Optional[Telemetry] = None) -> Table1Result:
     """Regenerate Table 1 over the experiments' subject methods.
 
@@ -144,8 +158,10 @@ def run_table1(workers: int = 1,
     engine when ``workers > 1``) and reports per-operator kill counts;
     ``cache`` replays unchanged verdicts from the outcome cache,
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
-    are identical either way), and ``max_cases`` truncates the suite
-    (smoke/CI hook).  ``telemetry`` attaches a run-telemetry session to
+    are identical either way), ``static_triage=False`` disables the static
+    equivalent-mutant triage pass (triaged mutants are never dispatched;
+    every *executed* mutant's verdict is identical either way), and
+    ``max_cases`` truncates the suite (smoke/CI hook).  ``telemetry`` attaches a run-telemetry session to
     generation and analysis (the per-operator demo fan-out runs in
     worker processes and stays un-instrumented); rows are identical
     with or without it.
@@ -172,6 +188,8 @@ def run_table1(workers: int = 1,
             oracle=sortable_oracle(),
             cache=cache,
             prune=prune,
+            static_triage=static_triage,
+            triage_type_model=OBLIST_TYPE_MODEL,
             telemetry=telemetry,
             **({"workers": workers} if workers > 1 else {}),
         ).analyze(mutants)
@@ -184,10 +202,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_triage_arguments,
         cache_from_arguments,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        static_triage_from_arguments,
         telemetry_from_arguments,
     )
 
@@ -209,6 +229,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="truncate the suite (smoke runs only)")
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
@@ -219,6 +240,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        static_triage=static_triage_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.format())

@@ -65,6 +65,7 @@ def run_table2(seed: int = EXPERIMENT_SEED,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
+               static_triage: bool = True,
                telemetry: Optional[Telemetry] = None) -> Table2Result:
     """Execute experiment 1 end to end.
 
@@ -74,8 +75,12 @@ def run_table2(seed: int = EXPERIMENT_SEED,
     ``cache`` replays unchanged mutant verdicts from the incremental
     outcome cache (cached runs are ``same_results``-identical to fresh);
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
-    are identical either way).  ``telemetry`` attaches a run-telemetry
-    session (rows are identical with or without it).
+    are identical either way).  ``static_triage=False`` disables the
+    static equivalent-mutant triage pass; with it on (the default),
+    statically-proven mutants are never dispatched, the equivalence probe
+    skips them, and every *executed* mutant's verdict is identical to the
+    untriaged run.  ``telemetry`` attaches a run-telemetry session (rows
+    are identical with or without it).
     """
     suite = sortable_suite(seed)
     if max_cases is not None:
@@ -92,6 +97,8 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         stop_on_first_kill=stop_on_first_kill,
         cache=cache,
         prune=prune,
+        static_triage=static_triage,
+        triage_type_model=OBLIST_TYPE_MODEL,
         telemetry=telemetry,
         **({"workers": workers} if workers > 1 else {}),
     )
@@ -104,7 +111,8 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         }
         survivors = [m for m in mutants if m.ident in survivor_idents]
         equivalence = probe_equivalence(
-            CSortableObList, CSortableObList.__tspec__, survivors
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            triage=run.triage,
         )
 
     table = build_score_table(run, equivalence, methods=methods)
@@ -136,15 +144,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_triage_arguments,
         cache_from_arguments,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        static_triage_from_arguments,
         telemetry_from_arguments,
     )
 
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
@@ -156,6 +167,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        static_triage=static_triage_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.generation.summary())

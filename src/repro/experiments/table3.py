@@ -91,6 +91,7 @@ def run_table3(seed: int = EXPERIMENT_SEED,
                max_cases: Optional[int] = None,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
+               static_triage: bool = True,
                telemetry: Optional[Telemetry] = None) -> Table3Result:
     """Execute experiment 2 end to end.
 
@@ -105,7 +106,10 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
     are identical either way; pruning here must see through inheritance —
     base-class mutants are reached via inherited subclass methods, which
-    the dynamic coverage recorder observes).
+    the dynamic coverage recorder observes).  ``static_triage=False``
+    disables the static equivalent-mutant triage pass (triage is applied
+    to the shared ``CObList`` mutant pool once per battery; executed
+    verdicts are identical either way).
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
@@ -123,6 +127,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
             class_builder=class_builder,
             cache=cache,
             prune=prune,
+            static_triage=static_triage,
+            triage_type_model=OBLIST_TYPE_MODEL,
             telemetry=telemetry,
             **({"workers": workers} if workers > 1 else {}),
         )
@@ -172,15 +178,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_triage_arguments,
         cache_from_arguments,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        static_triage_from_arguments,
         telemetry_from_arguments,
     )
 
     add_cache_arguments(parser)
     add_prune_arguments(parser)
+    add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
@@ -192,6 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_cases=arguments.max_cases,
         cache=cache_from_arguments(arguments, telemetry=telemetry),
         prune=prune_from_arguments(arguments),
+        static_triage=static_triage_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.generation.summary())

@@ -42,6 +42,13 @@ from .cache import CacheStats, MutationOutcomeCache, experiment_fingerprint
 from .coverage import CoverageMatrix, record_coverage
 from .mutant import CompiledMutant, Mutant
 from .sandbox import DEFAULT_STEP_BUDGET, StepBudgetGuard
+from .triage import (
+    EQUIVALENT_STATUSES,
+    StaticTriage,
+    TriageStatus,
+    triage_mutants,
+)
+from .typemodel import TypeModel
 
 #: Builds the runnable class for a mutant (experiment 2 swaps in a builder
 #: that re-derives the subclass over the mutated base).
@@ -63,10 +70,30 @@ class MutantOutcome:
     #: synthesized instead of executed).  Observability only: together with
     #: ``cases_run`` it accounts for every case the analysis considered.
     cases_skipped: int = 0
+    #: Static-triage provenance (:mod:`repro.mutation.triage`): ``""`` for a
+    #: normally executed mutant, ``"ast_equivalent"``/``"bytecode_equivalent"``
+    #: for a proven-equivalent mutant whose survivor outcome was synthesized
+    #: without dispatch, and ``"redundant:<ident>"`` for a mutant whose
+    #: verdict was propagated from its executed group representative.
+    static_status: str = ""
 
     @property
     def survived(self) -> bool:
         return not self.killed
+
+    @property
+    def statically_equivalent(self) -> bool:
+        """Proven equivalent by the static triage pass (never executed)."""
+        return self.static_status in (
+            status.value for status in EQUIVALENT_STATUSES
+        )
+
+    @property
+    def dispatched(self) -> bool:
+        """Whether the suite was actually run over this mutant (in-process
+        or in a worker) rather than its outcome being synthesized or
+        propagated by the static triage pass."""
+        return self.static_status == ""
 
     def comparable(self) -> "MutantOutcome":
         """This outcome with the executed-case counters zeroed.
@@ -76,6 +103,18 @@ class MutantOutcome:
         but legitimately differ in how many cases they physically ran.
         """
         return replace(self, cases_run=0, cases_skipped=0)
+
+    def triage_projected(self) -> "MutantOutcome":
+        """The :meth:`comparable` projection with triage provenance erased.
+
+        The projection :meth:`MutationRun.same_verdicts` compares on: a
+        triage-on and a triage-off run agree on every verdict (triage is
+        *sound*, so a proven-equivalent mutant survives execution too, and
+        a redundant mutant's propagated verdict equals what executing it
+        would have produced) but differ in which outcomes carry triage
+        provenance.
+        """
+        return replace(self.comparable(), static_status="")
 
 
 @dataclass(frozen=True)
@@ -95,6 +134,10 @@ class MutationRun:
     #: was executed without a cache).  Excluded from ``same_results``: a
     #: warm run differs from a cold run only here and in wall-clock.
     cache_stats: Optional[CacheStats] = None
+    #: The static-triage verdicts this run was executed under (``None``
+    #: when triage was disabled).  Excluded from ``same_results``, which
+    #: already sees triage through each outcome's ``static_status``.
+    triage: Optional[StaticTriage] = None
 
     def same_results(self, other: "MutationRun") -> bool:
         """Field-for-field equality, wall-clock, cache and executed-case
@@ -116,6 +159,32 @@ class MutationRun:
             and self._comparable_outcomes() == other._comparable_outcomes()
             and self.reference == other.reference
             and self.step_timeouts == other.step_timeouts
+        )
+
+    def same_verdicts(self, other: "MutationRun") -> bool:
+        """:meth:`same_results` modulo the triage projection.
+
+        The triage-on ≡ triage-off contract: runs over the same mutants
+        with static triage enabled and disabled must agree on every
+        verdict-bearing field of every outcome — triage only *proves*
+        verdicts execution would have produced, it never changes one.
+        Beyond ``same_results``' exclusions this also ignores each
+        outcome's ``static_status`` (provenance, set only under triage)
+        and ``step_timeouts`` (a triage-off run executes the skipped
+        mutants and accrues their sandbox timeouts; a triage-on run never
+        runs them).
+        """
+        projected = tuple(
+            outcome.triage_projected() for outcome in self.outcomes
+        )
+        other_projected = tuple(
+            outcome.triage_projected() for outcome in other.outcomes
+        )
+        return (
+            self.class_name == other.class_name
+            and self.suite_size == other.suite_size
+            and projected == other_projected
+            and self.reference == other.reference
         )
 
     def _comparable_outcomes(self) -> Tuple[MutantOutcome, ...]:
@@ -145,6 +214,20 @@ class MutationRun:
     @property
     def survivors(self) -> Tuple[MutantOutcome, ...]:
         return tuple(outcome for outcome in self.outcomes if not outcome.killed)
+
+    @property
+    def statically_equivalent(self) -> Tuple[MutantOutcome, ...]:
+        """Outcomes proven equivalent by static triage (never dispatched)."""
+        return tuple(
+            outcome for outcome in self.outcomes
+            if outcome.statically_equivalent
+        )
+
+    @property
+    def dispatched_count(self) -> int:
+        """How many mutants were actually run (executions the static
+        triage pass did not avoid)."""
+        return sum(1 for outcome in self.outcomes if outcome.dispatched)
 
     def kill_reason_counts(self) -> Dict[str, int]:
         """Kills by detector — the paper's "59 were due to assertion violation"."""
@@ -178,6 +261,38 @@ class MutationRun:
         )
 
 
+def triaged_outcome(mutant: CompiledMutant, triage: StaticTriage,
+                    by_ident: Dict[str, MutantOutcome]) -> MutantOutcome:
+    """The outcome of a statically-triaged mutant, without dispatching it.
+
+    A proven-equivalent mutant survives by construction — the suite would
+    execute the very same program as the original — so its survivor
+    outcome is synthesized with zero executed cases.  A redundant mutant
+    behaves identically to its executed group representative under every
+    input, so the representative's verdict (kill flag, reason, killing
+    case(s), detail) is propagated verbatim; only the provenance marker
+    and the per-mutant case counters differ.  Both engines build skipped
+    outcomes through this one helper, which is what keeps them identical.
+    """
+    status = triage.status_of(mutant.ident)
+    if status is TriageStatus.REDUNDANT:
+        representative = triage.representative_of(mutant.ident)
+        rep_outcome = by_ident[representative]
+        return replace(
+            rep_outcome,
+            mutant=mutant.record,
+            cases_run=0,
+            cases_skipped=0,
+            static_status=f"redundant:{representative}",
+        )
+    return MutantOutcome(
+        mutant=mutant.record,
+        killed=False,
+        reason=KillReason.NONE,
+        static_status=status.value,
+    )
+
+
 class MutationAnalysis:
     """Runs a test suite over a battery of mutants."""
 
@@ -192,7 +307,9 @@ class MutationAnalysis:
                  cache: Optional[MutationOutcomeCache] = None,
                  prune: bool = True,
                  coverage: Optional[CoverageMatrix] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 static_triage: bool = True,
+                 triage_type_model: Optional[TypeModel] = None):
         """``setup`` runs before every suite execution (e.g. resetting an
         ambient database) so runs are independent.
 
@@ -216,6 +333,17 @@ class MutationAnalysis:
         spans carrying kill reason, case counters and cache hit/miss.
         Purely observational — verdicts are identical with or without
         it; the default null session records nothing.
+
+        ``static_triage`` (the default) runs the static equivalent-mutant
+        triage pass (:mod:`repro.mutation.triage`) over the battery
+        before execution: proven-equivalent mutants get synthesized
+        survivor outcomes without ever being dispatched, and redundant
+        mutants (bytecode-identical to an earlier one) get their group
+        representative's verdict propagated.  Verdicts are identical
+        with triage on or off (see :meth:`MutationRun.same_verdicts`);
+        only execution cost changes.  ``triage_type_model`` additionally
+        enables the type-gated integral folds (the experiments pass the
+        same model the generation gate uses).
         """
         self._original = original_class
         self._suite = suite
@@ -233,6 +361,8 @@ class MutationAnalysis:
         self._setup = setup
         self._cache = cache
         self._prune = prune
+        self._static_triage = static_triage
+        self._triage_type_model = triage_type_model
         self._obs = coalesce(telemetry)
         self._coverage: Optional[CoverageMatrix] = coverage if prune else None
         self._reference: Optional[SuiteResult] = reference
@@ -306,10 +436,19 @@ class MutationAnalysis:
     # ------------------------------------------------------------------
 
     def analyze(self, mutants: Sequence[CompiledMutant]) -> MutationRun:
-        """Run the suite over every mutant (replaying cached outcomes)."""
+        """Run the suite over every mutant (replaying cached outcomes).
+
+        With static triage enabled (the default), proven-equivalent and
+        redundant mutants are resolved *without dispatch*: no suite
+        execution, no outcome-cache traffic — their outcomes are
+        synthesized (equivalents) or propagated from the executed group
+        representative (redundant mutants, whose representative always
+        precedes them in submission order).
+        """
         reference = self.reference_results()
         started = time.perf_counter()
         cache = self._cache
+        triage = self.static_triage_for(mutants)
         keys = None
         stats_before = None
         if cache is not None:
@@ -317,27 +456,36 @@ class MutationAnalysis:
             keys = [cache.key_for(experiment, mutant) for mutant in mutants]
             stats_before = cache.snapshot()
         outcomes: List[MutantOutcome] = []
+        by_ident: Dict[str, MutantOutcome] = {}
         step_timeouts = 0
         for index, mutant in enumerate(mutants):
             with self._obs.span("analysis.mutant",
                                 mutant=mutant.record.ident,
                                 operator=mutant.record.operator,
                                 method=mutant.record.method_name) as span:
-                entry = cache.lookup(keys[index]) if cache is not None else None
-                if entry is not None:
-                    outcome, timeouts = entry.outcome, entry.step_timeouts
-                    span.set("cache", "hit")
+                if (triage is not None
+                        and triage.is_skipped(mutant.ident)):
+                    outcome = triaged_outcome(mutant, triage, by_ident)
+                    timeouts = 0
+                    span.set("triage", outcome.static_status)
                 else:
-                    if cache is not None:
-                        span.set("cache", "miss")
-                    outcome, timeouts = self.analyze_single(mutant)
-                    if cache is not None:
-                        cache.store(keys[index], outcome, timeouts)
+                    entry = (cache.lookup(keys[index])
+                             if cache is not None else None)
+                    if entry is not None:
+                        outcome, timeouts = entry.outcome, entry.step_timeouts
+                        span.set("cache", "hit")
+                    else:
+                        if cache is not None:
+                            span.set("cache", "miss")
+                        outcome, timeouts = self.analyze_single(mutant)
+                        if cache is not None:
+                            cache.store(keys[index], outcome, timeouts)
                 span.set("killed", outcome.killed)
                 span.set("reason", outcome.reason.value)
                 span.set("cases_run", outcome.cases_run)
                 span.set("cases_skipped", outcome.cases_skipped)
             outcomes.append(outcome)
+            by_ident[mutant.ident] = outcome
             step_timeouts += timeouts
         elapsed = time.perf_counter() - started
         return MutationRun(
@@ -349,6 +497,19 @@ class MutationAnalysis:
             step_timeouts=step_timeouts,
             cache_stats=(cache.snapshot().since(stats_before)
                          if cache is not None else None),
+            triage=triage,
+        )
+
+    def static_triage_for(self, mutants: Sequence[CompiledMutant]
+                          ) -> Optional[StaticTriage]:
+        """The battery's static-triage verdicts (``None`` when disabled)."""
+        if not self._static_triage:
+            return None
+        return triage_mutants(
+            self._original, mutants,
+            type_model=self._triage_type_model,
+            cache=self._cache,
+            telemetry=self._obs,
         )
 
     def experiment_fingerprint(self) -> str:

@@ -62,7 +62,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from ..core.fingerprint import canonical, sha256_hex
 from ..obs import Telemetry, coalesce
@@ -77,7 +77,13 @@ if TYPE_CHECKING:  # imported lazily to keep cache <- analysis acyclic
 #: every fingerprint, so a format change reads as a clean cold cache.
 #: v2: ``MutantOutcome`` grew ``cases_skipped`` and the experiment
 #: fingerprint grew the pruning flag + coverage-matrix hash.
-CACHE_FORMAT_VERSION = 2
+#: v3: ``MutantOutcome`` grew ``static_status`` and the store gained the
+#: content-addressed static-triage verdicts (``triage/``).  Note the
+#: experiment fingerprint does NOT include the triage flag: an *executed*
+#: mutant's outcome is bit-identical with triage on or off (synthesized
+#: triage outcomes are never cached), so entries are deliberately shared
+#: across ``--no-static-triage`` boundaries.
+CACHE_FORMAT_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +210,23 @@ class CacheEntry:
     step_timeouts: int
 
 
+@dataclass(frozen=True)
+class TriageEntry:
+    """One stored static-triage verdict (per-mutant checks only).
+
+    Only the content-addressed per-mutant result is stored — the status of
+    the AST/bytecode identity checks plus the normalized-bytecode digest.
+    The cross-mutant redundancy grouping is *derived* from the digests on
+    every run because it depends on which other mutants are in the battery,
+    so a ``redundant`` status never appears here.
+    """
+
+    version: int
+    fingerprint: str
+    status: str                # TriageStatus value (never "redundant")
+    digest: str                # normalized-bytecode digest
+
+
 class MutationOutcomeCache:
     """Content-addressed, on-disk store of :class:`MutantOutcome`\\ s.
 
@@ -312,6 +335,56 @@ class MutationOutcomeCache:
             self._atomic_write(self._slot_path(key),
                                key.entry.encode("ascii"))
             self._obs.count("cache.stores")
+        except OSError:
+            pass  # a full/read-only disk degrades to no caching
+
+    # -- static-triage verdicts -----------------------------------------
+
+    def _triage_path(self, fingerprint: str) -> Path:
+        return (self._directory / "triage" / fingerprint[:2]
+                / f"{fingerprint}.pkl")
+
+    def lookup_triage(self, fingerprint: str) -> Optional[Tuple[str, str]]:
+        """The stored ``(status, digest)`` triage verdict, or ``None``.
+
+        Same robustness contract as :meth:`lookup` — a corrupt or
+        version-skewed entry is a miss, never a crash.  Counters are
+        telemetry-only (``cache.triage_*``): triage verdicts are a cheap
+        side store and do not participate in :class:`CacheStats`, whose
+        hit-rate gates CI on the expensive *outcome* entries.
+        """
+        path = self._triage_path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if (not isinstance(entry, TriageEntry)
+                    or entry.version != CACHE_FORMAT_VERSION
+                    or entry.fingerprint != fingerprint):
+                raise ValueError("triage entry does not match its address")
+        except FileNotFoundError:
+            self._obs.count("cache.triage_misses")
+            return None
+        except Exception:  # noqa: BLE001 — corruption is a miss, never a crash
+            self._obs.count("cache.triage_misses")
+            self._obs.count("cache.triage_corrupt")
+            self._remove_quietly(path)
+            return None
+        self._obs.count("cache.triage_hits")
+        return (entry.status, entry.digest)
+
+    def store_triage(self, fingerprint: str, status: str,
+                     digest: str) -> None:
+        """Persist one static-triage verdict atomically; never raises."""
+        entry = TriageEntry(
+            version=CACHE_FORMAT_VERSION,
+            fingerprint=fingerprint,
+            status=status,
+            digest=digest,
+        )
+        try:
+            self._atomic_write(self._triage_path(fingerprint),
+                               pickle.dumps(entry))
+            self._obs.count("cache.triage_stores")
         except OSError:
             pass  # a full/read-only disk degrades to no caching
 

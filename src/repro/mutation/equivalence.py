@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..core.errors import MutationError
 from ..generator.driver import DriverGenerator
 from ..generator.values import TypeBinding
 from ..harness.oracles import KillReason
@@ -25,6 +26,7 @@ from ..tspec.model import ClassSpec
 from .analysis import ClassBuilder, MutationAnalysis
 from .mutant import CompiledMutant
 from .sandbox import DEFAULT_STEP_BUDGET
+from .triage import StaticTriage, TriageStatus
 
 #: Probe seeds: several independent suites to reduce sampling luck.
 DEFAULT_PROBE_SEEDS = (101, 202, 303)
@@ -68,15 +70,52 @@ def probe_equivalence(original_class: type,
                       setup: Optional[Callable[[], None]] = None,
                       manual_equivalent: Sequence[str] = (),
                       manual_not_equivalent: Sequence[str] = (),
+                      triage: Optional[StaticTriage] = None,
                       ) -> EquivalenceReport:
     """Deep-probe the survivors and classify them.
 
     The probe suites intentionally exceed the main suite: a higher edge
     bound exercises loops twice, boundary mixing hits domain extremes, and
     multiple seeds vary the data.
+
+    Manual-override idents must name actual survivors: an unknown ident is
+    a configuration error (most likely a typo that would otherwise vanish
+    silently into the report) and raises
+    :class:`~repro.core.errors.MutationError`.
+
+    ``triage`` feeds the static pass's proofs into the dynamic probe:
+    survivors *proven* equivalent (AST/bytecode identity) are classified
+    likely-equivalent without a single probe execution, and a survivor
+    whose bytecode matches an earlier survivor's (``REDUNDANT``) inherits
+    its representative's probe classification instead of being probed
+    itself — the probe only ever executes statically-undecided survivors.
     """
+    known_idents = {mutant.ident for mutant in survivors}
+    unknown = (set(manual_equivalent) | set(manual_not_equivalent)) - known_idents
+    if unknown:
+        raise MutationError(
+            f"manual equivalence override names unknown mutant ident(s): "
+            f"{', '.join(sorted(unknown))} (not in the survivor set)"
+        )
     forced_equivalent = set(manual_equivalent)
     forced_not = set(manual_not_equivalent)
+
+    #: ident -> its executed stand-in, for survivors the static pass
+    #: grouped as redundant (classification propagated after the probe).
+    propagated: Dict[str, str] = {}
+    if triage is not None:
+        for mutant in survivors:
+            if triage.is_equivalent(mutant.ident):
+                # Proven equivalent: no probe could ever kill it.
+                forced_equivalent.add(mutant.ident)
+            elif (triage.status_of(mutant.ident) is TriageStatus.REDUNDANT
+                  and triage.representative_of(mutant.ident) in known_idents):
+                propagated[mutant.ident] = triage.representative_of(
+                    mutant.ident
+                )
+        # A manual not-equivalent override still wins (it mirrors the
+        # paper's hand analysis), exactly as it does over the probe.
+        forced_equivalent -= forced_not
 
     still_alive: Dict[str, CompiledMutant] = {
         mutant.ident: mutant for mutant in survivors
@@ -89,7 +128,7 @@ def probe_equivalence(original_class: type,
             break
         pending = [
             mutant for ident, mutant in still_alive.items()
-            if ident not in forced_equivalent
+            if ident not in forced_equivalent and ident not in propagated
         ]
         if not pending:
             break
@@ -115,6 +154,14 @@ def probe_equivalence(original_class: type,
             if outcome.killed:
                 kill_reasons[outcome.mutant.ident] = outcome.reason
                 still_alive.pop(outcome.mutant.ident, None)
+
+    # Redundant survivors inherit their representative's classification:
+    # identical normalized bytecode means identical behaviour under every
+    # probe suite, so running them would only reproduce the result.
+    for ident, representative in propagated.items():
+        if representative in kill_reasons:
+            kill_reasons[ident] = kill_reasons[representative]
+            still_alive.pop(ident, None)
 
     likely_equivalent = sorted(
         (set(still_alive) | forced_equivalent) - forced_not

@@ -44,7 +44,16 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..generator.suite import TestSuite
 from ..harness.oracles import CompositeOracle, KillReason
@@ -55,11 +64,14 @@ from .analysis import (
     MutantOutcome,
     MutationAnalysis,
     MutationRun,
+    triaged_outcome,
 )
 from .cache import CacheKey, MutationOutcomeCache
 from .coverage import CoverageMatrix
 from .mutant import CompiledMutant
 from .sandbox import DEFAULT_STEP_BUDGET
+from .triage import StaticTriage, TriageStatus, triage_mutants
+from .typemodel import TypeModel
 
 #: Default wall-clock backstop per mutant, in seconds.  Generous: the step
 #: budget catches ordinary runaway mutants deterministically within
@@ -196,7 +208,9 @@ class ParallelMutationAnalysis:
                  cache: Optional[MutationOutcomeCache] = None,
                  prune: bool = True,
                  coverage: Optional[CoverageMatrix] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 static_triage: bool = True,
+                 triage_type_model: Optional[TypeModel] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
         self._original = original_class
@@ -216,6 +230,12 @@ class ParallelMutationAnalysis:
         # the store and the serial-equivalence contract is unaffected.
         self._cache = cache
         self._prune = prune
+        # Static triage runs in the parent only, before the pool is sized:
+        # a triaged mutant never enters the pending queue, so no worker
+        # ever sees it — the zero-dispatch guarantee is structural, and
+        # the WorkerSpec needs no triage state at all.
+        self._static_triage = static_triage
+        self._triage_type_model = triage_type_model
         # Telemetry lives in the parent only: worker lifecycle, dispatch
         # waits and task turnarounds are recorded here, while workers run
         # un-instrumented (the WorkerSpec never carries a session), so the
@@ -233,7 +253,8 @@ class ParallelMutationAnalysis:
             step_budget=step_budget, stop_on_first_kill=stop_on_first_kill,
             check_invariants=check_invariants, setup=setup,
             reference=reference, prune=prune, coverage=coverage,
-            telemetry=telemetry,
+            telemetry=telemetry, static_triage=static_triage,
+            triage_type_model=triage_type_model,
         )
 
     # ------------------------------------------------------------------
@@ -268,21 +289,60 @@ class ParallelMutationAnalysis:
         cache = self._cache
         keys: Optional[List[CacheKey]] = None
         prefilled: dict = {}
+        #: Redundant mutants: excluded from the pending queue, their slots
+        #: are filled *after* the pool drains, from the representative's
+        #: now-known verdict.
+        deferred: Dict[int, CompiledMutant] = {}
         stats_before = None
+        triage: Optional[StaticTriage] = None
         with self._obs.span("parallel.run", mutants=len(mutants),
                             workers=self._workers) as span:
+            if self._static_triage:
+                triage = triage_mutants(
+                    self._original, mutants,
+                    type_model=self._triage_type_model,
+                    cache=cache,
+                    telemetry=self._obs,
+                )
+                for index, mutant in enumerate(mutants):
+                    status = triage.status_of(mutant.ident)
+                    if status is TriageStatus.REDUNDANT:
+                        deferred[index] = mutant
+                    elif status is not TriageStatus.UNDECIDED:
+                        prefilled[index] = (
+                            triaged_outcome(mutant, triage, {}), 0,
+                        )
+                span.set("triage_skipped",
+                         len(prefilled) + len(deferred))
             if cache is not None:
                 experiment = self._serial.experiment_fingerprint()
                 keys = [cache.key_for(experiment, mutant)
                         for mutant in mutants]
                 stats_before = cache.snapshot()
+                cache_hits = 0
                 for index in range(len(mutants)):
+                    if index in prefilled or index in deferred:
+                        # Triage already resolved this slot — no store
+                        # traffic for mutants that are never executed.
+                        continue
                     entry = cache.lookup(keys[index])
                     if entry is not None:
                         prefilled[index] = (entry.outcome,
                                             entry.step_timeouts)
-                span.set("cache_hits", len(prefilled))
-            state = self._run_pool(mutants, reference, prefilled, cache, keys)
+                        cache_hits += 1
+                span.set("cache_hits", cache_hits)
+            state = self._run_pool(mutants, reference, prefilled, cache,
+                                   keys, skip=frozenset(deferred))
+            if deferred:
+                by_ident = {
+                    mutants[index].ident: outcome
+                    for index, outcome in enumerate(state.results)
+                    if outcome is not None
+                }
+                for index, mutant in deferred.items():
+                    state.results[index] = triaged_outcome(
+                        mutant, triage, by_ident
+                    )
         elapsed = time.perf_counter() - started
         outcomes = tuple(
             outcome for outcome in state.results if outcome is not None
@@ -296,6 +356,7 @@ class ParallelMutationAnalysis:
             step_timeouts=state.step_timeouts,
             cache_stats=(cache.snapshot().since(stats_before)
                          if cache is not None else None),
+            triage=triage,
         )
 
     # ------------------------------------------------------------------
@@ -306,15 +367,20 @@ class ParallelMutationAnalysis:
                   reference: SuiteResult,
                   prefilled: Optional[dict] = None,
                   cache: Optional[MutationOutcomeCache] = None,
-                  keys: Optional[List[CacheKey]] = None) -> _PoolState:
+                  keys: Optional[List[CacheKey]] = None,
+                  skip: FrozenSet[int] = frozenset()) -> _PoolState:
         prefilled = prefilled or {}
         state = _PoolState(
             pending=deque(
                 (index, mutant) for index, mutant in enumerate(mutants)
-                if index not in prefilled
+                if index not in prefilled and index not in skip
             ),
+            # ``skip`` slots (statically-redundant mutants) stay ``None``
+            # through the pool loop; the caller fills them afterwards from
+            # their representative's verdict, so they never count towards
+            # ``remaining`` and no worker is ever spawned for them.
             results=[None] * len(mutants),
-            remaining=len(mutants),
+            remaining=len(mutants) - len(skip),
             cache=cache,
             keys=keys,
             enqueued_at=time.perf_counter(),

@@ -25,6 +25,10 @@ class OperatorColumn:
     generated: int
     killed: int
     equivalent: int
+    #: How many of ``equivalent`` were *proven* by the static triage pass
+    #: (normalized-AST/bytecode identity) rather than classified by the
+    #: dynamic probe or by hand.
+    static_equivalent: int = 0
 
     @property
     def non_equivalent(self) -> int:
@@ -32,9 +36,18 @@ class OperatorColumn:
 
     @property
     def score(self) -> float:
+        """The equivalence-adjusted score — the paper's definition: killed
+        over non-equivalent."""
         if self.non_equivalent == 0:
             return 1.0
         return self.killed / self.non_equivalent
+
+    @property
+    def raw_score(self) -> float:
+        """Killed over *all* generated mutants (no equivalence adjustment)."""
+        if self.generated == 0:
+            return 1.0
+        return self.killed / self.generated
 
 
 @dataclass(frozen=True)
@@ -64,11 +77,21 @@ class ScoreTable:
         return sum(column.equivalent for column in self.columns)
 
     @property
+    def total_static_equivalent(self) -> int:
+        return sum(column.static_equivalent for column in self.columns)
+
+    @property
     def total_score(self) -> float:
         non_equivalent = self.total_generated - self.total_equivalent
         if non_equivalent == 0:
             return 1.0
         return self.total_killed / non_equivalent
+
+    @property
+    def total_raw_score(self) -> float:
+        if self.total_generated == 0:
+            return 1.0
+        return self.total_killed / self.total_generated
 
     def column(self, operator: str) -> OperatorColumn:
         for column in self.columns:
@@ -118,6 +141,10 @@ class ScoreTable:
             + [str(self.total_equivalent)]
         ))
         lines.append(row(
+            ["Score(raw)"] + [f"{c.raw_score:.1%}" for c in self.columns]
+            + [f"{self.total_raw_score:.1%}"]
+        ))
+        lines.append(row(
             ["Score"] + [f"{c.score:.1%}" for c in self.columns]
             + [f"{self.total_score:.1%}"]
         ))
@@ -125,6 +152,11 @@ class ScoreTable:
             f"kills by assertion violation: {self.assertion_kills} "
             f"of {self.total_killed}"
         )
+        if self.total_static_equivalent:
+            lines.append(
+                f"equivalents proven by static triage: "
+                f"{self.total_static_equivalent} of {self.total_equivalent}"
+            )
         return "\n".join(lines)
 
 
@@ -137,6 +169,10 @@ def build_score_table(run: MutationRun,
 
     A mutant classified equivalent is excluded from the killable pool; if
     the probe *killed* a survivor, it stays non-equivalent (an escape).
+    Mutants *proven* equivalent by the static triage pass (their outcome
+    carries ``static_status``) count as equivalent whether or not a
+    dynamic probe ran; ``Score`` is the equivalence-adjusted ratio and
+    ``Score(raw)`` divides by all generated mutants.
     """
     if methods is None:
         ordered: List[str] = []
@@ -149,6 +185,7 @@ def build_score_table(run: MutationRun,
     generated: Dict[str, int] = {operator: 0 for operator in operators}
     killed: Dict[str, int] = {operator: 0 for operator in operators}
     equivalent: Dict[str, int] = {operator: 0 for operator in operators}
+    static_equivalent: Dict[str, int] = {operator: 0 for operator in operators}
     assertion_kills = 0
 
     for outcome in run.outcomes:
@@ -162,6 +199,9 @@ def build_score_table(run: MutationRun,
             killed[operator] += 1
             if outcome.reason.value == "assertion":
                 assertion_kills += 1
+        elif outcome.statically_equivalent:
+            equivalent[operator] += 1
+            static_equivalent[operator] += 1
         elif equivalence is not None and equivalence.is_equivalent(
             outcome.mutant.ident
         ):
@@ -173,6 +213,7 @@ def build_score_table(run: MutationRun,
             generated=generated[operator],
             killed=killed[operator],
             equivalent=equivalent[operator],
+            static_equivalent=static_equivalent[operator],
         )
         for operator in operators
     )

@@ -1,0 +1,833 @@
+"""Static equivalent-mutant triage: proving equivalence before execution.
+
+"The determination of equivalent mutants is a non-decidable problem, so
+they were obtained manually, by analyzing the mutants that were alive
+after the tests" (sec. 4).  The dynamic deep probe
+(:mod:`repro.mutation.equivalence`) approximates that manual pass by
+re-executing every survivor under stronger suites — expensive, and it can
+only ever say *likely* equivalent.  This module adds the cheap static half
+of the story: three escalating checks, each of which **proves** its
+verdict, run before a single mutant is dispatched.
+
+1. **Normalized-AST identity.**  The original and the mutated method are
+   reparsed, stripped of docstrings and dead ``pass`` padding, run through
+   a small set of provably value-preserving folds, and canonically
+   unparsed.  Identical text means the mutant compiles to the same program
+   as the original — equivalent by construction.
+
+2. **Bytecode identity.**  Both normalized ASTs are compiled (CPython's
+   compiler constant-folds genuinely constant expressions, so ``1 + 1``
+   and ``2`` meet here even though their ASTs differ) and the resulting
+   code objects are compared facet by facet — ``co_code``, ``co_consts``
+   (recursively, with constant *types* distinguished so ``1`` never equals
+   ``1.0`` or ``True``), ``co_names``, ``co_varnames``, free/cell vars and
+   flags; filenames and line tables are ignored.  Identical facets mean
+   the interpreter executes the very same instructions — again equivalent
+   by construction, catching same-value replacements the AST check
+   misses.
+
+3. **Cross-mutant redundancy.**  Mutants of one method whose normalized
+   bytecode is pairwise identical behave identically under *every* suite
+   (:mod:`repro.mutation.generate` only drops *textually* identical
+   sources).  The first member of each class, in submission order, is the
+   **representative**; only it is executed, and its verdict is propagated
+   to the rest of the group.
+
+**Soundness of the folds.**  Every fold claims semantic identity, so each
+is either universally valid in Python or gated on the producer-declared
+type model (:mod:`repro.mutation.typemodel` — the same C++-typing fiction
+the generation gate uses):
+
+* docstring removal — docstrings are inert data (they only change
+  ``__doc__``, which no oracle observes);
+* dead ``pass`` removal — ``pass`` is a no-op; it is only removed from
+  bodies that keep at least one other statement;
+* ``not not E`` → ``E`` in *test position only* (``if``/``while``/
+  ``assert``/conditional-expression tests, comprehension guards): both
+  sides call ``__bool__`` once and branch identically, for every Python
+  value;
+* ``E + 0``, ``0 + E``, ``E - 0``, ``E * 1``, ``1 * E`` → ``E`` and
+  ``~~E``, ``--E``, ``+E`` → ``E`` **only** when ``E`` is a local variable
+  whose inferred tag is integral under the supplied type model (Python
+  ints are closed under these identities; without a model the folds are
+  off, because ``x + 0`` is *not* an identity for, say, ``True`` or a
+  float ``-0.0``).
+
+The soundness property test (``tests/mutation/test_triage.py``) checks the
+whole construction empirically: no statically-equivalent mutant is ever
+killed by any generated suite, across seeds, operators and every shipped
+component.
+
+A triage verdict depends only on the owner's method source, the mutated
+source and the fold configuration, so verdicts are **content-addressed**
+in the same store as mutant outcomes (:meth:`repro.mutation.cache.\
+MutationOutcomeCache.lookup_triage`) and replayed on warm runs.
+
+``python -m repro.mutation.triage`` renders the triage of a table battery
+as findings through the :mod:`repro.analysis` machinery (text, JSON, or
+SARIF 2.1.0 — rules ``MT001``–``MT004``).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+import types
+import warnings
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import MutationError
+from ..core.fingerprint import sha256_hex
+from ..obs import Telemetry, coalesce
+from .typemodel import INTEGRAL_TAGS, TypeModel, infer_local_types
+
+if TYPE_CHECKING:  # imported lazily to keep triage <- analysis acyclic
+    from .cache import MutationOutcomeCache
+    from .generate import GenerationReport
+    from .mutant import CompiledMutant
+
+
+class TriageStatus(enum.Enum):
+    """What the static pass proved about one mutant."""
+
+    #: Normalized AST identical to the original — equivalent, never run.
+    AST_EQUIVALENT = "ast_equivalent"
+    #: Normalized bytecode identical to the original — equivalent, never run.
+    BYTECODE_EQUIVALENT = "bytecode_equivalent"
+    #: Normalized bytecode identical to an earlier mutant (the group
+    #: representative) — only the representative runs; its verdict is
+    #: propagated.
+    REDUNDANT = "redundant"
+    #: Nothing proven; the mutant is executed normally.
+    UNDECIDED = "undecided"
+
+
+#: The two statuses that prove equivalence *to the original* (redundant
+#: mutants are equivalent to each other, not to the original).
+EQUIVALENT_STATUSES = (
+    TriageStatus.AST_EQUIVALENT,
+    TriageStatus.BYTECODE_EQUIVALENT,
+)
+
+
+@dataclass(frozen=True)
+class MutantTriage:
+    """The static verdict for one mutant."""
+
+    ident: str
+    method_name: str
+    status: TriageStatus
+    #: Normalized-bytecode digest of the mutated method (the redundancy
+    #: grouping key; empty only if the mutated source failed to compile,
+    #: which generation already prevents).
+    digest: str = ""
+    #: For ``REDUNDANT``: the ident of the executed group representative.
+    representative: str = ""
+
+
+@dataclass(frozen=True)
+class StaticTriage:
+    """The complete static triage of one mutant battery.
+
+    Pure value object (picklable, comparable): the serial and parallel
+    engines attach it to :class:`~repro.mutation.analysis.MutationRun`,
+    and both consult it the same way, so the two engines skip exactly the
+    same mutants.
+    """
+
+    class_name: str
+    entries: Tuple[MutantTriage, ...] = ()
+    #: Whether the integral folds were active (a type model was supplied);
+    #: recorded so reports can say which normalization produced verdicts.
+    typed_folds: bool = False
+    _by_ident: Mapping[str, MutantTriage] = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_by_ident", {entry.ident: entry for entry in self.entries}
+        )
+
+    def __getstate__(self):
+        # The ident index is derived; rebuild it on unpickle.
+        return (self.class_name, self.entries, self.typed_folds)
+
+    def __setstate__(self, state) -> None:
+        class_name, entries, typed_folds = state
+        object.__setattr__(self, "class_name", class_name)
+        object.__setattr__(self, "entries", entries)
+        object.__setattr__(self, "typed_folds", typed_folds)
+        self.__post_init__()
+
+    # -- lookups --------------------------------------------------------
+
+    def status_of(self, ident: str) -> TriageStatus:
+        entry = self._by_ident.get(ident)
+        return entry.status if entry is not None else TriageStatus.UNDECIDED
+
+    def representative_of(self, ident: str) -> str:
+        """The executed stand-in for a redundant mutant ('' otherwise)."""
+        entry = self._by_ident.get(ident)
+        return entry.representative if entry is not None else ""
+
+    def is_equivalent(self, ident: str) -> bool:
+        """Proven equivalent to the original (never dispatched, survives)."""
+        return self.status_of(ident) in EQUIVALENT_STATUSES
+
+    def is_skipped(self, ident: str) -> bool:
+        """Never dispatched: proven equivalent or redundant."""
+        return self.status_of(ident) is not TriageStatus.UNDECIDED
+
+    # -- aggregates -----------------------------------------------------
+
+    @property
+    def ast_equivalent(self) -> Tuple[str, ...]:
+        return self._with_status(TriageStatus.AST_EQUIVALENT)
+
+    @property
+    def bytecode_equivalent(self) -> Tuple[str, ...]:
+        return self._with_status(TriageStatus.BYTECODE_EQUIVALENT)
+
+    @property
+    def equivalent(self) -> Tuple[str, ...]:
+        """All idents proven equivalent to the original."""
+        return tuple(
+            entry.ident for entry in self.entries
+            if entry.status in EQUIVALENT_STATUSES
+        )
+
+    @property
+    def redundant(self) -> Tuple[str, ...]:
+        return self._with_status(TriageStatus.REDUNDANT)
+
+    @property
+    def skipped(self) -> int:
+        """Executions avoided: equivalent + redundant mutants."""
+        return sum(
+            1 for entry in self.entries
+            if entry.status is not TriageStatus.UNDECIDED
+        )
+
+    def groups(self) -> Dict[str, Tuple[str, ...]]:
+        """Representative ident → the redundant idents it stands in for."""
+        grouped: Dict[str, List[str]] = {}
+        for entry in self.entries:
+            if entry.status is TriageStatus.REDUNDANT:
+                grouped.setdefault(entry.representative, []).append(entry.ident)
+        return {rep: tuple(members) for rep, members in grouped.items()}
+
+    def _with_status(self, status: TriageStatus) -> Tuple[str, ...]:
+        return tuple(
+            entry.ident for entry in self.entries if entry.status is status
+        )
+
+    def summary(self) -> str:
+        return (
+            f"static triage: {len(self.ast_equivalent)} AST-equivalent, "
+            f"{len(self.bytecode_equivalent)} bytecode-equivalent, "
+            f"{len(self.redundant)} redundant "
+            f"({len(self.entries) - self.skipped} of {len(self.entries)} "
+            f"mutants executed)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+class _Normalizer(ast.NodeTransformer):
+    """Applies the provably value-preserving folds documented above."""
+
+    def __init__(self, integral_locals: frozenset):
+        self._integral = integral_locals
+
+    # -- docstrings and dead pass ---------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):  # noqa: N802
+        self.generic_visit(node)
+        node.body = self._clean_body(node.body)
+        return node
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    def visit_ClassDef(self, node: ast.ClassDef):  # noqa: N802
+        self.generic_visit(node)
+        node.body = self._clean_body(node.body)
+        return node
+
+    def visit_If(self, node: ast.If):  # noqa: N802
+        self.generic_visit(node)
+        node.test = self._fold_test(node.test)
+        node.body = self._strip_pass(node.body)
+        node.orelse = self._strip_pass(node.orelse, allow_empty=True)
+        return node
+
+    def visit_While(self, node: ast.While):  # noqa: N802
+        self.generic_visit(node)
+        node.test = self._fold_test(node.test)
+        node.body = self._strip_pass(node.body)
+        node.orelse = self._strip_pass(node.orelse, allow_empty=True)
+        return node
+
+    def visit_For(self, node: ast.For):  # noqa: N802
+        self.generic_visit(node)
+        node.body = self._strip_pass(node.body)
+        node.orelse = self._strip_pass(node.orelse, allow_empty=True)
+        return node
+
+    def visit_Assert(self, node: ast.Assert):  # noqa: N802
+        self.generic_visit(node)
+        node.test = self._fold_test(node.test)
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp):  # noqa: N802
+        self.generic_visit(node)
+        node.test = self._fold_test(node.test)
+        return node
+
+    def visit_comprehension(self, node: ast.comprehension):  # noqa: N802
+        self.generic_visit(node)
+        node.ifs = [self._fold_test(test) for test in node.ifs]
+        return node
+
+    # -- integral identity folds ----------------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp):  # noqa: N802
+        self.generic_visit(node)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if self._is_int_const(node.right, 0) and self._integral_expr(node.left):
+                return node.left
+            if (isinstance(node.op, ast.Add)
+                    and self._is_int_const(node.left, 0)
+                    and self._integral_expr(node.right)):
+                return node.right
+        if isinstance(node.op, ast.Mult):
+            if self._is_int_const(node.right, 1) and self._integral_expr(node.left):
+                return node.left
+            if self._is_int_const(node.left, 1) and self._integral_expr(node.right):
+                return node.right
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):  # noqa: N802
+        self.generic_visit(node)
+        operand = node.operand
+        if isinstance(node.op, ast.UAdd) and self._integral_expr(operand):
+            # +x is the identity on ints.
+            return operand
+        if (isinstance(node.op, (ast.Invert, ast.USub))
+                and isinstance(operand, ast.UnaryOp)
+                and type(operand.op) is type(node.op)
+                and self._integral_expr(operand.operand)):
+            # ~~x and --x are identities on (unbounded) Python ints.
+            return operand.operand
+        return node
+
+    # -- helpers --------------------------------------------------------
+
+    def _clean_body(self, body: List[ast.stmt]) -> List[ast.stmt]:
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            body = body[1:]
+        return self._strip_pass(body)
+
+    @staticmethod
+    def _strip_pass(body: List[ast.stmt],
+                    allow_empty: bool = False) -> List[ast.stmt]:
+        """Remove ``pass`` padding, keeping one when the body would empty."""
+        kept = [stmt for stmt in body if not isinstance(stmt, ast.Pass)]
+        if kept or allow_empty:
+            return kept
+        return [ast.Pass()] if body else body
+
+    def _fold_test(self, test: ast.expr) -> ast.expr:
+        # not not E in a test position branches identically to E.
+        while (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+               and isinstance(test.operand, ast.UnaryOp)
+               and isinstance(test.operand.op, ast.Not)):
+            test = test.operand.operand
+        return test
+
+    def _integral_expr(self, expression: ast.expr) -> bool:
+        """Is this expression provably integral under the type model?"""
+        if isinstance(expression, ast.Name):
+            return expression.id in self._integral
+        if isinstance(expression, ast.Constant):
+            return (isinstance(expression.value, int)
+                    and not isinstance(expression.value, bool))
+        return False
+
+    @staticmethod
+    def _is_int_const(expression: ast.expr, value: int) -> bool:
+        return (isinstance(expression, ast.Constant)
+                and isinstance(expression.value, int)
+                and not isinstance(expression.value, bool)
+                and expression.value == value)
+
+
+def _integral_locals(source: str, type_model: Optional[TypeModel]) -> frozenset:
+    """Locals of the *original* method whose inferred tag is integral.
+
+    The folds run over both the original and the mutated source; inferring
+    tags once, from the original, keeps the two sides normalized under the
+    same assumptions (the operators replace uses, not definitions, so the
+    original's assignments still govern each local's type).
+    """
+    if type_model is None:
+        return frozenset()
+    try:
+        function = ast.parse(source).body[0]
+    except (SyntaxError, IndexError):
+        return frozenset()
+    if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return frozenset()
+    tags = infer_local_types(function, type_model)
+    integral = {
+        name for name, tag in tags.items() if tag in INTEGRAL_TAGS
+    }
+    # Typed parameters are integral too (they are never reassigned to a
+    # different tag under the C++ fiction the model encodes).
+    for argument in function.args.args:
+        if type_model.parameter_types.get(argument.arg) in INTEGRAL_TAGS:
+            integral.add(argument.arg)
+    return frozenset(integral)
+
+
+def normalize_method_source(source: str,
+                            integral_locals: frozenset = frozenset(),
+                            ) -> ast.Module:
+    """Parse and normalize one method's source (see the module docstring)."""
+    try:
+        module = ast.parse(textwrap.dedent(source))
+    except SyntaxError as error:
+        raise MutationError(f"cannot parse method source: {error}") from error
+    normalized = _Normalizer(integral_locals).visit(module)
+    return ast.fix_missing_locations(normalized)
+
+
+def normalized_source_text(source: str,
+                           integral_locals: frozenset = frozenset()) -> str:
+    """Check 1's canonical form: the normalized AST, unparsed."""
+    return ast.unparse(normalize_method_source(source, integral_locals)).strip()
+
+
+def _code_facets(code: types.CodeType) -> tuple:
+    """The semantically relevant facets of a code object, recursively.
+
+    Filenames, first line numbers and line tables are excluded — they
+    never change what the interpreter does.  Constant values are rendered
+    with their type name so ``1``, ``1.0`` and ``True`` stay distinct.
+    """
+    consts = tuple(
+        _code_facets(const) if isinstance(const, types.CodeType)
+        else (type(const).__name__, repr(const))
+        for const in code.co_consts
+    )
+    return (
+        "code",
+        code.co_argcount,
+        code.co_posonlyargcount,
+        code.co_kwonlyargcount,
+        code.co_nlocals,
+        code.co_flags,
+        code.co_code,
+        consts,
+        code.co_names,
+        code.co_varnames,
+        code.co_freevars,
+        code.co_cellvars,
+        getattr(code, "co_exceptiontable", b""),
+    )
+
+
+def normalized_bytecode_digest(source: str,
+                               integral_locals: frozenset = frozenset(),
+                               ) -> str:
+    """Check 2's identity: a digest over the normalized method's code.
+
+    The normalized module is *compiled but never executed* — CPython's own
+    compiler supplies the genuine constant folding (``1 + 1`` meets ``2``
+    here) and the comparison walks the resulting code objects.
+    """
+    module = normalize_method_source(source, integral_locals)
+    with warnings.catch_warnings():
+        # Injected faults like `0 is None` trip SyntaxWarning by design.
+        warnings.simplefilter("ignore", SyntaxWarning)
+        module_code = compile(module, "<triage>", "exec")
+    facets = tuple(
+        _code_facets(const) for const in module_code.co_consts
+        if isinstance(const, types.CodeType)
+    )
+    return sha256_hex("triage-bytecode", repr(facets))
+
+
+# ---------------------------------------------------------------------------
+# The triage pass
+# ---------------------------------------------------------------------------
+
+
+def _original_method_source(owner: type, method_name: str) -> str:
+    """The defining class's source for one method (dedented)."""
+    for klass in owner.__mro__:
+        function = klass.__dict__.get(method_name)
+        if function is None:
+            continue
+        if isinstance(function, (staticmethod, classmethod)):
+            function = function.__func__
+        try:
+            return textwrap.dedent(inspect.getsource(function))
+        except (OSError, TypeError) as error:
+            raise MutationError(
+                f"cannot read source of {owner.__name__}.{method_name}: "
+                f"{error}"
+            ) from error
+    raise MutationError(
+        f"{owner.__name__} has no method {method_name!r} anywhere in its MRO"
+    )
+
+
+def triage_fingerprint(owner: type, method_source: str, mutated_source: str,
+                       integral_locals: frozenset) -> str:
+    """Content address of one mutant's static verdict.
+
+    Everything the verdict depends on: both sources, the fold
+    configuration (the integral-local set fully determines which folds can
+    fire), and the store format version — so a verdict is only ever
+    replayed for byte-identical inputs.
+    """
+    from .cache import CACHE_FORMAT_VERSION
+
+    return sha256_hex(
+        "triage",
+        f"v{CACHE_FORMAT_VERSION}",
+        f"{owner.__module__}.{owner.__qualname__}",
+        method_source,
+        mutated_source,
+        ",".join(sorted(integral_locals)),
+    )
+
+
+def triage_mutants(original_class: type,
+                   mutants: Sequence["CompiledMutant"],
+                   type_model: Optional[TypeModel] = None,
+                   cache: Optional["MutationOutcomeCache"] = None,
+                   telemetry: Optional[Telemetry] = None) -> StaticTriage:
+    """Run the three static checks over a battery, in submission order.
+
+    ``type_model`` enables the integral identity folds (the experiments
+    pass the same model the generation gate uses); without it only the
+    universally sound normalizations apply.  ``cache`` replays
+    content-addressed per-mutant verdicts (checks 1 and 2; the redundancy
+    grouping is derived from the digests each run, because it depends on
+    which *other* mutants are in the battery).  ``telemetry`` receives the
+    ``triage.*`` counters and a ``triage.run`` span.
+    """
+    obs = coalesce(telemetry)
+    entries: List[MutantTriage] = []
+    original_cache: Dict[str, Tuple[str, str, frozenset]] = {}
+    representatives: Dict[Tuple[str, str], str] = {}
+
+    def original_forms(method_name: str) -> Tuple[str, str, frozenset]:
+        """(normalized text, bytecode digest, integral locals) per method."""
+        cached = original_cache.get(method_name)
+        if cached is None:
+            source = _original_method_source(original_class, method_name)
+            integral = _integral_locals(source, type_model)
+            cached = (
+                normalized_source_text(source, integral),
+                normalized_bytecode_digest(source, integral),
+                integral,
+            )
+            original_cache[method_name] = cached
+        return cached
+
+    with obs.span("triage.run", component=original_class.__name__,
+                  mutants=len(mutants)) as span:
+        for mutant in mutants:
+            record = mutant.record
+            method_source = _original_method_source(
+                original_class, record.method_name
+            )
+            original_text, original_digest, integral = original_forms(
+                record.method_name
+            )
+            key = None
+            verdict: Optional[Tuple[TriageStatus, str]] = None
+            if cache is not None:
+                key = triage_fingerprint(
+                    mutant.owner, method_source, record.mutated_source,
+                    integral,
+                )
+                stored = cache.lookup_triage(key)
+                if stored is not None:
+                    try:
+                        verdict = (TriageStatus(stored[0]), stored[1])
+                    except ValueError:
+                        verdict = None  # unknown status string: recompute
+            if verdict is None:
+                try:
+                    mutated_text = normalized_source_text(
+                        record.mutated_source, integral
+                    )
+                    if mutated_text == original_text:
+                        verdict = (TriageStatus.AST_EQUIVALENT,
+                                   original_digest)
+                    else:
+                        digest = normalized_bytecode_digest(
+                            record.mutated_source, integral
+                        )
+                        if digest == original_digest:
+                            verdict = (TriageStatus.BYTECODE_EQUIVALENT,
+                                       digest)
+                        else:
+                            verdict = (TriageStatus.UNDECIDED, digest)
+                except MutationError:
+                    # A source ast.unparse rendered in a way that does not
+                    # re-parse (possible for untyped batteries, e.g. an
+                    # attribute assignment on an int constant).  Nothing is
+                    # proven: the mutant executes normally, and the empty
+                    # digest below keeps it out of redundancy grouping.
+                    verdict = (TriageStatus.UNDECIDED, "")
+                if cache is not None and key is not None:
+                    cache.store_triage(key, verdict[0].value, verdict[1])
+            status, digest = verdict
+            representative = ""
+            if status is TriageStatus.UNDECIDED and digest:
+                group = (record.method_name, digest)
+                earlier = representatives.get(group)
+                if earlier is not None:
+                    status = TriageStatus.REDUNDANT
+                    representative = earlier
+                else:
+                    representatives[group] = record.ident
+            entries.append(MutantTriage(
+                ident=record.ident,
+                method_name=record.method_name,
+                status=status,
+                digest=digest,
+                representative=representative,
+            ))
+
+        triage = StaticTriage(
+            class_name=original_class.__name__,
+            entries=tuple(entries),
+            typed_folds=type_model is not None,
+        )
+        if triage.ast_equivalent:
+            obs.count("triage.ast_equivalent", len(triage.ast_equivalent))
+        if triage.bytecode_equivalent:
+            obs.count("triage.bytecode_equivalent",
+                      len(triage.bytecode_equivalent))
+        if triage.redundant:
+            obs.count("triage.redundant_grouped", len(triage.redundant))
+        span.set("skipped", triage.skipped)
+    return triage
+
+
+# ---------------------------------------------------------------------------
+# The findings report (text / JSON / SARIF via repro.analysis)
+# ---------------------------------------------------------------------------
+
+
+def triage_registry():
+    """The triage rule set, in the shape the SARIF emitter expects."""
+    from ..analysis.findings import Severity
+    from ..analysis.registry import Rule, RuleRegistry
+
+    class _TriageRule(Rule):
+        severity = Severity.INFO
+
+        def check(self, unit):  # pragma: no cover — findings built directly
+            return ()
+
+    class AstEquivalent(_TriageRule):
+        id = "MT001"
+        name = "ast-equivalent-mutant"
+        summary = ("Mutant's normalized AST is identical to the original "
+                   "method (proven equivalent; never executed)")
+
+    class BytecodeEquivalent(_TriageRule):
+        id = "MT002"
+        name = "bytecode-equivalent-mutant"
+        summary = ("Mutant's normalized bytecode is identical to the "
+                   "original method (proven equivalent; never executed)")
+
+    class RedundantClass(_TriageRule):
+        id = "MT003"
+        name = "redundant-mutant-class"
+        summary = ("Mutants with pairwise-identical normalized bytecode; "
+                   "one representative is executed per class")
+
+    class TextualDuplicate(_TriageRule):
+        id = "MT004"
+        name = "textual-duplicate-dropped"
+        summary = ("Mutation point dropped at generation time because it "
+                   "produced an already-seen method source")
+
+    return RuleRegistry(
+        (AstEquivalent(), BytecodeEquivalent(), RedundantClass(),
+         TextualDuplicate())
+    )
+
+
+def _method_line(owner: type, method_name: str, offset: int) -> int:
+    """Best-effort absolute source line for a mutant (1-based)."""
+    for klass in owner.__mro__:
+        function = klass.__dict__.get(method_name)
+        if function is None:
+            continue
+        if isinstance(function, (staticmethod, classmethod)):
+            function = function.__func__
+        code = getattr(function, "__code__", None)
+        if code is not None:
+            return code.co_firstlineno + max(0, offset - 1)
+    return max(1, offset)
+
+
+def build_triage_findings(original_class: type,
+                          mutants: Sequence["CompiledMutant"],
+                          triage: StaticTriage,
+                          generation: Optional["GenerationReport"] = None):
+    """Render a triage (plus optional generation accounting) as findings.
+
+    The result plugs straight into the ``repro.analysis`` emitters; the
+    generation report's dropped-duplicate records let the report show both
+    dedup layers side by side — textual duplicates caught at generation
+    time (MT004) against bytecode-redundancy classes caught here (MT003).
+    """
+    from ..analysis.findings import Finding, LintResult, Severity
+
+    path = inspect.getsourcefile(original_class) or "<unknown>"
+    records = {mutant.record.ident: mutant.record for mutant in mutants}
+    findings: List[Finding] = []
+
+    def finding(rule_id: str, rule_name: str, line: int, message: str):
+        findings.append(Finding(
+            rule_id=rule_id,
+            rule_name=rule_name,
+            severity=Severity.INFO,
+            path=path,
+            line=line,
+            message=message,
+            component=original_class.__name__,
+        ))
+
+    for entry in triage.entries:
+        record = records.get(entry.ident)
+        if record is None or entry.status is TriageStatus.UNDECIDED:
+            continue
+        line = _method_line(original_class, record.method_name, record.line)
+        title = (f"{record.ident} [{record.operator}] "
+                 f"{record.method_name}: {record.description}")
+        if entry.status is TriageStatus.AST_EQUIVALENT:
+            finding("MT001", "ast-equivalent-mutant", line,
+                    f"{title} — normalized AST identical to the original; "
+                    f"proven equivalent, excluded from the score denominator")
+        elif entry.status is TriageStatus.BYTECODE_EQUIVALENT:
+            finding("MT002", "bytecode-equivalent-mutant", line,
+                    f"{title} — normalized bytecode identical to the "
+                    f"original; proven equivalent, excluded from the score "
+                    f"denominator")
+        elif entry.status is TriageStatus.REDUNDANT:
+            finding("MT003", "redundant-mutant-class", line,
+                    f"{title} — bytecode-identical to {entry.representative}; "
+                    f"verdict propagated from the representative")
+    if generation is not None:
+        for dropped in generation.dropped:
+            line = _method_line(original_class, dropped.method, dropped.line)
+            finding("MT004", "textual-duplicate-dropped", line,
+                    f"[{dropped.operator}] {dropped.method}: replacing "
+                    f"{dropped.variable!r} (occurrence {dropped.occurrence}) "
+                    f"with {dropped.replacement} duplicated an already-"
+                    f"generated source ({dropped.kind}); dropped before "
+                    f"compilation")
+    result = LintResult(findings=findings, components=1, files=1)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.mutation.triage
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Triage a table battery and emit the findings report."""
+    import argparse
+
+    from ..analysis.report import render_json, render_sarif, render_text
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mutation.triage",
+        description="Static equivalent-mutant triage report "
+                    "(normalized-AST / bytecode identity, redundancy "
+                    "classes) over a table battery.",
+    )
+    parser.add_argument(
+        "--target", choices=("table2", "table3"), default="table2",
+        help="battery to triage: table2 = CSortableObList experiment-1 "
+             "pool, table3 = CObList base-class pool (default: table2)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--no-type-folds", action="store_true",
+        help="disable the type-model-gated integral folds (universally "
+             "sound normalizations only)",
+    )
+    arguments = parser.parse_args(argv)
+
+    from ..components import CObList, CSortableObList, OBLIST_TYPE_MODEL
+    from ..experiments.config import TABLE2_METHODS, TABLE3_METHODS
+    from .generate import generate_mutants
+
+    if arguments.target == "table2":
+        target, methods, prefix = CSortableObList, TABLE2_METHODS, "M"
+    else:
+        target, methods, prefix = CObList, TABLE3_METHODS, "B"
+    mutants, generation = generate_mutants(
+        target, methods, ident_prefix=prefix, type_model=OBLIST_TYPE_MODEL
+    )
+    type_model = None if arguments.no_type_folds else OBLIST_TYPE_MODEL
+    triage = triage_mutants(target, mutants, type_model=type_model)
+    result = build_triage_findings(target, mutants, triage,
+                                   generation=generation)
+
+    if arguments.format == "sarif":
+        rendered = render_sarif(result, registry=triage_registry())
+    elif arguments.format == "json":
+        rendered = render_json(result)
+    else:
+        rendered = "\n".join((
+            render_text(result),
+            generation.summary(),
+            triage.summary(),
+        ))
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

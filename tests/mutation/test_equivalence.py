@@ -5,11 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.core.errors import MutationError
 from repro.generator.driver import DriverGenerator
 from repro.harness.oracles import experiment_oracle
 from repro.mutation.analysis import MutationAnalysis
 from repro.mutation.equivalence import probe_equivalence
 from repro.mutation.generate import generate_mutants
+from repro.mutation.triage import MutantTriage, StaticTriage, TriageStatus
 
 
 #: Keep probes cheap in unit tests: a capped probe model and few survivors.
@@ -68,6 +70,73 @@ class TestProbe:
         )
         assert target in forced_not.escaped
         assert target not in forced_not.likely_equivalent
+
+    def test_unknown_manual_ident_rejected(self, survivors):
+        with pytest.raises(MutationError, match="M9999"):
+            probe_equivalence(
+                CSortableObList, CSortableObList.__tspec__, survivors,
+                seeds=(1,), manual_equivalent=["M9999"], **PROBE_OPTIONS,
+            )
+        with pytest.raises(MutationError, match="not in the survivor set"):
+            probe_equivalence(
+                CSortableObList, CSortableObList.__tspec__, survivors,
+                seeds=(1,), manual_not_equivalent=["TYPO1"], **PROBE_OPTIONS,
+            )
+
+    def test_triage_proofs_skip_the_probe(self, survivors):
+        """A survivor the static pass proved equivalent is classified
+        without probing; a redundant survivor inherits its executed
+        representative's classification."""
+        proven = survivors[0]
+        member = survivors[1]
+        representative = survivors[2]
+        triage = StaticTriage(
+            class_name="CSortableObList",
+            entries=(
+                MutantTriage(
+                    ident=proven.ident, method_name="Sort1",
+                    status=TriageStatus.BYTECODE_EQUIVALENT, digest="d0",
+                ),
+                MutantTriage(
+                    ident=member.ident, method_name="Sort1",
+                    status=TriageStatus.REDUNDANT, digest="d1",
+                    representative=representative.ident,
+                ),
+            ),
+        )
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1, 2), triage=triage, **PROBE_OPTIONS,
+        )
+        assert proven.ident in report.likely_equivalent
+        assert proven.ident not in report.probe_kill_reasons
+        # The member was never probed: it is classified exactly as its
+        # representative was.
+        if representative.ident in report.escaped:
+            assert member.ident in report.escaped
+            assert (report.probe_kill_reasons[member.ident]
+                    is report.probe_kill_reasons[representative.ident])
+        else:
+            assert member.ident in report.likely_equivalent
+
+    def test_manual_not_equivalent_beats_triage(self, survivors):
+        target = survivors[0]
+        triage = StaticTriage(
+            class_name="CSortableObList",
+            entries=(
+                MutantTriage(
+                    ident=target.ident, method_name="Sort1",
+                    status=TriageStatus.AST_EQUIVALENT, digest="d0",
+                ),
+            ),
+        )
+        report = probe_equivalence(
+            CSortableObList, CSortableObList.__tspec__, survivors,
+            seeds=(1,), triage=triage,
+            manual_not_equivalent=[target.ident], **PROBE_OPTIONS,
+        )
+        assert target.ident in report.escaped
+        assert target.ident not in report.likely_equivalent
 
     def test_no_survivors_short_circuits(self):
         report = probe_equivalence(
