@@ -1,25 +1,36 @@
-"""Incremental outcome cache — cold vs warm wall-clock.
+"""Incremental outcome cache — cold vs warm wall-clock, segment-store edition.
 
 Runs the Table 1 workload (the full typed mutant pool over the Table 2
 target methods of ``CSortableObList``, truncated suite) three times into a
 fresh cache directory — once with no cache (fresh baseline), once cold
 (populating), once warm (replaying) — plus a warm run on the 2-worker
-engine, and writes ``BENCH_mutation_cache.json`` at the repository root.
+engine, then compacts the store and replays once more, and writes
+``BENCH_mutation_cache.json`` at the repository root.
 
-The asserted contract is the cached≡fresh guarantee under real load: both
-warm runs must pass ``same_results`` against the fresh baseline with a
-100% hit rate (zero mutant executions).  The cold/warm wall-clocks and the
-speedup are *recorded* for machines to compare; warm time is dominated by
-the reference-suite execution the cache deliberately never skips.
+The asserted contract is the cached≡fresh guarantee under real load: every
+warm run (including the post-compaction one) must pass ``same_results``
+against the fresh baseline with a 100% hit rate (zero mutant executions).
+Store shape is reported as segment bytes + live records, not a file count:
+the v4 store is ONE append-only segment, so the per-entry filesystem cost
+that made the old cold runs ~74% slower than fresh is gone.  Cold overhead
+(``cold/fresh - 1``) is recorded always and asserted only in gate mode::
+
+    python benchmarks/bench_mutation_cache.py --assert-overhead 0.20
+
+which exits non-zero if the cold run is more than 20% slower than fresh —
+the CI throughput gate.  The pytest entry point records but never asserts
+wall-clock (timing assertions don't belong in the default suite).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import tempfile
 from dataclasses import replace
 from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.components import CSortableObList, OBLIST_TYPE_MODEL
 from repro.experiments.config import TABLE2_METHODS, sortable_oracle, sortable_suite
@@ -73,9 +84,23 @@ def run_bench() -> dict:
             CSortableObList, suite, oracle=sortable_oracle(), cache=cache,
             workers=2,
         ).analyze(mutants)
-        entry_files = sum(
-            1 for _ in (Path(root) / "objects").rglob("*.pkl")
-        )
+
+        segment_bytes = cache.segment_bytes()
+        compaction = cache.compact()
+        compacted = MutationAnalysis(
+            CSortableObList, suite, oracle=sortable_oracle(), cache=cache
+        ).analyze(mutants)
+        store = {
+            "segment_bytes": segment_bytes,
+            "live_records": cache.live_records(),
+            "compaction": {
+                "records_before": compaction.records_before,
+                "records_kept": compaction.records_kept,
+                "records_dropped": compaction.records_dropped,
+                "bytes_before": compaction.bytes_before,
+                "bytes_after": compaction.bytes_after,
+            },
+        }
 
     return {
         "benchmark": "mutation_cache",
@@ -84,7 +109,7 @@ def run_bench() -> dict:
             "methods": list(TABLE2_METHODS),
             "mutants": len(mutants),
             # Statically-triaged mutants are never executed or stored, so
-            # the entry-file count tracks the dispatched pool.
+            # the outcome-record count tracks the dispatched pool.
             "dispatched": fresh.dispatched_count,
             "suite_cases": len(suite),
             "killed": len(fresh.killed),
@@ -94,6 +119,9 @@ def run_bench() -> dict:
         "cold": {
             "seconds": round(cold.elapsed_seconds, 3),
             "identical_to_fresh": cold.same_results(fresh),
+            "overhead_vs_fresh": round(
+                cold.elapsed_seconds / fresh.elapsed_seconds - 1.0, 3
+            ),
             "cache": _stats_dict(cold),
         },
         "warm": {
@@ -109,8 +137,30 @@ def run_bench() -> dict:
             "identical_to_fresh": warm_parallel.same_results(fresh),
             "cache": _stats_dict(warm_parallel),
         },
-        "entry_files": entry_files,
+        "post_compaction_warm": {
+            "seconds": round(compacted.elapsed_seconds, 3),
+            "identical_to_fresh": compacted.same_results(fresh),
+            "cache": _stats_dict(compacted),
+        },
+        "store": store,
     }
+
+
+def check_contract(data: dict) -> None:
+    """The load-independent guarantees every bench run must satisfy."""
+    assert data["cold"]["identical_to_fresh"]
+    assert data["warm"]["identical_to_fresh"]
+    assert data["warm_parallel_2"]["identical_to_fresh"]
+    assert data["post_compaction_warm"]["identical_to_fresh"]
+    assert data["cold"]["cache"]["hits"] == 0
+    assert data["warm"]["cache"]["hit_rate"] == 1.0
+    assert data["warm_parallel_2"]["cache"]["hit_rate"] == 1.0
+    assert data["post_compaction_warm"]["cache"]["hit_rate"] == 1.0
+    # One outcome record per dispatched mutant, plus the triage records.
+    assert data["store"]["live_records"] >= data["workload"]["dispatched"]
+    assert data["store"]["segment_bytes"] > 0
+    assert (data["store"]["compaction"]["bytes_after"]
+            <= data["store"]["compaction"]["bytes_before"])
 
 
 def write_report(data: dict) -> None:
@@ -126,18 +176,36 @@ def test_cache_cold_vs_warm(benchmark):
     print()
     print(json.dumps(data, indent=2))
 
-    # The contract under real load: cached is fresh-identical, full hit.
-    assert data["cold"]["identical_to_fresh"]
-    assert data["warm"]["identical_to_fresh"]
-    assert data["warm_parallel_2"]["identical_to_fresh"]
-    assert data["cold"]["cache"]["hits"] == 0
-    assert data["warm"]["cache"]["hit_rate"] == 1.0
-    assert data["warm_parallel_2"]["cache"]["hit_rate"] == 1.0
-    assert data["entry_files"] == data["workload"]["dispatched"]
+    check_contract(data)
     assert OUTPUT_PATH.exists()
 
 
-if __name__ == "__main__":
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cache bench: cold/warm wall-clock + segment-store shape."
+    )
+    parser.add_argument(
+        "--assert-overhead", type=float, default=None, metavar="FRACTION",
+        help="gate mode: fail if cold overhead vs fresh exceeds FRACTION "
+             "(e.g. 0.20 for the 20%% CI gate)",
+    )
+    arguments = parser.parse_args(argv)
+
     report = run_bench()
     write_report(report)
     print(json.dumps(report, indent=2))
+    check_contract(report)
+
+    if arguments.assert_overhead is not None:
+        overhead = report["cold"]["overhead_vs_fresh"]
+        if overhead > arguments.assert_overhead:
+            print(f"FAIL: cold overhead {overhead:.1%} exceeds the "
+                  f"{arguments.assert_overhead:.0%} gate")
+            return 1
+        print(f"cold overhead {overhead:.1%} within the "
+              f"{arguments.assert_overhead:.0%} gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

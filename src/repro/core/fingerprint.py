@@ -26,6 +26,7 @@ import dataclasses
 import enum
 import hashlib
 import inspect
+import weakref
 from typing import Any
 
 #: Nesting bound for :func:`canonical`.  Deep enough for every structure
@@ -96,6 +97,15 @@ def canonical(value: Any, _depth: int = 0) -> str:
     return f"opaque:{type(value).__module__}.{type(value).__qualname__}"
 
 
+#: Per-class memo for :func:`_canonical_type`.  ``inspect.getsource`` walks
+#: the defining file on every call (~ms per class), and cache-key paths
+#: canonicalise the same owner class once per mutant — 700+ times per
+#: battery.  Weak keys keep dynamically built test classes collectable.
+_TYPE_CANONICAL: "weakref.WeakKeyDictionary[type, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _canonical_type(cls: type) -> str:
     """Type identity plus a source digest (where source is retrievable).
 
@@ -106,8 +116,17 @@ def _canonical_type(cls: type) -> str:
     retrievable source; they degrade to name identity.
     """
     try:
+        return _TYPE_CANONICAL[cls]
+    except (KeyError, TypeError):
+        pass
+    try:
         source = inspect.getsource(cls)
         digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
     except (OSError, TypeError):
         digest = "nosource"
-    return f"type:{cls.__module__}.{cls.__qualname__}#{digest}"
+    rendered = f"type:{cls.__module__}.{cls.__qualname__}#{digest}"
+    try:
+        _TYPE_CANONICAL[cls] = rendered
+    except TypeError:
+        pass  # a class without weakref support: recompute next time
+    return rendered

@@ -10,7 +10,16 @@ Every table CLI accepts the same incremental-run flags:
   ``--cache-dir``;
 * ``--cache-stats`` — print hit/miss/invalidation counters after each
   mutation run (lines start with ``cache`` so table output can be compared
-  across runs with a simple filter).
+  across runs with a simple filter);
+* ``--cache-compact`` — rewrite the cache's segment file after the run,
+  dropping superseded and damaged records (prints a ``cache compact:``
+  line).
+
+And the dispatch-throughput knob:
+
+* ``--batch-size N`` — mutants per worker dispatch chunk under
+  ``--workers`` > 1 (default: adaptive, ~``dispatched / (8 × workers)``;
+  verdicts are identical at every batch size).
 
 They also share the coverage-guided pruning switch:
 
@@ -65,6 +74,20 @@ def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-stats", action="store_true",
         help="print cache hit/miss/invalidation counters after the run",
     )
+    group.add_argument(
+        "--cache-compact", action="store_true",
+        help="compact the cache segment file after the run (drops "
+             "superseded and damaged records; keeps every live verdict)",
+    )
+
+
+def add_throughput_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("dispatch throughput")
+    group.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="mutants per worker dispatch chunk when --workers > 1 "
+             "(default: adaptive; verdicts identical at every size)",
+    )
 
 
 def add_prune_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +124,14 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the telemetry summary after the run (lines start "
              "with 'obs' for easy filtering)",
     )
+
+
+def batch_size_from_arguments(arguments: argparse.Namespace) -> Optional[int]:
+    """The explicit dispatch chunk size, or ``None`` (adaptive default)."""
+    batch_size = getattr(arguments, "batch_size", None)
+    if batch_size is not None and batch_size < 1:
+        raise SystemExit("--batch-size must be at least 1")
+    return batch_size
 
 
 def prune_from_arguments(arguments: argparse.Namespace) -> bool:
@@ -153,3 +184,16 @@ def print_cache_stats(run: Optional[MutationRun], label: str = "cache") -> None:
         print(f"{label}: disabled")
         return
     print(f"{label}: {run.cache_stats.format()}")
+
+
+def compact_cache(cache: Optional[MutationOutcomeCache],
+                  arguments: argparse.Namespace) -> None:
+    """Compact the store when ``--cache-compact`` was given.
+
+    Prints one ``cache compact: …`` line — prefixed ``cache`` like the
+    stats lines, so CI row diffs strip it with the same filter.
+    """
+    if cache is None or not getattr(arguments, "cache_compact", False):
+        return
+    report = cache.compact()
+    print(f"cache compact: {report.format()}")

@@ -148,6 +148,7 @@ def run_table1(workers: int = 1,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
                static_triage: bool = True,
+               batch_size: Optional[int] = None,
                telemetry: Optional[Telemetry] = None) -> Table1Result:
     """Regenerate Table 1 over the experiments' subject methods.
 
@@ -160,7 +161,9 @@ def run_table1(workers: int = 1,
     ``prune=False`` disables coverage-guided mutant×case pruning (verdicts
     are identical either way), ``static_triage=False`` disables the static
     equivalent-mutant triage pass (triaged mutants are never dispatched;
-    every *executed* mutant's verdict is identical either way), and
+    every *executed* mutant's verdict is identical either way),
+    ``batch_size`` sets the parallel engine's dispatch chunk (default
+    adaptive; verdicts identical at every size), and
     ``max_cases`` truncates the suite (smoke/CI hook).  ``telemetry`` attaches a run-telemetry session to
     generation and analysis (the per-operator demo fan-out runs in
     worker processes and stays un-instrumented); rows are identical
@@ -191,7 +194,8 @@ def run_table1(workers: int = 1,
             static_triage=static_triage,
             triage_type_model=OBLIST_TYPE_MODEL,
             telemetry=telemetry,
-            **({"workers": workers} if workers > 1 else {}),
+            **({"workers": workers, "batch_size": batch_size}
+               if workers > 1 else {}),
         ).analyze(mutants)
     return Table1Result(demos=demos, run=run)
 
@@ -202,8 +206,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_throughput_arguments,
         add_triage_arguments,
+        batch_size_from_arguments,
         cache_from_arguments,
+        compact_cache,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
@@ -228,24 +235,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-cases", type=int, default=None,
                         help="truncate the suite (smoke runs only)")
     add_cache_arguments(parser)
+    add_throughput_arguments(parser)
     add_prune_arguments(parser)
     add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
+    cache = cache_from_arguments(arguments, telemetry=telemetry)
     result = run_table1(
         workers=arguments.workers,
         with_analysis=arguments.with_analysis,
         seed=arguments.seed,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments, telemetry=telemetry),
+        cache=cache,
         prune=prune_from_arguments(arguments),
         static_triage=static_triage_from_arguments(arguments),
+        batch_size=batch_size_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.format())
     if arguments.cache_stats:
         print_cache_stats(result.run)
+    compact_cache(cache, arguments)
     finish_telemetry(telemetry, arguments)
     return 0
 

@@ -66,6 +66,7 @@ def run_table2(seed: int = EXPERIMENT_SEED,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
                static_triage: bool = True,
+               batch_size: Optional[int] = None,
                telemetry: Optional[Telemetry] = None) -> Table2Result:
     """Execute experiment 1 end to end.
 
@@ -79,8 +80,10 @@ def run_table2(seed: int = EXPERIMENT_SEED,
     static equivalent-mutant triage pass; with it on (the default),
     statically-proven mutants are never dispatched, the equivalence probe
     skips them, and every *executed* mutant's verdict is identical to the
-    untriaged run.  ``telemetry`` attaches a run-telemetry session (rows
-    are identical with or without it).
+    untriaged run.  ``batch_size`` sets the parallel engine's dispatch
+    chunk (default adaptive; verdicts identical at every size).
+    ``telemetry`` attaches a run-telemetry session (rows are identical
+    with or without it).
     """
     suite = sortable_suite(seed)
     if max_cases is not None:
@@ -100,7 +103,8 @@ def run_table2(seed: int = EXPERIMENT_SEED,
         static_triage=static_triage,
         triage_type_model=OBLIST_TYPE_MODEL,
         telemetry=telemetry,
-        **({"workers": workers} if workers > 1 else {}),
+        **({"workers": workers, "batch_size": batch_size}
+           if workers > 1 else {}),
     )
     run = analysis.analyze(mutants)
 
@@ -144,8 +148,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_throughput_arguments,
         add_triage_arguments,
+        batch_size_from_arguments,
         cache_from_arguments,
+        compact_cache,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
@@ -154,20 +161,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     add_cache_arguments(parser)
+    add_throughput_arguments(parser)
     add_prune_arguments(parser)
     add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
+    cache = cache_from_arguments(arguments, telemetry=telemetry)
     result = run_table2(
         seed=arguments.seed,
         methods=tuple(arguments.methods),
         with_equivalence=not arguments.no_equivalence,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments, telemetry=telemetry),
+        cache=cache,
         prune=prune_from_arguments(arguments),
         static_triage=static_triage_from_arguments(arguments),
+        batch_size=batch_size_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.generation.summary())
@@ -176,6 +186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(result.summary())
     if arguments.cache_stats:
         print_cache_stats(result.run)
+    compact_cache(cache, arguments)
     finish_telemetry(telemetry, arguments)
     return 0
 

@@ -92,6 +92,7 @@ def run_table3(seed: int = EXPERIMENT_SEED,
                cache: Optional[MutationOutcomeCache] = None,
                prune: bool = True,
                static_triage: bool = True,
+               batch_size: Optional[int] = None,
                telemetry: Optional[Telemetry] = None) -> Table3Result:
     """Execute experiment 2 end to end.
 
@@ -109,7 +110,9 @@ def run_table3(seed: int = EXPERIMENT_SEED,
     the dynamic coverage recorder observes).  ``static_triage=False``
     disables the static equivalent-mutant triage pass (triage is applied
     to the shared ``CObList`` mutant pool once per battery; executed
-    verdicts are identical either way).
+    verdicts are identical either way).  ``batch_size`` sets the parallel
+    engine's dispatch chunk (default adaptive); the batteries share one
+    persistent worker pool, so the contrast runs reuse warm processes.
     """
     plan = incremental_plan(seed)
     mutants, generation = generate_mutants(
@@ -130,7 +133,8 @@ def run_table3(seed: int = EXPERIMENT_SEED,
             static_triage=static_triage,
             triage_type_model=OBLIST_TYPE_MODEL,
             telemetry=telemetry,
-            **({"workers": workers} if workers > 1 else {}),
+            **({"workers": workers, "batch_size": batch_size}
+               if workers > 1 else {}),
         )
 
     incremental_run = analysis(
@@ -178,8 +182,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_throughput_arguments,
         add_triage_arguments,
+        batch_size_from_arguments,
         cache_from_arguments,
+        compact_cache,
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
@@ -188,20 +195,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     add_cache_arguments(parser)
+    add_throughput_arguments(parser)
     add_prune_arguments(parser)
     add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
     telemetry = telemetry_from_arguments(arguments)
+    cache = cache_from_arguments(arguments, telemetry=telemetry)
     result = run_table3(
         seed=arguments.seed,
         methods=tuple(arguments.methods),
         with_contrast_runs=arguments.contrast,
         workers=arguments.workers,
         max_cases=arguments.max_cases,
-        cache=cache_from_arguments(arguments, telemetry=telemetry),
+        cache=cache,
         prune=prune_from_arguments(arguments),
         static_triage=static_triage_from_arguments(arguments),
+        batch_size=batch_size_from_arguments(arguments),
         telemetry=telemetry,
     )
     print(result.generation.summary())
@@ -213,6 +223,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print_cache_stats(result.base_suite_run, label="cache[base-suite]")
         if result.full_suite_run is not None:
             print_cache_stats(result.full_suite_run, label="cache[full-suite]")
+    compact_cache(cache, arguments)
     finish_telemetry(telemetry, arguments)
     return 0
 

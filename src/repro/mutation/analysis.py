@@ -610,17 +610,21 @@ class MutationAnalysis:
 def analyze_mutants(original_class: type, suite: TestSuite,
                     mutants: Sequence[CompiledMutant],
                     workers: int = 1,
+                    batch_size: Optional[int] = None,
                     **options) -> MutationRun:
     """One-call convenience over :class:`MutationAnalysis`.
 
     ``workers > 1`` dispatches to the process-pool engine
     (:class:`~repro.mutation.parallel.ParallelMutationAnalysis`), whose
-    result is field-for-field identical to the serial run.
+    result is field-for-field identical to the serial run; ``batch_size``
+    shapes its dispatch chunking (default adaptive) and is meaningless —
+    and therefore ignored — for the serial engine.
     """
     if workers > 1:
         from .parallel import ParallelMutationAnalysis
 
         return ParallelMutationAnalysis(
-            original_class, suite, workers=workers, **options
+            original_class, suite, workers=workers, batch_size=batch_size,
+            **options
         ).analyze(mutants)
     return MutationAnalysis(original_class, suite, **options).analyze(mutants)

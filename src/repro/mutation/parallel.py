@@ -9,6 +9,24 @@ exploits it: mutants are distributed over N worker processes, each worker
 fresh :class:`~repro.mutation.sandbox.StepBudgetGuard`, and ships the
 outcome back to the parent.
 
+Two throughput mechanisms keep orchestration from swamping the win (the
+regression ``BENCH_mutation_parallel.json`` measured at 0.93× of serial):
+
+* **Batched dispatch.**  Mutants ship to workers in chunks — by default
+  ``max(1, dispatched // (8 × workers))`` per batch (``batch_size``
+  overrides) — so the per-task pipe round-trip amortizes over the batch.
+  Workers still stream one ``done`` message per mutant, in submission
+  order, so results merge exactly as before.
+
+* **Persistent warm workers.**  The pool outlives a single ``analyze``
+  call: a process-wide shared :class:`WorkerPool` (or an explicit one
+  passed as ``pool=``) keeps workers alive across mutants *and* across
+  batteries (table2/table3 run several back-to-back).  Each battery ships
+  its :class:`WorkerSpec` once per worker under an epoch token — the
+  compiled original class, suite fixtures, reference run and coverage
+  matrix are cached worker-side until the token changes.  Stale messages
+  from a previous battery are discarded by run id.
+
 Two contracts, both tested differentially against the serial engine:
 
 * **Determinism.**  Outcomes are merged back *in submission order*, every
@@ -16,20 +34,33 @@ Two contracts, both tested differentially against the serial engine:
   step-budget sandbox makes each mutant's verdict schedule-independent — so
   the parallel :class:`~repro.mutation.analysis.MutationRun` is
   field-for-field identical to the serial one (wall-clock aside; see
-  :meth:`~repro.mutation.analysis.MutationRun.same_results`).
+  :meth:`~repro.mutation.analysis.MutationRun.same_results`), at every
+  batch size.
 
 * **Robustness.**  The paper's kill rule (i) is "the program crashed while
   running the test cases".  In-process, the step budget already converts
   runaway loops into deterministic ``TIMEOUT`` verdicts; what it cannot
   catch is a mutant that takes the whole process down (``os._exit``, a
   segfaulting extension, an interpreter abort) or blocks without executing
-  Python lines.  Those become the *worker boundary*'s problem: a dead
-  worker marks its in-flight mutant killed with
-  :attr:`~repro.harness.oracles.KillReason.WORKER_CRASH`, a worker silent
-  past the wall-clock backstop is killed and its mutant marked
-  :attr:`~repro.harness.oracles.KillReason.WALL_TIMEOUT`, and a
-  replacement worker is spawned so every remaining mutant still runs.  The
-  engine never wedges on a hostile mutant.
+  Python lines.  Those become the *worker boundary*'s problem — with one
+  batch-aware refinement so a poisoned mutant can never take out its
+  batchmates' verdicts:
+
+  - a **dead worker** whose batch has exactly one unreported mutant marks
+    it killed with :attr:`~repro.harness.oracles.KillReason.WORKER_CRASH`
+    (the worker executes in order, so that mutant was running);
+  - a dead worker with *several* unreported mutants re-dispatches each of
+    them as a **solo batch** — the poisoned one crashes alone and is then
+    classified, every innocent batchmate re-runs normally and keeps its
+    serial-identical verdict;
+  - a worker **silent past the wall-clock backstop** has provably hung on
+    its first unreported mutant (execution is in-order and every verdict
+    streams back immediately), which is killed with
+    :attr:`~repro.harness.oracles.KillReason.WALL_TIMEOUT`; the batch's
+    remaining never-started mutants are re-queued untouched.
+
+  A replacement worker is spawned whenever work remains, so every mutant
+  still runs; the engine never wedges on a hostile mutant.
 
 Per-worker ``StepBudgetGuard.timeouts`` counters are aggregated into
 ``MutationRun.step_timeouts`` so sandbox activity stays observable across
@@ -38,8 +69,12 @@ process boundaries.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import itertools
 import multiprocessing
 import os
+import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -52,6 +87,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -70,7 +106,7 @@ from .cache import CacheKey, MutationOutcomeCache
 from .coverage import CoverageMatrix
 from .mutant import CompiledMutant
 from .sandbox import DEFAULT_STEP_BUDGET
-from .triage import StaticTriage, TriageStatus, triage_mutants
+from .triage import StaticTriage, triage_mutants
 from .typemodel import TypeModel
 
 #: Default wall-clock backstop per mutant, in seconds.  Generous: the step
@@ -81,6 +117,20 @@ DEFAULT_WALL_CLOCK_BACKSTOP = 60.0
 
 #: How long the parent waits on worker pipes before running a health pass.
 _POLL_INTERVAL = 0.05
+
+#: The adaptive default aims for ~8 batches per worker: small enough that
+#: a straggler batch cannot idle the rest of the pool for long, large
+#: enough to amortize the pipe round-trip.
+DEFAULT_BATCH_DIVISOR = 8
+
+#: Run ids distinguish batteries sharing one (persistent) pool, so a
+#: stale message from a previous battery can never fill a current slot.
+_RUN_IDS = itertools.count(1)
+
+
+def default_batch_size(dispatched: int, workers: int) -> int:
+    """The adaptive chunk size: ``max(1, dispatched // (8 × workers))``."""
+    return max(1, dispatched // (DEFAULT_BATCH_DIVISOR * max(1, workers)))
 
 
 @dataclass(frozen=True)
@@ -103,14 +153,9 @@ class WorkerSpec:
     coverage: Optional[CoverageMatrix] = None
 
 
-def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
-    """Worker loop: receive ``(index, mutant)`` tasks, send outcomes back.
-
-    The worker is a plain serial :class:`MutationAnalysis` seeded with the
-    parent's reference run; parallelism changes *where* a mutant runs,
-    never *how*.
-    """
-    analysis = MutationAnalysis(
+def _analysis_from_spec(spec: WorkerSpec) -> MutationAnalysis:
+    """The plain serial analysis a worker judges every mutant with."""
+    return MutationAnalysis(
         spec.original_class,
         spec.suite,
         oracle=spec.oracle,
@@ -123,24 +168,54 @@ def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
         prune=spec.prune,
         coverage=spec.coverage,
     )
+
+
+def _worker_main(connection: Connection) -> None:
+    """Worker loop: battery configs and mutant batches in, verdicts out.
+
+    Messages: ``("battery", token, spec)`` (re)configures the analysis —
+    the rebuilt serial engine, with its compiled original class, suite
+    fixtures and coverage matrix, is cached until the token changes, so a
+    rerun of the same battery ships no spec at all; ``("batch", run_id,
+    ((index, mutant), …))`` runs each mutant in order, streaming one
+    ``("done", run_id, index, outcome, timeouts)`` per mutant (or
+    ``("error", run_id, index, message)`` for a harness-level failure);
+    ``None`` exits.  The worker is a plain serial
+    :class:`MutationAnalysis` seeded with the parent's reference run;
+    parallelism changes *where* a mutant runs, never *how*.
+    """
+    analysis: Optional[MutationAnalysis] = None
+    epoch: Optional[str] = None
     try:
         while True:
             message = connection.recv()
             if message is None:
                 break
-            index, mutant = message
-            try:
-                outcome, timeouts = analysis.analyze_single(mutant)
-                connection.send(("done", index, outcome, timeouts))
-            except KeyboardInterrupt:
-                raise
-            except BaseException as error:  # noqa: BLE001 — must not die
-                # A harness-level failure (builder blew up, SystemExit from
-                # mutated code, …).  Report it instead of taking the worker
-                # down; the parent classifies it as a worker-boundary kill.
-                connection.send(
-                    ("error", index, f"{type(error).__name__}: {error}")
-                )
+            kind = message[0]
+            if kind == "battery":
+                token, spec = message[1], message[2]
+                if token != epoch:
+                    analysis = _analysis_from_spec(spec)
+                    epoch = token
+                continue
+            run_id, tasks = message[1], message[2]
+            for index, mutant in tasks:
+                try:
+                    if analysis is None:
+                        raise RuntimeError("batch received before battery")
+                    outcome, timeouts = analysis.analyze_single(mutant)
+                    connection.send(("done", run_id, index, outcome, timeouts))
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as error:  # noqa: BLE001 — must not die
+                    # A harness-level failure (builder blew up, SystemExit
+                    # from mutated code, …).  Report it instead of taking
+                    # the worker down; the parent classifies it as a
+                    # worker-boundary kill.
+                    connection.send(
+                        ("error", run_id, index,
+                         f"{type(error).__name__}: {error}")
+                    )
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away or shut us down; nothing to clean up
     finally:
@@ -150,24 +225,184 @@ def _worker_main(connection: Connection, spec: WorkerSpec) -> None:
 class _Worker:
     """Parent-side handle for one worker process."""
 
-    __slots__ = ("process", "connection", "task", "started_at")
+    __slots__ = ("process", "connection", "assigned", "batch_len",
+                 "batch_started", "last_heard", "epoch")
 
     def __init__(self, process, connection: Connection):
         self.process = process
         self.connection = connection
-        self.task: Optional[Tuple[int, CompiledMutant]] = None
-        self.started_at = 0.0
+        #: Batch tasks not yet resolved, in execution order.
+        self.assigned: Deque[Tuple[int, CompiledMutant]] = deque()
+        self.batch_len = 0
+        self.batch_started = 0.0
+        self.last_heard = 0.0
+        #: The battery token this worker was last configured with.
+        self.epoch: Optional[str] = None
+
+
+class WorkerPool:
+    """A pool of mutation workers that persists across ``analyze`` calls.
+
+    Engines draw workers from here instead of spawning their own; a pool
+    survives battery boundaries, so table2/table3-style back-to-back runs
+    reuse warm processes (and their worker-side battery state) instead of
+    paying fork + spec shipping every time.  One process-wide shared pool
+    (:func:`shared_worker_pool`) is the default; tests and embedders can
+    pass a private pool to the engine.  Only one engine may drive a pool
+    at a time (an engine finding the pool busy falls back to a private,
+    run-scoped pool).
+    """
+
+    def __init__(self, context=None):
+        self._context = context if context is not None else _mp_context()
+        self.workers: List[_Worker] = []
+        self._busy = False
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def acquire(self) -> None:
+        if self._busy:
+            raise RuntimeError("worker pool is already driving a run")
+        self._busy = True
+
+    def release(self) -> None:
+        self._busy = False
+
+    def prune_dead(self) -> None:
+        """Drop workers that died between runs (no state to classify)."""
+        for worker in list(self.workers):
+            if not worker.process.is_alive():
+                self.discard(worker)
+
+    def ensure(self, count: int, telemetry: Optional[Telemetry] = None) -> None:
+        """Grow the pool to at least ``count`` live workers."""
+        while len(self.workers) < count:
+            self.spawn_one(telemetry)
+
+    def spawn_one(self, telemetry: Optional[Telemetry] = None) -> _Worker:
+        obs = coalesce(telemetry)
+        parent_connection, child_connection = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main, args=(child_connection,), daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        obs.event("parallel.worker_spawned", pid=process.pid)
+        obs.count("parallel.workers_spawned")
+        worker = _Worker(process, parent_connection)
+        self.workers.append(worker)
+        return worker
+
+    def discard(self, worker: _Worker) -> None:
+        """Forget one (already killed or dead) worker."""
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker in self.workers:
+            self.workers.remove(worker)
+
+    def close(self) -> None:
+        """Shut every worker down; the pool is unusable afterwards."""
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.connection.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_SHARED_POOL: Optional[WorkerPool] = None
+
+
+def shared_worker_pool() -> WorkerPool:
+    """The process-wide pool engines share by default.
+
+    Created on first use and kept warm until :func:`shutdown_shared_pool`
+    (registered ``atexit``) — this is what carries worker processes across
+    batteries within one experiment process.
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is None or _SHARED_POOL.closed:
+        _SHARED_POOL = WorkerPool()
+    return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Close the shared pool (safe to call when none exists)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.close()
+        _SHARED_POOL = None
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def _mp_context():
+    # fork keeps worker start cheap and inherits loaded modules; fall
+    # back to the platform default where fork is unavailable.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _spec_token(spec: WorkerSpec) -> str:
+    """The battery epoch token: content hash of the pickled spec.
+
+    Workers cache their rebuilt analysis under this token, so re-running
+    an identical battery (same class, suite, reference, coverage, flags)
+    ships no spec at all; any change reconfigures on the next dispatch.
+    """
+    payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(payload).hexdigest()
 
 
 @dataclass
 class _PoolState:
     """Mutable bookkeeping for one ``analyze`` call."""
 
+    mutants: List[CompiledMutant]
     pending: Deque[Tuple[int, CompiledMutant]]
     results: List[Optional[MutantOutcome]]
     remaining: int
+    run_id: int = 0
+    token: str = ""
+    spec: Optional[WorkerSpec] = None
+    batch_size: int = 1
+    #: Indices that must be dispatched as singleton batches: survivors of
+    #: a crashed multi-mutant batch, re-run alone so a poisoned batchmate
+    #: cannot contaminate their verdicts (and so the poisoned one, alone
+    #: in its batch, is attributable when it kills its worker again).
+    solo: Set[int] = field(default_factory=set)
     step_timeouts: int = 0
-    pool: List[_Worker] = field(default_factory=list)
     #: When the pending queue was filled — dispatch events report each
     #: task's queue wait relative to this instant.
     enqueued_at: float = 0.0
@@ -190,9 +425,13 @@ class ParallelMutationAnalysis:
     """Fans mutants out to worker processes; merges serial-identical results.
 
     Accepts the same configuration as :class:`MutationAnalysis` plus the
-    pool shape.  Every configuration object (suite, oracle, class builder,
-    setup hook) must be picklable because workers are rebuilt from them;
-    all shipped configurations in :mod:`repro.experiments.config` are.
+    pool shape: ``workers`` (pool width), ``batch_size`` (mutants per
+    dispatch chunk; default adaptive) and ``pool`` (an explicit
+    :class:`WorkerPool`; default the process-wide shared pool, which keeps
+    workers warm across batteries).  Every configuration object (suite,
+    oracle, class builder, setup hook) must be picklable because workers
+    are rebuilt from them; all shipped configurations in
+    :mod:`repro.experiments.config` are.
     """
 
     def __init__(self, original_class: type, suite: TestSuite,
@@ -210,9 +449,13 @@ class ParallelMutationAnalysis:
                  coverage: Optional[CoverageMatrix] = None,
                  telemetry: Optional[Telemetry] = None,
                  static_triage: bool = True,
-                 triage_type_model: Optional[TypeModel] = None):
+                 triage_type_model: Optional[TypeModel] = None,
+                 batch_size: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch size must be at least 1")
         self._original = original_class
         self._suite = suite
         self._oracle = oracle
@@ -224,6 +467,8 @@ class ParallelMutationAnalysis:
         self._workers = max(1, workers if workers is not None
                             else (os.cpu_count() or 1))
         self._backstop = wall_clock_backstop
+        self._batch_size = batch_size
+        self._pool_override = pool
         # The cache lives in the parent only: hits are resolved before any
         # worker is scheduled, and write-backs happen as verdicts arrive.
         # Workers stay cache-oblivious, so a worker process never touches
@@ -232,8 +477,9 @@ class ParallelMutationAnalysis:
         self._prune = prune
         # Static triage runs in the parent only, before the pool is sized:
         # a triaged mutant never enters the pending queue, so no worker
-        # ever sees it — the zero-dispatch guarantee is structural, and
-        # the WorkerSpec needs no triage state at all.
+        # ever sees it — the zero-dispatch guarantee is structural (batch
+        # assembly only ever draws from the pending queue), and the
+        # WorkerSpec needs no triage state at all.
         self._static_triage = static_triage
         self._triage_type_model = triage_type_model
         # Telemetry lives in the parent only: worker lifecycle, dispatch
@@ -279,7 +525,7 @@ class ParallelMutationAnalysis:
         """Run the suite over every mutant across the worker pool.
 
         With a cache attached, hits are replayed in the parent before the
-        pool is sized: a fully warm run spawns zero workers and executes
+        pool is sized: a fully warm run touches no worker and executes
         zero mutant test cases, yet still assembles a ``same_results``-
         identical ``MutationRun``.
         """
@@ -304,16 +550,10 @@ class ParallelMutationAnalysis:
                     cache=cache,
                     telemetry=self._obs,
                 )
-                for index, mutant in enumerate(mutants):
-                    status = triage.status_of(mutant.ident)
-                    if status is TriageStatus.REDUNDANT:
-                        deferred[index] = mutant
-                    elif status is not TriageStatus.UNDECIDED:
-                        prefilled[index] = (
-                            triaged_outcome(mutant, triage, {}), 0,
-                        )
-                span.set("triage_skipped",
-                         len(prefilled) + len(deferred))
+                equivalents, deferred = triage.partition(mutants)
+                for index, mutant in equivalents.items():
+                    prefilled[index] = (triaged_outcome(mutant, triage, {}), 0)
+                span.set("triage_skipped", len(prefilled) + len(deferred))
             if cache is not None:
                 experiment = self._serial.experiment_fingerprint()
                 keys = [cache.key_for(experiment, mutant)
@@ -333,6 +573,7 @@ class ParallelMutationAnalysis:
                 span.set("cache_hits", cache_hits)
             state = self._run_pool(mutants, reference, prefilled, cache,
                                    keys, skip=frozenset(deferred))
+            span.set("batch_size", state.batch_size)
             if deferred:
                 by_ident = {
                     mutants[index].ident: outcome
@@ -371,6 +612,7 @@ class ParallelMutationAnalysis:
                   skip: FrozenSet[int] = frozenset()) -> _PoolState:
         prefilled = prefilled or {}
         state = _PoolState(
+            mutants=mutants,
             pending=deque(
                 (index, mutant) for index, mutant in enumerate(mutants)
                 if index not in prefilled and index not in skip
@@ -378,7 +620,7 @@ class ParallelMutationAnalysis:
             # ``skip`` slots (statically-redundant mutants) stay ``None``
             # through the pool loop; the caller fills them afterwards from
             # their representative's verdict, so they never count towards
-            # ``remaining`` and no worker is ever spawned for them.
+            # ``remaining`` and no worker ever sees them.
             results=[None] * len(mutants),
             remaining=len(mutants) - len(skip),
             cache=cache,
@@ -389,7 +631,7 @@ class ParallelMutationAnalysis:
             state.record(index, outcome, timeouts)
         if not state.pending:
             return state
-        spec = WorkerSpec(
+        state.spec = WorkerSpec(
             original_class=self._original,
             suite=self._suite,
             oracle=self._oracle,
@@ -402,109 +644,152 @@ class ParallelMutationAnalysis:
             prune=self._prune,
             coverage=self._serial.coverage_matrix(),
         )
-        context = self._mp_context()
+        state.token = _spec_token(state.spec)
+        state.run_id = next(_RUN_IDS)
+        state.batch_size = (self._batch_size
+                            if self._batch_size is not None
+                            else default_batch_size(len(state.pending),
+                                                    self._workers))
+        pool, private = self._acquire_pool()
         try:
-            for _ in range(min(self._workers, len(mutants))):
-                worker = self._spawn(context, spec)
-                state.pool.append(worker)
+            pool.prune_dead()
+            pool.ensure(min(self._workers, len(state.pending)), self._obs)
+            for worker in self._active(pool):
                 self._dispatch(worker, state)
             while state.remaining > 0:
+                active = [worker for worker in self._active(pool)
+                          if worker.assigned]
                 readable = connection_wait(
-                    [worker.connection for worker in state.pool],
+                    [worker.connection for worker in active],
                     timeout=_POLL_INTERVAL,
-                ) if state.pool else ()
+                ) if active else ()
                 for connection in readable:
-                    worker = self._worker_for(state.pool, connection)
+                    worker = self._worker_for(active, connection)
                     if worker is not None:
                         self._receive(worker, state)
-                self._health_pass(context, spec, state)
+                self._health_pass(pool, state)
         finally:
-            self._shutdown(state.pool)
+            self._release_pool(pool, private)
         return state
 
+    # -- pool acquisition ------------------------------------------------
+
+    def _acquire_pool(self) -> Tuple[WorkerPool, bool]:
+        """The pool to run on, plus whether it is private (run-scoped)."""
+        pool = (self._pool_override if self._pool_override is not None
+                else shared_worker_pool())
+        if pool.busy or pool.closed:
+            # Another engine is mid-run on this pool (e.g. a nested
+            # analysis): fall back to a private pool for this call.
+            return WorkerPool(), True
+        pool.acquire()
+        return pool, False
+
+    @staticmethod
+    def _release_pool(pool: WorkerPool, private: bool) -> None:
+        if private:
+            pool.close()
+        else:
+            pool.release()
+
+    def _active(self, pool: WorkerPool) -> List[_Worker]:
+        """The slice of the pool this engine drives (its worker budget)."""
+        return pool.workers[:self._workers]
+
+    # -- message handling ------------------------------------------------
+
     def _receive(self, worker: _Worker, state: _PoolState) -> None:
-        """Drain one readable worker connection and hand out the next task."""
+        """Drain one readable worker connection; refill it when it empties."""
         try:
             message = worker.connection.recv()
         except (EOFError, OSError):
-            return  # pipe closed mid-task: the next health pass classifies it
+            return  # pipe closed mid-batch: the next health pass classifies it
         self._apply_message(worker, state, message)
-        self._dispatch(worker, state)
+        if not worker.assigned:
+            self._dispatch(worker, state)
 
     def _apply_message(self, worker: _Worker, state: _PoolState,
                        message: Tuple) -> None:
-        kind, index = message[0], message[1]
+        kind = message[0]
+        if kind not in ("done", "error"):
+            return
+        run_id, index = message[1], message[2]
+        previously_heard = worker.last_heard
+        worker.last_heard = time.perf_counter()
+        if run_id != state.run_id:
+            return  # residue of a previous battery on this persistent worker
+        task: Optional[Tuple[int, CompiledMutant]] = None
+        for assigned in worker.assigned:
+            if assigned[0] == index:
+                task = assigned
+                break
+        if task is not None:
+            worker.assigned.remove(task)
         if kind == "done":
-            state.record(index, message[2], message[3])
-            if worker.task is not None and worker.task[0] == index:
-                self._obs.event(
-                    "parallel.task", index=index,
-                    mutant=worker.task[1].record.ident,
-                    seconds=round(
-                        time.perf_counter() - worker.started_at, 6),
-                )
+            state.record(index, message[3], message[4])
+            self._obs.event(
+                "parallel.task", index=index,
+                mutant=state.mutants[index].record.ident,
+                seconds=round(worker.last_heard - previously_heard, 6),
+            )
             if state.cache is not None and state.keys is not None:
                 # Write-back happens in the parent so workers never touch
                 # the store; identical keys carry identical payloads, so a
                 # duplicate store (e.g. during salvage) is a harmless
-                # atomic overwrite.
-                state.cache.store(state.keys[index], message[2], message[3])
-        elif kind == "error":
+                # append the next compaction folds away.
+                state.cache.store(state.keys[index], message[3], message[4])
+        else:
             self._obs.count("parallel.worker_errors")
             state.record(index, self._boundary_outcome(
-                self._mutant_record(worker, index),
+                state.mutants[index].record,
                 KillReason.WORKER_CRASH,
-                f"worker failed to run mutant: {message[2]}",
+                f"worker failed to run mutant: {message[3]}",
             ))
-        if worker.task is not None and worker.task[0] == index:
-            worker.task = None
+        if not worker.assigned and worker.batch_len:
+            self._obs.event(
+                "parallel.batch", size=worker.batch_len,
+                seconds=round(worker.last_heard - worker.batch_started, 6),
+            )
+            worker.batch_len = 0
 
-    def _health_pass(self, context, spec: WorkerSpec,
-                     state: _PoolState) -> None:
+    # -- health ----------------------------------------------------------
+
+    def _health_pass(self, pool: WorkerPool, state: _PoolState) -> None:
         """Classify dead/hung workers; keep the pool sized while work remains."""
         now = time.perf_counter()
-        for worker in list(state.pool):
-            if worker.process.is_alive():
-                if (worker.task is not None
-                        and now - worker.started_at > self._backstop):
-                    self._retire_hung(worker, state)
-                continue
-            self._retire_dead(worker, state)
-        while state.pending and len(state.pool) < self._workers:
-            replacement = self._spawn(context, spec)
+        for worker in list(self._active(pool)):
+            if not worker.process.is_alive():
+                self._retire_dead(pool, worker, state)
+            elif (worker.assigned
+                    and now - worker.last_heard > self._backstop):
+                self._retire_hung(pool, worker, state)
+        while state.pending and len(pool.workers) < self._workers:
+            replacement = pool.spawn_one(self._obs)
             self._obs.count("parallel.respawns")
-            state.pool.append(replacement)
             self._dispatch(replacement, state)
+        for worker in self._active(pool):
+            if not worker.assigned and state.pending:
+                self._dispatch(worker, state)
 
-    def _retire_hung(self, worker: _Worker, state: _PoolState) -> None:
-        # The verdict may have landed in the pipe while we were not looking;
-        # salvage it first — only a genuinely silent worker is a hang.
-        self._salvage(worker, state)
-        if worker.task is None:
-            self._dispatch(worker, state)
-            return
-        index, mutant = worker.task
-        worker.process.kill()
-        worker.process.join()
-        worker.connection.close()
-        state.pool.remove(worker)
-        self._obs.event("parallel.wall_timeout", index=index,
-                        mutant=mutant.record.ident,
-                        backstop=self._backstop)
-        self._obs.count("parallel.wall_timeouts")
-        state.record(index, self._boundary_outcome(
-            mutant.record, KillReason.WALL_TIMEOUT,
-            f"no verdict within the {self._backstop:.1f}s wall-clock "
-            f"backstop; worker killed",
-        ))
+    def _unreported(self, worker: _Worker,
+                    state: _PoolState) -> List[Tuple[int, CompiledMutant]]:
+        """The worker's assigned tasks that still have no recorded verdict."""
+        return [task for task in worker.assigned
+                if state.results[task[0]] is None]
 
-    def _retire_dead(self, worker: _Worker, state: _PoolState) -> None:
-        # Salvage results the worker sent before dying, then classify
-        # whatever was still in flight as a process-boundary crash kill.
+    def _retire_dead(self, pool: WorkerPool, worker: _Worker,
+                     state: _PoolState) -> None:
+        # Salvage results the worker sent before dying, then apply the
+        # batch crash rule: a single unreported mutant was provably
+        # executing and is classified as a process-boundary crash kill; a
+        # multi-mutant remainder is re-dispatched solo so one poisoned
+        # mutant cannot take out its batchmates' verdicts.
         worker.process.join()
         self._salvage(worker, state)
-        if worker.task is not None:
-            index, mutant = worker.task
+        unreported = self._unreported(worker, state)
+        worker.assigned.clear()
+        if len(unreported) == 1:
+            index, mutant = unreported[0]
             self._obs.event("parallel.worker_crash", index=index,
                             mutant=mutant.record.ident,
                             exitcode=worker.process.exitcode)
@@ -514,9 +799,50 @@ class ParallelMutationAnalysis:
                 f"worker process died (exitcode {worker.process.exitcode}) "
                 f"while running the suite",
             ))
-            worker.task = None
-        worker.connection.close()
-        state.pool.remove(worker)
+        elif unreported:
+            self._obs.event("parallel.batch_failed", size=len(unreported),
+                            reason="crash",
+                            exitcode=worker.process.exitcode)
+            self._obs.count("parallel.batch_redispatches")
+            for task in reversed(unreported):
+                state.solo.add(task[0])
+                state.pending.appendleft(task)
+        pool.discard(worker)
+
+    def _retire_hung(self, pool: WorkerPool, worker: _Worker,
+                     state: _PoolState) -> None:
+        # The verdict may have landed in the pipe while we were not looking;
+        # salvage it first — only a genuinely silent worker is a hang.
+        self._salvage(worker, state)
+        unreported = self._unreported(worker, state)
+        worker.assigned.clear()
+        if not unreported:
+            self._dispatch(worker, state)
+            return
+        # Execution is in-order and every verdict streams back the moment
+        # it exists, so a silent worker is provably stuck on its *first*
+        # unreported mutant; the rest of the batch never started and is
+        # re-queued untouched.
+        index, mutant = unreported[0]
+        worker.process.kill()
+        worker.process.join()
+        pool.discard(worker)
+        self._obs.event("parallel.wall_timeout", index=index,
+                        mutant=mutant.record.ident,
+                        backstop=self._backstop)
+        self._obs.count("parallel.wall_timeouts")
+        state.record(index, self._boundary_outcome(
+            mutant.record, KillReason.WALL_TIMEOUT,
+            f"no verdict within the {self._backstop:.1f}s wall-clock "
+            f"backstop; worker killed",
+        ))
+        rest = unreported[1:]
+        if rest:
+            self._obs.event("parallel.batch_failed", size=len(rest),
+                            reason="hang")
+            self._obs.count("parallel.batch_redispatches")
+            for task in reversed(rest):
+                state.pending.appendleft(task)
 
     def _salvage(self, worker: _Worker, state: _PoolState) -> None:
         """Apply any messages already sitting in the worker's pipe."""
@@ -526,53 +852,45 @@ class ParallelMutationAnalysis:
         except (EOFError, OSError):
             pass
 
+    # -- dispatch --------------------------------------------------------
+
     def _dispatch(self, worker: _Worker, state: _PoolState) -> None:
-        if worker.task is not None:
+        """Hand the worker its next batch (configuring the battery first)."""
+        if worker.assigned or not state.pending:
             return
-        try:
-            if state.pending:
-                index, mutant = state.pending.popleft()
-                worker.task = (index, mutant)
-                worker.started_at = time.perf_counter()
-                self._obs.event(
-                    "parallel.dispatch", index=index,
-                    mutant=mutant.record.ident,
-                    waited=round(worker.started_at - state.enqueued_at, 6),
-                )
-                worker.connection.send((index, mutant))
-            else:
-                worker.connection.send(None)
-        except (BrokenPipeError, OSError):
-            # Worker already dead; the health pass classifies the in-flight
-            # task as a crash kill (a crashing mutant is never retried).
-            pass
-
-    def _spawn(self, context, spec: WorkerSpec) -> _Worker:
-        parent_connection, child_connection = context.Pipe(duplex=True)
-        process = context.Process(
-            target=_worker_main, args=(child_connection, spec), daemon=True,
-        )
-        process.start()
-        child_connection.close()
-        self._obs.event("parallel.worker_spawned", pid=process.pid)
-        self._obs.count("parallel.workers_spawned")
-        return _Worker(process, parent_connection)
-
-    def _shutdown(self, pool: List[_Worker]) -> None:
-        for worker in pool:
+        now = time.perf_counter()
+        if worker.epoch != state.token:
             try:
-                worker.connection.send(None)
+                worker.connection.send(("battery", state.token, state.spec))
             except (BrokenPipeError, OSError):
-                pass
-        for worker in pool:
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join()
-            try:
-                worker.connection.close()
-            except OSError:
-                pass
+                return  # dead worker: the health pass prunes and respawns
+            worker.epoch = state.token
+            self._obs.count("parallel.battery_shipped")
+        batch: List[Tuple[int, CompiledMutant]] = []
+        while state.pending and len(batch) < state.batch_size:
+            index = state.pending[0][0]
+            if index in state.solo and batch:
+                break  # a solo task never joins a batch already in hand
+            batch.append(state.pending.popleft())
+            if index in state.solo:
+                break  # …and never takes batchmates of its own
+        for index, mutant in batch:
+            self._obs.event(
+                "parallel.dispatch", index=index,
+                mutant=mutant.record.ident,
+                waited=round(now - state.enqueued_at, 6),
+                batch=len(batch),
+            )
+        self._obs.count("parallel.batches")
+        worker.assigned = deque(batch)
+        worker.batch_len = len(batch)
+        worker.batch_started = worker.last_heard = now
+        try:
+            worker.connection.send(("batch", state.run_id, tuple(batch)))
+        except (BrokenPipeError, OSError):
+            # Worker already dead; the health pass applies the batch crash
+            # rule to the assigned tasks (classify one, re-dispatch many).
+            pass
 
     # ------------------------------------------------------------------
     # Helpers
@@ -580,11 +898,7 @@ class ParallelMutationAnalysis:
 
     @staticmethod
     def _mp_context():
-        # fork keeps worker start cheap and inherits loaded modules; fall
-        # back to the platform default where fork is unavailable.
-        if "fork" in multiprocessing.get_all_start_methods():
-            return multiprocessing.get_context("fork")
-        return multiprocessing.get_context()
+        return _mp_context()
 
     @staticmethod
     def _worker_for(pool: List[_Worker],
@@ -608,14 +922,6 @@ class ParallelMutationAnalysis:
             cases_run=0,
             killing_cases=(),
             detail=detail,
-        )
-
-    @staticmethod
-    def _mutant_record(worker: _Worker, index: int):
-        if worker.task is not None and worker.task[0] == index:
-            return worker.task[1].record
-        raise RuntimeError(
-            f"worker reported a result for task {index} it was not assigned"
         )
 
 

@@ -4,8 +4,8 @@ Content addressing means "invalidation" is not a deletion pass: changing
 any fingerprinted input simply re-addresses the affected entries, so they
 miss (and the slot index reports them as *invalidations*, not cold
 misses), while every untouched entry keeps hitting — and reverting the
-change hits the original entries again.  Corrupt entries (truncated,
-garbage, empty) are misses, never crashes.
+change hits the original entries again.  Corrupt segment records (scribbled
+payload, flipped CRC, wrong payload type) are misses, never crashes.
 """
 
 from __future__ import annotations
@@ -18,7 +18,12 @@ from repro.components import CSortableObList, OBLIST_TYPE_MODEL
 from repro.generator.driver import DriverGenerator
 from repro.harness.oracles import assertions_only_oracle, experiment_oracle
 from repro.mutation.analysis import MutationAnalysis
-from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.cache import (
+    _HEADER,
+    _KEY_LENGTHS,
+    _KIND_OUTCOME,
+    MutationOutcomeCache,
+)
 from repro.mutation.generate import generate_mutants
 from repro.mutation.mutant import CompiledMutant, compile_mutant_function
 
@@ -140,41 +145,89 @@ class TestComponentInvalidation:
         assert reverted.cache_stats.misses == 0
 
 
-class TestCorruptEntries:
-    """A present-but-unreadable entry is a miss, never a crash."""
+def _payload_offset(cache, key):
+    """File offset of the victim record's pickled payload."""
+    location = cache._entries[key.entry]
+    return location.offset + _HEADER.size + _KEY_LENGTHS[_KIND_OUTCOME]
 
-    def entry_paths(self, mutants, cache):
+
+def _scribble_payload(cache, key):
+    """Overwrite the start of the payload: the CRC check rejects it."""
+    with open(cache.segment_path, "r+b") as handle:
+        handle.seek(_payload_offset(cache, key))
+        handle.write(b"\x80garbage")
+
+
+def _zero_payload(cache, key):
+    with open(cache.segment_path, "r+b") as handle:
+        handle.seek(_payload_offset(cache, key))
+        handle.write(b"\x00" * 16)
+
+
+def _flip_crc(cache, key):
+    """Invert the stored CRC: the intact payload no longer verifies."""
+    location = cache._entries[key.entry]
+    with open(cache.segment_path, "r+b") as handle:
+        handle.seek(location.offset + 8)   # <BBHII — crc is the last field
+        crc = handle.read(4)
+        handle.seek(location.offset + 8)
+        handle.write(bytes(byte ^ 0xFF for byte in crc))
+
+
+class TestCorruptEntries:
+    """A present-but-unreadable segment record is a miss, never a crash."""
+
+    def keys(self, mutants, cache):
         analysis = MutationAnalysis(
             CSortableObList, small_suite(),
             oracle=experiment_oracle(CSortableObList.__tspec__), cache=cache,
         )
         experiment = analysis.experiment_fingerprint()
-        return [cache._entry_path(cache.key_for(experiment, mutant))
-                for mutant in mutants]
+        return [cache.key_for(experiment, mutant) for mutant in mutants]
 
     @pytest.mark.parametrize("damage", [
-        lambda path: path.write_bytes(path.read_bytes()[:7]),   # truncated
-        lambda path: path.write_bytes(b"\x80garbage not pickle"),
-        lambda path: path.write_bytes(b""),                     # empty file
+        _scribble_payload,
+        _zero_payload,
+        _flip_crc,
     ])
     def test_damaged_entry_is_a_miss_then_healed(self, damage, mutants,
                                                  warm_cache):
-        victim = self.entry_paths(mutants, warm_cache)[0]
-        damage(victim)
+        victim = self.keys(mutants, warm_cache)[0]
+        damage(warm_cache, victim)
         result = run(mutants, warm_cache)
         assert result.cache_stats.hits == len(mutants) - 1
         assert result.cache_stats.misses == 1
         assert result.cache_stats.corrupt == 1
-        # The rerun rewrote the entry; the next run is fully warm again.
+        # The rerun re-appended the entry; the next run is fully warm again.
         healed = run(mutants, warm_cache)
         assert healed.cache_stats.hits == len(mutants)
         assert healed.cache_stats.corrupt == 0
 
+    def test_damage_survives_reopen_as_one_corrupt_miss(self, mutants,
+                                                        warm_cache):
+        # A fresh cache object on the same directory rebuilds its index by
+        # scan — structure is intact, so the damaged record is indexed,
+        # and only the lookup-time CRC rejects it.
+        victim = self.keys(mutants, warm_cache)[0]
+        _scribble_payload(warm_cache, victim)
+        warm_cache.close()
+        reopened = MutationOutcomeCache(warm_cache.directory)
+        result = run(mutants, reopened)
+        assert result.cache_stats.hits == len(mutants) - 1
+        assert result.cache_stats.corrupt == 1
+
     def test_wrong_payload_type_is_corrupt(self, mutants, warm_cache):
         import pickle
 
-        victim = self.entry_paths(mutants, warm_cache)[0]
-        victim.write_bytes(pickle.dumps({"not": "a CacheEntry"}))
+        # A well-framed record (valid CRC) whose payload is not a
+        # CacheEntry: the typed read rejects it as corrupt.
+        victim = self.keys(mutants, warm_cache)[0]
+        location = warm_cache._append(
+            _KIND_OUTCOME,
+            (victim.entry + victim.slot).encode("ascii"),
+            pickle.dumps({"not": "a CacheEntry"}),
+        )
+        warm_cache._entries[victim.entry] = location
         result = run(mutants, warm_cache)
         assert result.cache_stats.corrupt == 1
         assert result.cache_stats.hits == len(mutants) - 1

@@ -1,0 +1,350 @@
+"""Property/stress tests for the v4 append-only segment store.
+
+The store's robustness contract: one ``store.seg`` file, an in-memory
+offset index rebuilt by scan on open, torn/garbage tails tolerated as
+counted misses (never crashes), ``compact()`` preserves every live
+verdict, v3 file-per-entry directories migrate transparently on the read
+side, and sequential sharers of one directory never clobber each other.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import experiment_oracle
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.cache import (
+    CACHE_FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    SEGMENT_FILE,
+    CacheEntry,
+    MutationOutcomeCache,
+)
+from repro.mutation.generate import generate_mutants
+
+SEED = 20010701
+MUTANT_COUNT = 10
+
+
+def small_suite(seed: int = SEED):
+    suite = DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin")
+               for step in case.steps)
+    )[:30]
+    return replace(suite, cases=relevant)
+
+
+def oracle():
+    return experiment_oracle(CSortableObList.__tspec__)
+
+
+BUILD_CALLS = {"count": 0}
+
+
+def counting_builder(mutant):
+    BUILD_CALLS["count"] += 1
+    return mutant.build_class()
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    pool, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return pool[:MUTANT_COUNT]
+
+
+def run(mutants, cache, **options):
+    return MutationAnalysis(
+        CSortableObList, small_suite(), oracle=oracle(), cache=cache,
+        **options,
+    ).analyze(mutants)
+
+
+class TestRoundTrip:
+    """Write, reopen (index rebuilt by scan), read everything back."""
+
+    def test_cold_then_reopen_is_fully_warm(self, mutants, tmp_path):
+        cold = run(mutants, MutationOutcomeCache(tmp_path))
+        assert cold.cache_stats.misses == len(mutants)
+        assert (tmp_path / SEGMENT_FILE).is_file()
+        # No v3 file-per-entry tree is ever written by a v4 store.
+        assert not (tmp_path / "objects").exists()
+
+        reopened = MutationOutcomeCache(tmp_path)
+        warm = run(mutants, reopened)
+        assert warm.same_results(cold)
+        assert warm.cache_stats.hits == len(mutants)
+        assert warm.cache_stats.misses == 0
+
+    def test_live_records_and_bytes_reflect_the_segment(self, mutants,
+                                                        tmp_path):
+        cache = MutationOutcomeCache(tmp_path)
+        run(mutants, cache, static_triage=False)
+        assert cache.live_records() == len(mutants)
+        assert cache.segment_bytes() == (
+            (tmp_path / SEGMENT_FILE).stat().st_size
+        )
+
+
+class TestTailDamage:
+    """Structural damage at the end of the segment is survived by scan."""
+
+    def test_truncated_tail_loses_only_the_torn_record(self, mutants,
+                                                       tmp_path):
+        cold = run(mutants, MutationOutcomeCache(tmp_path),
+                   static_triage=False)
+        segment = tmp_path / SEGMENT_FILE
+        segment.write_bytes(segment.read_bytes()[:-10])  # tear the last record
+
+        reopened = MutationOutcomeCache(tmp_path)
+        assert reopened.live_records() == len(mutants) - 1
+        healed = run(mutants, reopened, static_triage=False)
+        assert healed.same_results(cold)
+        assert healed.cache_stats.hits == len(mutants) - 1
+        assert healed.cache_stats.misses == 1  # the torn record, re-executed
+
+        # The heal re-appended it (truncating the dead tail first): warm.
+        warm = run(mutants, MutationOutcomeCache(tmp_path),
+                   static_triage=False)
+        assert warm.cache_stats.hits == len(mutants)
+
+    def test_garbage_tail_keeps_every_record_live(self, mutants, tmp_path):
+        cold = run(mutants, MutationOutcomeCache(tmp_path))
+        segment = tmp_path / SEGMENT_FILE
+        with open(segment, "ab") as handle:
+            handle.write(b"\xff" * 37)  # structurally invalid appendage
+
+        warm = run(mutants, MutationOutcomeCache(tmp_path))
+        assert warm.same_results(cold)
+        assert warm.cache_stats.hits == len(mutants)
+        assert warm.cache_stats.misses == 0
+
+    def test_alien_file_degrades_to_no_caching(self, mutants, tmp_path):
+        segment = tmp_path / SEGMENT_FILE
+        segment.write_bytes(b"definitely not a segment store")
+        before = segment.read_bytes()
+        result = run(mutants, MutationOutcomeCache(tmp_path))
+        # Every lookup misses, the run completes, and the store NEVER
+        # appends into (or truncates) a file it does not recognize.
+        assert result.cache_stats.misses == len(mutants)
+        assert segment.read_bytes() == before
+
+    def test_empty_file_is_adopted(self, mutants, tmp_path):
+        (tmp_path / SEGMENT_FILE).write_bytes(b"")
+        cold = run(mutants, MutationOutcomeCache(tmp_path))
+        assert cold.cache_stats.misses == len(mutants)
+        warm = run(mutants, MutationOutcomeCache(tmp_path))
+        assert warm.cache_stats.hits == len(mutants)
+
+
+class TestLegacyMigration:
+    """A v3 file-per-entry directory is read — and migrated — on miss."""
+
+    def legacy_layout(self, mutants, directory):
+        """Build a v3 tree by hand from per-mutant serial verdicts."""
+        scratch = MutationOutcomeCache(directory)  # for paths/keys only
+        analysis = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(),
+            cache=scratch,
+        )
+        experiment = analysis.experiment_fingerprint()
+        for mutant in mutants:
+            outcome, timeouts = analysis.analyze_single(mutant)
+            key = scratch.key_for(experiment, mutant)
+            entry = CacheEntry(
+                version=LEGACY_FORMAT_VERSION,
+                fingerprint=key.entry,
+                outcome=outcome,
+                step_timeouts=timeouts,
+            )
+            path = scratch._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(pickle.dumps(entry))
+            slot = scratch._slot_path(key)
+            slot.parent.mkdir(parents=True, exist_ok=True)
+            slot.write_text(key.entry)
+        return scratch._entry_path(scratch.key_for(experiment, mutants[0]))
+
+    def test_v3_entries_hit_and_migrate_into_the_segment(self, mutants,
+                                                         tmp_path):
+        self.legacy_layout(mutants, tmp_path)
+        assert not (tmp_path / SEGMENT_FILE).exists()
+
+        cache = MutationOutcomeCache(tmp_path)
+        fresh = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(),
+        ).analyze(mutants)
+        migrated = run(mutants, cache, static_triage=False)
+        assert migrated.same_results(fresh)
+        assert migrated.cache_stats.hits == len(mutants)
+        assert migrated.cache_stats.misses == 0
+        # Every legacy hit was appended to the segment …
+        assert cache.live_records() == len(mutants)
+
+        # … so the legacy tree is now dead weight: delete it and the next
+        # run is segment-only warm.
+        import shutil
+
+        shutil.rmtree(tmp_path / "objects")
+        shutil.rmtree(tmp_path / "index")
+        warm = run(mutants, MutationOutcomeCache(tmp_path),
+                   static_triage=False)
+        assert warm.same_results(fresh)
+        assert warm.cache_stats.hits == len(mutants)
+
+    def test_migrated_entries_carry_the_current_version(self, mutants,
+                                                        tmp_path):
+        self.legacy_layout(mutants, tmp_path)
+        cache = MutationOutcomeCache(tmp_path)
+        analysis = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(), cache=cache,
+        )
+        experiment = analysis.experiment_fingerprint()
+        key = cache.key_for(experiment, mutants[0])
+        entry = cache.lookup(key)
+        assert entry is not None
+        assert entry.version == CACHE_FORMAT_VERSION
+        # The segment copy satisfies the next lookup without the file.
+        relookup = MutationOutcomeCache(tmp_path).lookup(key)
+        assert relookup is not None
+        assert relookup.outcome == entry.outcome
+
+    def test_corrupt_legacy_file_is_a_counted_miss(self, mutants, tmp_path):
+        victim = self.legacy_layout(mutants, tmp_path)
+        victim.write_bytes(b"\x80 not a pickle")
+        result = run(mutants, MutationOutcomeCache(tmp_path),
+                     static_triage=False)
+        assert result.cache_stats.hits == len(mutants) - 1
+        assert result.cache_stats.misses == 1
+        assert result.cache_stats.corrupt == 1
+        assert not victim.exists()  # damaged legacy files are removed
+
+
+class TestCompaction:
+    """compact() drops dead weight but never a live verdict."""
+
+    def test_compaction_preserves_all_live_verdicts(self, mutants, tmp_path):
+        cache = MutationOutcomeCache(tmp_path)
+        BUILD_CALLS["count"] = 0
+        cold = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(),
+            class_builder=counting_builder, cache=cache,
+        ).analyze(mutants)
+        assert BUILD_CALLS["count"] == len(mutants)
+        report = cache.compact()
+        assert report.records_dropped == 0  # nothing was superseded
+
+        BUILD_CALLS["count"] = 0
+        warm = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(),
+            class_builder=counting_builder,
+            cache=MutationOutcomeCache(tmp_path),
+        ).analyze(mutants)
+        assert warm.cache_stats.hits == len(mutants)
+        assert BUILD_CALLS["count"] == 0  # still executes zero mutants
+        assert warm.same_results(cold)
+
+    def test_compaction_drops_superseded_duplicates(self, mutants, tmp_path):
+        cache = MutationOutcomeCache(tmp_path)
+        run(mutants, cache, static_triage=False)
+        analysis = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(), cache=cache,
+        )
+        experiment = analysis.experiment_fingerprint()
+        key = cache.key_for(experiment, mutants[0])
+        entry = cache.lookup(key)
+        cache.store(key, entry.outcome, entry.step_timeouts)  # duplicate
+        before = (tmp_path / SEGMENT_FILE).stat().st_size
+
+        report = cache.compact()
+        assert report.records_kept == len(mutants)
+        assert report.records_dropped == 1
+        assert (tmp_path / SEGMENT_FILE).stat().st_size < before
+        assert MutationOutcomeCache(tmp_path).lookup(key) is not None
+
+    def test_compaction_keeps_other_experiments_entries(self, mutants,
+                                                        tmp_path):
+        # Two configurations share the store; compacting under one must
+        # not drop the other's verdicts (reverting a change still hits).
+        cache = MutationOutcomeCache(tmp_path)
+        default = run(mutants, cache, static_triage=False)
+        budgeted = run(mutants, cache, static_triage=False,
+                       step_budget=123_456)
+        assert budgeted.cache_stats.invalidations == len(mutants)
+        cache.compact()
+
+        reverted = run(mutants, MutationOutcomeCache(tmp_path),
+                       static_triage=False)
+        assert reverted.cache_stats.hits == len(mutants)
+        assert reverted.same_results(default)
+        rebudgeted = run(mutants, MutationOutcomeCache(tmp_path),
+                         static_triage=False, step_budget=123_456)
+        assert rebudgeted.cache_stats.hits == len(mutants)
+
+    def test_compaction_drops_damaged_records(self, mutants, tmp_path):
+        cache = MutationOutcomeCache(tmp_path)
+        run(mutants, cache, static_triage=False)
+        analysis = MutationAnalysis(
+            CSortableObList, small_suite(), oracle=oracle(), cache=cache,
+        )
+        experiment = analysis.experiment_fingerprint()
+        key = cache.key_for(experiment, mutants[0])
+        location = cache._entries[key.entry]
+        with open(cache.segment_path, "r+b") as handle:
+            handle.seek(location.offset + location.length - 8)
+            handle.write(b"\x00" * 8)
+
+        report = cache.compact()
+        assert report.records_kept == len(mutants) - 1
+        assert report.records_dropped == 1
+        result = run(mutants, MutationOutcomeCache(tmp_path),
+                     static_triage=False)
+        assert result.cache_stats.hits == len(mutants) - 1
+        assert result.cache_stats.misses == 1
+
+
+class TestSequentialSharers:
+    """Two cache objects on one directory never clobber each other."""
+
+    def test_second_engine_reads_the_firsts_records(self, mutants, tmp_path):
+        cold = run(mutants, MutationOutcomeCache(tmp_path))
+        warm = run(mutants, MutationOutcomeCache(tmp_path))
+        assert warm.same_results(cold)
+        assert warm.cache_stats.hits == len(mutants)
+
+    def test_stale_sharer_appends_without_clobbering(self, mutants, tmp_path):
+        # The second object scanned the directory while it was still
+        # empty; when it later appends, it must catch up on the first
+        # object's records instead of overwriting them.
+        first = MutationOutcomeCache(tmp_path)
+        stale = MutationOutcomeCache(tmp_path)
+        assert stale.live_records() == 0  # scanned before anything existed
+
+        cold = run(mutants, first, static_triage=False)
+        # The stale index misses until its first append, whose catch-up
+        # absorbs the first object's records (so later lookups may hit).
+        rerun = run(mutants, stale, static_triage=False)
+        assert rerun.same_results(cold)
+        assert rerun.cache_stats.misses >= 1
+        assert (rerun.cache_stats.hits + rerun.cache_stats.misses
+                == len(mutants))
+
+        # Nothing was lost: a fresh reader sees one live copy of each.
+        fresh = MutationOutcomeCache(tmp_path)
+        warm = run(mutants, fresh, static_triage=False)
+        assert warm.cache_stats.hits == len(mutants)
+
+    def test_triage_and_outcomes_share_the_segment(self, mutants, tmp_path):
+        cache = MutationOutcomeCache(tmp_path)
+        run(mutants, cache)  # static triage on: triage verdicts stored too
+        assert cache.live_records() > len(mutants)
+        warm = run(mutants, MutationOutcomeCache(tmp_path))
+        assert warm.cache_stats.hits == len(mutants)

@@ -574,9 +574,12 @@ class TestTriageCache:
         assert cache.lookup_triage(key) is None
         cache.store_triage(key, "bytecode_equivalent", "digest123")
         assert cache.lookup_triage(key) == ("bytecode_equivalent", "digest123")
-        # A corrupt payload is a miss, never an exception.
-        path = cache._triage_path(key)
-        path.write_bytes(b"not a pickle")
+        # A corrupt payload (scribbled segment record) is a miss, never an
+        # exception — the lookup-time CRC rejects it.
+        location = cache._triage_index[key]
+        with open(cache.segment_path, "r+b") as handle:
+            handle.seek(location.offset + location.length - 8)
+            handle.write(b"\x80damaged")
         assert cache.lookup_triage(key) is None
 
     def test_fingerprint_covers_fold_configuration(self):

@@ -1,0 +1,229 @@
+"""Persistent-pool tests: warm workers survive mutants AND batteries.
+
+The throughput claim is that back-to-back batteries (a table2/table3-style
+slice) pay fork + battery-spec shipping once, not once per battery.  The
+observable contract: worker-spawn counts are flat after the first battery,
+an identical battery rerun ships no spec at all (the worker-side epoch
+cache), a worker killed mid-battery is respawned and the replacement's
+verdicts are serial-identical, and pools never leak state across battery
+boundaries (run ids fence stale messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import KillReason, experiment_oracle
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.generate import generate_mutants
+from repro.mutation.parallel import (
+    ParallelMutationAnalysis,
+    WorkerPool,
+    shared_worker_pool,
+    shutdown_shared_pool,
+)
+from repro.obs import MemorySink, Telemetry
+
+from .test_parallel import CRASH_SOURCE, hostile_mutant
+
+SEEDS = (20010701, 7, 99)  # three batteries = a table2-style slice
+MUTANT_COUNT = 10
+
+
+def small_suite(seed: int):
+    suite = DriverGenerator(CSortableObList.__tspec__, seed=seed).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name in ("FindMax", "FindMin")
+               for step in case.steps)
+    )[:30]
+    return replace(suite, cases=relevant)
+
+
+def oracle():
+    return experiment_oracle(CSortableObList.__tspec__)
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    pool, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return pool[:MUTANT_COUNT]
+
+
+def battery(mutants, seed, pool, *, telemetry=None, workers=2,
+            batch_size=None):
+    return ParallelMutationAnalysis(
+        CSortableObList, small_suite(seed), oracle=oracle(),
+        workers=workers, batch_size=batch_size, pool=pool,
+        static_triage=False, telemetry=telemetry,
+    ).analyze(mutants)
+
+
+class TestPoolPersistence:
+    """Spawn counts are flat after battery one."""
+
+    def test_three_battery_slice_spawns_once(self, mutants):
+        with WorkerPool() as pool:
+            spawn_counts = []
+            runs = []
+            for seed in SEEDS:
+                telemetry = Telemetry(sink=MemorySink())
+                runs.append(battery(mutants, seed, pool,
+                                    telemetry=telemetry))
+                counters = telemetry.counters()
+                spawn_counts.append(
+                    counters.get("parallel.workers_spawned", 0)
+                    + counters.get("parallel.respawns", 0)
+                )
+                telemetry.close()
+            assert spawn_counts[0] == 2          # the pool is built once …
+            assert spawn_counts[1:] == [0, 0]    # … and only once
+            assert pool.size == 2                # workers alive at the end
+
+            for seed, run in zip(SEEDS, runs):
+                serial = MutationAnalysis(
+                    CSortableObList, small_suite(seed), oracle=oracle(),
+                    static_triage=False,
+                ).analyze(mutants)
+                assert run.same_results(serial)
+
+    def test_identical_battery_rerun_ships_no_spec(self, mutants):
+        with WorkerPool() as pool:
+            first_telemetry = Telemetry(sink=MemorySink())
+            first = battery(mutants, SEEDS[0], pool,
+                            telemetry=first_telemetry)
+            shipped = first_telemetry.counters().get(
+                "parallel.battery_shipped", 0
+            )
+            first_telemetry.close()
+            assert shipped == 2  # one battery spec per worker
+
+            rerun_telemetry = Telemetry(sink=MemorySink())
+            rerun = battery(mutants, SEEDS[0], pool,
+                            telemetry=rerun_telemetry)
+            reshipped = rerun_telemetry.counters().get(
+                "parallel.battery_shipped", 0
+            )
+            rerun_telemetry.close()
+            # The worker-side epoch cache recognized the identical spec.
+            assert reshipped == 0
+            assert rerun.same_results(first)
+
+    def test_changed_battery_reconfigures_workers(self, mutants):
+        with WorkerPool() as pool:
+            battery(mutants, SEEDS[0], pool)
+            telemetry = Telemetry(sink=MemorySink())
+            battery(mutants, SEEDS[1], pool, telemetry=telemetry)  # new suite
+            shipped = telemetry.counters().get("parallel.battery_shipped", 0)
+            telemetry.close()
+            assert shipped == 2  # different epoch: every worker reconfigured
+
+
+class TestCrashRespawn:
+    """A mid-battery crash respawns a worker whose verdicts stay serial."""
+
+    def test_respawned_worker_finishes_battery_serial_identically(
+            self, mutants):
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0201", CRASH_SOURCE)
+        battery_one = [hostile] + list(mutants[:6])
+        with WorkerPool() as pool:
+            telemetry = Telemetry(sink=MemorySink())
+            run = ParallelMutationAnalysis(
+                CSortableObList, suite, oracle=oracle(), workers=2,
+                pool=pool, static_triage=False, telemetry=telemetry,
+            ).analyze(battery_one)
+            counters = telemetry.counters()
+            telemetry.close()
+
+            assert run.outcomes[0].reason is KillReason.WORKER_CRASH
+            assert counters.get("parallel.respawns", 0) >= 1
+            serial = MutationAnalysis(
+                CSortableObList, suite, oracle=oracle(), static_triage=False,
+            ).analyze(battery_one[1:])
+            assert run.outcomes[1:] == serial.outcomes
+
+    def test_next_battery_reuses_the_respawned_pool(self, mutants):
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0202", CRASH_SOURCE)
+        with WorkerPool() as pool:
+            ParallelMutationAnalysis(
+                CSortableObList, suite, oracle=oracle(), workers=2,
+                pool=pool, static_triage=False,
+            ).analyze([hostile] + list(mutants[:6]))
+
+            # Battery two on the same pool: no new spawns, clean verdicts.
+            telemetry = Telemetry(sink=MemorySink())
+            rerun = battery(mutants, SEEDS[1], pool, telemetry=telemetry)
+            counters = telemetry.counters()
+            telemetry.close()
+            assert counters.get("parallel.workers_spawned", 0) == 0
+            assert counters.get("parallel.respawns", 0) == 0
+            serial = MutationAnalysis(
+                CSortableObList, small_suite(SEEDS[1]), oracle=oracle(),
+                static_triage=False,
+            ).analyze(mutants)
+            assert rerun.same_results(serial)
+
+
+class TestSharedPool:
+    """Engines without an explicit pool share one process-wide pool."""
+
+    def test_default_engines_share_the_module_pool(self, mutants):
+        shutdown_shared_pool()
+        try:
+            first = battery(mutants, SEEDS[0], None)
+            pool = shared_worker_pool()
+            assert pool.size >= 2  # left warm by the first engine
+            workers_before = list(pool.workers)
+            second = battery(mutants, SEEDS[0], None)
+            assert shared_worker_pool() is pool
+            assert pool.workers[:2] == workers_before[:2]  # same processes
+            assert second.same_results(first)
+        finally:
+            shutdown_shared_pool()
+
+    def test_shutdown_closes_and_recreates(self, mutants):
+        battery(mutants, SEEDS[0], None)
+        pool = shared_worker_pool()
+        shutdown_shared_pool()
+        assert pool.closed
+        assert pool.size == 0
+        fresh = shared_worker_pool()
+        assert fresh is not pool
+        shutdown_shared_pool()
+
+    def test_busy_pool_falls_back_to_private(self, mutants):
+        # An engine finding the pool mid-run (e.g. a nested analysis)
+        # must not deadlock or corrupt it: it runs on a private pool.
+        with WorkerPool() as pool:
+            pool.acquire()
+            try:
+                run = battery(mutants[:4], SEEDS[0], pool)
+                assert run.total == 4
+                assert pool.size == 0  # never touched the busy pool
+            finally:
+                pool.release()
+
+
+class TestPoolHygiene:
+    """Dead idle workers are pruned, not classified."""
+
+    def test_worker_killed_between_batteries_is_replaced(self, mutants):
+        with WorkerPool() as pool:
+            first = battery(mutants, SEEDS[0], pool)
+            victim = pool.workers[0]
+            victim.process.kill()
+            victim.process.join()
+
+            rerun = battery(mutants, SEEDS[0], pool)
+            assert rerun.same_results(first)
+            assert pool.size == 2
+            assert all(worker.process.is_alive()
+                       for worker in pool.workers)
