@@ -1,0 +1,95 @@
+"""Scenario sweep throughput — the CI corpus through the sweep runner.
+
+Runs the builtin registry's ``ci`` group (40 scenarios: 5 generated
+families × 2 seeds × 4 operators) once serially and once on 2 workers
+through one :class:`~repro.scenarios.sweep.SweepRunner` each, recording
+wall-clock, scenario/mutant throughput and the determinism check (the two
+runs' deterministic report projections must be byte-identical).  Results
+go to ``BENCH_scenario_sweep.json`` at the repository root.
+
+Speedup is recorded, not asserted — on a single-CPU container the pool
+cannot win.  The guarded properties are determinism across engines and a
+green gate (zero oracle failures, zero scenario errors) on the whole CI
+corpus under real load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.mutation.parallel import shutdown_shared_pool
+from repro.scenarios import SweepRunner, builtin_registry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_scenario_sweep.json"
+
+FILTER = "ci"
+
+
+def run_bench() -> dict:
+    registry = builtin_registry()
+    workspace = Path(tempfile.mkdtemp(prefix="bench-sweep-"))
+
+    serial_report = SweepRunner(
+        registry, workers=1, workspace=workspace
+    ).run(filter_expression=FILTER)
+    parallel_report = SweepRunner(
+        registry, workers=2, workspace=workspace
+    ).run(filter_expression=FILTER)
+    shutdown_shared_pool()
+
+    deterministic = (serial_report.to_json(timings=False)
+                     == parallel_report.to_json(timings=False))
+    return {
+        "benchmark": "scenario_sweep",
+        "workload": {
+            "filter": FILTER,
+            "registry_fingerprint": registry.fingerprint()[:16],
+            "scenarios": len(serial_report.results),
+            "mutants": serial_report.mutants_total,
+            "killed": serial_report.mutants_killed,
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_report.elapsed_seconds, 3),
+        "parallel_seconds": round(parallel_report.elapsed_seconds, 3),
+        "speedup": round(
+            serial_report.elapsed_seconds
+            / parallel_report.elapsed_seconds, 3
+        ),
+        "scenarios_per_second": round(
+            len(serial_report.results)
+            / serial_report.elapsed_seconds, 2
+        ),
+        "deterministic_across_engines": deterministic,
+        "oracle_failures": serial_report.total_oracle_failures,
+        "scenario_errors": len(serial_report.errors),
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_scenario_sweep_throughput(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    assert data["workload"]["scenarios"] == 40
+    assert data["deterministic_across_engines"]
+    assert data["oracle_failures"] == 0
+    assert data["scenario_errors"] == 0
+    assert OUTPUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    write_report(report)
+    print(json.dumps(report, indent=2))

@@ -1,0 +1,74 @@
+"""Discovery of the package's self-testable components.
+
+The scenario registry (:mod:`repro.scenarios.registry`) needs to
+*enumerate* components, not just import a hand-maintained list — a static
+export list drifts the moment a module adds a component.  Discovery scans
+every module of :mod:`repro.components` for classes that satisfy the
+package's self-testability contract: a :class:`~repro.bit.builtintest
+.BuiltInTest` subclass defined in that module with an attached
+``__tspec__``.  The package ``__all__`` is derived from the same scan, so
+exports and registry coverage cannot disagree.
+
+Per-component execution context (the type model the C++-typing gate needs,
+the ambient-state setup a component requires) also lives here, keyed by
+discovered name.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Callable, Dict, Optional
+
+from ..bit.builtintest import BuiltInTest
+
+
+def discover_components() -> Dict[str, type]:
+    """name → class for every self-testable component in the package.
+
+    Deterministic: modules are scanned in sorted order and the result is
+    name-sorted.  A class counts when it (a) subclasses ``BuiltInTest``,
+    (b) is defined in the scanned module (not merely imported into it),
+    and (c) carries an embedded t-spec.
+    """
+    package = importlib.import_module("repro.components")
+    found: Dict[str, type] = {}
+    for info in sorted(pkgutil.iter_modules(package.__path__),
+                       key=lambda entry: entry.name):
+        module = importlib.import_module(f"repro.components.{info.name}")
+        for value in vars(module).values():
+            if (isinstance(value, type)
+                    and issubclass(value, BuiltInTest)
+                    and value is not BuiltInTest
+                    and value.__module__ == module.__name__
+                    and hasattr(value, "__tspec__")):
+                found[value.__name__] = value
+    return dict(sorted(found.items()))
+
+
+def component_by_name(name: str) -> type:
+    """The discovered component class for ``name`` (KeyError when absent)."""
+    return discover_components()[name]
+
+
+def type_model_for(name: str):
+    """The C++-typing model generation/triage should gate with, or None."""
+    if name in ("CObList", "CSortableObList"):
+        from .specs import OBLIST_TYPE_MODEL
+
+        return OBLIST_TYPE_MODEL
+    return None
+
+
+def setup_for(name: str) -> Optional[Callable[[], None]]:
+    """The ambient-state reset a component's runs need, or None.
+
+    ``Product`` (and anything sharing its database) reads and writes the
+    module-global :data:`~repro.components.product.DATABASE`; every suite
+    execution must start from an empty one or runs would couple.
+    """
+    if name in ("Product", "Provider"):
+        from .product import reset_database
+
+        return reset_database
+    return None

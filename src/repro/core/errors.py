@@ -173,3 +173,17 @@ class MutantCompileError(MutationError):
 
 class SandboxTimeout(MutationError):
     """A mutant exceeded its execution step budget (assumed infinite loop)."""
+
+
+# ---------------------------------------------------------------------------
+# Scenario corpus errors
+# ---------------------------------------------------------------------------
+
+
+class ScenarioError(ReproError):
+    """A scenario registry or sweep configuration is invalid.
+
+    Raised with *every* problem found (one per line), not just the first —
+    a corpus of hundreds of declarative entries is fixed in one pass or
+    not at all.
+    """

@@ -81,6 +81,17 @@ def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_workers_argument(parser: argparse.ArgumentParser,
+                         default: int = 1) -> None:
+    """The shared ``--workers N`` flag (serial when 1; the parallel
+    engine's verdicts are field-for-field identical at any count)."""
+    parser.add_argument(
+        "--workers", type=int, default=default, metavar="N",
+        help="worker processes for mutation analysis "
+             f"(default {default}; 1 = serial engine, verdicts identical)",
+    )
+
+
 def add_throughput_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("dispatch throughput")
     group.add_argument(

@@ -208,6 +208,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_prune_arguments,
         add_throughput_arguments,
         add_triage_arguments,
+        add_workers_argument,
         batch_size_from_arguments,
         cache_from_arguments,
         compact_cache,
@@ -221,10 +222,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate Table 1 (interface mutation operators)."
     )
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool size for the per-operator fan-out (default: 1)",
-    )
+    add_workers_argument(parser)
     parser.add_argument(
         "--with-analysis", action="store_true",
         help="also execute the typed CSortableObList pool and report "

@@ -131,25 +131,13 @@ def run_table2(seed: int = EXPERIMENT_SEED,
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: ``python -m repro.experiments.table2 [--workers N] …``."""
-    parser = argparse.ArgumentParser(
-        description="Run experiment 1 (Table 2: CSortableObList mutation)."
-    )
-    parser.add_argument("--workers", type=int, default=1,
-                        help="mutation-analysis worker processes (default: 1)")
-    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
-                        help="suite-generation seed")
-    parser.add_argument("--methods", nargs="+", default=list(TABLE2_METHODS),
-                        help="methods to mutate (default: the Table 2 rows)")
-    parser.add_argument("--max-cases", type=int, default=None,
-                        help="truncate the suite (smoke runs only)")
-    parser.add_argument("--no-equivalence", action="store_true",
-                        help="skip the equivalence probe")
     from .cli import (
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
         add_throughput_arguments,
         add_triage_arguments,
+        add_workers_argument,
         batch_size_from_arguments,
         cache_from_arguments,
         compact_cache,
@@ -160,6 +148,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry_from_arguments,
     )
 
+    parser = argparse.ArgumentParser(
+        description="Run experiment 1 (Table 2: CSortableObList mutation)."
+    )
+    add_workers_argument(parser)
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="suite-generation seed")
+    parser.add_argument("--methods", nargs="+", default=list(TABLE2_METHODS),
+                        help="methods to mutate (default: the Table 2 rows)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="truncate the suite (smoke runs only)")
+    parser.add_argument("--no-equivalence", action="store_true",
+                        help="skip the equivalence probe")
     add_cache_arguments(parser)
     add_throughput_arguments(parser)
     add_prune_arguments(parser)

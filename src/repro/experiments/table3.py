@@ -164,26 +164,13 @@ def run_table3(seed: int = EXPERIMENT_SEED,
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: ``python -m repro.experiments.table3 [--workers N] …``."""
-    parser = argparse.ArgumentParser(
-        description="Run experiment 2 (Table 3: base-class faults, "
-                    "incremental subclass suite)."
-    )
-    parser.add_argument("--workers", type=int, default=1,
-                        help="mutation-analysis worker processes (default: 1)")
-    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
-                        help="suite-generation seed")
-    parser.add_argument("--methods", nargs="+", default=list(TABLE3_METHODS),
-                        help="base-class methods to mutate")
-    parser.add_argument("--max-cases", type=int, default=None,
-                        help="truncate the suites (smoke runs only)")
-    parser.add_argument("--contrast", action="store_true",
-                        help="also run the base-suite and full-suite contrasts")
     from .cli import (
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
         add_throughput_arguments,
         add_triage_arguments,
+        add_workers_argument,
         batch_size_from_arguments,
         cache_from_arguments,
         compact_cache,
@@ -194,6 +181,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry_from_arguments,
     )
 
+    parser = argparse.ArgumentParser(
+        description="Run experiment 2 (Table 3: base-class faults, "
+                    "incremental subclass suite)."
+    )
+    add_workers_argument(parser)
+    parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
+                        help="suite-generation seed")
+    parser.add_argument("--methods", nargs="+", default=list(TABLE3_METHODS),
+                        help="base-class methods to mutate")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="truncate the suites (smoke runs only)")
+    parser.add_argument("--contrast", action="store_true",
+                        help="also run the base-suite and full-suite contrasts")
     add_cache_arguments(parser)
     add_throughput_arguments(parser)
     add_prune_arguments(parser)

@@ -238,6 +238,38 @@ class MutantGenerator:
         return compatible(variable_tag, replacement_tag)
 
 
+def build_battery(target: type, method_names: Sequence[str],
+                  operator_names: Optional[Sequence[str]] = None,
+                  type_model: Optional[TypeModel] = None,
+                  max_mutants: int = 0,
+                  ident_prefix: str = "M",
+                  telemetry: Optional[Telemetry] = None,
+                  ) -> Tuple[List[CompiledMutant], GenerationReport, bool]:
+    """A mutant battery from declarative inputs (registry entries).
+
+    Unlike :func:`generate_mutants`, operators are selected by *name*
+    (strict resolution, Table-1 order preserved) and the battery can be
+    bounded: ``max_mutants > 0`` keeps the first N mutants in generation
+    order — a deterministic prefix, so a budgeted scenario is a prefix of
+    its unbudgeted self.  Returns ``(mutants, report, truncated)``.
+    """
+    from .operators import select_operators
+
+    operators = (select_operators(operator_names)
+                 if operator_names is not None else ALL_OPERATORS)
+    mutants, report = generate_mutants(
+        target, method_names,
+        operators=operators,
+        ident_prefix=ident_prefix,
+        type_model=type_model,
+        telemetry=telemetry,
+    )
+    truncated = bool(max_mutants) and len(mutants) > max_mutants
+    if truncated:
+        mutants = mutants[:max_mutants]
+    return mutants, report, truncated
+
+
 def generate_mutants(target: type, method_names: Sequence[str],
                      operators: Optional[Sequence[MutationOperator]] = None,
                      ident_prefix: str = "M",

@@ -29,6 +29,30 @@ ALL_OPERATORS = (
 
 OPERATOR_NAMES = tuple(operator.name for operator in ALL_OPERATORS)
 
+#: name → operator instance, for declarative configs that select by name.
+OPERATORS_BY_NAME = {operator.name: operator for operator in ALL_OPERATORS}
+
+
+def select_operators(names):
+    """Resolve operator names to instances, preserving Table-1 order.
+
+    Declarative scenario configs name their operator subset; resolution is
+    order-insensitive (the battery always applies operators in the
+    paper's column order) and strict — an unknown name raises
+    :class:`~repro.core.errors.MutationError` listing the valid set.
+    """
+    from ...core.errors import MutationError
+
+    unknown = sorted(set(names) - set(OPERATOR_NAMES))
+    if unknown:
+        raise MutationError(
+            f"unknown mutation operator(s) {', '.join(unknown)}; "
+            f"valid: {', '.join(OPERATOR_NAMES)}"
+        )
+    wanted = set(names)
+    return tuple(op for op in ALL_OPERATORS if op.name in wanted)
+
+
 __all__ = [
     "ALL_OPERATORS",
     "IndVarBitNeg",
@@ -42,7 +66,9 @@ __all__ = [
     "MutationOperator",
     "MutationPoint",
     "OPERATOR_NAMES",
+    "OPERATORS_BY_NAME",
     "OperatorRegistry",
+    "select_operators",
     "REQUIRED_CONSTANTS",
     "UseSite",
     "infer_attribute_universe",

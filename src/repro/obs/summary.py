@@ -8,7 +8,7 @@ CI row-diffs between instrumented and plain runs can strip it with one
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping
 
 if TYPE_CHECKING:
     from .telemetry import Telemetry
@@ -20,6 +20,21 @@ def _duration(seconds: float) -> str:
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds * 1e6:.0f}µs"
+
+
+def aggregate_counters(counter_maps: Iterable[Mapping[str, int]]
+                       ) -> Dict[str, int]:
+    """Merge per-run counter maps by summation, name-sorted.
+
+    Sweep-level aggregation: the scenario sweep runner collects one
+    counter map per shard report and merges them here, so a sharded CI
+    sweep's merged report carries fleet totals, not per-shard fragments.
+    """
+    totals: Dict[str, int] = {}
+    for counters in counter_maps:
+        for name, value in counters.items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return dict(sorted(totals.items()))
 
 
 def render_summary(telemetry: "Telemetry") -> str:

@@ -1,0 +1,659 @@
+"""Component families the scenario generator can synthesize.
+
+Each family is a blueprint for a whole class of self-testable components:
+given a deterministic RNG it draws a *t-spec* (domains, optional methods,
+optional TFM structure vary with the seed) and emits matching Python
+source.  Every generated component follows the same architecture:
+
+* a **primary representation** written the way a C++ component would be —
+  index arithmetic, parallel arrays, modular rings — which is exactly the
+  surface the IND mutation operators perturb (plenty of non-interface
+  local and member variable uses);
+* a **reference-model shadow** — a trivially-correct Python structure
+  (list, dict) updated alongside the primary representation — compared by
+  ``class_invariant``, so every generated component carries a model-based
+  oracle for free (the Polikarpova-style argument: the shadow is too
+  simple to be wrong the same way the primary code is);
+* **contracts** (`check_precondition` / `check_postcondition`) at the
+  paper's Figure-4 positions.
+
+Every method is *total* on its declared domains (full/empty cases return
+sentinels rather than raising), so the unmutated component passes its BIT
+suite by construction — the soundness property the scenario property
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..core.domains import RangeDomain
+from ..core.rng import ReproRandom
+from ..tspec.builder import SpecBuilder
+from ..tspec.model import ClassSpec
+
+#: A family synthesizer: (rng, class_name) → (validated spec, class source).
+FamilySynthesizer = Callable[[ReproRandom, str], Tuple[ClassSpec, str]]
+
+
+@dataclass(frozen=True)
+class FamilyBlueprint:
+    """One synthesizable family: name, fault-class tags, synthesizer."""
+
+    name: str
+    class_prefix: str
+    description: str
+    default_tags: Tuple[str, ...]
+    synthesize: FamilySynthesizer
+
+
+def _spec_nodes(builder: SpecBuilder, class_name: str,
+                work_methods: Tuple[str, ...],
+                view_methods: Tuple[str, ...],
+                split_view: bool) -> None:
+    """The shared TFM shape: birth → work (⟲) → death, with the access
+    methods either folded into the work node or split into a view node
+    reachable from work — the seed decides, so the transaction structure
+    itself varies across the family."""
+    builder.node("birth", [class_name], start=True)
+    if split_view and view_methods:
+        builder.node("work", list(work_methods))
+        builder.node("view", list(view_methods))
+        builder.node("death", ["dispose"])
+        builder.edge("birth", "work")
+        builder.edge("work", "work")
+        builder.edge("work", "view")
+        builder.edge("view", "work")
+        builder.edge("view", "death")
+        builder.edge("work", "death")
+        builder.edge("birth", "death")
+    else:
+        builder.node("work", list(work_methods + view_methods))
+        builder.node("death", ["dispose"])
+        builder.edge("birth", "work")
+        builder.edge("work", "work")
+        builder.edge("work", "death")
+        builder.edge("birth", "death")
+
+
+# ---------------------------------------------------------------------------
+# bounded stack
+# ---------------------------------------------------------------------------
+
+def _synthesize_stack(rng: ReproRandom, class_name: str
+                      ) -> Tuple[ClassSpec, str]:
+    cap_max = rng.randint(4, 12)
+    low = rng.randint(-30, 0)
+    high = rng.randint(10, 60)
+    sentinel = low - 1
+    with_clear = rng.boolean()
+    split_view = rng.boolean()
+
+    builder = SpecBuilder(class_name)
+    builder.constructor(class_name, [("capacity", RangeDomain(1, cap_max))])
+    builder.method("Push", [("value", RangeDomain(low, high))],
+                   category="update", return_type="bool")
+    builder.method("Pop", category="update", return_type="int")
+    if with_clear:
+        builder.method("Clear", category="process", return_type="int")
+    builder.method("Top", category="access", return_type="int")
+    builder.method("Size", category="access", return_type="int")
+    builder.destructor("dispose")
+    work = ("Push", "Pop") + (("Clear",) if with_clear else ())
+    _spec_nodes(builder, class_name, work, ("Top", "Size"), split_view)
+    spec = builder.build()
+
+    clear_source = f'''
+    def Clear(self) -> int:
+        removed = self._top
+        self._slots.clear()
+        self._model.clear()
+        self._top = 0
+        check_postcondition(lambda: self._top == 0,
+                            subject="{class_name}.Clear")
+        return removed
+''' if with_clear else ""
+
+    source = f'''class {class_name}(BuiltInTest, metaclass=GeneratedComponentMeta):
+    """Bounded LIFO stack (generated; capacity <= {cap_max})."""
+
+    def __init__(self, capacity: int):
+        check_precondition(lambda: 1 <= int(capacity) <= {cap_max},
+                           subject="{class_name}.__init__",
+                           message="capacity must be in [1, {cap_max}]")
+        limit = int(capacity)
+        self._capacity = limit
+        self._slots: List[int] = []
+        self._top = 0
+        self._model: List[int] = []
+
+    def class_invariant(self) -> bool:
+        return (0 <= self._top <= self._capacity
+                and self._top == len(self._slots)
+                and self._slots == self._model)
+
+    def bit_state(self) -> dict:
+        return {{"capacity": self._capacity, "items": list(self._slots)}}
+
+    def Push(self, value: int) -> bool:
+        if self._top >= self._capacity:
+            return False
+        slot = self._top
+        self._slots.append(value)
+        self._top = slot + 1
+        self._model.append(value)
+        check_postcondition(lambda: self._top == slot + 1,
+                            subject="{class_name}.Push")
+        return True
+
+    def Pop(self) -> int:
+        if self._top == 0:
+            return {sentinel}
+        index = self._top - 1
+        value = self._slots.pop()
+        self._top = index
+        expected = self._model.pop()
+        check_postcondition(lambda: value == expected,
+                            subject="{class_name}.Pop")
+        return value
+{clear_source}
+    def Top(self) -> int:
+        if self._top == 0:
+            return {sentinel}
+        return self._slots[self._top - 1]
+
+    def Size(self) -> int:
+        return self._top
+
+    def dispose(self) -> None:
+        self._slots.clear()
+        self._model.clear()
+        self._top = 0
+'''
+    return spec, source
+
+
+# ---------------------------------------------------------------------------
+# FIFO queue
+# ---------------------------------------------------------------------------
+
+def _synthesize_queue(rng: ReproRandom, class_name: str
+                      ) -> Tuple[ClassSpec, str]:
+    cap_max = rng.randint(3, 10)
+    low = rng.randint(-20, 0)
+    high = rng.randint(5, 40)
+    sentinel = low - 1
+    with_drain = rng.boolean()
+    split_view = rng.boolean()
+
+    builder = SpecBuilder(class_name)
+    builder.constructor(class_name, [("capacity", RangeDomain(1, cap_max))])
+    builder.method("Enqueue", [("value", RangeDomain(low, high))],
+                   category="update", return_type="bool")
+    builder.method("Dequeue", category="update", return_type="int")
+    if with_drain:
+        builder.method("Drain", category="process", return_type="int")
+    builder.method("Front", category="access", return_type="int")
+    builder.method("Length", category="access", return_type="int")
+    builder.destructor("dispose")
+    work = ("Enqueue", "Dequeue") + (("Drain",) if with_drain else ())
+    _spec_nodes(builder, class_name, work, ("Front", "Length"), split_view)
+    spec = builder.build()
+
+    drain_source = f'''
+    def Drain(self) -> int:
+        drained = len(self._model)
+        self._buffer = []
+        self._head = 0
+        self._model.clear()
+        check_postcondition(lambda: self._head == 0,
+                            subject="{class_name}.Drain")
+        return drained
+''' if with_drain else ""
+
+    source = f'''class {class_name}(BuiltInTest, metaclass=GeneratedComponentMeta):
+    """Bounded FIFO queue (generated; head-index + lazy compaction)."""
+
+    def __init__(self, capacity: int):
+        check_precondition(lambda: 1 <= int(capacity) <= {cap_max},
+                           subject="{class_name}.__init__",
+                           message="capacity must be in [1, {cap_max}]")
+        self._capacity = int(capacity)
+        self._buffer: List[int] = []
+        self._head = 0
+        self._model: List[int] = []
+
+    def class_invariant(self) -> bool:
+        return (0 <= self._head <= len(self._buffer)
+                and len(self._model) <= self._capacity
+                and self._buffer[self._head:] == self._model)
+
+    def bit_state(self) -> dict:
+        return {{"capacity": self._capacity,
+                 "items": list(self._buffer[self._head:])}}
+
+    def Enqueue(self, value: int) -> bool:
+        pending = len(self._buffer) - self._head
+        if pending >= self._capacity:
+            return False
+        self._buffer.append(value)
+        self._model.append(value)
+        check_postcondition(
+            lambda: len(self._buffer) - self._head == pending + 1,
+            subject="{class_name}.Enqueue")
+        return True
+
+    def Dequeue(self) -> int:
+        if self._head >= len(self._buffer):
+            return {sentinel}
+        index = self._head
+        value = self._buffer[index]
+        self._head = index + 1
+        if self._head * 2 > len(self._buffer):
+            self._buffer = self._buffer[self._head:]
+            self._head = 0
+        expected = self._model.pop(0)
+        check_postcondition(lambda: value == expected,
+                            subject="{class_name}.Dequeue")
+        return value
+{drain_source}
+    def Front(self) -> int:
+        if self._head >= len(self._buffer):
+            return {sentinel}
+        return self._buffer[self._head]
+
+    def Length(self) -> int:
+        return len(self._buffer) - self._head
+
+    def dispose(self) -> None:
+        self._buffer = []
+        self._head = 0
+        self._model.clear()
+'''
+    return spec, source
+
+
+# ---------------------------------------------------------------------------
+# key–value map
+# ---------------------------------------------------------------------------
+
+def _synthesize_kvmap(rng: ReproRandom, class_name: str
+                      ) -> Tuple[ClassSpec, str]:
+    cap_max = rng.randint(3, 8)
+    key_low = rng.randint(0, 3)
+    key_high = key_low + rng.randint(3, 9)
+    value_low = rng.randint(-15, 0)
+    value_high = rng.randint(5, 30)
+    sentinel = value_low - 1
+    with_reset = rng.boolean()
+    split_view = rng.boolean()
+
+    builder = SpecBuilder(class_name)
+    builder.constructor(class_name, [("capacity", RangeDomain(1, cap_max))])
+    builder.method("Put", [("key", RangeDomain(key_low, key_high)),
+                           ("value", RangeDomain(value_low, value_high))],
+                   category="update", return_type="bool")
+    builder.method("Remove", [("key", RangeDomain(key_low, key_high))],
+                   category="update", return_type="bool")
+    if with_reset:
+        builder.method("Reset", category="process", return_type="int")
+    builder.method("Get", [("key", RangeDomain(key_low, key_high))],
+                   category="access", return_type="int")
+    builder.method("Count", category="access", return_type="int")
+    builder.destructor("dispose")
+    work = ("Put", "Remove") + (("Reset",) if with_reset else ())
+    _spec_nodes(builder, class_name, work, ("Get", "Count"), split_view)
+    spec = builder.build()
+
+    reset_source = f'''
+    def Reset(self) -> int:
+        cleared = len(self._keys)
+        self._keys.clear()
+        self._values.clear()
+        self._model.clear()
+        check_postcondition(lambda: len(self._keys) == 0,
+                            subject="{class_name}.Reset")
+        return cleared
+''' if with_reset else ""
+
+    source = f'''class {class_name}(BuiltInTest, metaclass=GeneratedComponentMeta):
+    """Bounded key–value map (generated; parallel key/value arrays)."""
+
+    def __init__(self, capacity: int):
+        check_precondition(lambda: 1 <= int(capacity) <= {cap_max},
+                           subject="{class_name}.__init__",
+                           message="capacity must be in [1, {cap_max}]")
+        self._capacity = int(capacity)
+        self._keys: List[int] = []
+        self._values: List[int] = []
+        self._model: Dict[int, int] = {{}}
+
+    def class_invariant(self) -> bool:
+        return (len(self._keys) == len(self._values)
+                and len(self._keys) <= self._capacity
+                and len(set(self._keys)) == len(self._keys)
+                and dict(zip(self._keys, self._values)) == self._model)
+
+    def bit_state(self) -> dict:
+        return {{"capacity": self._capacity,
+                 "entries": sorted(zip(self._keys, self._values))}}
+
+    def _find(self, key: int) -> int:
+        for position, existing in enumerate(self._keys):
+            if existing == key:
+                return position
+        return -1
+
+    def Put(self, key: int, value: int) -> bool:
+        index = self._find(key)
+        if index >= 0:
+            self._values[index] = value
+            self._model[key] = value
+            check_postcondition(lambda: self._values[index] == value,
+                                subject="{class_name}.Put")
+            return True
+        if len(self._keys) >= self._capacity:
+            return False
+        self._keys.append(key)
+        self._values.append(value)
+        self._model[key] = value
+        check_postcondition(lambda: len(self._keys) <= self._capacity,
+                            subject="{class_name}.Put")
+        return True
+
+    def Remove(self, key: int) -> bool:
+        index = self._find(key)
+        if index < 0:
+            return False
+        last = len(self._keys) - 1
+        self._keys[index] = self._keys[last]
+        self._values[index] = self._values[last]
+        self._keys.pop()
+        self._values.pop()
+        removed = self._model.pop(key)
+        check_postcondition(lambda: removed is not None,
+                            subject="{class_name}.Remove")
+        return True
+{reset_source}
+    def Get(self, key: int) -> int:
+        index = self._find(key)
+        if index < 0:
+            return {sentinel}
+        return self._values[index]
+
+    def Count(self) -> int:
+        return len(self._keys)
+
+    def dispose(self) -> None:
+        self._keys.clear()
+        self._values.clear()
+        self._model.clear()
+'''
+    return spec, source
+
+
+# ---------------------------------------------------------------------------
+# ring buffer
+# ---------------------------------------------------------------------------
+
+def _synthesize_ringbuffer(rng: ReproRandom, class_name: str
+                           ) -> Tuple[ClassSpec, str]:
+    ring_max = rng.randint(3, 9)
+    low = rng.randint(-25, 0)
+    high = rng.randint(5, 50)
+    fill = rng.randint(low, high)
+    sentinel = low - 1
+    with_rotate = rng.boolean()
+    split_view = rng.boolean()
+
+    builder = SpecBuilder(class_name)
+    builder.constructor(class_name, [("size", RangeDomain(2, ring_max))])
+    builder.method("Write", [("value", RangeDomain(low, high))],
+                   category="update", return_type="int")
+    builder.method("Read", category="update", return_type="int")
+    if with_rotate:
+        builder.method("Rotate", category="process", return_type="bool")
+    builder.method("Peek", category="access", return_type="int")
+    builder.method("Fill", category="access", return_type="int")
+    builder.destructor("dispose")
+    work = ("Write", "Read") + (("Rotate",) if with_rotate else ())
+    _spec_nodes(builder, class_name, work, ("Peek", "Fill"), split_view)
+    spec = builder.build()
+
+    rotate_source = f'''
+    def Rotate(self) -> bool:
+        if self._count == 0:
+            return False
+        moved = self._ring[self._start]
+        self._start = (self._start + 1) % len(self._ring)
+        slot = (self._start + self._count - 1) % len(self._ring)
+        self._ring[slot] = moved
+        shifted = self._model.pop(0)
+        self._model.append(shifted)
+        check_postcondition(lambda: shifted == moved,
+                            subject="{class_name}.Rotate")
+        return True
+''' if with_rotate else ""
+
+    source = f'''class {class_name}(BuiltInTest, metaclass=GeneratedComponentMeta):
+    """Overwriting ring buffer (generated; modular start/count indexing)."""
+
+    def __init__(self, size: int):
+        check_precondition(lambda: 2 <= int(size) <= {ring_max},
+                           subject="{class_name}.__init__",
+                           message="size must be in [2, {ring_max}]")
+        length = int(size)
+        self._ring: List[int] = [{fill}] * length
+        self._start = 0
+        self._count = 0
+        self._model: List[int] = []
+
+    def class_invariant(self) -> bool:
+        length = len(self._ring)
+        ordered = [self._ring[(self._start + offset) % length]
+                   for offset in range(self._count)]
+        return (0 <= self._start < length
+                and 0 <= self._count <= length
+                and ordered == self._model)
+
+    def bit_state(self) -> dict:
+        return {{"size": len(self._ring), "items": list(self._model)}}
+
+    def Write(self, value: int) -> int:
+        length = len(self._ring)
+        slot = (self._start + self._count) % length
+        self._ring[slot] = value
+        if self._count == length:
+            self._start = (self._start + 1) % length
+            self._model.pop(0)
+        else:
+            self._count = self._count + 1
+        self._model.append(value)
+        check_postcondition(lambda: len(self._model) == self._count,
+                            subject="{class_name}.Write")
+        return slot
+
+    def Read(self) -> int:
+        if self._count == 0:
+            return {sentinel}
+        value = self._ring[self._start]
+        self._start = (self._start + 1) % len(self._ring)
+        self._count = self._count - 1
+        expected = self._model.pop(0)
+        check_postcondition(lambda: value == expected,
+                            subject="{class_name}.Read")
+        return value
+{rotate_source}
+    def Peek(self) -> int:
+        if self._count == 0:
+            return {sentinel}
+        return self._ring[self._start]
+
+    def Fill(self) -> int:
+        return self._count
+
+    def dispose(self) -> None:
+        self._start = 0
+        self._count = 0
+        self._model.clear()
+'''
+    return spec, source
+
+
+# ---------------------------------------------------------------------------
+# counter / state machine
+# ---------------------------------------------------------------------------
+
+def _synthesize_machine(rng: ReproRandom, class_name: str
+                        ) -> Tuple[ClassSpec, str]:
+    limit_max = rng.randint(4, 15)
+    step = rng.randint(1, 3)
+    with_reset = rng.boolean()
+    split_view = rng.boolean()
+
+    builder = SpecBuilder(class_name)
+    builder.constructor(class_name, [("limit", RangeDomain(1, limit_max))])
+    builder.method("Start", category="update", return_type="bool")
+    builder.method("Pause", category="update", return_type="bool")
+    builder.method("Tick", category="update", return_type="int")
+    if with_reset:
+        builder.method("Reset", category="process", return_type="bool")
+    builder.method("Status", category="access", return_type="int")
+    builder.method("Ticks", category="access", return_type="int")
+    builder.destructor("dispose")
+    work = ("Start", "Pause", "Tick") + (("Reset",) if with_reset else ())
+    _spec_nodes(builder, class_name, work, ("Status", "Ticks"), split_view)
+    spec = builder.build()
+
+    reset_source = f'''
+    def Reset(self) -> bool:
+        self._state = 0
+        self._ticks = 0
+        self._model["state"] = 0
+        self._model["ticks"] = 0
+        check_postcondition(lambda: self._ticks == 0,
+                            subject="{class_name}.Reset")
+        return True
+''' if with_reset else ""
+
+    source = f'''class {class_name}(BuiltInTest, metaclass=GeneratedComponentMeta):
+    """Saturating tick counter with a 3-state lifecycle (generated).
+
+    States: 0 = idle, 1 = running, 2 = paused.  ``Tick`` advances by
+    {step} while running, saturating at the constructed limit.
+    """
+
+    def __init__(self, limit: int):
+        check_precondition(lambda: 1 <= int(limit) <= {limit_max},
+                           subject="{class_name}.__init__",
+                           message="limit must be in [1, {limit_max}]")
+        self._limit = int(limit)
+        self._state = 0
+        self._ticks = 0
+        self._model: Dict[str, int] = {{"state": 0, "ticks": 0}}
+
+    def class_invariant(self) -> bool:
+        return (self._state in (0, 1, 2)
+                and 0 <= self._ticks <= self._limit
+                and self._model["state"] == self._state
+                and self._model["ticks"] == self._ticks)
+
+    def bit_state(self) -> dict:
+        return {{"state": self._state, "ticks": self._ticks,
+                 "limit": self._limit}}
+
+    def Start(self) -> bool:
+        if self._state == 1:
+            return False
+        self._state = 1
+        self._model["state"] = 1
+        check_postcondition(lambda: self._state == 1,
+                            subject="{class_name}.Start")
+        return True
+
+    def Pause(self) -> bool:
+        if self._state != 1:
+            return False
+        self._state = 2
+        self._model["state"] = 2
+        check_postcondition(lambda: self._state == 2,
+                            subject="{class_name}.Pause")
+        return True
+
+    def Tick(self) -> int:
+        if self._state != 1:
+            return self._ticks
+        advanced = self._ticks + {step}
+        if advanced > self._limit:
+            advanced = self._limit
+        self._ticks = advanced
+        self._model["ticks"] = advanced
+        check_postcondition(lambda: self._ticks <= self._limit,
+                            subject="{class_name}.Tick")
+        return advanced
+{reset_source}
+    def Status(self) -> int:
+        return self._state
+
+    def Ticks(self) -> int:
+        return self._ticks
+
+    def dispose(self) -> None:
+        self._state = 0
+        self._ticks = 0
+        self._model["state"] = 0
+        self._model["ticks"] = 0
+'''
+    return spec, source
+
+
+# ---------------------------------------------------------------------------
+# the registry of families
+# ---------------------------------------------------------------------------
+
+FAMILIES: Dict[str, FamilyBlueprint] = {
+    "stack": FamilyBlueprint(
+        name="stack",
+        class_prefix="GenStack",
+        description="bounded LIFO stack over an index-tracked array",
+        default_tags=("boundary", "ordering", "state-drop",
+                      "shadow-divergence"),
+        synthesize=_synthesize_stack,
+    ),
+    "queue": FamilyBlueprint(
+        name="queue",
+        class_prefix="GenQueue",
+        description="bounded FIFO queue with head index and lazy compaction",
+        default_tags=("boundary", "ordering", "state-drop",
+                      "shadow-divergence"),
+        synthesize=_synthesize_queue,
+    ),
+    "kvmap": FamilyBlueprint(
+        name="kvmap",
+        class_prefix="GenKvMap",
+        description="bounded key–value map over parallel key/value arrays",
+        default_tags=("interface-value", "state-corruption",
+                      "shadow-divergence"),
+        synthesize=_synthesize_kvmap,
+    ),
+    "ringbuffer": FamilyBlueprint(
+        name="ringbuffer",
+        class_prefix="GenRing",
+        description="overwriting ring buffer with modular start/count",
+        default_tags=("boundary", "ordering", "saturation",
+                      "shadow-divergence"),
+        synthesize=_synthesize_ringbuffer,
+    ),
+    "machine": FamilyBlueprint(
+        name="machine",
+        class_prefix="GenMachine",
+        description="saturating tick counter with a 3-state lifecycle",
+        default_tags=("lifecycle", "saturation", "state-corruption",
+                      "shadow-divergence"),
+        synthesize=_synthesize_machine,
+    ),
+}
+
+#: Family names in deterministic order (registry construction, docs).
+FAMILY_NAMES: Tuple[str, ...] = tuple(sorted(FAMILIES))

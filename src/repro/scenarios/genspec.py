@@ -1,0 +1,165 @@
+"""Seeded synthesis of self-testable components.
+
+A :class:`GeneratorSpec` is the two-field recipe — ``(family, seed)`` —
+from which :func:`synthesize` deterministically produces a
+:class:`GeneratedComponent`: real Python module source with BIT methods,
+contracts and a reference-model shadow, plus the validated
+:class:`~repro.tspec.model.ClassSpec` embedded as t-spec text.
+
+Soundness is checked at synthesis time, not trusted:
+
+* the drawn spec passes :func:`~repro.tspec.validate.validate` (the
+  builder runs it);
+* the embedded t-spec text round-trips through the writer→parser pipeline
+  to a spec ``normalized()``-equal to the drawn one, and the writer is a
+  fixed point on the parsed result — so the generated module's import-time
+  ``parse_tspec`` provably reattaches the same spec;
+* the module source compiles.
+
+Everything downstream (materialization, suite generation, mutation) then
+treats the generated component exactly like a hand-written one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import GenerationError
+from ..core.fingerprint import canonical, sha256_hex
+from ..core.rng import ReproRandom
+from ..tspec.model import ClassSpec
+from ..tspec.parser import parse_tspec
+from ..tspec.writer import write_tspec
+from .families import FAMILIES, FAMILY_NAMES
+
+_MODULE_TEMPLATE = '''"""Generated self-testable component ({family} family, seed {seed}).
+
+Synthesized by ``repro.scenarios.genspec`` — do not edit.  ``TSPEC_TEXT``
+is the t-spec writer's rendering of the component's drawn ClassSpec and is
+parsed back at import time to attach ``__tspec__``, so the embedded spec
+rides the writer→parser round-trip on every import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bit.assertions import check_postcondition, check_precondition
+from repro.bit.builtintest import BuiltInTest
+from repro.scenarios.runtime import GeneratedComponentMeta
+from repro.tspec.parser import parse_tspec
+
+TSPEC_TEXT = """\\
+{tspec_text}"""
+
+
+{class_source}
+
+{class_name}.__tspec__ = parse_tspec(TSPEC_TEXT)
+'''
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """The recipe for one generated component: a family and a seed."""
+
+    family: str
+    seed: int
+
+    def __post_init__(self):
+        if self.family not in FAMILIES:
+            raise GenerationError(
+                f"unknown component family {self.family!r} "
+                f"(known: {', '.join(FAMILY_NAMES)})"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise GenerationError(
+                f"generator seed must be a non-negative int, "
+                f"got {self.seed!r}"
+            )
+
+    @property
+    def class_name(self) -> str:
+        return f"{FAMILIES[self.family].class_prefix}S{self.seed}"
+
+    def fingerprint(self) -> str:
+        return sha256_hex("genspec", canonical(self))
+
+
+@dataclass(frozen=True)
+class GeneratedComponent:
+    """The synthesized artefact: module source plus its validated spec."""
+
+    family: str
+    seed: int
+    class_name: str
+    module_name: str
+    source: str
+    spec: ClassSpec
+
+    def fingerprint(self) -> str:
+        """Content identity: family, seed and the exact module source."""
+        return sha256_hex(
+            "generated-component", self.family, str(self.seed), self.source
+        )
+
+
+def synthesize(genspec: GeneratorSpec) -> GeneratedComponent:
+    """Deterministically synthesize the component a recipe describes.
+
+    Raises :class:`~repro.core.errors.GenerationError` when any soundness
+    check fails — a generator bug must never leak a component whose
+    embedded spec would parse differently than it was drawn.
+    """
+    blueprint = FAMILIES[genspec.family]
+    rng = ReproRandom(genspec.seed).fork(_family_salt(genspec.family))
+    class_name = genspec.class_name
+    spec, class_source = blueprint.synthesize(rng, class_name)
+    if spec.name != class_name:
+        raise GenerationError(
+            f"family {genspec.family!r} drew spec named {spec.name!r} "
+            f"for class {class_name!r}"
+        )
+    tspec_text = write_tspec(spec)
+    if '"""' in tspec_text or "\\" in tspec_text:
+        raise GenerationError(
+            f"t-spec text of {class_name} cannot be embedded verbatim"
+        )
+    parsed = parse_tspec(tspec_text)
+    if parsed.normalized() != spec.normalized():
+        raise GenerationError(
+            f"t-spec round-trip diverged for generated {class_name}"
+        )
+    if write_tspec(parsed) != tspec_text:
+        raise GenerationError(
+            f"t-spec writer is not a fixed point on generated {class_name}"
+        )
+    source = _MODULE_TEMPLATE.format(
+        family=genspec.family,
+        seed=genspec.seed,
+        tspec_text=tspec_text,
+        class_source=class_source.rstrip("\n"),
+        class_name=class_name,
+    )
+    try:
+        compile(source, f"<generated {class_name}>", "exec")
+    except SyntaxError as error:
+        raise GenerationError(
+            f"generated module for {class_name} does not compile: {error}"
+        ) from error
+    digest = sha256_hex("generated-module", source)[:10]
+    module_name = f"repro_scen_{genspec.family}_s{genspec.seed}_{digest}"
+    return GeneratedComponent(
+        family=genspec.family,
+        seed=genspec.seed,
+        class_name=class_name,
+        module_name=module_name,
+        source=source,
+        spec=parsed,
+    )
+
+
+def _family_salt(family: str) -> int:
+    """A small deterministic per-family RNG salt (no ``hash()`` — it is
+    randomized per process)."""
+    return sum(ord(char) for char in family)

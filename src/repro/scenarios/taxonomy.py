@@ -1,0 +1,65 @@
+"""The fault-class taxonomy scenario tags are drawn from.
+
+Every registry entry (:mod:`repro.scenarios.registry`) carries
+``expected-invariant`` tags naming the fault classes its operator battery
+is expected to surface on that component — the vocabulary a sweep report
+aggregates over, and the registry validator's closed set (an unknown tag
+is a config error, not a new category).
+
+The classes follow the failure modes the paper's detection mechanisms
+split kills between (assertion violation, crash, output difference),
+refined by *what* the injected fault corrupts in a container-like
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: tag → one-line definition.  Closed vocabulary: the registry validator
+#: rejects tags outside this mapping.
+FAULT_CLASSES: Dict[str, str] = {
+    "boundary": (
+        "off-by-one and limit faults at capacity, index, or range edges"
+    ),
+    "lifecycle": (
+        "faults in construction, disposal, or state reset between phases"
+    ),
+    "ordering": (
+        "elements delivered in the wrong order (LIFO/FIFO discipline broken)"
+    ),
+    "interface-value": (
+        "a wrong value crossing the component interface (return or lookup)"
+    ),
+    "state-drop": (
+        "an update silently lost: the operation reports success but the "
+        "state did not change"
+    ),
+    "state-corruption": (
+        "internal representation invariants broken (parallel structures "
+        "out of sync, duplicated keys)"
+    ),
+    "saturation": (
+        "wrong behaviour at or beyond a saturating counter or full buffer"
+    ),
+    "shadow-divergence": (
+        "primary representation diverging from the reference-model shadow "
+        "(caught by the model-comparing class invariant)"
+    ),
+}
+
+#: The tags in deterministic (sorted) order, for reports and docs.
+ALL_TAGS: Tuple[str, ...] = tuple(sorted(FAULT_CLASSES))
+
+
+def validate_tags(tags: Sequence[str]) -> List[str]:
+    """Problems with a tag list: unknown tags and duplicates, in order."""
+    problems: List[str] = []
+    seen = set()
+    for tag in tags:
+        if tag not in FAULT_CLASSES:
+            problems.append(f"unknown fault-class tag {tag!r}")
+        elif tag in seen:
+            problems.append(f"duplicate fault-class tag {tag!r}")
+        seen.add(tag)
+    return problems

@@ -1,0 +1,1 @@
+"""Scenario-corpus tests (registry, generator, sharding, sweep)."""

@@ -1,0 +1,73 @@
+"""Differential execution over generated components (satellite b).
+
+For one generated component per family: the serial engine, the parallel
+engine at workers ∈ {1, 2}, and a cached cold→warm pair must all agree
+via :meth:`MutationRun.same_results` — the same contract the hand-written
+components pin, now holding for synthesized classes whose modules only
+exist in a temp workspace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generator.driver import DriverGenerator
+from repro.mutation.analysis import MutationAnalysis
+from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.generate import build_battery
+from repro.mutation.parallel import ParallelMutationAnalysis
+from repro.scenarios import FAMILY_NAMES, GeneratorSpec, materialize, synthesize
+
+#: One seed per family, small suites — the whole module stays fast.
+DIFFERENTIAL_SEED = 13
+MAX_MUTANTS = 40
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    return tmp_path_factory.mktemp("differential-ws")
+
+
+def _subject(family, workspace):
+    component = synthesize(GeneratorSpec(family, DIFFERENTIAL_SEED))
+    cls = materialize(component, workspace)
+    suite = DriverGenerator(cls.__tspec__, seed=20010701).generate()
+    mutants, _, _ = build_battery(
+        cls, _methods(cls), max_mutants=MAX_MUTANTS
+    )
+    return cls, suite, mutants
+
+
+def _methods(cls):
+    from repro.scenarios import default_methods
+
+    return list(default_methods(cls.__tspec__))
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_serial_equals_parallel_workers_1_and_2(family, workspace):
+    cls, suite, mutants = _subject(family, workspace)
+    assert mutants, f"{family}: battery unexpectedly empty"
+    serial = MutationAnalysis(cls, suite).analyze(mutants)
+    for workers in (1, 2):
+        parallel = ParallelMutationAnalysis(
+            cls, suite, workers=workers
+        ).analyze(mutants)
+        assert serial.same_results(parallel), (
+            f"{family}: parallel (workers={workers}) diverged from serial"
+        )
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_cold_cache_equals_warm_cache(family, workspace, tmp_path):
+    cls, suite, mutants = _subject(family, workspace)
+    cache = MutationOutcomeCache(tmp_path / f"cache-{family}")
+    cold = MutationAnalysis(cls, suite, cache=cache).analyze(mutants)
+    warm = MutationAnalysis(cls, suite, cache=cache).analyze(mutants)
+    assert cold.same_results(warm)
+    assert warm.cache_stats is not None
+    assert warm.cache_stats.misses == 0
+    # Every dispatched verdict came from the store on the warm pass.
+    assert warm.cache_stats.hits == cold.dispatched_count
+    uncached = MutationAnalysis(cls, suite).analyze(mutants)
+    assert uncached.same_results(warm)

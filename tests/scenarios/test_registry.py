@@ -1,0 +1,154 @@
+"""Registry semantics: builtin corpus, loaders, validation, no-drift.
+
+The no-drift test is satellite (c): the builtin registry's catalog refs
+must cover :func:`repro.components.discover_components` exactly — adding
+a component module without a registry entry (or vice versa) fails here,
+not in production.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.components import COMPONENTS, discover_components
+from repro.core.errors import ScenarioError
+from repro.scenarios import (
+    ScenarioRegistry,
+    builtin_registry,
+    load_registry,
+    registry_from_mappings,
+    scenario_to_mapping,
+)
+
+
+def test_builtin_registry_validates_clean():
+    assert builtin_registry().validate() == []
+
+
+def test_builtin_registry_counts():
+    registry = builtin_registry()
+    assert len(registry.filtered("smoke")) >= 100  # the acceptance floor
+    assert len(registry.filtered("ci")) == 40
+    assert len(registry.filtered("paper")) == 2
+    # ci ⊂ smoke: every CI scenario is also a smoke scenario.
+    smoke_idents = {scenario.ident for scenario in registry.filtered("smoke")}
+    assert all(scenario.ident in smoke_idents
+               for scenario in registry.filtered("ci"))
+
+
+def test_builtin_fingerprint_is_stable():
+    assert builtin_registry().fingerprint() == builtin_registry().fingerprint()
+
+
+def test_builtin_refs_cover_discovered_components_exactly():
+    """Satellite (c): no drift between the component catalog and the
+    registry's catalog-backed entries, in either direction."""
+    refs = {
+        scenario.component.ref
+        for scenario in builtin_registry()
+        if not scenario.component.is_generated
+    }
+    assert refs == set(discover_components())
+
+
+def test_discovery_matches_package_exports():
+    """The package-level COMPONENTS mapping is the discovery scan, and
+    every discovered class is importable from the package namespace."""
+    import repro.components as package
+
+    assert COMPONENTS == discover_components()
+    for name, cls in COMPONENTS.items():
+        assert name in package.__all__
+        assert getattr(package, name) is cls
+        assert hasattr(cls, "__tspec__")
+
+
+def test_json_roundtrip_preserves_registry():
+    registry = builtin_registry()
+    mappings = [scenario_to_mapping(scenario) for scenario in registry]
+    reloaded = registry_from_mappings(mappings)
+    assert reloaded == registry
+    assert reloaded.fingerprint() == registry.fingerprint()
+
+
+def test_load_registry_from_directory(tmp_path):
+    registry = builtin_registry()
+    few = list(registry)[:3]
+    for position, scenario in enumerate(few):
+        path = tmp_path / f"{position:02d}-{scenario.ident}.json"
+        path.write_text(json.dumps(scenario_to_mapping(scenario)))
+    loaded = load_registry(tmp_path)
+    assert tuple(loaded) == tuple(few)
+
+
+def test_load_registry_accepts_list_files(tmp_path):
+    few = list(builtin_registry())[:2]
+    path = tmp_path / "batch.json"
+    path.write_text(json.dumps([scenario_to_mapping(s) for s in few]))
+    assert tuple(load_registry(path)) == tuple(few)
+
+
+def test_load_registry_rejects_missing_and_empty(tmp_path):
+    with pytest.raises(ScenarioError):
+        load_registry(tmp_path / "nope")
+    with pytest.raises(ScenarioError):
+        load_registry(tmp_path)  # directory without *.json
+
+
+@pytest.mark.parametrize("patch,needle", [
+    ({"ident": "Bad Ident!"}, "must match"),
+    ({"component": {}}, "exactly one of"),
+    ({"component": {"ref": "BoundedStack", "family": "queue"}},
+     "exactly one of"),
+    ({"component": {"family": "btree"}}, "unknown family"),
+    ({"component": {"ref": "NoSuchThing"}}, "unknown component ref"),
+    ({"component": {"ref": "BoundedStack"}, "methods": ["Nope"]},
+     "not declared"),
+    ({"operators": []}, "must not be empty"),
+    ({"operators": ["IndVarBitNeg", "IndVarBitNeg"]}, "duplicate operators"),
+    ({"operators": ["Bogus"]}, "unknown operator"),
+    ({"oracle": "vibes"}, "unknown oracle"),
+    ({"suite": {"edge_bound": 0}}, "edge_bound"),
+    ({"budgets": {"step_budget": 0}}, "step_budget"),
+    ({"tags": ["no-such-fault-class"]}, "unknown"),
+    ({"unexpected": 1}, "unknown key"),
+])
+def test_validator_rejects_bad_entries(patch, needle):
+    base = {"ident": "ok-entry", "component": {"family": "queue", "seed": 1}}
+    base.update(patch)
+    with pytest.raises(ScenarioError, match=needle):
+        registry_from_mappings([base])
+
+
+def test_duplicate_idents_rejected():
+    entry = {"ident": "twice", "component": {"family": "queue", "seed": 1}}
+    with pytest.raises(ScenarioError, match="duplicate scenario ident"):
+        registry_from_mappings([entry, dict(entry)])
+
+
+def test_filter_terms_are_conjunctive():
+    registry = builtin_registry()
+    both = registry.filtered("ci,queue")
+    assert 0 < len(both) < len(registry.filtered("ci"))
+    assert all(scenario.component.family == "queue" for scenario in both)
+    assert len(registry.filtered("no-such-term")) == 0
+
+
+def test_get_by_ident():
+    registry = builtin_registry()
+    assert registry.get("paper-oblist").component.ref == "CObList"
+    with pytest.raises(KeyError):
+        registry.get("missing")
+
+
+def test_empty_filter_is_identity():
+    registry = builtin_registry()
+    assert registry.filtered("") is registry
+
+
+def test_registry_equality_is_content_based():
+    first = builtin_registry()
+    second = ScenarioRegistry(tuple(first))
+    assert first == second and first is not second

@@ -1,0 +1,83 @@
+"""Shard semantics (satellite d): disjoint, exhaustive, stable.
+
+``--shard k/n`` assigns each scenario by hashing its own content
+fingerprint, so for a fixed registry fingerprint the partition is a pure
+function — CI can split a sweep across jobs and merge the reports knowing
+no scenario ran twice or not at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenarios import ScenarioRegistry, builtin_registry, parse_shard
+
+
+@pytest.mark.parametrize("count", [2, 3, 5])
+def test_shards_are_disjoint_and_exhaustive(count):
+    registry = builtin_registry()
+    shards = [registry.shard(index, count)
+              for index in range(1, count + 1)]
+    idents = [scenario.ident for shard in shards for scenario in shard]
+    assert len(idents) == len(set(idents))  # disjoint
+    assert set(idents) == {scenario.ident for scenario in registry}  # exhaustive
+
+
+def test_shards_are_stable_for_fixed_fingerprint():
+    first = builtin_registry()
+    second = builtin_registry()
+    assert first.fingerprint() == second.fingerprint()
+    for index in (1, 2):
+        assert (tuple(first.shard(index, 2))
+                == tuple(second.shard(index, 2)))
+
+
+def test_shard_assignment_ignores_other_scenarios():
+    """Removing other scenarios never moves a scenario between shards —
+    assignment depends only on the scenario's own fingerprint."""
+    registry = builtin_registry()
+    shard_of = {}
+    for index in (1, 2, 3):
+        for scenario in registry.shard(index, 3):
+            shard_of[scenario.ident] = index
+    half = ScenarioRegistry(tuple(registry)[::2])
+    for index in (1, 2, 3):
+        for scenario in half.shard(index, 3):
+            assert shard_of[scenario.ident] == index
+
+
+def test_sharding_composes_with_filtering():
+    registry = builtin_registry().filtered("ci")
+    one = registry.shard(1, 2)
+    two = registry.shard(2, 2)
+    assert len(one) + len(two) == len(registry)
+    assert not ({s.ident for s in one} & {s.ident for s in two})
+
+
+def test_shard_1_of_1_is_everything():
+    registry = builtin_registry()
+    assert tuple(registry.shard(1, 1)) == tuple(registry)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("1/2", (1, 2)),
+    ("3/3", (3, 3)),
+    (" 2/5 ", (2, 5)),
+])
+def test_parse_shard_accepts_valid(text, expected):
+    assert parse_shard(text) == expected
+
+
+@pytest.mark.parametrize("text", [
+    "0/2", "3/2", "2/0", "-1/2", "a/b", "1-2", "1/", "/2", "1/2/3", "",
+])
+def test_parse_shard_rejects_invalid(text):
+    with pytest.raises(ScenarioError):
+        parse_shard(text)
+
+
+@pytest.mark.parametrize("index,count", [(0, 2), (3, 2), (1, 0)])
+def test_shard_method_rejects_out_of_range(index, count):
+    with pytest.raises(ScenarioError):
+        builtin_registry().shard(index, count)

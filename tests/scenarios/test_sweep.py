@@ -1,0 +1,228 @@
+"""Sweep runner and CLI: determinism, shard merging, gating.
+
+The determinism contract under test is the acceptance criterion: same
+registry + same seeds ⇒ byte-identical report JSON modulo timings
+(``to_json(timings=False)``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenarios import (
+    ScenarioResult,
+    SweepReport,
+    SweepRunner,
+    merge_reports,
+    registry_from_mappings,
+    report_from_mapping,
+    scenario_to_mapping,
+)
+from repro.scenarios.cli import main as cli_main
+
+#: A small fast corpus: two recipes of one generated family (sharing one
+#: synthesis), one catalog component, tight budgets.
+SMALL_ENTRIES = [
+    {
+        "ident": "small-stack-bitneg",
+        "component": {"family": "stack", "seed": 3},
+        "operators": ["IndVarBitNeg"],
+        "budgets": {"max_mutants": 8},
+        "groups": ["small"],
+    },
+    {
+        "ident": "small-stack-glob",
+        "component": {"family": "stack", "seed": 3},
+        "operators": ["IndVarRepGlob"],
+        "budgets": {"max_mutants": 8},
+        "groups": ["small"],
+    },
+    {
+        "ident": "small-account",
+        "component": {"ref": "BankAccount"},
+        "operators": ["IndVarRepGlob"],
+        "suite": {"max_cases": 6},
+        "budgets": {"max_mutants": 8},
+        "groups": ["small"],
+    },
+]
+
+
+@pytest.fixture
+def small_registry():
+    return registry_from_mappings(SMALL_ENTRIES)
+
+
+def _run(registry, workspace, **kwargs):
+    return SweepRunner(registry, workspace=workspace).run(**kwargs)
+
+
+def test_sweep_report_is_deterministic(small_registry, tmp_path):
+    first = _run(small_registry, tmp_path / "ws1")
+    second = _run(small_registry, tmp_path / "ws2")
+    assert first.to_json(timings=False) == second.to_json(timings=False)
+    assert first.passed
+    assert len(first.results) == 3
+    assert all(result.mutants_total > 0 for result in first.results)
+
+
+def test_sweep_shares_generated_components(small_registry, tmp_path):
+    runner = SweepRunner(small_registry, workspace=tmp_path / "ws")
+    runner.run()
+    # Two stack scenarios, one (family, seed) — synthesized exactly once.
+    assert len(runner._classes) == 1
+    # Suites memoized per (component, suite-config).
+    assert len(runner._suites) == 2
+
+
+def test_shard_merge_equals_full_run(small_registry, tmp_path):
+    full = _run(small_registry, tmp_path / "ws")
+    parts = [
+        _run(small_registry, tmp_path / "ws", shard=(index, 2))
+        for index in (1, 2)
+    ]
+    merged = merge_reports(parts)
+    assert merged.to_json(timings=False) == full.to_json(timings=False)
+
+
+def test_report_json_roundtrip(small_registry, tmp_path):
+    report = _run(small_registry, tmp_path / "ws")
+    reloaded = report_from_mapping(json.loads(report.to_json(timings=True)))
+    assert reloaded.to_json(timings=False) == report.to_json(timings=False)
+    assert reloaded.total_oracle_failures == 0
+
+
+def test_max_scenarios_truncates(small_registry, tmp_path):
+    report = _run(small_registry, tmp_path / "ws", max_scenarios=1)
+    assert len(report.results) == 1
+
+
+def test_merge_rejects_mismatched_registries():
+    base = ScenarioResult(ident="x", component="c", scenario_fingerprint="f")
+    one = SweepReport(registry_fingerprint="aaaa", results=(base,))
+    two = SweepReport(registry_fingerprint="bbbb", results=())
+    with pytest.raises(ScenarioError, match="different registries"):
+        merge_reports([one, two])
+    with pytest.raises(ScenarioError, match="nothing to merge"):
+        merge_reports([])
+
+
+def test_merge_rejects_overlapping_shards():
+    result = ScenarioResult(ident="x", component="c",
+                            scenario_fingerprint="f")
+    one = SweepReport(registry_fingerprint="aaaa", results=(result,),
+                      shard="1/2")
+    two = SweepReport(registry_fingerprint="aaaa", results=(result,),
+                      shard="2/2")
+    with pytest.raises(ScenarioError, match="more than one report"):
+        merge_reports([one, two])
+
+
+def test_gate_fails_on_oracle_failures_and_errors():
+    clean = SweepReport(registry_fingerprint="a", results=(
+        ScenarioResult(ident="ok", component="c", scenario_fingerprint="f"),
+    ))
+    assert clean.passed
+    failing = SweepReport(registry_fingerprint="a", results=(
+        ScenarioResult(ident="bad", component="c", scenario_fingerprint="f",
+                       oracle_failures=2),
+    ))
+    assert not failing.passed
+    erroring = SweepReport(registry_fingerprint="a", results=(
+        ScenarioResult(ident="boom", component="c", scenario_fingerprint="f",
+                       error="GenerationError: nope"),
+    ))
+    assert not erroring.passed and erroring.errors
+
+
+# ---------------------------------------------------------------------------
+# CLI (in-process)
+# ---------------------------------------------------------------------------
+
+def _registry_file(tmp_path):
+    path = tmp_path / "registry.json"
+    path.write_text(json.dumps(SMALL_ENTRIES))
+    return str(path)
+
+
+def test_cli_list_and_validate(tmp_path, capsys):
+    registry = _registry_file(tmp_path)
+    assert cli_main(["list", "--registry", registry, "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "small-stack-bitneg" in out and "3 scenarios" in out
+    assert cli_main(["validate", "--registry", registry]) == 0
+    assert "ok: 3 scenarios" in capsys.readouterr().out
+
+
+def test_cli_validate_reports_problems(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(
+        {"ident": "bad", "component": {"family": "btree"}}
+    ))
+    assert cli_main(["validate", "--registry", str(bad)]) == 2
+    assert "unknown family" in capsys.readouterr().err
+
+
+def test_cli_run_writes_report_and_gates_green(tmp_path, capsys):
+    registry = _registry_file(tmp_path)
+    out_path = tmp_path / "report.json"
+    code = cli_main([
+        "run", "--registry", registry,
+        "--workspace", str(tmp_path / "ws"),
+        "--report-out", str(out_path), "-v",
+    ])
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["scenarios"] == 3
+    assert payload["oracle_failures"] == 0
+    console = capsys.readouterr().out
+    assert "sweep: 3 scenarios" in console
+    assert "[   3/3]" in console  # -v progress lines
+
+
+def test_cli_run_filter_and_shard(tmp_path, capsys):
+    registry = _registry_file(tmp_path)
+    code = cli_main([
+        "run", "--registry", registry, "--filter", "small-stack",
+        "--shard", "1/1", "--workspace", str(tmp_path / "ws"),
+    ])
+    assert code == 0
+    assert "sweep: 2 scenarios" in capsys.readouterr().out
+
+
+def test_cli_report_merges_shards(tmp_path, capsys):
+    registry = _registry_file(tmp_path)
+    shard_paths = []
+    for index in (1, 2):
+        path = tmp_path / f"shard{index}.json"
+        assert cli_main([
+            "run", "--registry", registry, "--shard", f"{index}/2",
+            "--workspace", str(tmp_path / "ws"),
+            "--report-out", str(path),
+        ]) == 0
+        shard_paths.append(str(path))
+    capsys.readouterr()
+    merged_path = tmp_path / "merged.json"
+    assert cli_main(
+        ["report", *shard_paths, "--report-out", str(merged_path)]
+    ) == 0
+    assert json.loads(merged_path.read_text())["scenarios"] == 3
+
+
+def test_cli_report_gate_fails_on_failures(tmp_path, capsys):
+    failing = SweepReport(registry_fingerprint="a", results=(
+        ScenarioResult(ident="bad", component="c", scenario_fingerprint="f",
+                       oracle_failures=1),
+    ))
+    path = tmp_path / "failing.json"
+    path.write_text(failing.to_json(timings=True))
+    assert cli_main(["report", str(path)]) == 1
+    assert "oracle failure" in capsys.readouterr().err
+
+
+def test_scenario_mapping_roundtrip_through_cli_formats(small_registry):
+    mappings = [scenario_to_mapping(s) for s in small_registry]
+    assert registry_from_mappings(mappings) == small_registry
