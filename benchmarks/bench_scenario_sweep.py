@@ -1,16 +1,28 @@
 """Scenario sweep throughput — the CI corpus through the sweep runner.
 
 Runs the builtin registry's ``ci`` group (40 scenarios: 5 generated
-families × 2 seeds × 4 operators) once serially and once on 2 workers
-through one :class:`~repro.scenarios.sweep.SweepRunner` each, recording
-wall-clock, scenario/mutant throughput and the determinism check (the two
-runs' deterministic report projections must be byte-identical).  Results
-go to ``BENCH_scenario_sweep.json`` at the repository root.
+families × 2 seeds × 4 operators) through one
+:class:`~repro.scenarios.sweep.SweepRunner` per configuration:
 
-Speedup is recorded, not asserted — on a single-CPU container the pool
-cannot win.  The guarded properties are determinism across engines and a
-green gate (zero oracle failures, zero scenario errors) on the whole CI
-corpus under real load.
+* ``serial`` — workers=1, inflight=1 (the reference row);
+* the **pipelining matrix** — workers=2 at inflight 1, 2 and 4, all
+  interleaving on the multi-tenant shared worker pool;
+* ``warm`` — a second inflight=4 sweep over a populated scenario store
+  (every scenario replays from the segment file: zero mutants executed,
+  zero reference passes).
+
+Every configuration's deterministic report projection must be
+byte-identical to the serial row's, and the whole corpus must gate green
+(zero oracle failures, zero scenario errors).
+
+The asserted wall-clock property: pipelining must not *lose* — the best
+inflight>1 row must be no slower than the inflight=1 row on the same
+worker count (tolerance for scheduler noise).  Raw speedups are recorded,
+not asserted: on a single-CPU container overlapping prep with execution
+cannot beat the CPU-time bound.  The warm row is the machine-independent
+win and is asserted to replay entirely from the store.
+
+Results go to ``BENCH_scenario_sweep.json`` at the repository root.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.mutation.cache import MutationOutcomeCache
 from repro.mutation.parallel import shutdown_shared_pool
 from repro.scenarios import SweepRunner, builtin_registry
 
@@ -28,21 +41,46 @@ OUTPUT_PATH = REPO_ROOT / "BENCH_scenario_sweep.json"
 
 FILTER = "ci"
 
+#: Scheduler-noise allowance on the pipelined-vs-sequential gate.
+PIPELINE_TOLERANCE = 1.15
+
 
 def run_bench() -> dict:
     registry = builtin_registry()
     workspace = Path(tempfile.mkdtemp(prefix="bench-sweep-"))
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-sweep-cache-"))
 
     serial_report = SweepRunner(
         registry, workers=1, workspace=workspace
     ).run(filter_expression=FILTER)
-    parallel_report = SweepRunner(
-        registry, workers=2, workspace=workspace
+    baseline = serial_report.to_json(timings=False)
+
+    matrix = []
+    for inflight in (1, 2, 4):
+        report = SweepRunner(
+            registry, workers=2, inflight=inflight, workspace=workspace
+        ).run(filter_expression=FILTER)
+        matrix.append({
+            "workers": 2,
+            "inflight": inflight,
+            "seconds": round(report.elapsed_seconds, 3),
+            "deterministic": report.to_json(timings=False) == baseline,
+        })
+
+    cold_cache = MutationOutcomeCache(cache_dir)
+    cold_report = SweepRunner(
+        registry, workers=2, inflight=4, workspace=workspace,
+        cache=cold_cache,
+    ).run(filter_expression=FILTER)
+    warm_cache = MutationOutcomeCache(cache_dir)
+    warm_report = SweepRunner(
+        registry, workers=2, inflight=4, workspace=workspace,
+        cache=warm_cache,
     ).run(filter_expression=FILTER)
     shutdown_shared_pool()
 
-    deterministic = (serial_report.to_json(timings=False)
-                     == parallel_report.to_json(timings=False))
+    sequential_seconds = matrix[0]["seconds"]
+    pipelined_seconds = min(row["seconds"] for row in matrix[1:])
     return {
         "benchmark": "scenario_sweep",
         "workload": {
@@ -54,16 +92,23 @@ def run_bench() -> dict:
         },
         "cpu_count": os.cpu_count(),
         "serial_seconds": round(serial_report.elapsed_seconds, 3),
-        "parallel_seconds": round(parallel_report.elapsed_seconds, 3),
-        "speedup": round(
-            serial_report.elapsed_seconds
-            / parallel_report.elapsed_seconds, 3
+        "pipeline_matrix": matrix,
+        "sequential_seconds": sequential_seconds,
+        "pipelined_seconds": pipelined_seconds,
+        "pipelined_vs_sequential": round(
+            sequential_seconds / pipelined_seconds, 3
         ),
-        "scenarios_per_second": round(
-            len(serial_report.results)
-            / serial_report.elapsed_seconds, 2
+        "warm_cold_seconds": round(cold_report.elapsed_seconds, 3),
+        "warm_seconds": round(warm_report.elapsed_seconds, 3),
+        "warm_speedup": round(
+            cold_report.elapsed_seconds / warm_report.elapsed_seconds, 2
         ),
-        "deterministic_across_engines": deterministic,
+        "warm_scenario_hits": warm_cache.scenario_stats()["hits"],
+        "deterministic_across_engines": (
+            all(row["deterministic"] for row in matrix)
+            and cold_report.to_json(timings=False) == baseline
+            and warm_report.to_json(timings=False) == baseline
+        ),
         "oracle_failures": serial_report.total_oracle_failures,
         "scenario_errors": len(serial_report.errors),
     }
@@ -86,6 +131,13 @@ def test_scenario_sweep_throughput(benchmark):
     assert data["deterministic_across_engines"]
     assert data["oracle_failures"] == 0
     assert data["scenario_errors"] == 0
+    # Pipelining must not lose against the sequential scheduler on the
+    # same worker count (the 0.79× regression class).
+    assert data["pipelined_seconds"] <= \
+        data["sequential_seconds"] * PIPELINE_TOLERANCE
+    # The warm sweep replays every scenario from the store.
+    assert data["warm_scenario_hits"] == data["workload"]["scenarios"]
+    assert data["warm_seconds"] < data["warm_cold_seconds"]
     assert OUTPUT_PATH.exists()
 
 

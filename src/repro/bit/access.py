@@ -21,49 +21,68 @@ The usual entry point is the :func:`test_mode` context manager::
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional, Set, Type
+import threading
+from typing import Dict, Iterator, Optional, Type
 
 from ..core.errors import TestModeError
 
 
 class _AccessState:
-    """Process-wide switch state (one tester drives one test session)."""
+    """Process-wide switch state.
+
+    Scoped enablement (:func:`test_mode`) is counted, not boolean:
+    several test sessions may overlap — the pipelined scenario sweep runs
+    suites on concurrent threads — and one scope exiting must not switch
+    the capability off under a neighbour still inside its own scope.  The
+    absolute :func:`set_test_mode` switch is kept separate so manual
+    on/off control behaves exactly as before.
+    """
 
     def __init__(self):
-        self.global_on = False
-        self.enabled_classes: Set[type] = set()
+        self.forced = False
+        self.depth = 0
+        self.enabled_classes: Dict[type, int] = {}
+        self.lock = threading.Lock()
 
     def is_on_for(self, target: Optional[type]) -> bool:
-        if self.global_on:
+        if self.forced or self.depth > 0:
             return True
-        if target is None:
+        if target is None or not self.enabled_classes:
             return False
-        return any(issubclass(target, enabled) for enabled in self.enabled_classes)
+        return any(issubclass(target, enabled)
+                   for enabled in self.enabled_classes)
 
 
 _STATE = _AccessState()
 
 
 def set_test_mode(on: bool) -> None:
-    """Turn global test mode on or off."""
-    _STATE.global_on = bool(on)
+    """Turn global test mode on or off (absolute, not scoped)."""
+    _STATE.forced = bool(on)
 
 
 def enable_for_class(target: Type) -> None:
     """Enable test mode for one class (and its subclasses) only."""
-    _STATE.enabled_classes.add(target)
+    with _STATE.lock:
+        _STATE.enabled_classes[target] = \
+            _STATE.enabled_classes.get(target, 0) + 1
 
 
 def disable_for_class(target: Type) -> None:
     """Remove a per-class enablement (no-op when absent)."""
-    _STATE.enabled_classes.discard(target)
+    with _STATE.lock:
+        count = _STATE.enabled_classes.get(target, 0)
+        if count <= 1:
+            _STATE.enabled_classes.pop(target, None)
+        else:
+            _STATE.enabled_classes[target] = count - 1
 
 
 def is_test_mode(target: Optional[type] = None) -> bool:
     """True when BIT capabilities are available.
 
     With a ``target`` class, per-class enablement is honoured; without one,
-    only the global switch counts.
+    only the global switches count.
     """
     return _STATE.is_on_for(target)
 
@@ -80,25 +99,30 @@ def require_test_mode(target: Optional[type] = None, capability: str = "BIT") ->
 
 @contextlib.contextmanager
 def test_mode(target: Optional[Type] = None) -> Iterator[None]:
-    """Context manager enabling test mode globally or for one class."""
+    """Context manager enabling test mode globally or for one class.
+
+    Scopes nest and overlap freely (including across threads): the
+    capability stays on until the last scope exits.
+    """
     if target is None:
-        previous = _STATE.global_on
-        _STATE.global_on = True
+        with _STATE.lock:
+            _STATE.depth += 1
         try:
             yield
         finally:
-            _STATE.global_on = previous
+            with _STATE.lock:
+                _STATE.depth -= 1
     else:
-        added = target not in _STATE.enabled_classes
-        _STATE.enabled_classes.add(target)
+        enable_for_class(target)
         try:
             yield
         finally:
-            if added:
-                _STATE.enabled_classes.discard(target)
+            disable_for_class(target)
 
 
 def reset() -> None:
     """Restore the pristine off state (used by tests)."""
-    _STATE.global_on = False
-    _STATE.enabled_classes.clear()
+    with _STATE.lock:
+        _STATE.forced = False
+        _STATE.depth = 0
+        _STATE.enabled_classes.clear()

@@ -58,6 +58,10 @@ the fingerprinted inputs.
     kind 2    := triage   — key = triage_fp(64), payload = pickled TriageEntry
     kind 3    := slot     — key = slot_fp(64) + entry_fp(64), no payload
                             (written by compact() to pin the final slot map)
+    kind 4    := scenario — key = scenario_fp(64),
+                            payload = pickled ScenarioEntry (a whole
+                            sweep ScenarioResult projection; see
+                            repro.scenarios.sweep)
 
 ``crc32`` covers ``key + payload``.  An in-memory offset index is rebuilt
 by a single sequential scan on open; the scan checks *structure* only
@@ -90,10 +94,11 @@ import os
 import pickle
 import struct
 import tempfile
+import threading
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from ..core.fingerprint import canonical, sha256_hex
 from ..obs import Telemetry, coalesce
@@ -130,11 +135,19 @@ _HEADER = struct.Struct("<BBHII")  # kind, flags, key_len, payload_len, crc32
 _KIND_OUTCOME = 1
 _KIND_TRIAGE = 2
 _KIND_SLOT = 3
+#: Scenario-level results (kind 4) are an *additive* extension of the v4
+#: layout: the record framing, addressing recipe and every existing
+#: record kind are untouched, so CACHE_FORMAT_VERSION stays 4 and
+#: existing stores keep hitting.  (An older reader treats the first
+#: kind-4 record as a torn tail — the damage mode the format already
+#: tolerates.)
+_KIND_SCENARIO = 4
 _FINGERPRINT_LENGTH = 64
 _KEY_LENGTHS = {
     _KIND_OUTCOME: 2 * _FINGERPRINT_LENGTH,
     _KIND_TRIAGE: _FINGERPRINT_LENGTH,
     _KIND_SLOT: 2 * _FINGERPRINT_LENGTH,
+    _KIND_SCENARIO: _FINGERPRINT_LENGTH,
 }
 
 
@@ -280,6 +293,23 @@ class TriageEntry:
 
 
 @dataclass(frozen=True)
+class ScenarioEntry:
+    """One stored sweep scenario result.
+
+    The payload is the scenario's *full* deterministic projection
+    (``ScenarioResult.to_dict(timings=True)``) as plain JSON-compatible
+    data — storing the projection rather than live objects keeps the
+    record format independent of analysis-object pickling details, and
+    the sweep runner already knows how to rebuild a ``ScenarioResult``
+    from it (the same round-trip the report reader uses).
+    """
+
+    version: int
+    fingerprint: str
+    payload: Dict[str, Any]
+
+
+@dataclass(frozen=True)
 class CompactionReport:
     """What one :meth:`MutationOutcomeCache.compact` pass did."""
 
@@ -327,17 +357,27 @@ class MutationOutcomeCache:
         self._misses = 0
         self._invalidations = 0
         self._corrupt = 0
+        # Scenario-record lifetime counters, kept beside (not inside)
+        # CacheStats — its hit rate gates CI on per-mutant entries.
+        self._scenario_stats = {"hits": 0, "misses": 0,
+                                "stores": 0, "corrupt": 0}
         # Mirrors the lifetime counters into a run-telemetry session
         # (``cache.hits`` …); observation only, the default records nothing.
         self._obs = coalesce(telemetry)
         self._entries: Dict[str, _Location] = {}
         self._triage_index: Dict[str, _Location] = {}
+        self._scenario_index: Dict[str, _Location] = {}
         self._slots: Dict[str, str] = {}
+        # One store may be driven from several threads at once (pipelined
+        # sweep scenarios, plus the pool's dispatcher thread writing
+        # verdicts back); every public operation holds this lock.  RLock
+        # because lookups nest into appends on the legacy-migration path.
+        self._lock = threading.RLock()
         self._handle = None          # lazily opened segment file object
         self._writable = False       # whether _handle was opened read-write
         self._loaded = False         # whether the open-time scan has run
         self._end = 0                # offset just past the last valid record
-        self._records_seen = 0       # data records (outcome/triage) scanned+appended
+        self._records_seen = 0       # data records (outcome/triage/scenario)
         self._torn = False           # file extends past _end with a dead tail
 
     @property
@@ -352,22 +392,31 @@ class MutationOutcomeCache:
 
     def snapshot(self) -> CacheStats:
         """Immutable view of the lifetime counters (diff with ``since``)."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            invalidations=self._invalidations,
-            corrupt=self._corrupt,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                corrupt=self._corrupt,
+            )
+
+    def scenario_stats(self) -> Dict[str, int]:
+        """Lifetime scenario-record counters (hits/misses/stores/corrupt)."""
+        with self._lock:
+            return dict(self._scenario_stats)
 
     def live_records(self) -> int:
-        """Reachable records (outcome + triage) in the segment index."""
-        self._ensure_loaded()
-        return len(self._entries) + len(self._triage_index)
+        """Reachable records (outcome/triage/scenario) in the segment index."""
+        with self._lock:
+            self._ensure_loaded()
+            return (len(self._entries) + len(self._triage_index)
+                    + len(self._scenario_index))
 
     def segment_bytes(self) -> int:
         """Bytes of segment the index covers (dead tail excluded)."""
-        self._ensure_loaded()
-        return self._end
+        with self._lock:
+            self._ensure_loaded()
+            return self._end
 
     # -- addressing -----------------------------------------------------
 
@@ -402,37 +451,38 @@ class MutationOutcomeCache:
         segment miss falls back to the legacy v3 file, migrating a valid
         one into the segment.
         """
-        self._ensure_loaded()
-        location = self._entries.get(key.entry)
-        if location is not None:
-            entry = self._read_outcome(location, key.entry)
-            if entry is not None:
+        with self._lock:
+            self._ensure_loaded()
+            location = self._entries.get(key.entry)
+            if location is not None:
+                entry = self._read_outcome(location, key.entry)
+                if entry is not None:
+                    self._hits += 1
+                    self._obs.count("cache.hits")
+                    return entry
+                # The record existed but would not load: a corrupt miss,
+                # and the index slot is dropped so a re-store starts clean.
+                del self._entries[key.entry]
+                self._misses += 1
+                self._corrupt += 1
+                self._obs.count("cache.misses")
+                self._obs.count("cache.corrupt")
+                return None
+            status, migrated = self._legacy_outcome(key)
+            if status == "hit":
                 self._hits += 1
                 self._obs.count("cache.hits")
-                return entry
-            # The record existed but would not load: a corrupt miss, and
-            # the index slot is dropped so a re-store starts clean.
-            del self._entries[key.entry]
+                return migrated
             self._misses += 1
-            self._corrupt += 1
             self._obs.count("cache.misses")
-            self._obs.count("cache.corrupt")
+            if status == "corrupt":
+                self._corrupt += 1
+                self._obs.count("cache.corrupt")
+                return None
+            if self._slot_points_elsewhere(key):
+                self._invalidations += 1
+                self._obs.count("cache.invalidations")
             return None
-        status, migrated = self._legacy_outcome(key)
-        if status == "hit":
-            self._hits += 1
-            self._obs.count("cache.hits")
-            return migrated
-        self._misses += 1
-        self._obs.count("cache.misses")
-        if status == "corrupt":
-            self._corrupt += 1
-            self._obs.count("cache.corrupt")
-            return None
-        if self._slot_points_elsewhere(key):
-            self._invalidations += 1
-            self._obs.count("cache.invalidations")
-        return None
 
     def store(self, key: CacheKey, outcome: "MutantOutcome",
               step_timeouts: int) -> None:
@@ -448,17 +498,18 @@ class MutationOutcomeCache:
             outcome=outcome,
             step_timeouts=step_timeouts,
         )
-        try:
-            location = self._append(
-                _KIND_OUTCOME,
-                (key.entry + key.slot).encode("ascii"),
-                pickle.dumps(entry),
-            )
-        except OSError:
-            return  # a full/read-only disk degrades to no caching
-        self._entries[key.entry] = location
-        self._slots[key.slot] = key.entry
-        self._obs.count("cache.stores")
+        with self._lock:
+            try:
+                location = self._append(
+                    _KIND_OUTCOME,
+                    (key.entry + key.slot).encode("ascii"),
+                    pickle.dumps(entry),
+                )
+            except OSError:
+                return  # a full/read-only disk degrades to no caching
+            self._entries[key.entry] = location
+            self._slots[key.slot] = key.entry
+            self._obs.count("cache.stores")
 
     # -- static-triage verdicts -----------------------------------------
 
@@ -472,23 +523,24 @@ class MutationOutcomeCache:
         do not participate in :class:`CacheStats`, whose hit-rate gates CI
         on the expensive *outcome* entries.
         """
-        self._ensure_loaded()
-        location = self._triage_index.get(fingerprint)
-        if location is not None:
-            entry = self._read_triage(location, fingerprint)
-            if entry is not None:
+        with self._lock:
+            self._ensure_loaded()
+            location = self._triage_index.get(fingerprint)
+            if location is not None:
+                entry = self._read_triage(location, fingerprint)
+                if entry is not None:
+                    self._obs.count("cache.triage_hits")
+                    return (entry.status, entry.digest)
+                del self._triage_index[fingerprint]
+                self._obs.count("cache.triage_misses")
+                self._obs.count("cache.triage_corrupt")
+                return None
+            migrated = self._legacy_triage(fingerprint)
+            if migrated is not None:
                 self._obs.count("cache.triage_hits")
-                return (entry.status, entry.digest)
-            del self._triage_index[fingerprint]
+                return (migrated.status, migrated.digest)
             self._obs.count("cache.triage_misses")
-            self._obs.count("cache.triage_corrupt")
             return None
-        migrated = self._legacy_triage(fingerprint)
-        if migrated is not None:
-            self._obs.count("cache.triage_hits")
-            return (migrated.status, migrated.digest)
-        self._obs.count("cache.triage_misses")
-        return None
 
     def store_triage(self, fingerprint: str, status: str,
                      digest: str) -> None:
@@ -499,14 +551,68 @@ class MutationOutcomeCache:
             status=status,
             digest=digest,
         )
-        try:
-            location = self._append(
-                _KIND_TRIAGE, fingerprint.encode("ascii"), pickle.dumps(entry)
-            )
-        except OSError:
-            return
-        self._triage_index[fingerprint] = location
-        self._obs.count("cache.triage_stores")
+        with self._lock:
+            try:
+                location = self._append(
+                    _KIND_TRIAGE, fingerprint.encode("ascii"),
+                    pickle.dumps(entry)
+                )
+            except OSError:
+                return
+            self._triage_index[fingerprint] = location
+            self._obs.count("cache.triage_stores")
+
+    # -- scenario-level results -----------------------------------------
+
+    def lookup_scenario(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored scenario-result projection, or ``None``.
+
+        Same robustness contract as :meth:`lookup`: a corrupt or
+        version-skewed record is a miss, never a crash.  Counters are
+        telemetry-only (``cache.scenario_*``) — scenario records replay
+        *whole sweep scenarios* and stay out of :class:`CacheStats`,
+        whose hit-rate gates CI on per-mutant outcome entries.
+        """
+        with self._lock:
+            self._ensure_loaded()
+            location = self._scenario_index.get(fingerprint)
+            if location is None:
+                self._scenario_stats["misses"] += 1
+                self._obs.count("cache.scenario_misses")
+                return None
+            entry = self._load_record(location, _KIND_SCENARIO, fingerprint)
+            if (not isinstance(entry, ScenarioEntry)
+                    or entry.version != CACHE_FORMAT_VERSION
+                    or entry.fingerprint != fingerprint):
+                del self._scenario_index[fingerprint]
+                self._scenario_stats["misses"] += 1
+                self._scenario_stats["corrupt"] += 1
+                self._obs.count("cache.scenario_misses")
+                self._obs.count("cache.scenario_corrupt")
+                return None
+            self._scenario_stats["hits"] += 1
+            self._obs.count("cache.scenario_hits")
+            return entry.payload
+
+    def store_scenario(self, fingerprint: str,
+                       payload: Dict[str, Any]) -> None:
+        """Append one scenario-result projection; best-effort, never raises."""
+        entry = ScenarioEntry(
+            version=CACHE_FORMAT_VERSION,
+            fingerprint=fingerprint,
+            payload=payload,
+        )
+        with self._lock:
+            try:
+                location = self._append(
+                    _KIND_SCENARIO, fingerprint.encode("ascii"),
+                    pickle.dumps(entry)
+                )
+            except OSError:
+                return
+            self._scenario_index[fingerprint] = location
+            self._scenario_stats["stores"] += 1
+            self._obs.count("cache.scenario_stores")
 
     # -- maintenance ----------------------------------------------------
 
@@ -525,6 +631,10 @@ class MutationOutcomeCache:
         ``os.replace``.  ``OSError`` propagates — compaction is an
         explicit maintenance call, not a hot-path write.
         """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> CompactionReport:
         self._ensure_loaded()
         self._catch_up()
         report_before_records = self._records_seen
@@ -536,6 +646,7 @@ class MutationOutcomeCache:
         kept = 0
         new_entries: Dict[str, _Location] = {}
         new_triage: Dict[str, _Location] = {}
+        new_scenarios: Dict[str, _Location] = {}
         replayed_slots: Dict[str, str] = {}
         try:
             with os.fdopen(descriptor, "wb") as handle:
@@ -560,6 +671,16 @@ class MutationOutcomeCache:
                     blob = self._record_bytes(location)
                     handle.write(blob)
                     new_triage[fingerprint] = _Location(offset, len(blob))
+                    offset += len(blob)
+                    kept += 1
+                for fingerprint, location in self._scenario_index.items():
+                    entry = self._load_record(location, _KIND_SCENARIO,
+                                              fingerprint)
+                    if not isinstance(entry, ScenarioEntry):
+                        continue
+                    blob = self._record_bytes(location)
+                    handle.write(blob)
+                    new_scenarios[fingerprint] = _Location(offset, len(blob))
                     offset += len(blob)
                     kept += 1
                 # Pin only the slot mappings replaying the kept records
@@ -588,6 +709,7 @@ class MutationOutcomeCache:
             self._writable = False
         self._entries = new_entries
         self._triage_index = new_triage
+        self._scenario_index = new_scenarios
         self._end = offset
         self._records_seen = kept
         self._torn = False
@@ -602,13 +724,14 @@ class MutationOutcomeCache:
 
     def close(self) -> None:
         """Flush and release the segment handle (idempotent)."""
-        if self._handle is not None:
-            try:
-                self._handle.close()
-            except OSError:
-                pass
-            self._handle = None
-            self._writable = False
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+                self._writable = False
 
     def __enter__(self) -> "MutationOutcomeCache":
         return self
@@ -659,6 +782,9 @@ class MutationOutcomeCache:
                 self._records_seen += 1
             elif kind == _KIND_TRIAGE:
                 self._triage_index[key] = location
+                self._records_seen += 1
+            elif kind == _KIND_SCENARIO:
+                self._scenario_index[key] = location
                 self._records_seen += 1
             else:  # _KIND_SLOT — bookkeeping, not a data record
                 self._slots[key[:_FINGERPRINT_LENGTH]] = (
@@ -774,6 +900,9 @@ class MutationOutcomeCache:
                 self._records_seen += 1
             elif kind == _KIND_TRIAGE:
                 self._triage_index[key] = location
+                self._records_seen += 1
+            elif kind == _KIND_SCENARIO:
+                self._scenario_index[key] = location
                 self._records_seen += 1
             else:
                 self._slots[key[:_FINGERPRINT_LENGTH]] = (

@@ -9,8 +9,7 @@ exploits it: mutants are distributed over N worker processes, each worker
 fresh :class:`~repro.mutation.sandbox.StepBudgetGuard`, and ships the
 outcome back to the parent.
 
-Two throughput mechanisms keep orchestration from swamping the win (the
-regression ``BENCH_mutation_parallel.json`` measured at 0.93× of serial):
+Three throughput mechanisms keep orchestration from swamping the win:
 
 * **Batched dispatch.**  Mutants ship to workers in chunks — by default
   ``max(1, dispatched // (8 × workers))`` per batch (``batch_size``
@@ -24,8 +23,23 @@ regression ``BENCH_mutation_parallel.json`` measured at 0.93× of serial):
   batteries (table2/table3 run several back-to-back).  Each battery ships
   its :class:`WorkerSpec` once per worker under an epoch token — the
   compiled original class, suite fixtures, reference run and coverage
-  matrix are cached worker-side until the token changes.  Stale messages
-  from a previous battery are discarded by run id.
+  matrix are cached worker-side until the token ages out of a small
+  per-worker battery LRU (:data:`WORKER_BATTERY_LRU` entries).  Stale
+  messages from a previous battery are discarded by run id.
+
+* **Multi-tenant dispatch.**  The pool is a resident executor: a single
+  dispatcher thread owns every worker pipe and interleaves batches from
+  however many concurrent runs are registered (the pipelined scenario
+  sweep keeps several in flight; service mode will submit jobs the same
+  way).  Each ``analyze`` call registers a run-id-fenced
+  :class:`_RunHandle` and blocks until its verdicts are complete; the
+  dispatcher round-robins ready batches across runs, enforcing a per-run
+  **in-flight batch budget** equal to the run's ``workers`` request
+  (back-pressure: a run at budget yields the pool to its neighbours),
+  and the battery LRU keeps interleaving from thrashing spec re-ships.
+  Because every run's batch carries its own run id and epoch token, one
+  run's crashes, hangs and re-dispatches never touch another run's
+  verdicts.
 
 Two contracts, both tested differentially against the serial engine:
 
@@ -35,7 +49,7 @@ Two contracts, both tested differentially against the serial engine:
   the parallel :class:`~repro.mutation.analysis.MutationRun` is
   field-for-field identical to the serial one (wall-clock aside; see
   :meth:`~repro.mutation.analysis.MutationRun.same_results`), at every
-  batch size.
+  batch size, worker count, and degree of cross-run interleaving.
 
 * **Robustness.**  The paper's kill rule (i) is "the program crashed while
   running the test cases".  In-process, the step budget already converts
@@ -60,7 +74,9 @@ Two contracts, both tested differentially against the serial engine:
     remaining never-started mutants are re-queued untouched.
 
   A replacement worker is spawned whenever work remains, so every mutant
-  still runs; the engine never wedges on a hostile mutant.
+  still runs; the engine never wedges on a hostile mutant.  All of this
+  is applied per run: a worker death inside run A's batch classifies and
+  re-queues only run A's mutants.
 
 Per-worker ``StepBudgetGuard.timeouts`` counters are aggregated into
 ``MutationRun.step_timeouts`` so sandbox activity stays observable across
@@ -75,8 +91,9 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import (
@@ -115,7 +132,8 @@ from .typemodel import TypeModel
 #: executing traceable Python lines, where only elapsed time is observable.
 DEFAULT_WALL_CLOCK_BACKSTOP = 60.0
 
-#: How long the parent waits on worker pipes before running a health pass.
+#: How long the dispatcher waits on worker pipes before running a health
+#: pass while runs are active.
 _POLL_INTERVAL = 0.05
 
 #: The adaptive default aims for ~8 batches per worker: small enough that
@@ -123,8 +141,15 @@ _POLL_INTERVAL = 0.05
 #: enough to amortize the pipe round-trip.
 DEFAULT_BATCH_DIVISOR = 8
 
-#: Run ids distinguish batteries sharing one (persistent) pool, so a
-#: stale message from a previous battery can never fill a current slot.
+#: How many battery configurations each worker keeps warm at once.  One
+#: was enough when a pool served one run at a time; interleaved runs
+#: would thrash a single slot (A, B, A, B … re-ships every batch), so the
+#: slot became a small keyed LRU, mirrored exactly on the parent side.
+WORKER_BATTERY_LRU = 4
+
+#: Run ids distinguish runs sharing one (persistent) pool, so a stale
+#: message from a previous battery — or a *concurrent* one — can never
+#: fill another run's slot.
 _RUN_IDS = itertools.count(1)
 
 
@@ -173,19 +198,22 @@ def _analysis_from_spec(spec: WorkerSpec) -> MutationAnalysis:
 def _worker_main(connection: Connection) -> None:
     """Worker loop: battery configs and mutant batches in, verdicts out.
 
-    Messages: ``("battery", token, spec)`` (re)configures the analysis —
-    the rebuilt serial engine, with its compiled original class, suite
-    fixtures and coverage matrix, is cached until the token changes, so a
-    rerun of the same battery ships no spec at all; ``("batch", run_id,
-    ((index, mutant), …))`` runs each mutant in order, streaming one
+    Messages: ``("battery", token, spec)`` installs one analysis in the
+    worker's battery LRU — the rebuilt serial engine, with its compiled
+    original class, suite fixtures and coverage matrix, is cached under
+    the token until :data:`WORKER_BATTERY_LRU` fresher batteries evict
+    it, so a rerun of a recent battery ships no spec at all;
+    ``("batch", run_id, token, ((index, mutant), …))`` runs each mutant
+    in order under the named battery, streaming one
     ``("done", run_id, index, outcome, timeouts)`` per mutant (or
     ``("error", run_id, index, message)`` for a harness-level failure);
-    ``None`` exits.  The worker is a plain serial
+    ``None`` exits.  The parent mirrors the LRU's insert/touch/evict
+    sequence over the same FIFO pipe, so it always knows which batteries
+    a worker still holds.  The worker is a plain serial
     :class:`MutationAnalysis` seeded with the parent's reference run;
     parallelism changes *where* a mutant runs, never *how*.
     """
-    analysis: Optional[MutationAnalysis] = None
-    epoch: Optional[str] = None
+    analyses: "OrderedDict[str, MutationAnalysis]" = OrderedDict()
     try:
         while True:
             message = connection.recv()
@@ -194,11 +222,17 @@ def _worker_main(connection: Connection) -> None:
             kind = message[0]
             if kind == "battery":
                 token, spec = message[1], message[2]
-                if token != epoch:
-                    analysis = _analysis_from_spec(spec)
-                    epoch = token
+                if token in analyses:
+                    analyses.move_to_end(token)
+                else:
+                    analyses[token] = _analysis_from_spec(spec)
+                    while len(analyses) > WORKER_BATTERY_LRU:
+                        analyses.popitem(last=False)
                 continue
-            run_id, tasks = message[1], message[2]
+            run_id, token, tasks = message[1], message[2], message[3]
+            analysis = analyses.get(token)
+            if analysis is not None:
+                analyses.move_to_end(token)
             for index, mutant in tasks:
                 try:
                     if analysis is None:
@@ -226,7 +260,7 @@ class _Worker:
     """Parent-side handle for one worker process."""
 
     __slots__ = ("process", "connection", "assigned", "batch_len",
-                 "batch_started", "last_heard", "epoch")
+                 "batch_started", "last_heard", "epochs", "run")
 
     def __init__(self, process, connection: Connection):
         self.process = process
@@ -236,59 +270,473 @@ class _Worker:
         self.batch_len = 0
         self.batch_started = 0.0
         self.last_heard = 0.0
-        #: The battery token this worker was last configured with.
-        self.epoch: Optional[str] = None
+        #: Parent-side mirror of the worker's battery LRU (token →
+        #: None, insertion-ordered).  Updated with exactly the same
+        #: insert/touch/evict sequence the worker applies, over the same
+        #: FIFO pipe, so membership here is authoritative.
+        self.epochs: "OrderedDict[str, None]" = OrderedDict()
+        #: The run whose batch this worker is currently executing.
+        self.run: Optional["_RunHandle"] = None
+
+
+class _Wakeup:
+    """A self-pipe the dispatcher waits on alongside worker connections,
+    so a newly registered run (or a close) is noticed immediately rather
+    than at the next poll tick."""
+
+    __slots__ = ("_reader", "_writer", "_closed")
+
+    def __init__(self):
+        self._reader, self._writer = os.pipe()
+        os.set_blocking(self._reader, False)
+        os.set_blocking(self._writer, False)
+        self._closed = False
+
+    def fileno(self) -> int:
+        return self._reader
+
+    def set(self) -> None:
+        try:
+            os.write(self._writer, b"x")
+        except (BlockingIOError, OSError):
+            pass  # already signalled (pipe full) or closed
+
+    def drain(self) -> None:
+        try:
+            while os.read(self._reader, 4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            os.close(self._reader)
+            os.close(self._writer)
+
+
+@dataclass
+class _RunHandle:
+    """One registered ``analyze`` call, as the dispatcher sees it.
+
+    The submitting thread blocks on ``done``; the dispatcher fills
+    ``state`` and records telemetry on the run's own session.  The
+    in-flight budget (``workers``) is the back-pressure knob: a run never
+    holds more concurrent batches than workers it asked for, so K
+    interleaved runs share the pool instead of one monopolizing it.
+    """
+
+    state: "_PoolState"
+    obs: Telemetry
+    workers: int
+    backstop: float
+    inflight: int = 0
+    submitted_at: float = 0.0
+    first_dispatch_at: Optional[float] = None
+    depth_peak: int = 0
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
 
 
 class WorkerPool:
-    """A pool of mutation workers that persists across ``analyze`` calls.
+    """A multi-tenant pool of mutation workers persisting across runs.
 
     Engines draw workers from here instead of spawning their own; a pool
     survives battery boundaries, so table2/table3-style back-to-back runs
-    reuse warm processes (and their worker-side battery state) instead of
+    reuse warm processes (and their worker-side battery LRUs) instead of
     paying fork + spec shipping every time.  One process-wide shared pool
     (:func:`shared_worker_pool`) is the default; tests and embedders can
-    pass a private pool to the engine.  Only one engine may drive a pool
-    at a time (an engine finding the pool busy falls back to a private,
-    run-scoped pool).
+    pass a private pool to the engine.
+
+    Any number of runs may be in flight at once: each ``analyze`` call
+    registers a :class:`_RunHandle` via :meth:`execute` and blocks until
+    its verdicts are complete, while a single dispatcher thread owns
+    every worker pipe, round-robins ready batches across the registered
+    runs (respecting each run's in-flight budget), classifies crashes
+    and hangs against the owning run only, and sizes the pool to the
+    *largest* single run's worker request — concurrent runs share
+    capacity, they do not multiply it.
     """
 
     def __init__(self, context=None):
         self._context = context if context is not None else _mp_context()
         self.workers: List[_Worker] = []
-        self._busy = False
         self._closed = False
+        self._lock = threading.RLock()
+        #: run_id → handle, for message fencing.
+        self._runs: Dict[int, _RunHandle] = {}
+        #: Submission order, for round-robin fairness and deterministic
+        #: spawn attribution.
+        self._order: List[_RunHandle] = []
+        self._rr = 0
+        #: Workers lost mid-batch and not yet replaced; replacement
+        #: spawns consume one casualty each and count as respawns.
+        self._casualties = 0
+        self._wakeup = _Wakeup()
+        self._dispatcher: Optional[threading.Thread] = None
 
     @property
     def size(self) -> int:
         return len(self.workers)
 
     @property
-    def busy(self) -> bool:
-        return self._busy
-
-    @property
     def closed(self) -> bool:
         return self._closed
 
-    def acquire(self) -> None:
-        if self._busy:
-            raise RuntimeError("worker pool is already driving a run")
-        self._busy = True
+    @property
+    def active_runs(self) -> int:
+        with self._lock:
+            return len(self._runs)
 
-    def release(self) -> None:
-        self._busy = False
+    # -- run execution ---------------------------------------------------
 
-    def prune_dead(self) -> None:
-        """Drop workers that died between runs (no state to classify)."""
+    def execute(self, handle: _RunHandle) -> None:
+        """Register one run and block until every verdict is recorded.
+
+        Thread-safe: concurrent callers interleave on the pool.  Raises
+        whatever error the dispatcher attributed to the run.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            handle.submitted_at = time.perf_counter()
+            self._runs[handle.state.run_id] = handle
+            self._order.append(handle)
+            if self._dispatcher is None or not self._dispatcher.is_alive():
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="repro-pool-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        self._wakeup.set()
+        handle.done.wait()
+        if handle.error is not None:
+            raise handle.error
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    self._fail_all(RuntimeError("worker pool closed mid-run"))
+                    return
+                active = bool(self._runs)
+                watched = [worker.connection for worker in self.workers
+                           if worker.assigned]
+            try:
+                ready = connection_wait(
+                    [self._wakeup, *watched],
+                    timeout=_POLL_INTERVAL if active else None,
+                )
+            except OSError:
+                ready = []  # a pipe vanished mid-wait; the tick classifies
+            with self._lock:
+                if self._closed:
+                    self._fail_all(RuntimeError("worker pool closed mid-run"))
+                    return
+                try:
+                    self._wakeup.drain()
+                    for source in ready:
+                        if source is self._wakeup:
+                            continue
+                        worker = self._worker_for(source)
+                        if worker is not None:
+                            self._drain_worker(worker)
+                    if self._runs:
+                        self._tick()
+                except Exception as error:  # noqa: BLE001 — never die silent
+                    # A dispatcher bug must not strand blocked submitters:
+                    # fail every active run loudly and keep serving.
+                    self._fail_all(error)
+
+    def _tick(self) -> None:
+        """One scheduling pass: health → sizing → dispatch → finalize."""
+        now = time.perf_counter()
         for worker in list(self.workers):
             if not worker.process.is_alive():
-                self.discard(worker)
+                self._retire_dead(worker)
+            elif (worker.run is not None and worker.assigned
+                    and now - worker.last_heard > worker.run.backstop):
+                self._retire_hung(worker)
+        self._resize()
+        idle = [worker for worker in self.workers if worker.run is None]
+        for worker in idle:
+            handle = self._next_runnable()
+            if handle is None:
+                break
+            self._dispatch(worker, handle)
+        for handle in [h for h in self._order if h.state.remaining <= 0]:
+            self._order.remove(handle)
+            self._runs.pop(handle.state.run_id, None)
+            handle.obs.count_max("pool.queue_depth", handle.depth_peak)
+            handle.done.set()
+        if not self._runs:
+            self._rr = 0
+            self._casualties = 0
+
+    def _next_runnable(self) -> Optional[_RunHandle]:
+        """Round-robin over runs with pending work and budget headroom."""
+        count = len(self._order)
+        for step in range(count):
+            handle = self._order[(self._rr + step) % count]
+            if handle.state.pending and handle.inflight < handle.workers:
+                self._rr = (self._rr + step + 1) % count
+                return handle
+        return None
+
+    def _resize(self) -> None:
+        """Size the pool to the largest single run's usable worker count.
+
+        Capacity is shared, not multiplied: with runs A and B both asking
+        for 2 workers, the pool holds 2 and the round-robin interleaves
+        their batches.  A replacement for a worker lost mid-batch counts
+        as a respawn on the telemetry of the run it is spawned for.
+        """
+        target = 0
+        spawn_for: Optional[_RunHandle] = None
+        for handle in self._order:
+            usable = min(handle.workers,
+                         handle.inflight + len(handle.state.pending))
+            if usable > target:
+                target = usable
+            if (spawn_for is None and handle.state.pending
+                    and handle.inflight < handle.workers):
+                spawn_for = handle
+        while len(self.workers) < target and spawn_for is not None:
+            self.spawn_one(spawn_for.obs)
+            if self._casualties > 0:
+                self._casualties -= 1
+                spawn_for.obs.count("parallel.respawns")
+
+    # -- message handling ------------------------------------------------
+
+    def _drain_worker(self, worker: _Worker) -> None:
+        """Apply every message currently sitting in one worker's pipe."""
+        try:
+            while worker.connection.poll(0):
+                self._apply_message(worker, worker.connection.recv())
+        except (EOFError, OSError):
+            pass  # pipe closed mid-batch: the next tick classifies it
+
+    def _apply_message(self, worker: _Worker, message: Tuple) -> None:
+        kind = message[0]
+        if kind not in ("done", "error"):
+            return
+        run_id, index = message[1], message[2]
+        previously_heard = worker.last_heard
+        worker.last_heard = time.perf_counter()
+        handle = self._runs.get(run_id)
+        if handle is None or handle is not worker.run:
+            return  # residue of a previous run on this persistent worker
+        state, obs = handle.state, handle.obs
+        task: Optional[Tuple[int, CompiledMutant]] = None
+        for assigned in worker.assigned:
+            if assigned[0] == index:
+                task = assigned
+                break
+        if task is not None:
+            worker.assigned.remove(task)
+        if kind == "done":
+            state.record(index, message[3], message[4])
+            obs.event(
+                "parallel.task", index=index,
+                mutant=state.mutants[index].record.ident,
+                seconds=round(worker.last_heard - previously_heard, 6),
+            )
+            if state.cache is not None and state.keys is not None:
+                # Write-back happens in the parent so workers never touch
+                # the store; identical keys carry identical payloads, so a
+                # duplicate store (e.g. during salvage) is a harmless
+                # append the next compaction folds away.
+                state.cache.store(state.keys[index], message[3], message[4])
+        else:
+            obs.count("parallel.worker_errors")
+            state.record(index, _boundary_outcome(
+                state.mutants[index].record,
+                KillReason.WORKER_CRASH,
+                f"worker failed to run mutant: {message[3]}",
+            ))
+        if not worker.assigned and worker.batch_len:
+            obs.event(
+                "parallel.batch", size=worker.batch_len,
+                seconds=round(worker.last_heard - worker.batch_started, 6),
+            )
+            worker.batch_len = 0
+            self._finish_batch(worker)
+
+    def _finish_batch(self, worker: _Worker) -> None:
+        """Release the worker's batch slot back to its run's budget."""
+        if worker.run is not None:
+            worker.run.inflight -= 1
+            worker.run = None
+
+    # -- health ----------------------------------------------------------
+
+    def _retire_dead(self, worker: _Worker) -> None:
+        # Salvage results the worker sent before dying, then apply the
+        # batch crash rule *against the owning run only*: a single
+        # unreported mutant was provably executing and is classified as a
+        # process-boundary crash kill; a multi-mutant remainder is
+        # re-dispatched solo so one poisoned mutant cannot take out its
+        # batchmates' verdicts.  An idle dead worker carries no state and
+        # is simply pruned.
+        worker.process.join()
+        handle = worker.run
+        if handle is not None:
+            self._drain_worker(worker)
+            handle = worker.run  # salvage may have completed the batch
+        if handle is not None:
+            state, obs = handle.state, handle.obs
+            unreported = [task for task in worker.assigned
+                          if state.results[task[0]] is None]
+            worker.assigned.clear()
+            worker.batch_len = 0
+            self._finish_batch(worker)
+            self._casualties += 1
+            if len(unreported) == 1:
+                index, mutant = unreported[0]
+                obs.event("parallel.worker_crash", index=index,
+                          mutant=mutant.record.ident,
+                          exitcode=worker.process.exitcode)
+                obs.count("parallel.worker_crashes")
+                state.record(index, _boundary_outcome(
+                    mutant.record, KillReason.WORKER_CRASH,
+                    f"worker process died (exitcode {worker.process.exitcode}) "
+                    f"while running the suite",
+                ))
+            elif unreported:
+                obs.event("parallel.batch_failed", size=len(unreported),
+                          reason="crash",
+                          exitcode=worker.process.exitcode)
+                obs.count("parallel.batch_redispatches")
+                for task in reversed(unreported):
+                    state.solo.add(task[0])
+                    state.pending.appendleft(task)
+        self.discard(worker)
+
+    def _retire_hung(self, worker: _Worker) -> None:
+        # The verdict may have landed in the pipe while we were not
+        # looking; salvage it first — only a genuinely silent worker is a
+        # hang.
+        handle = worker.run
+        if handle is None:
+            return
+        self._drain_worker(worker)
+        if worker.run is None:
+            return  # salvage completed the batch; the worker is fine
+        state, obs = handle.state, handle.obs
+        unreported = [task for task in worker.assigned
+                      if state.results[task[0]] is None]
+        worker.assigned.clear()
+        worker.batch_len = 0
+        if not unreported:
+            self._finish_batch(worker)
+            return
+        # Execution is in-order and every verdict streams back the moment
+        # it exists, so a silent worker is provably stuck on its *first*
+        # unreported mutant; the rest of the batch never started and is
+        # re-queued untouched.
+        self._finish_batch(worker)
+        self._casualties += 1
+        index, mutant = unreported[0]
+        worker.process.kill()
+        worker.process.join()
+        self.discard(worker)
+        obs.event("parallel.wall_timeout", index=index,
+                  mutant=mutant.record.ident,
+                  backstop=handle.backstop)
+        obs.count("parallel.wall_timeouts")
+        state.record(index, _boundary_outcome(
+            mutant.record, KillReason.WALL_TIMEOUT,
+            f"no verdict within the {handle.backstop:.1f}s wall-clock "
+            f"backstop; worker killed",
+        ))
+        rest = unreported[1:]
+        if rest:
+            obs.event("parallel.batch_failed", size=len(rest),
+                      reason="hang")
+            obs.count("parallel.batch_redispatches")
+            for task in reversed(rest):
+                state.pending.appendleft(task)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, worker: _Worker, handle: _RunHandle) -> None:
+        """Hand the worker its next batch for ``handle``'s run."""
+        state, obs = handle.state, handle.obs
+        if worker.assigned or not state.pending:
+            return
+        now = time.perf_counter()
+        token = state.token
+        if token not in worker.epochs:
+            try:
+                worker.connection.send(("battery", token, state.spec))
+            except (BrokenPipeError, OSError):
+                return  # dead worker: the next tick prunes and respawns
+            worker.epochs[token] = None
+            obs.count("parallel.battery_shipped")
+            while len(worker.epochs) > WORKER_BATTERY_LRU:
+                worker.epochs.popitem(last=False)
+                obs.count("pool.battery_evictions")
+        else:
+            worker.epochs.move_to_end(token)
+        batch: List[Tuple[int, CompiledMutant]] = []
+        while state.pending and len(batch) < state.batch_size:
+            index = state.pending[0][0]
+            if index in state.solo and batch:
+                break  # a solo task never joins a batch already in hand
+            batch.append(state.pending.popleft())
+            if index in state.solo:
+                break  # …and never takes batchmates of its own
+        #: Tasks still queued pool-wide after this batch left — the
+        #: executor's backlog, reported per dispatch and peak-tracked.
+        depth = sum(len(h.state.pending) for h in self._order)
+        if depth > handle.depth_peak:
+            handle.depth_peak = depth
+        for index, mutant in batch:
+            obs.event(
+                "parallel.dispatch", index=index,
+                mutant=mutant.record.ident,
+                waited=round(now - state.enqueued_at, 6),
+                batch=len(batch),
+                depth=depth,
+            )
+        obs.count("parallel.batches")
+        if handle.first_dispatch_at is None:
+            handle.first_dispatch_at = now
+            queue_wait = now - handle.submitted_at
+            obs.event("pool.queue_wait", run=state.run_id,
+                      seconds=round(queue_wait, 6))
+            obs.count("pool.queue_wait_ms", int(queue_wait * 1000))
+        worker.assigned = deque(batch)
+        worker.batch_len = len(batch)
+        worker.batch_started = worker.last_heard = now
+        worker.run = handle
+        handle.inflight += 1
+        try:
+            worker.connection.send(("batch", state.run_id, token,
+                                    tuple(batch)))
+        except (BrokenPipeError, OSError):
+            # Worker already dead; the next tick applies the batch crash
+            # rule to the assigned tasks (classify one, re-dispatch many).
+            pass
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def prune_dead(self) -> None:
+        """Drop workers that died while idle (no state to classify)."""
+        with self._lock:
+            for worker in list(self.workers):
+                if not worker.process.is_alive() and worker.run is None:
+                    self.discard(worker)
 
     def ensure(self, count: int, telemetry: Optional[Telemetry] = None) -> None:
         """Grow the pool to at least ``count`` live workers."""
-        while len(self.workers) < count:
-            self.spawn_one(telemetry)
+        with self._lock:
+            while len(self.workers) < count:
+                self.spawn_one(telemetry)
 
     def spawn_one(self, telemetry: Optional[Telemetry] = None) -> _Worker:
         obs = coalesce(telemetry)
@@ -313,24 +761,49 @@ class WorkerPool:
         if worker in self.workers:
             self.workers.remove(worker)
 
+    def _worker_for(self, connection) -> Optional[_Worker]:
+        for worker in self.workers:
+            if worker.connection is connection:
+                return worker
+        return None
+
+    def _fail_all(self, error: BaseException) -> None:
+        for handle in self._order:
+            handle.error = error
+            handle.done.set()
+        self._order.clear()
+        self._runs.clear()
+
     def close(self) -> None:
         """Shut every worker down; the pool is unusable afterwards."""
-        self._closed = True
-        for worker in self.workers:
-            try:
-                worker.connection.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for worker in self.workers:
-            worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join()
-            try:
-                worker.connection.close()
-            except OSError:
-                pass
-        self.workers.clear()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher = self._dispatcher
+        self._wakeup.set()
+        if (dispatcher is not None and dispatcher.is_alive()
+                and dispatcher is not threading.current_thread()):
+            dispatcher.join(timeout=5.0)
+        with self._lock:
+            if self._runs:
+                self._fail_all(RuntimeError("worker pool closed mid-run"))
+            for worker in self.workers:
+                try:
+                    worker.connection.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in self.workers:
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join()
+                try:
+                    worker.connection.close()
+                except OSError:
+                    pass
+            self.workers.clear()
+        self._wakeup.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -340,6 +813,7 @@ class WorkerPool:
 
 
 _SHARED_POOL: Optional[WorkerPool] = None
+_SHARED_POOL_LOCK = threading.Lock()
 
 
 def shared_worker_pool() -> WorkerPool:
@@ -347,20 +821,23 @@ def shared_worker_pool() -> WorkerPool:
 
     Created on first use and kept warm until :func:`shutdown_shared_pool`
     (registered ``atexit``) — this is what carries worker processes across
-    batteries within one experiment process.
+    batteries within one experiment process.  Concurrent engines register
+    runs on it and interleave; nothing ever falls back to a private pool.
     """
     global _SHARED_POOL
-    if _SHARED_POOL is None or _SHARED_POOL.closed:
-        _SHARED_POOL = WorkerPool()
-    return _SHARED_POOL
+    with _SHARED_POOL_LOCK:
+        if _SHARED_POOL is None or _SHARED_POOL.closed:
+            _SHARED_POOL = WorkerPool()
+        return _SHARED_POOL
 
 
 def shutdown_shared_pool() -> None:
     """Close the shared pool (safe to call when none exists)."""
     global _SHARED_POOL
-    if _SHARED_POOL is not None:
-        _SHARED_POOL.close()
-        _SHARED_POOL = None
+    with _SHARED_POOL_LOCK:
+        pool, _SHARED_POOL = _SHARED_POOL, None
+    if pool is not None:
+        pool.close()
 
 
 atexit.register(shutdown_shared_pool)
@@ -377,12 +854,29 @@ def _mp_context():
 def _spec_token(spec: WorkerSpec) -> str:
     """The battery epoch token: content hash of the pickled spec.
 
-    Workers cache their rebuilt analysis under this token, so re-running
-    an identical battery (same class, suite, reference, coverage, flags)
-    ships no spec at all; any change reconfigures on the next dispatch.
+    Workers cache their rebuilt analyses under this token, so re-running
+    a recent battery (same class, suite, reference, coverage, flags)
+    ships no spec at all; an unseen token configures on the next
+    dispatch.
     """
     payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
     return hashlib.sha256(payload).hexdigest()
+
+
+def _boundary_outcome(record, reason: KillReason,
+                      detail: str) -> MutantOutcome:
+    """The paper's "program crashed" clause, applied at the process
+    boundary: the mutant is killed, but no in-process case verdict
+    exists, so ``killing_case`` stays empty and ``cases_run`` is 0."""
+    return MutantOutcome(
+        mutant=record,
+        killed=True,
+        reason=reason,
+        killing_case="",
+        cases_run=0,
+        killing_cases=(),
+        detail=detail,
+    )
 
 
 @dataclass
@@ -425,13 +919,14 @@ class ParallelMutationAnalysis:
     """Fans mutants out to worker processes; merges serial-identical results.
 
     Accepts the same configuration as :class:`MutationAnalysis` plus the
-    pool shape: ``workers`` (pool width), ``batch_size`` (mutants per
-    dispatch chunk; default adaptive) and ``pool`` (an explicit
+    pool shape: ``workers`` (this run's in-flight budget and the pool
+    width it may grow the pool to), ``batch_size`` (mutants per dispatch
+    chunk; default adaptive) and ``pool`` (an explicit
     :class:`WorkerPool`; default the process-wide shared pool, which keeps
-    workers warm across batteries).  Every configuration object (suite,
-    oracle, class builder, setup hook) must be picklable because workers
-    are rebuilt from them; all shipped configurations in
-    :mod:`repro.experiments.config` are.
+    workers warm across batteries and interleaves concurrent runs).
+    Every configuration object (suite, oracle, class builder, setup hook)
+    must be picklable because workers are rebuilt from them; all shipped
+    configurations in :mod:`repro.experiments.config` are.
     """
 
     def __init__(self, original_class: type, suite: TestSuite,
@@ -483,9 +978,10 @@ class ParallelMutationAnalysis:
         self._static_triage = static_triage
         self._triage_type_model = triage_type_model
         # Telemetry lives in the parent only: worker lifecycle, dispatch
-        # waits and task turnarounds are recorded here, while workers run
+        # waits and task turnarounds are recorded here (by the pool's
+        # dispatcher thread, onto this run's session), while workers run
         # un-instrumented (the WorkerSpec never carries a session), so the
-        # trace stays single-writer and workers stay byte-identical to the
+        # trace stays consistent and workers stay byte-identical to the
         # serial engine.
         self._obs = coalesce(telemetry)
         # The reference run — and, under pruning, the coverage matrix it
@@ -650,279 +1146,16 @@ class ParallelMutationAnalysis:
                             if self._batch_size is not None
                             else default_batch_size(len(state.pending),
                                                     self._workers))
-        pool, private = self._acquire_pool()
-        try:
-            pool.prune_dead()
-            pool.ensure(min(self._workers, len(state.pending)), self._obs)
-            for worker in self._active(pool):
-                self._dispatch(worker, state)
-            while state.remaining > 0:
-                active = [worker for worker in self._active(pool)
-                          if worker.assigned]
-                readable = connection_wait(
-                    [worker.connection for worker in active],
-                    timeout=_POLL_INTERVAL,
-                ) if active else ()
-                for connection in readable:
-                    worker = self._worker_for(active, connection)
-                    if worker is not None:
-                        self._receive(worker, state)
-                self._health_pass(pool, state)
-        finally:
-            self._release_pool(pool, private)
-        return state
-
-    # -- pool acquisition ------------------------------------------------
-
-    def _acquire_pool(self) -> Tuple[WorkerPool, bool]:
-        """The pool to run on, plus whether it is private (run-scoped)."""
         pool = (self._pool_override if self._pool_override is not None
                 else shared_worker_pool())
-        if pool.busy or pool.closed:
-            # Another engine is mid-run on this pool (e.g. a nested
-            # analysis): fall back to a private pool for this call.
-            return WorkerPool(), True
-        pool.acquire()
-        return pool, False
-
-    @staticmethod
-    def _release_pool(pool: WorkerPool, private: bool) -> None:
-        if private:
-            pool.close()
-        else:
-            pool.release()
-
-    def _active(self, pool: WorkerPool) -> List[_Worker]:
-        """The slice of the pool this engine drives (its worker budget)."""
-        return pool.workers[:self._workers]
-
-    # -- message handling ------------------------------------------------
-
-    def _receive(self, worker: _Worker, state: _PoolState) -> None:
-        """Drain one readable worker connection; refill it when it empties."""
-        try:
-            message = worker.connection.recv()
-        except (EOFError, OSError):
-            return  # pipe closed mid-batch: the next health pass classifies it
-        self._apply_message(worker, state, message)
-        if not worker.assigned:
-            self._dispatch(worker, state)
-
-    def _apply_message(self, worker: _Worker, state: _PoolState,
-                       message: Tuple) -> None:
-        kind = message[0]
-        if kind not in ("done", "error"):
-            return
-        run_id, index = message[1], message[2]
-        previously_heard = worker.last_heard
-        worker.last_heard = time.perf_counter()
-        if run_id != state.run_id:
-            return  # residue of a previous battery on this persistent worker
-        task: Optional[Tuple[int, CompiledMutant]] = None
-        for assigned in worker.assigned:
-            if assigned[0] == index:
-                task = assigned
-                break
-        if task is not None:
-            worker.assigned.remove(task)
-        if kind == "done":
-            state.record(index, message[3], message[4])
-            self._obs.event(
-                "parallel.task", index=index,
-                mutant=state.mutants[index].record.ident,
-                seconds=round(worker.last_heard - previously_heard, 6),
-            )
-            if state.cache is not None and state.keys is not None:
-                # Write-back happens in the parent so workers never touch
-                # the store; identical keys carry identical payloads, so a
-                # duplicate store (e.g. during salvage) is a harmless
-                # append the next compaction folds away.
-                state.cache.store(state.keys[index], message[3], message[4])
-        else:
-            self._obs.count("parallel.worker_errors")
-            state.record(index, self._boundary_outcome(
-                state.mutants[index].record,
-                KillReason.WORKER_CRASH,
-                f"worker failed to run mutant: {message[3]}",
-            ))
-        if not worker.assigned and worker.batch_len:
-            self._obs.event(
-                "parallel.batch", size=worker.batch_len,
-                seconds=round(worker.last_heard - worker.batch_started, 6),
-            )
-            worker.batch_len = 0
-
-    # -- health ----------------------------------------------------------
-
-    def _health_pass(self, pool: WorkerPool, state: _PoolState) -> None:
-        """Classify dead/hung workers; keep the pool sized while work remains."""
-        now = time.perf_counter()
-        for worker in list(self._active(pool)):
-            if not worker.process.is_alive():
-                self._retire_dead(pool, worker, state)
-            elif (worker.assigned
-                    and now - worker.last_heard > self._backstop):
-                self._retire_hung(pool, worker, state)
-        while state.pending and len(pool.workers) < self._workers:
-            replacement = pool.spawn_one(self._obs)
-            self._obs.count("parallel.respawns")
-            self._dispatch(replacement, state)
-        for worker in self._active(pool):
-            if not worker.assigned and state.pending:
-                self._dispatch(worker, state)
-
-    def _unreported(self, worker: _Worker,
-                    state: _PoolState) -> List[Tuple[int, CompiledMutant]]:
-        """The worker's assigned tasks that still have no recorded verdict."""
-        return [task for task in worker.assigned
-                if state.results[task[0]] is None]
-
-    def _retire_dead(self, pool: WorkerPool, worker: _Worker,
-                     state: _PoolState) -> None:
-        # Salvage results the worker sent before dying, then apply the
-        # batch crash rule: a single unreported mutant was provably
-        # executing and is classified as a process-boundary crash kill; a
-        # multi-mutant remainder is re-dispatched solo so one poisoned
-        # mutant cannot take out its batchmates' verdicts.
-        worker.process.join()
-        self._salvage(worker, state)
-        unreported = self._unreported(worker, state)
-        worker.assigned.clear()
-        if len(unreported) == 1:
-            index, mutant = unreported[0]
-            self._obs.event("parallel.worker_crash", index=index,
-                            mutant=mutant.record.ident,
-                            exitcode=worker.process.exitcode)
-            self._obs.count("parallel.worker_crashes")
-            state.record(index, self._boundary_outcome(
-                mutant.record, KillReason.WORKER_CRASH,
-                f"worker process died (exitcode {worker.process.exitcode}) "
-                f"while running the suite",
-            ))
-        elif unreported:
-            self._obs.event("parallel.batch_failed", size=len(unreported),
-                            reason="crash",
-                            exitcode=worker.process.exitcode)
-            self._obs.count("parallel.batch_redispatches")
-            for task in reversed(unreported):
-                state.solo.add(task[0])
-                state.pending.appendleft(task)
-        pool.discard(worker)
-
-    def _retire_hung(self, pool: WorkerPool, worker: _Worker,
-                     state: _PoolState) -> None:
-        # The verdict may have landed in the pipe while we were not looking;
-        # salvage it first — only a genuinely silent worker is a hang.
-        self._salvage(worker, state)
-        unreported = self._unreported(worker, state)
-        worker.assigned.clear()
-        if not unreported:
-            self._dispatch(worker, state)
-            return
-        # Execution is in-order and every verdict streams back the moment
-        # it exists, so a silent worker is provably stuck on its *first*
-        # unreported mutant; the rest of the batch never started and is
-        # re-queued untouched.
-        index, mutant = unreported[0]
-        worker.process.kill()
-        worker.process.join()
-        pool.discard(worker)
-        self._obs.event("parallel.wall_timeout", index=index,
-                        mutant=mutant.record.ident,
-                        backstop=self._backstop)
-        self._obs.count("parallel.wall_timeouts")
-        state.record(index, self._boundary_outcome(
-            mutant.record, KillReason.WALL_TIMEOUT,
-            f"no verdict within the {self._backstop:.1f}s wall-clock "
-            f"backstop; worker killed",
-        ))
-        rest = unreported[1:]
-        if rest:
-            self._obs.event("parallel.batch_failed", size=len(rest),
-                            reason="hang")
-            self._obs.count("parallel.batch_redispatches")
-            for task in reversed(rest):
-                state.pending.appendleft(task)
-
-    def _salvage(self, worker: _Worker, state: _PoolState) -> None:
-        """Apply any messages already sitting in the worker's pipe."""
-        try:
-            while worker.connection.poll(0):
-                self._apply_message(worker, state, worker.connection.recv())
-        except (EOFError, OSError):
-            pass
-
-    # -- dispatch --------------------------------------------------------
-
-    def _dispatch(self, worker: _Worker, state: _PoolState) -> None:
-        """Hand the worker its next batch (configuring the battery first)."""
-        if worker.assigned or not state.pending:
-            return
-        now = time.perf_counter()
-        if worker.epoch != state.token:
-            try:
-                worker.connection.send(("battery", state.token, state.spec))
-            except (BrokenPipeError, OSError):
-                return  # dead worker: the health pass prunes and respawns
-            worker.epoch = state.token
-            self._obs.count("parallel.battery_shipped")
-        batch: List[Tuple[int, CompiledMutant]] = []
-        while state.pending and len(batch) < state.batch_size:
-            index = state.pending[0][0]
-            if index in state.solo and batch:
-                break  # a solo task never joins a batch already in hand
-            batch.append(state.pending.popleft())
-            if index in state.solo:
-                break  # …and never takes batchmates of its own
-        for index, mutant in batch:
-            self._obs.event(
-                "parallel.dispatch", index=index,
-                mutant=mutant.record.ident,
-                waited=round(now - state.enqueued_at, 6),
-                batch=len(batch),
-            )
-        self._obs.count("parallel.batches")
-        worker.assigned = deque(batch)
-        worker.batch_len = len(batch)
-        worker.batch_started = worker.last_heard = now
-        try:
-            worker.connection.send(("batch", state.run_id, tuple(batch)))
-        except (BrokenPipeError, OSError):
-            # Worker already dead; the health pass applies the batch crash
-            # rule to the assigned tasks (classify one, re-dispatch many).
-            pass
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _mp_context():
-        return _mp_context()
-
-    @staticmethod
-    def _worker_for(pool: List[_Worker],
-                    connection: Connection) -> Optional[_Worker]:
-        for worker in pool:
-            if worker.connection is connection:
-                return worker
-        return None
-
-    @staticmethod
-    def _boundary_outcome(record, reason: KillReason,
-                          detail: str) -> MutantOutcome:
-        """The paper's "program crashed" clause, applied at the process
-        boundary: the mutant is killed, but no in-process case verdict
-        exists, so ``killing_case`` stays empty and ``cases_run`` is 0."""
-        return MutantOutcome(
-            mutant=record,
-            killed=True,
-            reason=reason,
-            killing_case="",
-            cases_run=0,
-            killing_cases=(),
-            detail=detail,
+        handle = _RunHandle(
+            state=state,
+            obs=self._obs,
+            workers=self._workers,
+            backstop=self._backstop,
         )
+        pool.execute(handle)
+        return state
 
 
 def analyze_mutants_parallel(original_class: type, suite: TestSuite,

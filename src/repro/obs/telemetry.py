@@ -25,6 +25,7 @@ Two hard guarantees the instrumented hot paths rely on:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -101,6 +102,12 @@ class Telemetry:
         self._span_stats: Dict[str, List[float]] = {}
         self._events_emitted = 0
         self._closed = False
+        # One session may be written from several threads at once (the
+        # pipelined sweep runs scenarios on threads, and the pool's
+        # dispatcher thread records dispatch/task events for all of them);
+        # counter bumps, span-stat folds and sink writes are tiny critical
+        # sections, so a single plain lock keeps the trace consistent.
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
@@ -121,7 +128,16 @@ class Telemetry:
     def count(self, name: str, amount: int = 1) -> None:
         """Bump a named counter (no per-increment event; totals are
         emitted once as the closing ``counters`` event)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count_max(self, name: str, value: int) -> None:
+        """Raise a named counter to ``value`` if it is below it — a
+        high-water-mark counter (e.g. peak queue depth, peak scenarios
+        in flight) rendered alongside the additive ones."""
+        with self._lock:
+            if value > self._counters.get(name, 0):
+                self._counters[name] = value
 
     # -- inspection --------------------------------------------------------
 
@@ -130,7 +146,8 @@ class Telemetry:
         return self._events_emitted
 
     def counters(self) -> Dict[str, int]:
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def span_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-span-name aggregates: count, total/mean/max seconds."""
@@ -177,14 +194,15 @@ class Telemetry:
     def _finish_span(self, name: str, started: float,
                      attrs: Dict[str, Any]) -> None:
         duration = self._clock() - started
-        stats = self._span_stats.get(name)
-        if stats is None:
-            self._span_stats[name] = [1, duration, duration]
-        else:
-            stats[0] += 1
-            stats[1] += duration
-            if duration > stats[2]:
-                stats[2] = duration
+        with self._lock:
+            stats = self._span_stats.get(name)
+            if stats is None:
+                self._span_stats[name] = [1, duration, duration]
+            else:
+                stats[0] += 1
+                stats[1] += duration
+                if duration > stats[2]:
+                    stats[2] = duration
         self._emit({
             "v": SCHEMA_VERSION,
             "kind": "span",
@@ -195,9 +213,10 @@ class Telemetry:
         })
 
     def _emit(self, event: Dict[str, Any]) -> None:
-        self._events_emitted += 1
-        if self._sink is not None:
-            self._sink(event)
+        with self._lock:
+            self._events_emitted += 1
+            if self._sink is not None:
+                self._sink(event)
 
 
 class _NullSpan:
@@ -240,6 +259,9 @@ class NullTelemetry(Telemetry):
         return None
 
     def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def count_max(self, name: str, value: int) -> None:
         return None
 
     def close(self) -> None:

@@ -154,6 +154,7 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
         prune=prune_from_arguments(arguments),
         static_triage=static_triage_from_arguments(arguments),
         telemetry=telemetry,
+        inflight=arguments.inflight,
     )
 
     def progress(position, total, scenario, result):
@@ -178,6 +179,13 @@ def _cmd_run(arguments: argparse.Namespace) -> int:
     print(report.render_text())
     if arguments.cache_stats and cache is not None:
         print(f"cache: {cache.snapshot().format()}")
+        scenario_stats = cache.scenario_stats()
+        if any(scenario_stats.values()):
+            print("scenario cache: "
+                  f"{scenario_stats['hits']} hits, "
+                  f"{scenario_stats['misses']} misses, "
+                  f"{scenario_stats['stores']} stores, "
+                  f"{scenario_stats['corrupt']} corrupt")
     compact_cache(cache, arguments)
     finish_telemetry(telemetry, arguments)
     return _gate(report)
@@ -231,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workspace", default=None, metavar="DIR",
         help="directory for materialized generated components "
              "(default: a shared per-machine temp workspace)",
+    )
+    run_parser.add_argument(
+        "--inflight", type=int, default=1, metavar="K",
+        help="pipeline K scenarios concurrently onto the shared worker "
+             "pool (default 1: sequential; the report is byte-identical "
+             "either way)",
     )
     run_parser.add_argument(
         "--max-scenarios", type=int, default=0, metavar="N",

@@ -20,6 +20,26 @@ Cost sharing across the sweep, not per scenario:
   :class:`~repro.mutation.parallel.WorkerPool`, and an optional
   :class:`~repro.mutation.cache.MutationOutcomeCache` spans the sweep.
 
+Pipelining (``inflight > 1``): the runner keeps K scenarios in flight on
+scheduler threads, so one scenario's prep work (synthesis, suite
+generation, battery compilation, reference recording) overlaps another's
+mutant execution instead of serialising behind it.  The worker pool is
+multi-tenant — concurrent engines interleave their batches on the same
+warm workers — and the sweep-wide memos become build-once cells, so
+pipelining never duplicates shared prep.  Results are merged back in
+registry order: the pipelined report is byte-identical to the sequential
+runner's.
+
+Scenario warm cache: with a cache attached, each finished (non-failed)
+scenario's result projection is persisted keyed by the scenario content
+fingerprint, the component *source* hash, the suite fingerprint and the
+verdict-bearing engine flags.  A warm sweep of an unchanged registry
+replays every scenario from the store — zero mutants executed, zero
+reference passes — and still renders the byte-identical deterministic
+report.  Worker count, batch size and inflight depth are deliberately
+not part of the key: engines are serial-equivalent, so a result computed
+at any parallelism replays everywhere.
+
 Determinism: :meth:`SweepReport.to_dict` with ``timings=False`` is the
 *deterministic projection* — same registry, same seeds, same flags ⇒
 byte-identical JSON.  Wall-clock, cache counters and the executed/skipped
@@ -31,6 +51,7 @@ confined to the ``timings=True`` rendering, mirroring
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import (
@@ -45,7 +66,8 @@ from typing import (
 )
 
 from ..components import component_by_name, setup_for, type_model_for
-from ..core.errors import ReproError, ScenarioError
+from ..core.errors import ScenarioError
+from ..core.fingerprint import canonical, sha256_hex
 from ..generator.driver import DriverGenerator
 from ..generator.suite import TestSuite
 from ..harness.oracles import (
@@ -58,7 +80,7 @@ from ..harness.oracles import (
 )
 from ..harness.outcomes import SuiteResult, Verdict
 from ..mutation.analysis import MutationAnalysis, MutationRun
-from ..mutation.cache import MutationOutcomeCache
+from ..mutation.cache import CACHE_KEY_VERSION, MutationOutcomeCache
 from ..mutation.coverage import CoverageMatrix
 from ..mutation.generate import build_battery
 from ..obs import Telemetry, coalesce
@@ -385,14 +407,19 @@ class SweepRunner:
                  prune: bool = True,
                  static_triage: bool = True,
                  telemetry: Optional[Telemetry] = None,
-                 pool: Optional[object] = None):
+                 pool: Optional[object] = None,
+                 inflight: int = 1):
         """``workers > 1`` routes every non-empty battery through the
         parallel engine; ``pool`` overrides its worker pool (default: the
-        process-wide shared pool, warm across scenarios).  ``cache``,
-        ``prune``, ``static_triage``, ``batch_size`` and ``telemetry``
-        are passed through to the engines unchanged."""
+        process-wide shared pool, warm across scenarios).  ``inflight > 1``
+        pipelines that many scenarios concurrently onto the pool (see the
+        module docstring).  ``cache``, ``prune``, ``static_triage``,
+        ``batch_size`` and ``telemetry`` are passed through to the engines
+        unchanged."""
         if workers < 1:
             raise ScenarioError("workers must be >= 1")
+        if inflight < 1:
+            raise ScenarioError("inflight must be >= 1")
         self._registry = registry
         self._workers = workers
         self._workspace = workspace
@@ -403,13 +430,62 @@ class SweepRunner:
         self._telemetry = telemetry
         self._obs = coalesce(telemetry)
         self._pool = pool
-        # Sweep-wide memos (see module docstring).
+        self._inflight = inflight
+        # Sweep-wide memos (see module docstring).  With pipelining the
+        # plain dicts become build-once cells: the first scenario thread
+        # to ask for a key builds it, concurrent askers block on the
+        # builder's event instead of duplicating the work.
+        self._memo_lock = threading.Lock()
+        self._memo_building: Dict[Tuple[int, Any], threading.Event] = {}
         self._classes: Dict[Tuple[str, int], type] = {}
         self._suites: Dict[Tuple[str, Tuple[int, int, int, int]],
                            TestSuite] = {}
         self._references: Dict[Tuple[str, str],
                                Tuple[SuiteResult,
                                      Optional[CoverageMatrix]]] = {}
+
+    def _memoized(self, store: Dict, key: Any,
+                  build: Callable[[], Any]) -> Any:
+        """``store[key]``, built at most once sweep-wide.
+
+        A waiting thread's stall is the *prep wait* — the pipelined
+        sweep's analogue of a cache stampede — and is surfaced as the
+        ``sweep.prep_wait`` / ``sweep.prep_wait_ms`` counters.  When the
+        builder raises, its waiters retry (one of them becomes the next
+        builder), so a transient failure never wedges the cell.
+        """
+        while True:
+            with self._memo_lock:
+                if key in store:
+                    return store[key]
+                cell = (id(store), key)
+                event = self._memo_building.get(cell)
+                if event is None:
+                    event = threading.Event()
+                    self._memo_building[cell] = event
+                    building = True
+                else:
+                    building = False
+            if building:
+                try:
+                    value = build()
+                except BaseException:
+                    with self._memo_lock:
+                        del self._memo_building[cell]
+                    event.set()
+                    raise
+                with self._memo_lock:
+                    store[key] = value
+                    del self._memo_building[cell]
+                event.set()
+                return value
+            waited = time.perf_counter()
+            event.wait()
+            self._obs.count("sweep.prep_wait")
+            self._obs.count(
+                "sweep.prep_wait_ms",
+                int((time.perf_counter() - waited) * 1000),
+            )
 
     # -- component / suite resolution -----------------------------------
 
@@ -420,17 +496,18 @@ class SweepRunner:
         """The scenario's class, spec, setup hook and triage type model."""
         selector = scenario.component
         if selector.is_generated:
-            key = (selector.family, selector.seed)
-            cls = self._classes.get(key)
-            if cls is None:
+            def build() -> type:
                 with self._obs.span("sweep.materialize",
                                     family=selector.family,
                                     seed=selector.seed):
                     component = synthesize(
                         GeneratorSpec(selector.family, selector.seed)
                     )
-                    cls = materialize(component, self._workspace)
-                self._classes[key] = cls
+                    return materialize(component, self._workspace)
+
+            cls = self._memoized(
+                self._classes, (selector.family, selector.seed), build
+            )
             return cls, cls.__tspec__, None, None
         cls = component_by_name(selector.ref)
         return (cls, cls.__tspec__,
@@ -441,8 +518,8 @@ class SweepRunner:
         config = scenario.suite
         key = (component_key, (config.seed, config.edge_bound,
                                config.max_transactions, config.max_cases))
-        suite = self._suites.get(key)
-        if suite is None:
+
+        def build() -> TestSuite:
             suite = DriverGenerator(
                 spec,
                 seed=config.seed,
@@ -453,8 +530,9 @@ class SweepRunner:
                 suite = dc_replace(
                     suite, cases=suite.cases[:config.max_cases]
                 )
-            self._suites[key] = suite
-        return suite
+            return suite
+
+        return self._memoized(self._suites, key, build)
 
     def _reference_for(self, component_key: str, cls: type,
                        suite: TestSuite,
@@ -462,27 +540,33 @@ class SweepRunner:
                        ) -> Tuple[SuiteResult, Optional[CoverageMatrix]]:
         """The (reference run, coverage matrix) pair, recorded once per
         (component, suite) and seeded into every engine downstream."""
-        key = (component_key, suite.fingerprint())
-        cached = self._references.get(key)
-        if cached is None:
+        def build() -> Tuple[SuiteResult, Optional[CoverageMatrix]]:
             recorder = MutationAnalysis(
                 cls, suite, setup=setup, prune=self._prune,
                 telemetry=self._telemetry,
             )
-            cached = (recorder.reference_results(),
-                      recorder.coverage_matrix())
-            self._references[key] = cached
-        return cached
+            return (recorder.reference_results(),
+                    recorder.coverage_matrix())
+
+        return self._memoized(
+            self._references, (component_key, suite.fingerprint()), build
+        )
 
     # -- execution ------------------------------------------------------
 
     def run_scenario(self, scenario: ScenarioConfig) -> ScenarioResult:
         """Execute one scenario; never raises — failures land in
-        ``result.error`` so a sweep survives a bad entry."""
+        ``result.error`` so a sweep survives a bad entry.
+
+        *Any* ``Exception`` is absorbed, not just :class:`ReproError`:
+        a scenario that dies of an unforeseen bug (a bad generated
+        component tripping an assertion, say) must cost exactly one
+        ``error`` row and one ``sweep.errors`` tick — never the other
+        K-1 scenarios in flight beside it."""
         started = time.perf_counter()
         try:
             return self._run_scenario(scenario, started)
-        except ReproError as error:
+        except Exception as error:
             return ScenarioResult(
                 ident=scenario.ident,
                 component=scenario.component.describe(),
@@ -495,12 +579,48 @@ class SweepRunner:
                 error=f"{type(error).__name__}: {error}",
             )
 
+    def _scenario_key(self, scenario: ScenarioConfig, cls: type,
+                      suite: TestSuite) -> Optional[str]:
+        """The scenario warm-cache address, or ``None`` without a cache.
+
+        Covers everything that can change the deterministic projection:
+        the scenario content fingerprint (operators, oracle, budgets,
+        methods, suite config), the component *source* hash (via
+        :func:`canonical`, so editing a component or the generator
+        invalidates its scenarios), the realized suite fingerprint, and
+        the verdict-bearing engine flags.  Deliberately excluded:
+        ``workers``, ``batch_size``, ``inflight`` — engines are
+        serial-equivalent, so one stored result replays at any
+        parallelism.
+        """
+        if self._cache is None:
+            return None
+        return sha256_hex(
+            "scenario-result",
+            f"v{CACHE_KEY_VERSION}",
+            scenario.fingerprint(),
+            canonical(cls),
+            suite.fingerprint(),
+            canonical(self._prune),
+            canonical(self._static_triage),
+        )
+
     def _run_scenario(self, scenario: ScenarioConfig,
                       started: float) -> ScenarioResult:
         cls, spec, setup, type_model = self._resolve_component(scenario)
         component_key = scenario.component.describe()
         methods = scenario.methods or default_methods(spec)
         suite = self._suite_for(component_key, scenario, spec)
+        cache_key = self._scenario_key(scenario, cls, suite)
+        if cache_key is not None:
+            stored = self._cache.lookup_scenario(cache_key)
+            if stored is not None:
+                self._obs.count("sweep.scenario_cache_hits")
+                return dc_replace(
+                    _result_from_mapping(stored),
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            self._obs.count("sweep.scenario_cache_misses")
         mutants, generation, truncated = build_battery(
             cls, methods,
             operator_names=scenario.operators,
@@ -519,7 +639,7 @@ class SweepRunner:
             1 for result in run.reference.results
             if result.verdict is not Verdict.PASS
         )
-        return ScenarioResult(
+        result = ScenarioResult(
             ident=scenario.ident,
             component=component_key,
             scenario_fingerprint=scenario.fingerprint(),
@@ -548,6 +668,11 @@ class SweepRunner:
             cases_skipped=run.cases_skipped,
             elapsed_seconds=time.perf_counter() - started,
         )
+        if cache_key is not None and not result.failed:
+            self._cache.store_scenario(
+                cache_key, result.to_dict(timings=True)
+            )
+        return result
 
     def _analyze(self, cls: type, suite: TestSuite, mutants: Sequence,
                  scenario: ScenarioConfig, spec: ClassSpec,
@@ -579,6 +704,78 @@ class SweepRunner:
             engine = MutationAnalysis(cls, suite, **options)
         return engine.analyze(list(mutants))
 
+    def _tally(self, result: ScenarioResult) -> None:
+        self._obs.count("sweep.scenarios", 1)
+        if result.oracle_failures:
+            self._obs.count("sweep.oracle_failures",
+                            result.oracle_failures)
+        if result.error:
+            self._obs.count("sweep.errors", 1)
+
+    def _run_sequential(self, scenarios: Sequence[ScenarioConfig],
+                        progress: Optional[ProgressCallback]
+                        ) -> List[ScenarioResult]:
+        results: List[ScenarioResult] = []
+        for position, scenario in enumerate(scenarios, start=1):
+            result = self.run_scenario(scenario)
+            results.append(result)
+            self._tally(result)
+            if progress is not None:
+                progress(position, len(scenarios), scenario, result)
+        return results
+
+    def _run_pipelined(self, scenarios: Sequence[ScenarioConfig],
+                       progress: Optional[ProgressCallback]
+                       ) -> List[ScenarioResult]:
+        """K scheduler threads pull scenarios off one shared index.
+
+        While one scenario blocks in the (multi-tenant) worker pool, its
+        neighbours run prep — synthesis, suite generation, battery
+        compilation, reference recording — so the pool never starves
+        behind single-threaded prep.  Results land by registry index,
+        which makes the report byte-identical to the sequential
+        runner's; ``progress`` fires in completion order under a lock
+        (positions stay dense 1..N, idents may interleave).
+        """
+        results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        state = threading.Lock()
+        cursor = {"next": 0, "done": 0, "active": 0}
+
+        def schedule() -> None:
+            while True:
+                with state:
+                    index = cursor["next"]
+                    if index >= len(scenarios):
+                        return
+                    cursor["next"] = index + 1
+                    cursor["active"] += 1
+                    self._obs.count_max("sweep.inflight",
+                                        cursor["active"])
+                scenario = scenarios[index]
+                try:
+                    result = self.run_scenario(scenario)
+                finally:
+                    with state:
+                        cursor["active"] -= 1
+                with state:
+                    results[index] = result
+                    cursor["done"] += 1
+                    self._tally(result)
+                    if progress is not None:
+                        progress(cursor["done"], len(scenarios),
+                                 scenario, result)
+
+        threads = [
+            threading.Thread(target=schedule,
+                             name=f"repro-sweep-{number}", daemon=True)
+            for number in range(min(self._inflight, len(scenarios)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [result for result in results if result is not None]
+
     def run(self, filter_expression: str = "",
             shard: Optional[Tuple[int, int]] = None,
             max_scenarios: int = 0,
@@ -591,20 +788,13 @@ class SweepRunner:
         scenarios = list(selected)
         if max_scenarios and len(scenarios) > max_scenarios:
             scenarios = scenarios[:max_scenarios]
-        results: List[ScenarioResult] = []
         with self._obs.span("sweep.run", scenarios=len(scenarios),
-                            workers=self._workers):
-            for position, scenario in enumerate(scenarios, start=1):
-                result = self.run_scenario(scenario)
-                results.append(result)
-                self._obs.count("sweep.scenarios", 1)
-                if result.oracle_failures:
-                    self._obs.count("sweep.oracle_failures",
-                                    result.oracle_failures)
-                if result.error:
-                    self._obs.count("sweep.errors", 1)
-                if progress is not None:
-                    progress(position, len(scenarios), scenario, result)
+                            workers=self._workers,
+                            inflight=self._inflight):
+            if self._inflight > 1 and len(scenarios) > 1:
+                results = self._run_pipelined(scenarios, progress)
+            else:
+                results = self._run_sequential(scenarios, progress)
         counters = (dict(self._telemetry.counters())
                     if self._telemetry is not None else {})
         return SweepReport(

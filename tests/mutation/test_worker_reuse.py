@@ -149,6 +149,52 @@ class TestCrashRespawn:
             ).analyze(battery_one[1:])
             assert run.outcomes[1:] == serial.outcomes
 
+    def test_crash_during_interleave_never_corrupts_the_other_run(
+            self, mutants):
+        # Run A carries a worker-killing mutant while run B executes
+        # concurrently on the same pool: A's crash classification and
+        # solo re-dispatches are fenced to A's run id, so B's verdicts
+        # stay serial-identical and free of boundary kills.
+        import threading
+
+        suite = small_suite(SEEDS[0])
+        hostile = hostile_mutant("X0203", CRASH_SOURCE)
+        battery_a = [hostile] + list(mutants[:6])
+        with WorkerPool() as pool:
+            results = {}
+
+            def drive_a():
+                results["a"] = ParallelMutationAnalysis(
+                    CSortableObList, suite, oracle=oracle(), workers=2,
+                    pool=pool, static_triage=False,
+                ).analyze(battery_a)
+
+            def drive_b():
+                results["b"] = battery(mutants, SEEDS[1], pool)
+
+            threads = [threading.Thread(target=drive_a),
+                       threading.Thread(target=drive_b)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert results["a"].outcomes[0].reason is KillReason.WORKER_CRASH
+        serial_a = MutationAnalysis(
+            CSortableObList, suite, oracle=oracle(), static_triage=False,
+        ).analyze(battery_a[1:])
+        assert results["a"].outcomes[1:] == serial_a.outcomes
+        serial_b = MutationAnalysis(
+            CSortableObList, small_suite(SEEDS[1]), oracle=oracle(),
+            static_triage=False,
+        ).analyze(mutants)
+        assert results["b"].same_results(serial_b)
+        assert not any(
+            outcome.reason in (KillReason.WORKER_CRASH,
+                               KillReason.WALL_TIMEOUT)
+            for outcome in results["b"].outcomes
+        )
+
     def test_next_battery_reuses_the_respawned_pool(self, mutants):
         suite = small_suite(SEEDS[0])
         hostile = hostile_mutant("X0202", CRASH_SOURCE)
@@ -199,17 +245,53 @@ class TestSharedPool:
         assert fresh is not pool
         shutdown_shared_pool()
 
-    def test_busy_pool_falls_back_to_private(self, mutants):
-        # An engine finding the pool mid-run (e.g. a nested analysis)
-        # must not deadlock or corrupt it: it runs on a private pool.
+    def test_overlapping_analyses_share_one_pool(self, mutants):
+        # Two engines driving the same pool at once (the pipelined sweep
+        # does exactly this) interleave on its workers instead of one of
+        # them silently falling back to a cold private pool — the
+        # multi-tenant dispatcher fences runs by id and round-robins
+        # their batches, so both finish with serial-identical verdicts
+        # and the pool never grows past the largest single request.
+        import threading
+
         with WorkerPool() as pool:
-            pool.acquire()
-            try:
-                run = battery(mutants[:4], SEEDS[0], pool)
-                assert run.total == 4
-                assert pool.size == 0  # never touched the busy pool
-            finally:
-                pool.release()
+            runs = {}
+
+            def drive(seed):
+                runs[seed] = battery(mutants, seed, pool)
+
+            threads = [threading.Thread(target=drive, args=(seed,))
+                       for seed in SEEDS[:2]]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert pool.size <= 2  # shared capacity, not 2 + 2
+            for seed in SEEDS[:2]:
+                serial = MutationAnalysis(
+                    CSortableObList, small_suite(seed), oracle=oracle(),
+                    static_triage=False,
+                ).analyze(mutants)
+                assert runs[seed].same_results(serial)
+
+    def test_interleaved_batteries_stay_within_the_battery_lru(self, mutants):
+        # Interleaving two batteries must not thrash spec re-shipping:
+        # each worker keeps a small LRU of shipped batteries, so running
+        # A, B, A, B on one pool ships each spec to each worker at most
+        # once (4 total for two batteries × two workers), not once per
+        # alternation.
+        shipped = 0
+        with WorkerPool() as pool:
+            for _ in range(2):  # A, B, A, B
+                for seed in SEEDS[:2]:
+                    telemetry = Telemetry(sink=MemorySink())
+                    battery(mutants, seed, pool, telemetry=telemetry)
+                    shipped += telemetry.counters().get(
+                        "parallel.battery_shipped", 0
+                    )
+                    telemetry.close()
+        assert shipped == 4  # two batteries × two workers, no re-ships
 
 
 class TestPoolHygiene:

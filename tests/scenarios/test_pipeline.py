@@ -1,0 +1,205 @@
+"""Pipelined sweep: differential matrix, warm replay, error isolation.
+
+The pipelined scheduler's whole contract is *invisibility*: whatever
+``inflight``, ``workers`` and cache temperature a sweep runs at, the
+deterministic report projection must be byte-identical to the
+sequential runner's.  On top of that, a fully-warm sweep of an
+unchanged registry must replay from the scenario store without
+executing a single mutant or reference pass, and one scenario dying of
+an arbitrary ``Exception`` must cost exactly its own row, never its
+neighbours in flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mutation.cache import MutationOutcomeCache
+from repro.mutation.parallel import shutdown_shared_pool
+from repro.obs import MemorySink, Telemetry
+from repro.scenarios import SweepRunner, registry_from_mappings
+import repro.scenarios.sweep as sweep_module
+
+ENTRIES = [
+    {
+        "ident": "pipe-stack-bitneg",
+        "component": {"family": "stack", "seed": 5},
+        "operators": ["IndVarBitNeg"],
+        "suite": {"max_cases": 6},
+        "budgets": {"max_mutants": 6},
+    },
+    {
+        "ident": "pipe-stack-glob",
+        "component": {"family": "stack", "seed": 5},
+        "operators": ["IndVarRepGlob"],
+        "suite": {"max_cases": 6},
+        "budgets": {"max_mutants": 6},
+    },
+    {
+        "ident": "pipe-queue",
+        "component": {"family": "queue", "seed": 2},
+        "operators": ["IndVarRepGlob"],
+        "suite": {"max_cases": 6},
+        "budgets": {"max_mutants": 6},
+    },
+    {
+        "ident": "pipe-account",
+        "component": {"ref": "BankAccount"},
+        "operators": ["IndVarRepGlob"],
+        "suite": {"max_cases": 6},
+        "budgets": {"max_mutants": 6},
+    },
+]
+
+#: Spans whose presence means real work happened (reference execution,
+#: mutant execution, battery compilation) — a fully-warm sweep emits none.
+WORK_SPANS = ("analysis.reference", "analysis.mutant", "parallel.run",
+              "executor.case", "generate.operator")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_pool_cleanup():
+    yield
+    shutdown_shared_pool()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return registry_from_mappings(ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def baseline(registry, tmp_path_factory):
+    workspace = tmp_path_factory.mktemp("baseline-ws")
+    report = SweepRunner(registry, workspace=workspace).run()
+    assert report.passed
+    return report.to_json(timings=False)
+
+
+class TestDifferentialMatrix:
+    """inflight {1,2,4} × workers {1,2} × cache cold/warm ⇒ same bytes."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("inflight", [1, 2, 4])
+    def test_report_is_byte_identical(self, registry, baseline, tmp_path,
+                                      workers, inflight):
+        cache_dir = tmp_path / "cache"
+        cold = SweepRunner(
+            registry, workers=workers, inflight=inflight,
+            workspace=tmp_path / "ws-cold",
+            cache=MutationOutcomeCache(cache_dir),
+        ).run()
+        assert cold.to_json(timings=False) == baseline
+        warm = SweepRunner(
+            registry, workers=workers, inflight=inflight,
+            workspace=tmp_path / "ws-warm",
+            cache=MutationOutcomeCache(cache_dir),
+        ).run()
+        assert warm.to_json(timings=False) == baseline
+
+    def test_results_keep_registry_order(self, registry, tmp_path):
+        report = SweepRunner(
+            registry, inflight=4, workspace=tmp_path / "ws"
+        ).run()
+        assert [result.ident for result in report.results] == \
+            [scenario.ident for scenario in registry]
+
+    def test_progress_positions_stay_dense(self, registry, tmp_path):
+        seen = []
+        SweepRunner(registry, inflight=4, workspace=tmp_path / "ws").run(
+            progress=lambda position, total, scenario, result:
+                seen.append((position, total))
+        )
+        assert seen == [(index, len(ENTRIES))
+                        for index in range(1, len(ENTRIES) + 1)]
+
+
+class TestWarmReplay:
+    """A fully-warm sweep executes zero mutants and zero reference passes."""
+
+    def test_warm_sweep_does_no_work(self, registry, baseline, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold_cache = MutationOutcomeCache(cache_dir)
+        cold = SweepRunner(
+            registry, workspace=tmp_path / "ws-cold", cache=cold_cache,
+        ).run()
+        assert cold.passed
+        assert cold_cache.scenario_stats()["stores"] == len(ENTRIES)
+
+        telemetry = Telemetry(sink=MemorySink())
+        warm_cache = MutationOutcomeCache(cache_dir, telemetry=telemetry)
+        runner = SweepRunner(
+            registry, inflight=2, workspace=tmp_path / "ws-warm",
+            cache=warm_cache, telemetry=telemetry,
+        )
+        warm = runner.run()
+        counters = telemetry.counters()
+        spans = telemetry.span_stats()
+        telemetry.close()
+
+        assert warm.to_json(timings=False) == baseline
+        assert warm.mutants_total == cold.mutants_total > 0
+        # Every scenario replayed from the store …
+        assert warm_cache.scenario_stats()["hits"] == len(ENTRIES)
+        assert counters.get("sweep.scenario_cache_hits", 0) == len(ENTRIES)
+        assert counters.get("sweep.scenario_cache_misses", 0) == 0
+        # … and no engine ever ran: no reference memo was built, no
+        # reference/mutant/battery span was emitted.
+        assert len(runner._references) == 0
+        assert not any(name in spans for name in WORK_SPANS)
+
+    def test_editing_the_component_misses(self, registry, tmp_path,
+                                          monkeypatch):
+        cache_dir = tmp_path / "cache"
+        SweepRunner(
+            registry, workspace=tmp_path / "ws-cold",
+            cache=MutationOutcomeCache(cache_dir),
+        ).run()
+        # A different component source hash must address a different
+        # record: simulate the edit by perturbing the canonical rendering
+        # of classes.
+        real_canonical = sweep_module.canonical
+        monkeypatch.setattr(
+            sweep_module, "canonical",
+            lambda value: "edited:" + real_canonical(value),
+        )
+        warm_cache = MutationOutcomeCache(cache_dir)
+        report = SweepRunner(
+            registry, workspace=tmp_path / "ws-warm", cache=warm_cache,
+        ).run()
+        assert report.passed
+        assert warm_cache.scenario_stats()["hits"] == 0
+        assert warm_cache.scenario_stats()["misses"] == len(ENTRIES)
+
+
+class TestErrorIsolation:
+    """One scenario's crash never takes down the scenarios beside it."""
+
+    def test_non_repro_error_is_contained(self, registry, tmp_path,
+                                          monkeypatch):
+        real_synthesize = sweep_module.synthesize
+
+        def hostile_synthesize(genspec):
+            if genspec.family == "queue":
+                raise RuntimeError("synthetic fault")
+            return real_synthesize(genspec)
+
+        monkeypatch.setattr(sweep_module, "synthesize", hostile_synthesize)
+        telemetry = Telemetry(sink=MemorySink())
+        report = SweepRunner(
+            registry, inflight=2, workspace=tmp_path / "ws",
+            telemetry=telemetry,
+        ).run()
+        counters = telemetry.counters()
+        telemetry.close()
+
+        assert not report.passed
+        assert len(report.errors) == 1
+        assert report.errors[0].ident == "pipe-queue"
+        assert report.errors[0].error == "RuntimeError: synthetic fault"
+        assert counters.get("sweep.errors", 0) == 1
+        # The three survivors are complete, green rows.
+        healthy = [result for result in report.results if not result.error]
+        assert len(healthy) == 3
+        assert all(result.mutants_total > 0 for result in healthy)
+        assert all(result.oracle_failures == 0 for result in healthy)
