@@ -1,0 +1,158 @@
+"""Service mode — daemon-vs-batch overhead and resident-state wins.
+
+Runs a slice of the builtin ``ci`` corpus twice against a resident
+mutation-analysis daemon (UNIX socket, line-delimited JSON) and once as
+a plain in-process batch sweep:
+
+* ``batch`` — one :class:`SweepRunner` built, used, discarded: every
+  sweep pays synthesis, suite generation and reference recording again;
+* ``daemon cold`` — the same corpus through ``sweep_over_server`` on a
+  freshly started daemon: adds protocol framing, job-queue scheduling
+  and result polling on top of the same pipeline;
+* ``daemon warm`` — the corpus resubmitted to the *same* daemon: the
+  resident runner's prep memos (synthesis, suites, references) are
+  already populated, which is the service-mode win a batch process can
+  never see.
+
+Asserted: every daemon report's deterministic projection is
+byte-identical to the batch report's (the ``--server`` passthrough
+contract), the protocol overhead is bounded, and the warm resubmission
+does not lose to the cold one.  Raw speedups are recorded, not asserted
+— on a loaded container the memo win can drown in mutant-execution
+noise.  Ping round-trips pin the per-request framing cost.
+
+Results go to ``BENCH_service_mode.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.scenarios import SweepRunner, builtin_registry
+from repro.service import MutationService, ServiceClient, ServiceServer, \
+    sweep_over_server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_service_mode.json"
+
+FILTER = "ci"
+MAX_SCENARIOS = 10
+PINGS = 200
+
+#: Timing gates are loose by design: the workload is sub-second, so on
+#: a single-CPU container scheduler noise can exceed the effects under
+#: measurement.  The gates only catch pathological regressions (a
+#: daemon twice as slow as batch); real speedups live in the JSON.
+WARM_TOLERANCE = 2.0
+OVERHEAD_TOLERANCE = 2.0
+
+
+def run_bench() -> dict:
+    registry = builtin_registry()
+    workspace = Path(tempfile.mkdtemp(prefix="bench-service-"))
+
+    started = time.perf_counter()
+    batch_report = SweepRunner(
+        registry, workers=1, workspace=str(workspace)
+    ).run(filter_expression=FILTER, max_scenarios=MAX_SCENARIOS)
+    batch_seconds = time.perf_counter() - started
+    baseline = batch_report.to_json(timings=False)
+
+    service = MutationService(
+        workers=1, concurrency=4, workspace=str(workspace)
+    )
+    socket_path = str(workspace / "bench.sock")
+    server = ServiceServer(service, socket_path=socket_path)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"install_signal_handlers": False}, daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 10
+    while not os.path.exists(socket_path):
+        assert time.monotonic() < deadline, "daemon never came up"
+        time.sleep(0.01)
+
+    try:
+        with ServiceClient(socket_path) as client:
+            started = time.perf_counter()
+            for _ in range(PINGS):
+                client.ping()
+            ping_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            cold_report = sweep_over_server(
+                client, registry, filter_expression=FILTER,
+                max_scenarios=MAX_SCENARIOS,
+            )
+            cold_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            warm_report = sweep_over_server(
+                client, registry, filter_expression=FILTER,
+                max_scenarios=MAX_SCENARIOS,
+            )
+            warm_seconds = time.perf_counter() - started
+            stats = client.stats()
+    finally:
+        server.stop()
+        thread.join(timeout=30)
+
+    return {
+        "benchmark": "service_mode",
+        "workload": {
+            "filter": FILTER,
+            "max_scenarios": MAX_SCENARIOS,
+            "registry_fingerprint": registry.fingerprint()[:16],
+            "scenarios": len(batch_report.results),
+            "mutants": batch_report.mutants_total,
+            "killed": batch_report.mutants_killed,
+        },
+        "cpu_count": os.cpu_count(),
+        "batch_seconds": round(batch_seconds, 3),
+        "daemon_cold_seconds": round(cold_seconds, 3),
+        "daemon_warm_seconds": round(warm_seconds, 3),
+        "daemon_overhead": round(cold_seconds / batch_seconds, 3),
+        "warm_vs_cold": round(cold_seconds / warm_seconds, 3),
+        "ping_round_trip_ms": round(ping_seconds / PINGS * 1000, 4),
+        "jobs_executed": stats["executed"],
+        "deterministic_across_transports": (
+            cold_report.to_json(timings=False) == baseline
+            and warm_report.to_json(timings=False) == baseline
+        ),
+        "oracle_failures": batch_report.total_oracle_failures,
+        "scenario_errors": len(batch_report.errors),
+    }
+
+
+def write_report(data: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_service_mode_overhead(benchmark):
+    from conftest import run_once
+
+    data = run_once(benchmark, run_bench)
+    write_report(data)
+
+    print()
+    print(json.dumps(data, indent=2))
+
+    assert data["workload"]["scenarios"] == MAX_SCENARIOS
+    assert data["deterministic_across_transports"]
+    assert data["oracle_failures"] == 0
+    assert data["scenario_errors"] == 0
+    assert data["jobs_executed"] == 2 * MAX_SCENARIOS
+    # Protocol + queueing must stay a bounded tax over the batch sweep.
+    assert data["daemon_cold_seconds"] <= \
+        data["batch_seconds"] * OVERHEAD_TOLERANCE
+    # Resubmission runs on warm prep memos: it must not lose outright.
+    assert data["daemon_warm_seconds"] <= \
+        data["daemon_cold_seconds"] * WARM_TOLERANCE
+    # A ping round-trip is framing + dispatch only: well under 50 ms.
+    assert data["ping_round_trip_ms"] < 50

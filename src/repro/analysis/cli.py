@@ -15,6 +15,7 @@ under ``--strict``), 2 when a target cannot be resolved or imported.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -101,6 +102,16 @@ def list_rules() -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout went away mid-print (`... | head`): the lint itself
+        # finished, so die quietly like a well-behaved filter
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
 

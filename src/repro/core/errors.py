@@ -175,6 +175,17 @@ class SandboxTimeout(MutationError):
     """A mutant exceeded its execution step budget (assumed infinite loop)."""
 
 
+class RunCancelled(MutationError):
+    """An in-flight analysis was cancelled cooperatively.
+
+    Raised by the engines when the run's cancel event is set: the serial
+    engine checks it between mutants, the pool dispatcher detaches the
+    run's workers and abandons its pending queue.  Already-recorded
+    verdicts are discarded with the run; neighbours on a shared pool are
+    untouched (their batches are fenced by run id).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Scenario corpus errors
 # ---------------------------------------------------------------------------
@@ -186,4 +197,19 @@ class ScenarioError(ReproError):
     Raised with *every* problem found (one per line), not just the first —
     a corpus of hundreds of declarative entries is fixed in one pass or
     not at all.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Service mode errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """A mutation-service request, payload, or transport failed.
+
+    Covers both sides of the wire: the daemon raises it for malformed or
+    unserviceable requests (and serializes it into an ``ok: false``
+    reply), the client raises it for transport failures and error
+    replies.
     """

@@ -135,6 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         add_cache_arguments,
         add_obs_arguments,
         add_prune_arguments,
+        add_server_argument,
         add_throughput_arguments,
         add_triage_arguments,
         add_workers_argument,
@@ -144,6 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finish_telemetry,
         print_cache_stats,
         prune_from_arguments,
+        run_experiment_via_server,
         static_triage_from_arguments,
         telemetry_from_arguments,
     )
@@ -152,6 +154,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Run experiment 1 (Table 2: CSortableObList mutation)."
     )
     add_workers_argument(parser)
+    add_server_argument(parser)
     parser.add_argument("--seed", type=int, default=EXPERIMENT_SEED,
                         help="suite-generation seed")
     parser.add_argument("--methods", nargs="+", default=list(TABLE2_METHODS),
@@ -166,6 +169,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     add_triage_arguments(parser)
     add_obs_arguments(parser)
     arguments = parser.parse_args(argv)
+    if arguments.server:
+        return run_experiment_via_server(arguments.server, "table2",
+                                         argv)
     telemetry = telemetry_from_arguments(arguments)
     cache = cache_from_arguments(arguments, telemetry=telemetry)
     result = run_table2(

@@ -379,6 +379,13 @@ class MutationOutcomeCache:
         self._end = 0                # offset just past the last valid record
         self._records_seen = 0       # data records (outcome/triage/scenario)
         self._torn = False           # file extends past _end with a dead tail
+        # Write-failure degradation (ENOSPC, EROFS, quota …): after the
+        # first failed append the store turns its write side off for the
+        # rest of its lifetime — every subsequent store attempt is counted
+        # and dropped without touching the file, while lookups keep
+        # serving everything indexed before the failure.
+        self._write_errors = 0
+        self._writes_disabled = False
 
     @property
     def directory(self) -> Path:
@@ -404,6 +411,18 @@ class MutationOutcomeCache:
         """Lifetime scenario-record counters (hits/misses/stores/corrupt)."""
         with self._lock:
             return dict(self._scenario_stats)
+
+    @property
+    def write_errors(self) -> int:
+        """Store attempts lost to a failing disk (``cache.write_error``)."""
+        with self._lock:
+            return self._write_errors
+
+    @property
+    def writes_disabled(self) -> bool:
+        """Whether a write failure has degraded this store to read-only."""
+        with self._lock:
+            return self._writes_disabled
 
     def live_records(self) -> int:
         """Reachable records (outcome/triage/scenario) in the segment index."""
@@ -499,6 +518,9 @@ class MutationOutcomeCache:
             step_timeouts=step_timeouts,
         )
         with self._lock:
+            if self._writes_disabled:
+                self._note_write_error()
+                return
             try:
                 location = self._append(
                     _KIND_OUTCOME,
@@ -506,7 +528,11 @@ class MutationOutcomeCache:
                     pickle.dumps(entry),
                 )
             except OSError:
-                return  # a full/read-only disk degrades to no caching
+                # A full/read-only disk degrades to no caching: the write
+                # side turns off, lookups keep serving, the engine never
+                # sees the failure.
+                self._note_write_error()
+                return
             self._entries[key.entry] = location
             self._slots[key.slot] = key.entry
             self._obs.count("cache.stores")
@@ -552,12 +578,16 @@ class MutationOutcomeCache:
             digest=digest,
         )
         with self._lock:
+            if self._writes_disabled:
+                self._note_write_error()
+                return
             try:
                 location = self._append(
                     _KIND_TRIAGE, fingerprint.encode("ascii"),
                     pickle.dumps(entry)
                 )
             except OSError:
+                self._note_write_error()
                 return
             self._triage_index[fingerprint] = location
             self._obs.count("cache.triage_stores")
@@ -603,12 +633,16 @@ class MutationOutcomeCache:
             payload=payload,
         )
         with self._lock:
+            if self._writes_disabled:
+                self._note_write_error()
+                return
             try:
                 location = self._append(
                     _KIND_SCENARIO, fingerprint.encode("ascii"),
                     pickle.dumps(entry)
                 )
             except OSError:
+                self._note_write_error()
                 return
             self._scenario_index[fingerprint] = location
             self._scenario_stats["stores"] += 1
@@ -839,13 +873,46 @@ class MutationOutcomeCache:
             self._torn = False
         blob = self._encode_record(kind, key, payload)
         handle.seek(self._end)
-        handle.write(blob)
-        handle.flush()
+        try:
+            handle.write(blob)
+            handle.flush()
+        except OSError:
+            # A failed or partially flushed write (ENOSPC mid-record) must
+            # not poison the store: roll the file back to the last valid
+            # end so the on-disk tail never carries a half-record, and
+            # leave the index exactly as it was.  If even the rollback
+            # fails, the torn-tail scan contract covers the partial
+            # record — it is structurally invalid (or short) and every
+            # record before ``_end`` stays live.
+            self._rollback_tail(handle)
+            raise
         location = _Location(self._end, len(blob))
         self._end += len(blob)
         self._records_seen += 1
         self._obs.count("cache.segment_appends")
         return location
+
+    def _rollback_tail(self, handle) -> None:
+        """Truncate a failed append's partial bytes back to ``_end``."""
+        try:
+            handle.truncate(self._end)
+            handle.flush()
+        except OSError:
+            # The partial record stays on disk as a dead tail; mark it so
+            # any future (recovered) append truncates before writing.
+            self._torn = True
+
+    def _note_write_error(self) -> None:
+        """Count one lost store and keep the write side off.
+
+        The first failure flips the store into read-only degradation;
+        every store attempt after it (including the skipped ones) counts
+        a ``cache.write_error`` so the telemetry total equals the number
+        of verdicts the cache failed to persist.
+        """
+        self._write_errors += 1
+        self._writes_disabled = True
+        self._obs.count("cache.write_error")
 
     def _segment_is_ours(self) -> bool:
         try:

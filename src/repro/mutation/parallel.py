@@ -108,6 +108,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.errors import RunCancelled
 from ..generator.suite import TestSuite
 from ..harness.oracles import CompositeOracle, KillReason
 from ..harness.outcomes import SuiteResult
@@ -178,6 +179,81 @@ class WorkerSpec:
     coverage: Optional[CoverageMatrix] = None
 
 
+@dataclass(frozen=True)
+class BatchLimits:
+    """Per-batch soft resource limits a worker applies around execution.
+
+    Service mode's per-job CPU/memory knobs, expressed at the one
+    boundary where they are enforceable: inside the worker process, via
+    ``resource.setrlimit``, for exactly the duration of a batch.  CPU
+    seconds are *incremental* (relative to the warm worker's usage so
+    far); memory is an address-space ceiling.  A batch that exceeds its
+    memory budget raises ``MemoryError`` in-process (reported as a
+    worker-boundary kill, worker survives); a CPU overrun delivers
+    ``SIGXCPU`` and the dead worker is classified and replaced by the
+    pool's existing crash rule — the pool itself is never recycled.
+    """
+
+    cpu_seconds: Optional[float] = None
+    memory_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if self.cpu_seconds is not None and self.cpu_seconds <= 0:
+            raise ValueError("cpu_seconds must be positive")
+        if self.memory_bytes is not None and self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+    @property
+    def empty(self) -> bool:
+        return self.cpu_seconds is None and self.memory_bytes is None
+
+
+def _apply_batch_limits(limits: Optional[BatchLimits]) -> Callable[[], None]:
+    """Apply soft rlimits in the worker; returns the undo callable.
+
+    Soft limits only — the hard limits stay untouched so the undo can
+    always raise the soft limit back for the next (unlimited) batch.
+    Platforms without ``resource`` (or with lower hard caps) degrade to
+    whatever is enforceable, silently: limits are a protection, never a
+    correctness input.
+    """
+    if limits is None or limits.empty:
+        return lambda: None
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — POSIX-only module
+        return lambda: None
+    undo: List[Tuple[int, Tuple[int, int]]] = []
+    try:
+        if limits.cpu_seconds is not None:
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            spent = int(usage.ru_utime + usage.ru_stime)
+            soft, hard = resource.getrlimit(resource.RLIMIT_CPU)
+            budget = spent + max(1, int(limits.cpu_seconds))
+            if hard != resource.RLIM_INFINITY:
+                budget = min(budget, hard)
+            resource.setrlimit(resource.RLIMIT_CPU, (budget, hard))
+            undo.append((resource.RLIMIT_CPU, (soft, hard)))
+        if limits.memory_bytes is not None:
+            soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+            budget = int(limits.memory_bytes)
+            if hard != resource.RLIM_INFINITY:
+                budget = min(budget, hard)
+            resource.setrlimit(resource.RLIMIT_AS, (budget, hard))
+            undo.append((resource.RLIMIT_AS, (soft, hard)))
+    except (ValueError, OSError):  # pragma: no cover — platform refusal
+        pass
+
+    def restore() -> None:
+        for which, pair in reversed(undo):
+            try:
+                resource.setrlimit(which, pair)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    return restore
+
+
 def _analysis_from_spec(spec: WorkerSpec) -> MutationAnalysis:
     """The plain serial analysis a worker judges every mutant with."""
     return MutationAnalysis(
@@ -203,11 +279,12 @@ def _worker_main(connection: Connection) -> None:
     original class, suite fixtures and coverage matrix, is cached under
     the token until :data:`WORKER_BATTERY_LRU` fresher batteries evict
     it, so a rerun of a recent battery ships no spec at all;
-    ``("batch", run_id, token, ((index, mutant), …))`` runs each mutant
-    in order under the named battery, streaming one
-    ``("done", run_id, index, outcome, timeouts)`` per mutant (or
-    ``("error", run_id, index, message)`` for a harness-level failure);
-    ``None`` exits.  The parent mirrors the LRU's insert/touch/evict
+    ``("batch", run_id, token, ((index, mutant), …), limits)`` runs each
+    mutant in order under the named battery — with the optional
+    :class:`BatchLimits` soft rlimits applied for the batch's duration —
+    streaming one ``("done", run_id, index, outcome, timeouts)`` per
+    mutant (or ``("error", run_id, index, message)`` for a harness-level
+    failure); ``None`` exits.  The parent mirrors the LRU's insert/touch/evict
     sequence over the same FIFO pipe, so it always knows which batteries
     a worker still holds.  The worker is a plain serial
     :class:`MutationAnalysis` seeded with the parent's reference run;
@@ -230,26 +307,34 @@ def _worker_main(connection: Connection) -> None:
                         analyses.popitem(last=False)
                 continue
             run_id, token, tasks = message[1], message[2], message[3]
+            limits = message[4] if len(message) > 4 else None
             analysis = analyses.get(token)
             if analysis is not None:
                 analyses.move_to_end(token)
-            for index, mutant in tasks:
-                try:
-                    if analysis is None:
-                        raise RuntimeError("batch received before battery")
-                    outcome, timeouts = analysis.analyze_single(mutant)
-                    connection.send(("done", run_id, index, outcome, timeouts))
-                except KeyboardInterrupt:
-                    raise
-                except BaseException as error:  # noqa: BLE001 — must not die
-                    # A harness-level failure (builder blew up, SystemExit
-                    # from mutated code, …).  Report it instead of taking
-                    # the worker down; the parent classifies it as a
-                    # worker-boundary kill.
-                    connection.send(
-                        ("error", run_id, index,
-                         f"{type(error).__name__}: {error}")
-                    )
+            restore_limits = _apply_batch_limits(limits)
+            try:
+                for index, mutant in tasks:
+                    try:
+                        if analysis is None:
+                            raise RuntimeError("batch received before battery")
+                        outcome, timeouts = analysis.analyze_single(mutant)
+                        connection.send(
+                            ("done", run_id, index, outcome, timeouts)
+                        )
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException as error:  # noqa: BLE001 — must not die
+                        # A harness-level failure (builder blew up, SystemExit
+                        # from mutated code, a MemoryError against the batch's
+                        # rlimit, …).  Report it instead of taking the worker
+                        # down; the parent classifies it as a worker-boundary
+                        # kill.
+                        connection.send(
+                            ("error", run_id, index,
+                             f"{type(error).__name__}: {error}")
+                        )
+            finally:
+                restore_limits()
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away or shut us down; nothing to clean up
     finally:
@@ -330,12 +415,24 @@ class _RunHandle:
     obs: Telemetry
     workers: int
     backstop: float
+    #: Cooperative cancellation: set by the submitter (service job
+    #: cancel, sweep Ctrl-C); the dispatcher notices within one poll
+    #: interval, kills the run's assigned workers, abandons its pending
+    #: queue, and fails the run with :class:`RunCancelled`.
+    cancel: Optional[threading.Event] = None
+    #: Per-batch soft rlimits shipped with every one of this run's
+    #: batches (service mode's per-job CPU/memory limits).
+    limits: Optional[BatchLimits] = None
     inflight: int = 0
     submitted_at: float = 0.0
     first_dispatch_at: Optional[float] = None
     depth_peak: int = 0
     error: Optional[BaseException] = None
     done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.cancel is not None and self.cancel.is_set()
 
 
 class WorkerPool:
@@ -452,8 +549,11 @@ class WorkerPool:
                     self._fail_all(error)
 
     def _tick(self) -> None:
-        """One scheduling pass: health → sizing → dispatch → finalize."""
+        """One scheduling pass: cancel → health → sizing → dispatch →
+        finalize."""
         now = time.perf_counter()
+        for handle in [h for h in self._order if h.cancelled]:
+            self._cancel_run(handle)
         for worker in list(self.workers):
             if not worker.process.is_alive():
                 self._retire_dead(worker)
@@ -475,6 +575,45 @@ class WorkerPool:
         if not self._runs:
             self._rr = 0
             self._casualties = 0
+
+    def _cancel_run(self, handle: _RunHandle) -> None:
+        """Abandon one run at its submitter's request.
+
+        Workers currently executing the run's batches are killed, not
+        detached: a detached-but-busy worker would accept a neighbour's
+        batch into its pipe and then look hung on it.  Casualties are
+        respawned by the normal resize pass, so the pool itself is never
+        recycled and neighbouring runs keep their warm workers.  Verdicts
+        already recorded are discarded with the run; the submitter gets
+        :class:`RunCancelled`.
+        """
+        state, obs = handle.state, handle.obs
+        for worker in list(self.workers):
+            if worker.run is not handle:
+                continue
+            worker.assigned.clear()
+            worker.batch_len = 0
+            self._finish_batch(worker)
+            self._casualties += 1
+            try:
+                worker.process.kill()
+                worker.process.join()
+            except (OSError, AssertionError):
+                pass  # already gone
+            self.discard(worker)
+        abandoned = len(state.pending)
+        state.pending.clear()
+        obs.event("pool.run_cancelled", run=state.run_id,
+                  pending=abandoned, outstanding=state.remaining)
+        obs.count("pool.runs_cancelled")
+        if handle in self._order:
+            self._order.remove(handle)
+        self._runs.pop(state.run_id, None)
+        handle.error = RunCancelled(
+            f"analysis cancelled with {state.remaining} verdict(s) "
+            f"outstanding"
+        )
+        handle.done.set()
 
     def _next_runnable(self) -> Optional[_RunHandle]:
         """Round-robin over runs with pending work and budget headroom."""
@@ -717,7 +856,7 @@ class WorkerPool:
         handle.inflight += 1
         try:
             worker.connection.send(("batch", state.run_id, token,
-                                    tuple(batch)))
+                                    tuple(batch), handle.limits))
         except (BrokenPipeError, OSError):
             # Worker already dead; the next tick applies the batch crash
             # rule to the assigned tasks (classify one, re-dispatch many).
@@ -775,35 +914,54 @@ class WorkerPool:
         self._runs.clear()
 
     def close(self) -> None:
-        """Shut every worker down; the pool is unusable afterwards."""
+        """Shut every worker down; the pool is unusable afterwards.
+
+        Idempotent and exception-silent by contract: the ``atexit`` hook
+        (:func:`shutdown_shared_pool`) may run after the interpreter has
+        already torn down the dispatcher thread, reaped worker processes,
+        or closed their pipes — every step here tolerates workers and
+        pipes that are already gone, and a second call is a no-op.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             dispatcher = self._dispatcher
-        self._wakeup.set()
+        try:
+            self._wakeup.set()
+        except Exception:  # noqa: BLE001 — pipe already closed
+            pass
         if (dispatcher is not None and dispatcher.is_alive()
                 and dispatcher is not threading.current_thread()):
-            dispatcher.join(timeout=5.0)
+            try:
+                dispatcher.join(timeout=5.0)
+            except Exception:  # noqa: BLE001 — interpreter tearing down
+                pass
         with self._lock:
             if self._runs:
                 self._fail_all(RuntimeError("worker pool closed mid-run"))
             for worker in self.workers:
                 try:
                     worker.connection.send(None)
-                except (BrokenPipeError, OSError):
+                except Exception:  # noqa: BLE001 — dead worker / closed pipe
                     pass
             for worker in self.workers:
-                worker.process.join(timeout=1.0)
-                if worker.process.is_alive():
-                    worker.process.kill()
-                    worker.process.join()
+                try:
+                    worker.process.join(timeout=1.0)
+                    if worker.process.is_alive():
+                        worker.process.kill()
+                        worker.process.join()
+                except Exception:  # noqa: BLE001 — already reaped
+                    pass
                 try:
                     worker.connection.close()
-                except OSError:
+                except Exception:  # noqa: BLE001
                     pass
             self.workers.clear()
-        self._wakeup.close()
+        try:
+            self._wakeup.close()
+        except Exception:  # noqa: BLE001
+            pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -832,12 +990,23 @@ def shared_worker_pool() -> WorkerPool:
 
 
 def shutdown_shared_pool() -> None:
-    """Close the shared pool (safe to call when none exists)."""
+    """Close the shared pool (safe to call when none exists).
+
+    Registered ``atexit``, so it can run after the interpreter has begun
+    tearing the process down — after daemon threads (including the pool
+    dispatcher) have been stopped, worker processes reaped, and pipes
+    closed.  It must therefore be idempotent and never raise: a shutdown
+    race at exit is cosmetic, and an exception here would mask the
+    program's real outcome.
+    """
     global _SHARED_POOL
     with _SHARED_POOL_LOCK:
         pool, _SHARED_POOL = _SHARED_POOL, None
     if pool is not None:
-        pool.close()
+        try:
+            pool.close()
+        except Exception:  # noqa: BLE001 — exit-time race; stay silent
+            pass
 
 
 atexit.register(shutdown_shared_pool)
@@ -946,7 +1115,9 @@ class ParallelMutationAnalysis:
                  static_triage: bool = True,
                  triage_type_model: Optional[TypeModel] = None,
                  batch_size: Optional[int] = None,
-                 pool: Optional[WorkerPool] = None):
+                 pool: Optional[WorkerPool] = None,
+                 cancel_event: Optional[threading.Event] = None,
+                 rlimits: Optional[BatchLimits] = None):
         if wall_clock_backstop <= 0:
             raise ValueError("wall-clock backstop must be positive")
         if batch_size is not None and batch_size < 1:
@@ -964,6 +1135,12 @@ class ParallelMutationAnalysis:
         self._backstop = wall_clock_backstop
         self._batch_size = batch_size
         self._pool_override = pool
+        # Cooperative cancellation + per-batch rlimits (service mode's
+        # per-job knobs).  Neither influences verdicts, so neither enters
+        # the experiment fingerprint.
+        self._cancel_event = cancel_event
+        self._rlimits = (None if rlimits is not None and rlimits.empty
+                         else rlimits)
         # The cache lives in the parent only: hits are resolved before any
         # worker is scheduled, and write-backs happen as verdicts arrive.
         # Workers stay cache-oblivious, so a worker process never touches
@@ -997,6 +1174,7 @@ class ParallelMutationAnalysis:
             reference=reference, prune=prune, coverage=coverage,
             telemetry=telemetry, static_triage=static_triage,
             triage_type_model=triage_type_model,
+            cancel_event=cancel_event,
         )
 
     # ------------------------------------------------------------------
@@ -1026,6 +1204,8 @@ class ParallelMutationAnalysis:
         identical ``MutationRun``.
         """
         mutants = list(mutants)
+        if self._cancel_event is not None and self._cancel_event.is_set():
+            raise RunCancelled("analysis cancelled before dispatch")
         reference = self.reference_results()
         started = time.perf_counter()
         cache = self._cache
@@ -1153,6 +1333,8 @@ class ParallelMutationAnalysis:
             obs=self._obs,
             workers=self._workers,
             backstop=self._backstop,
+            cancel=self._cancel_event,
+            limits=self._rlimits,
         )
         pool.execute(handle)
         return state

@@ -66,7 +66,7 @@ from typing import (
 )
 
 from ..components import component_by_name, setup_for, type_model_for
-from ..core.errors import ScenarioError
+from ..core.errors import RunCancelled, ScenarioError
 from ..core.fingerprint import canonical, sha256_hex
 from ..generator.driver import DriverGenerator
 from ..generator.suite import TestSuite
@@ -443,17 +443,41 @@ class SweepRunner:
         self._references: Dict[Tuple[str, str],
                                Tuple[SuiteResult,
                                      Optional[CoverageMatrix]]] = {}
+        # Sweep-wide cooperative cancellation (Ctrl-C, service shutdown).
+        # Once set, scheduler threads stop claiming scenarios, engines
+        # unwind with RunCancelled, and memo waiters stop blocking — so
+        # ``run()`` returns promptly with the rest marked cancelled.
+        self._cancel = threading.Event()
+
+    def request_cancel(self) -> None:
+        """Cancel the sweep cooperatively (thread-safe, idempotent).
+
+        In-flight scenarios drain (their engines raise
+        :class:`~repro.core.errors.RunCancelled`, recorded as error
+        rows); scenarios not yet started are reported as cancelled.
+        """
+        self._cancel.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
 
     def _memoized(self, store: Dict, key: Any,
-                  build: Callable[[], Any]) -> Any:
+                  build: Callable[[], Any],
+                  obs: Optional[Telemetry] = None,
+                  cancel: Optional[threading.Event] = None) -> Any:
         """``store[key]``, built at most once sweep-wide.
 
         A waiting thread's stall is the *prep wait* — the pipelined
         sweep's analogue of a cache stampede — and is surfaced as the
         ``sweep.prep_wait`` / ``sweep.prep_wait_ms`` counters.  When the
         builder raises, its waiters retry (one of them becomes the next
-        builder), so a transient failure never wedges the cell.
+        builder), so a transient failure never wedges the cell.  Waiters
+        poll ``cancel``: a cancelled sweep must not leave a scheduler
+        thread parked forever behind a builder that is itself blocked.
         """
+        obs = obs if obs is not None else self._obs
+        cancel = cancel if cancel is not None else self._cancel
         while True:
             with self._memo_lock:
                 if key in store:
@@ -480,16 +504,23 @@ class SweepRunner:
                 event.set()
                 return value
             waited = time.perf_counter()
-            event.wait()
-            self._obs.count("sweep.prep_wait")
-            self._obs.count(
+            while not event.wait(timeout=0.05):
+                if cancel.is_set():
+                    raise RunCancelled(
+                        "cancelled while waiting for shared prep"
+                    )
+            obs.count("sweep.prep_wait")
+            obs.count(
                 "sweep.prep_wait_ms",
                 int((time.perf_counter() - waited) * 1000),
             )
 
     # -- component / suite resolution -----------------------------------
 
-    def _resolve_component(self, scenario: ScenarioConfig
+    def _resolve_component(self, scenario: ScenarioConfig,
+                           telemetry: Optional[Telemetry],
+                           obs: Telemetry,
+                           cancel: threading.Event
                            ) -> Tuple[type, ClassSpec,
                                       Optional[Callable[[], None]],
                                       Optional[object]]:
@@ -497,16 +528,17 @@ class SweepRunner:
         selector = scenario.component
         if selector.is_generated:
             def build() -> type:
-                with self._obs.span("sweep.materialize",
-                                    family=selector.family,
-                                    seed=selector.seed):
+                with obs.span("sweep.materialize",
+                              family=selector.family,
+                              seed=selector.seed):
                     component = synthesize(
                         GeneratorSpec(selector.family, selector.seed)
                     )
                     return materialize(component, self._workspace)
 
             cls = self._memoized(
-                self._classes, (selector.family, selector.seed), build
+                self._classes, (selector.family, selector.seed), build,
+                obs=obs, cancel=cancel,
             )
             return cls, cls.__tspec__, None, None
         cls = component_by_name(selector.ref)
@@ -514,7 +546,9 @@ class SweepRunner:
                 setup_for(selector.ref), type_model_for(selector.ref))
 
     def _suite_for(self, component_key: str,
-                   scenario: ScenarioConfig, spec: ClassSpec) -> TestSuite:
+                   scenario: ScenarioConfig, spec: ClassSpec,
+                   obs: Telemetry,
+                   cancel: threading.Event) -> TestSuite:
         config = scenario.suite
         key = (component_key, (config.seed, config.edge_bound,
                                config.max_transactions, config.max_cases))
@@ -532,29 +566,37 @@ class SweepRunner:
                 )
             return suite
 
-        return self._memoized(self._suites, key, build)
+        return self._memoized(self._suites, key, build,
+                              obs=obs, cancel=cancel)
 
     def _reference_for(self, component_key: str, cls: type,
                        suite: TestSuite,
-                       setup: Optional[Callable[[], None]]
+                       setup: Optional[Callable[[], None]],
+                       telemetry: Optional[Telemetry],
+                       obs: Telemetry,
+                       cancel: threading.Event
                        ) -> Tuple[SuiteResult, Optional[CoverageMatrix]]:
         """The (reference run, coverage matrix) pair, recorded once per
         (component, suite) and seeded into every engine downstream."""
         def build() -> Tuple[SuiteResult, Optional[CoverageMatrix]]:
             recorder = MutationAnalysis(
                 cls, suite, setup=setup, prune=self._prune,
-                telemetry=self._telemetry,
+                telemetry=telemetry,
             )
             return (recorder.reference_results(),
                     recorder.coverage_matrix())
 
         return self._memoized(
-            self._references, (component_key, suite.fingerprint()), build
+            self._references, (component_key, suite.fingerprint()), build,
+            obs=obs, cancel=cancel,
         )
 
     # -- execution ------------------------------------------------------
 
-    def run_scenario(self, scenario: ScenarioConfig) -> ScenarioResult:
+    def run_scenario(self, scenario: ScenarioConfig,
+                     telemetry: Optional[Telemetry] = None,
+                     cancel: Optional[threading.Event] = None,
+                     rlimits: Optional[object] = None) -> ScenarioResult:
         """Execute one scenario; never raises — failures land in
         ``result.error`` so a sweep survives a bad entry.
 
@@ -562,10 +604,25 @@ class SweepRunner:
         a scenario that dies of an unforeseen bug (a bad generated
         component tripping an assertion, say) must cost exactly one
         ``error`` row and one ``sweep.errors`` tick — never the other
-        K-1 scenarios in flight beside it."""
+        K-1 scenarios in flight beside it.
+
+        The per-call overrides are service mode's job knobs: ``telemetry``
+        records this scenario's spans/events on a job-scoped session
+        (instead of the sweep-wide one), ``cancel`` substitutes a
+        job-scoped cancel event for the sweep's, and ``rlimits`` (a
+        :class:`~repro.mutation.parallel.BatchLimits`) ships per-batch
+        CPU/memory rlimits to the workers.  Defaults preserve the batch
+        sweep behaviour exactly."""
         started = time.perf_counter()
+        effective_telemetry = (telemetry if telemetry is not None
+                               else self._telemetry)
+        obs = (coalesce(effective_telemetry) if telemetry is not None
+               else self._obs)
+        cancel_event = cancel if cancel is not None else self._cancel
         try:
-            return self._run_scenario(scenario, started)
+            return self._run_scenario(scenario, started,
+                                      effective_telemetry, obs,
+                                      cancel_event, rlimits)
         except Exception as error:
             return ScenarioResult(
                 ident=scenario.ident,
@@ -578,6 +635,19 @@ class SweepRunner:
                 elapsed_seconds=time.perf_counter() - started,
                 error=f"{type(error).__name__}: {error}",
             )
+
+    def _cancelled_result(self, scenario: ScenarioConfig) -> ScenarioResult:
+        """The row a scenario gets when the sweep stops before running it."""
+        return ScenarioResult(
+            ident=scenario.ident,
+            component=scenario.component.describe(),
+            scenario_fingerprint=scenario.fingerprint(),
+            tags=scenario.tags,
+            groups=scenario.groups,
+            oracle=scenario.oracle,
+            operators=scenario.operators,
+            error="RunCancelled: sweep cancelled before this scenario ran",
+        )
 
     def _scenario_key(self, scenario: ScenarioConfig, cls: type,
                       suite: TestSuite) -> Optional[str]:
@@ -606,34 +676,42 @@ class SweepRunner:
         )
 
     def _run_scenario(self, scenario: ScenarioConfig,
-                      started: float) -> ScenarioResult:
-        cls, spec, setup, type_model = self._resolve_component(scenario)
+                      started: float,
+                      telemetry: Optional[Telemetry],
+                      obs: Telemetry,
+                      cancel: threading.Event,
+                      rlimits: Optional[object]) -> ScenarioResult:
+        if cancel.is_set():
+            raise RunCancelled("cancelled before the scenario started")
+        cls, spec, setup, type_model = self._resolve_component(
+            scenario, telemetry, obs, cancel
+        )
         component_key = scenario.component.describe()
         methods = scenario.methods or default_methods(spec)
-        suite = self._suite_for(component_key, scenario, spec)
+        suite = self._suite_for(component_key, scenario, spec, obs, cancel)
         cache_key = self._scenario_key(scenario, cls, suite)
         if cache_key is not None:
             stored = self._cache.lookup_scenario(cache_key)
             if stored is not None:
-                self._obs.count("sweep.scenario_cache_hits")
+                obs.count("sweep.scenario_cache_hits")
                 return dc_replace(
                     _result_from_mapping(stored),
                     elapsed_seconds=time.perf_counter() - started,
                 )
-            self._obs.count("sweep.scenario_cache_misses")
+            obs.count("sweep.scenario_cache_misses")
         mutants, generation, truncated = build_battery(
             cls, methods,
             operator_names=scenario.operators,
             type_model=type_model,
             max_mutants=scenario.budgets.max_mutants,
-            telemetry=self._telemetry,
+            telemetry=telemetry,
         )
         reference, coverage = self._reference_for(
-            component_key, cls, suite, setup
+            component_key, cls, suite, setup, telemetry, obs, cancel
         )
         run = self._analyze(
             cls, suite, mutants, scenario, spec, setup, type_model,
-            reference, coverage,
+            reference, coverage, telemetry, cancel, rlimits,
         )
         oracle_failures = sum(
             1 for result in run.reference.results
@@ -679,7 +757,10 @@ class SweepRunner:
                  setup: Optional[Callable[[], None]],
                  type_model: Optional[object],
                  reference: SuiteResult,
-                 coverage: Optional[CoverageMatrix]) -> MutationRun:
+                 coverage: Optional[CoverageMatrix],
+                 telemetry: Optional[Telemetry],
+                 cancel: threading.Event,
+                 rlimits: Optional[object]) -> MutationRun:
         oracle = resolve_oracle(scenario.oracle, spec)
         options = dict(
             oracle=oracle,
@@ -691,16 +772,20 @@ class SweepRunner:
             prune=self._prune,
             static_triage=self._static_triage,
             triage_type_model=type_model,
-            telemetry=self._telemetry,
+            telemetry=telemetry,
+            cancel_event=cancel,
         )
         if self._workers > 1 and mutants:
             from ..mutation.parallel import ParallelMutationAnalysis
 
             engine = ParallelMutationAnalysis(
                 cls, suite, workers=self._workers,
-                batch_size=self._batch_size, pool=self._pool, **options
+                batch_size=self._batch_size, pool=self._pool,
+                rlimits=rlimits, **options
             )
         else:
+            # Serial engine: CPU/memory rlimits are worker-side knobs and
+            # do not apply in-process; the cancel event still does.
             engine = MutationAnalysis(cls, suite, **options)
         return engine.analyze(list(mutants))
 
@@ -717,7 +802,18 @@ class SweepRunner:
                         ) -> List[ScenarioResult]:
         results: List[ScenarioResult] = []
         for position, scenario in enumerate(scenarios, start=1):
-            result = self.run_scenario(scenario)
+            if self._cancel.is_set():
+                result = self._cancelled_result(scenario)
+            else:
+                try:
+                    result = self.run_scenario(scenario)
+                except KeyboardInterrupt:
+                    # Ctrl-C mid-scenario: cancel the sweep (which also
+                    # unhooks any run still registered on the pool — the
+                    # engine's cancel event is ours) and record the
+                    # interrupted scenario as cancelled.
+                    self._cancel.set()
+                    result = self._cancelled_result(scenario)
             results.append(result)
             self._tally(result)
             if progress is not None:
@@ -736,6 +832,13 @@ class SweepRunner:
         which makes the report byte-identical to the sequential
         runner's; ``progress`` fires in completion order under a lock
         (positions stay dense 1..N, idents may interleave).
+
+        Ctrl-C lands on the main thread (blocked in ``join``): it sets
+        the sweep cancel event, which drains the in-flight scenarios —
+        engines unwind with ``RunCancelled`` within a poll interval, memo
+        waiters stop blocking, schedulers stop claiming — so the re-join
+        returns promptly and every unstarted scenario is reported
+        cancelled instead of hanging the process.
         """
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
         state = threading.Lock()
@@ -743,6 +846,8 @@ class SweepRunner:
 
         def schedule() -> None:
             while True:
+                if self._cancel.is_set():
+                    return
                 with state:
                     index = cursor["next"]
                     if index >= len(scenarios):
@@ -772,8 +877,25 @@ class SweepRunner:
         ]
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
+        try:
+            for thread in threads:
+                thread.join()
+        except KeyboardInterrupt:
+            # Ctrl-C: cancel cooperatively, then join again — the drain
+            # is bounded by one engine poll interval per in-flight
+            # scenario, not by the rest of the sweep.  The report comes
+            # back with the rest marked cancelled (and the gate failing)
+            # instead of the join hanging forever.
+            self._cancel.set()
+            for thread in threads:
+                thread.join()
+        finally:
+            if self._cancel.is_set():
+                with state:
+                    for index, scenario in enumerate(scenarios):
+                        if results[index] is None:
+                            results[index] = self._cancelled_result(scenario)
+                            self._tally(results[index])
         return [result for result in results if result is not None]
 
     def run(self, filter_expression: str = "",

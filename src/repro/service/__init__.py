@@ -1,0 +1,56 @@
+"""Service mode: the resident mutation-analysis daemon and its client.
+
+``python -m repro.service serve`` keeps one process — with its warm
+:class:`~repro.mutation.parallel.WorkerPool`, sweep-wide prep memos and
+segment-store cache — resident, and exposes a line-delimited JSON API
+over a local UNIX socket (or an optional localhost TCP port).  Jobs are
+(scenario-or-experiment, limits) payloads validated with the scenario
+registry machinery, multiplexed onto the shared pool with per-job
+cancel events, wall deadlines and worker-side CPU/memory rlimits, and
+observed through per-job telemetry streams.
+
+The split mirrors the rest of the library: :mod:`protocol` is pure data
+(framing, verbs, job states), :mod:`jobs` is the queue/lifecycle engine
+with no transport, :mod:`server` binds both to the mutation pipeline
+and to sockets, :mod:`client` is the thin caller the CLIs share.  A
+client-driven sweep renders the byte-identical deterministic report of
+an in-process :class:`~repro.scenarios.sweep.SweepRunner` — the
+differential tests pin it.
+"""
+
+from .client import ServiceClient, parse_address, sweep_over_server
+from .jobs import Job, JobLimits, JobManager
+from .protocol import (
+    JOB_STATES,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    VERBS,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok,
+)
+from .server import MutationService, ServiceServer
+
+__all__ = [
+    "Job",
+    "JobLimits",
+    "JobManager",
+    "JOB_STATES",
+    "MAX_LINE_BYTES",
+    "MutationService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceServer",
+    "TERMINAL_STATES",
+    "VERBS",
+    "decode_line",
+    "encode",
+    "error_reply",
+    "ok",
+    "parse_address",
+    "sweep_over_server",
+]

@@ -1,0 +1,298 @@
+"""``python -m repro.service`` — the daemon and its control commands.
+
+Subcommands:
+
+* ``serve`` — run the resident daemon on a UNIX socket (``--socket``)
+  or a localhost TCP port (``--port``); the pipeline knobs mirror the
+  batch sweep CLI (workers, cache, pruning, triage, batch size);
+* ``ping`` / ``stats`` / ``shutdown`` — daemon control;
+* ``submit`` — queue scenarios from a registry selection and
+  (optionally) wait for them;
+* ``status`` / ``result`` / ``cancel`` — single-job control;
+* ``events`` — dump a job's telemetry stream as JSONL (validatable
+  with ``python -m repro.obs``).
+
+The sweep-shaped consumer lives in the scenarios CLI:
+``python -m repro.scenarios run --server ADDR …`` renders the
+byte-identical deterministic report through the daemon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional, Sequence
+
+from ..core.errors import ReproError
+from ..experiments.cli import (
+    add_cache_arguments,
+    add_prune_arguments,
+    add_throughput_arguments,
+    add_triage_arguments,
+    add_workers_argument,
+    batch_size_from_arguments,
+    cache_from_arguments,
+    prune_from_arguments,
+    static_triage_from_arguments,
+)
+from ..obs import write_events_jsonl
+from ..scenarios.registry import builtin_registry, load_registry, parse_shard
+from .client import ServiceClient
+from .jobs import JobLimits
+from .server import MutationService, ServiceServer
+
+
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", required=True, metavar="ADDR",
+        help="daemon address: a UNIX socket path, or host:port",
+    )
+
+
+def _limits_from(arguments: argparse.Namespace) -> Optional[JobLimits]:
+    limits = JobLimits(
+        wall_seconds=getattr(arguments, "wall_limit", None),
+        cpu_seconds=getattr(arguments, "cpu_limit", None),
+        memory_bytes=(int(arguments.memory_limit_mb * 1024 * 1024)
+                      if getattr(arguments, "memory_limit_mb", None)
+                      else None),
+    )
+    return None if limits.empty else limits
+
+
+def _add_limit_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("per-job limits")
+    group.add_argument(
+        "--wall-limit", type=float, default=None, metavar="SECONDS",
+        help="kill a job after this much wall time (state: killed)",
+    )
+    group.add_argument(
+        "--cpu-limit", type=float, default=None, metavar="SECONDS",
+        help="per-batch worker CPU rlimit (parallel jobs only)",
+    )
+    group.add_argument(
+        "--memory-limit-mb", type=float, default=None, metavar="MB",
+        help="per-batch worker address-space rlimit (parallel jobs only)",
+    )
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    cache = cache_from_arguments(arguments)
+    service = MutationService(
+        workers=arguments.workers,
+        workspace=arguments.workspace,
+        cache=cache,
+        batch_size=batch_size_from_arguments(arguments),
+        prune=prune_from_arguments(arguments),
+        static_triage=static_triage_from_arguments(arguments),
+        concurrency=arguments.concurrency,
+        default_limits=_limits_from(arguments),
+    )
+    server = ServiceServer(
+        service,
+        socket_path=arguments.socket,
+        port=arguments.port,
+        host=arguments.host,
+    )
+    print(f"serving on {server.address}", flush=True)
+    server.serve_forever()
+    print("service stopped", flush=True)
+    return 0
+
+
+def _cmd_ping(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        reply = client.ping()
+    print(f"pong from {reply.get('server')} (pid {reply.get('pid')})")
+    return 0
+
+
+def _cmd_stats(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        reply = client.stats()
+    reply.pop("ok", None)
+    reply.pop("v", None)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_shutdown(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        client.shutdown()
+    print("shutdown requested")
+    return 0
+
+
+def _cmd_submit(arguments: argparse.Namespace) -> int:
+    registry = (load_registry(arguments.registry) if arguments.registry
+                else builtin_registry()).filtered(arguments.filter)
+    if arguments.shard:
+        registry = registry.shard(*parse_shard(arguments.shard))
+    scenarios = list(registry)
+    if arguments.max_scenarios and len(scenarios) > arguments.max_scenarios:
+        scenarios = scenarios[:arguments.max_scenarios]
+    if not scenarios:
+        print("error: selection matches no scenarios", file=sys.stderr)
+        return 2
+    limits = _limits_from(arguments)
+    from ..scenarios.registry import scenario_to_mapping
+
+    failures = 0
+    with ServiceClient(arguments.server) as client:
+        job_ids = [
+            client.submit_scenario(scenario_to_mapping(scenario),
+                                   limits=limits)
+            for scenario in scenarios
+        ]
+        for scenario, job_id in zip(scenarios, job_ids):
+            print(f"{job_id}  {scenario.ident}")
+        if arguments.wait:
+            for scenario, job_id in zip(scenarios, job_ids):
+                reply = client.wait(job_id, timeout=arguments.timeout)
+                state = reply.get("state")
+                row = (reply.get("result") or {}).get("scenario") or {}
+                if state != "done" or row.get("error"):
+                    failures += 1
+                print(f"{job_id}  {scenario.ident}: {state}"
+                      + (f" ({row.get('error')})" if row.get("error")
+                         else ""))
+    return 1 if failures else 0
+
+
+def _cmd_status(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        snapshot = client.status(arguments.job_id)
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        reply = (client.wait(arguments.job_id, timeout=arguments.timeout)
+                 if arguments.wait else client.result(arguments.job_id))
+    reply.pop("ok", None)
+    reply.pop("v", None)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cancel(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        state = client.cancel(arguments.job_id)
+    print(f"{arguments.job_id}: {state}")
+    return 0
+
+
+def _cmd_events(arguments: argparse.Namespace) -> int:
+    with ServiceClient(arguments.server) as client:
+        reply = client.events(arguments.job_id, start=arguments.offset)
+    events = reply.get("events", [])
+    if arguments.out:
+        write_events_jsonl(events, arguments.out)
+        print(f"{len(events)} event(s) -> {arguments.out} "
+              f"(next offset {reply.get('next')})")
+    else:
+        for event in events:
+            print(json.dumps(event, sort_keys=True,
+                             separators=(",", ":")))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Resident mutation-analysis daemon and control client.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the daemon (UNIX socket or localhost TCP)"
+    )
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="UNIX stream socket path to serve on")
+    serve.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port to serve on instead of a socket")
+    serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--concurrency", type=int, default=2, metavar="K",
+                       help="jobs executing at once (default 2)")
+    serve.add_argument("--workspace", default=None, metavar="DIR",
+                       help="directory for materialized generated "
+                            "components")
+    add_workers_argument(serve)
+    _add_limit_arguments(serve)
+    add_cache_arguments(serve)
+    add_throughput_arguments(serve)
+    add_prune_arguments(serve)
+    add_triage_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    for name, handler, help_text in (
+            ("ping", _cmd_ping, "check the daemon is alive"),
+            ("stats", _cmd_stats, "print queue/executor statistics"),
+            ("shutdown", _cmd_shutdown, "ask the daemon to stop")):
+        sub = commands.add_parser(name, help=help_text)
+        _add_server_argument(sub)
+        sub.set_defaults(handler=handler)
+
+    submit = commands.add_parser(
+        "submit", help="queue scenarios from a registry selection"
+    )
+    _add_server_argument(submit)
+    submit.add_argument("--registry", default=None, metavar="PATH",
+                        help="registry file or directory "
+                             "(default: the builtin corpus)")
+    submit.add_argument("--filter", default="", metavar="EXPR",
+                        help="comma-separated filter terms")
+    submit.add_argument("--shard", default=None, metavar="K/N",
+                        help="submit shard K of N")
+    submit.add_argument("--max-scenarios", type=int, default=0, metavar="N",
+                        help="submit at most N scenarios (0 = all)")
+    submit.add_argument("--wait", action="store_true",
+                        help="wait for the jobs and report their states")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="per-job wait timeout with --wait")
+    _add_limit_arguments(submit)
+    submit.set_defaults(handler=_cmd_submit)
+
+    status = commands.add_parser("status", help="one job's status")
+    result = commands.add_parser("result", help="one job's result")
+    cancel = commands.add_parser("cancel", help="cancel one job")
+    events = commands.add_parser(
+        "events", help="dump one job's telemetry events"
+    )
+    for sub in (status, result, cancel, events):
+        _add_server_argument(sub)
+        sub.add_argument("job_id", metavar="JOB")
+    result.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal")
+    result.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS", help="poll timeout with --wait")
+    events.add_argument("--offset", type=int, default=0, metavar="N",
+                        help="first event index to fetch (default 0)")
+    events.add_argument("--out", default=None, metavar="PATH",
+                        help="write the events as JSONL to PATH "
+                             "(default: print)")
+    status.set_defaults(handler=_cmd_status)
+    result.set_defaults(handler=_cmd_result)
+    cancel.set_defaults(handler=_cmd_cancel)
+    events.set_defaults(handler=_cmd_events)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away mid-print (`... | head`): the job work is
+        # done server-side, so die quietly like a well-behaved filter
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,238 @@
+"""The thin client: one socket, framed request/reply calls, and the
+sweep-over-server driver the CLIs share.
+
+:func:`sweep_over_server` is the differential contract's other half: it
+submits every selected scenario as a daemon job, collects the result
+rows in registry order, and assembles a
+:class:`~repro.scenarios.sweep.SweepReport` whose deterministic
+projection (``to_json(timings=False)``) is byte-identical to an
+in-process :class:`~repro.scenarios.sweep.SweepRunner` run over the
+same selection — the tests and the CI job diff the bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import ServiceError
+from ..scenarios.registry import (
+    ScenarioRegistry,
+    scenario_to_mapping,
+)
+from ..scenarios.sweep import (
+    ScenarioResult,
+    SweepReport,
+    _result_from_mapping,
+)
+from .jobs import JobLimits
+from .protocol import MAX_LINE_BYTES, TERMINAL_STATES, decode_line, encode
+
+
+def parse_address(text: str) -> Tuple[str, Any]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from an address.
+
+    Anything path-like — containing a path separator, or without a
+    colon — is a UNIX socket path; ``host:port`` with a numeric port is
+    TCP.  This matches how the CLIs print their addresses.
+    """
+    text = str(text).strip()
+    if not text:
+        raise ServiceError("empty server address")
+    if os.sep in text or ":" not in text:
+        return ("unix", text)
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        return ("unix", text)
+    if not host:
+        host = "127.0.0.1"
+    return ("tcp", (host, port))
+
+
+class ServiceClient:
+    """One persistent connection to a daemon (context manager).
+
+    Transport failures and ``ok: false`` replies both raise
+    :class:`~repro.core.errors.ServiceError`; :meth:`request` is the
+    raw escape hatch that returns error replies instead of raising.
+    """
+
+    def __init__(self, address: str, timeout: float = 60.0) -> None:
+        self._address = str(address)
+        kind, target = parse_address(address)
+        if kind == "unix":
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.settimeout(timeout)
+        try:
+            self._socket.connect(target)
+        except OSError as error:
+            self._socket.close()
+            raise ServiceError(
+                f"cannot connect to service at {address!r}: {error}"
+            )
+        self._stream = self._socket.makefile("rwb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for closer in (self._stream.close, self._socket.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    # -- raw calls -------------------------------------------------------
+
+    def request(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """One framed round trip; returns the reply (even error replies)."""
+        try:
+            self._stream.write(encode(message))
+            self._stream.flush()
+            line = self._stream.readline(MAX_LINE_BYTES + 2)
+        except (OSError, ValueError) as error:
+            raise ServiceError(
+                f"service connection to {self._address!r} failed: {error}"
+            )
+        if not line:
+            raise ServiceError(
+                f"service at {self._address!r} closed the connection"
+            )
+        return decode_line(line)
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """A verb call that raises on ``ok: false``."""
+        reply = self.request({"op": op, **fields})
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"{op} failed: {reply.get('error', 'unknown error')}"
+            )
+        return reply
+
+    # -- verbs -----------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def submit_scenario(self, scenario: Mapping[str, Any],
+                        limits: Optional[JobLimits] = None) -> str:
+        fields: Dict[str, Any] = {
+            "kind": "scenario", "scenario": dict(scenario),
+        }
+        if limits is not None and not limits.empty:
+            fields["limits"] = limits.to_mapping()
+        return str(self.call("submit", **fields)["job_id"])
+
+    def submit_experiment(self, table: str, argv: List[str],
+                          limits: Optional[JobLimits] = None) -> str:
+        fields: Dict[str, Any] = {
+            "kind": "experiment", "table": table, "argv": list(argv),
+        }
+        if limits is not None and not limits.empty:
+            fields["limits"] = limits.to_mapping()
+        return str(self.call("submit", **fields)["job_id"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return dict(self.call("status", job_id=job_id)["job"])
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.call("result", job_id=job_id)
+
+    def cancel(self, job_id: str) -> str:
+        return str(self.call("cancel", job_id=job_id)["state"])
+
+    def events(self, job_id: str, start: int = 0) -> Dict[str, Any]:
+        return self.call("events", job_id=job_id, **{"from": start})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll ``result`` until the job is terminal; returns the reply."""
+        deadline = time.monotonic() + timeout
+        while True:
+            reply = self.result(job_id)
+            if reply.get("ready") and reply.get("state") in TERMINAL_STATES:
+                return reply
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {reply.get('state')!r} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)
+
+
+def sweep_over_server(client: ServiceClient,
+                      registry: ScenarioRegistry,
+                      filter_expression: str = "",
+                      shard: Optional[Tuple[int, int]] = None,
+                      max_scenarios: int = 0,
+                      limits: Optional[JobLimits] = None,
+                      timeout: float = 600.0,
+                      progress: Optional[Any] = None) -> SweepReport:
+    """Run a (filtered, sharded) registry through a daemon.
+
+    Selection mirrors :meth:`~repro.scenarios.sweep.SweepRunner.run`
+    exactly — including the *full* registry fingerprint on the report,
+    computed before filtering — so the deterministic projection is
+    byte-identical to the in-process sweep.  All jobs are submitted up
+    front (the daemon's executor slots pipeline them), then collected
+    in registry order.
+    """
+    started = time.perf_counter()
+    selected = registry.filtered(filter_expression)
+    if shard is not None:
+        selected = selected.shard(*shard)
+    scenarios = list(selected)
+    if max_scenarios and len(scenarios) > max_scenarios:
+        scenarios = scenarios[:max_scenarios]
+    job_ids = [
+        client.submit_scenario(scenario_to_mapping(scenario), limits=limits)
+        for scenario in scenarios
+    ]
+    results: List[ScenarioResult] = []
+    for position, (scenario, job_id) in enumerate(
+            zip(scenarios, job_ids), start=1):
+        reply = client.wait(job_id, timeout=timeout)
+        payload = reply.get("result") or {}
+        row = payload.get("scenario")
+        if isinstance(row, Mapping):
+            result = _result_from_mapping(row)
+        else:
+            # killed/cancelled/failed before the executor produced a row
+            reason = (reply.get("kill_reason") or reply.get("error")
+                      or f"job ended in state {reply.get('state')!r}")
+            result = ScenarioResult(
+                ident=scenario.ident,
+                component=scenario.component.describe(),
+                scenario_fingerprint=scenario.fingerprint(),
+                tags=scenario.tags,
+                groups=scenario.groups,
+                oracle=scenario.oracle,
+                operators=scenario.operators,
+                error=f"ServiceError: {reason}",
+            )
+        results.append(result)
+        if progress is not None:
+            progress(position, len(scenarios), scenario, result)
+    return SweepReport(
+        registry_fingerprint=registry.fingerprint(),
+        results=tuple(results),
+        filter_expression=filter_expression,
+        shard=(f"{shard[0]}/{shard[1]}" if shard is not None else ""),
+        counters={},
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,398 @@
+"""The job queue: submission, execution slots, limits, lifecycle.
+
+:class:`JobManager` owns a FIFO queue and N executor threads; the
+*work* itself is a callable injected at construction time, so this
+module knows nothing about scenarios, experiments or sockets and the
+tests can drive it with stub executors.
+
+Per-job enforcement:
+
+* **wall deadline** — a :class:`threading.Timer` armed at dispatch; on
+  fire it records the kill reason and sets the job's cancel event, so a
+  cooperative executor (the sweep runner / mutation engines) drains
+  within one poll interval and the job lands in the ``killed`` state.
+  The worker pool is never recycled — a killed job costs at most its
+  own workers (respawned by the pool), never its neighbours';
+* **CPU / memory rlimits** — worker-side soft limits
+  (:class:`~repro.mutation.parallel.BatchLimits`) shipped with every
+  batch the job dispatches; the executor threads them through.
+
+Every job carries its own telemetry session backed by a
+:class:`~repro.obs.MemorySink`, so clients can stream a job's JSONL
+events (``events`` verb) without subscribing to the daemon's firehose.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import ServiceError
+from ..mutation.parallel import BatchLimits
+from ..obs import MemorySink, Telemetry
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    KILLED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+
+
+@dataclass(frozen=True)
+class JobLimits:
+    """Per-job resource ceilings (all optional; ``None`` = unlimited).
+
+    ``wall_seconds`` is enforced daemon-side (a deadline timer firing
+    the job's cancel event); ``cpu_seconds`` and ``memory_bytes`` are
+    enforced worker-side as soft rlimits per dispatched batch — they
+    only bite when the job runs on the parallel engine (``workers > 1``),
+    because in-process rlimits would take the daemon down with the job.
+    """
+
+    wall_seconds: Optional[float] = None
+    cpu_seconds: Optional[float] = None
+    memory_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        problems = []
+        for name in ("wall_seconds", "cpu_seconds", "memory_bytes"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{name} must be a number, got {value!r}")
+            elif value <= 0:
+                problems.append(f"{name} must be positive, got {value!r}")
+        if problems:
+            raise ServiceError(
+                "invalid job limits: " + "; ".join(problems)
+            )
+
+    @property
+    def empty(self) -> bool:
+        return (self.wall_seconds is None and self.cpu_seconds is None
+                and self.memory_bytes is None)
+
+    @classmethod
+    def from_mapping(cls, mapping: Optional[Mapping[str, Any]]
+                     ) -> "JobLimits":
+        """Validate a request's ``limits`` object (``None`` = no limits)."""
+        if mapping is None:
+            return cls()
+        if not isinstance(mapping, Mapping):
+            raise ServiceError(
+                f"limits must be an object, got {type(mapping).__name__}"
+            )
+        allowed = ("wall_seconds", "cpu_seconds", "memory_bytes")
+        unknown = sorted(set(mapping) - set(allowed))
+        if unknown:
+            raise ServiceError(
+                f"unknown limit key(s) {', '.join(unknown)} "
+                f"(known: {', '.join(allowed)})"
+            )
+        memory = mapping.get("memory_bytes")
+        if memory is not None and not isinstance(memory, int):
+            raise ServiceError(
+                f"memory_bytes must be an integer, got {memory!r}"
+            )
+        return cls(
+            wall_seconds=mapping.get("wall_seconds"),
+            cpu_seconds=mapping.get("cpu_seconds"),
+            memory_bytes=memory,
+        )
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "memory_bytes": self.memory_bytes,
+        }
+
+    def batch_limits(self) -> Optional[BatchLimits]:
+        """The worker-side rlimits slice, or ``None`` when both are off."""
+        if self.cpu_seconds is None and self.memory_bytes is None:
+            return None
+        return BatchLimits(cpu_seconds=self.cpu_seconds,
+                           memory_bytes=self.memory_bytes)
+
+
+class Job:
+    """One submitted unit of work and its observable lifecycle.
+
+    Mutable fields are guarded by the owning manager's lock; readers go
+    through :meth:`snapshot` / :meth:`events_slice`, which take it.
+    """
+
+    def __init__(self, job_id: str, kind: str,
+                 payload: Mapping[str, Any], limits: JobLimits,
+                 lock: threading.Lock) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.payload = dict(payload)
+        self.limits = limits
+        self.state = QUEUED
+        self.cancel_event = threading.Event()
+        self.cancel_requested = False
+        self.kill_reason = ""
+        self.error = ""
+        self.result: Optional[Dict[str, Any]] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.sink = MemorySink()
+        self.telemetry = Telemetry(sink=self.sink)
+        self._lock = lock
+        self._timer: Optional[threading.Timer] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``status`` reply body (JSON-ready, lock-consistent)."""
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "kind": self.kind,
+                "state": self.state,
+                "limits": self.limits.to_mapping(),
+                "cancel_requested": self.cancel_requested,
+                "kill_reason": self.kill_reason,
+                "error": self.error,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "events": len(self.sink.events),
+            }
+
+    def events_slice(self, start: int) -> Tuple[List[Dict[str, Any]], int]:
+        """Events ``[start:]`` plus the next offset (offset polling)."""
+        if start < 0:
+            raise ServiceError(f"event offset must be >= 0, got {start}")
+        with self._lock:
+            batch = list(self.sink.events[start:])
+        return batch, start + len(batch)
+
+
+class JobManager:
+    """FIFO queue + executor slots + per-job wall watchdogs.
+
+    ``execute(job)`` is called on an executor thread with the job in
+    the ``running`` state; it returns the result mapping or raises.
+    Terminal-state resolution (in priority order): a fired limit wins
+    over a client cancel, which wins over an executor exception, which
+    wins over plain completion — the order mirrors causality: whatever
+    *stopped* the job names its state.
+    """
+
+    def __init__(self, execute: Callable[[Job], Dict[str, Any]],
+                 concurrency: int = 2,
+                 default_limits: Optional[JobLimits] = None) -> None:
+        if concurrency < 1:
+            raise ServiceError("concurrency must be >= 1")
+        self._execute = execute
+        self._default_limits = default_limits or JobLimits()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+        self._stopping = False
+        self._started_at = time.time()
+        self._executed = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-exec-{number}",
+                             daemon=True)
+            for number in range(concurrency)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lookup --------------------------------------------
+
+    def submit(self, kind: str, payload: Mapping[str, Any],
+               limits: Optional[JobLimits] = None) -> Job:
+        merged = self._merge_limits(limits)
+        with self._lock:
+            if self._stopping:
+                raise ServiceError("service is shutting down")
+            self._counter += 1
+            job = Job(f"job-{self._counter:06d}", kind, payload, merged,
+                      self._lock)
+            self._jobs[job.job_id] = job
+            self._queue.append(job)
+            self._wakeup.notify()
+        return job
+
+    def _merge_limits(self, limits: Optional[JobLimits]) -> JobLimits:
+        """Request limits, with the daemon's defaults filling the gaps."""
+        if limits is None or limits.empty:
+            return self._default_limits
+        base = self._default_limits
+        return JobLimits(
+            wall_seconds=(limits.wall_seconds
+                          if limits.wall_seconds is not None
+                          else base.wall_seconds),
+            cpu_seconds=(limits.cpu_seconds
+                         if limits.cpu_seconds is not None
+                         else base.cpu_seconds),
+            memory_bytes=(limits.memory_bytes
+                          if limits.memory_bytes is not None
+                          else base.memory_bytes),
+        )
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    # -- cancellation ---------------------------------------------------
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job (idempotent; terminal jobs are left untouched).
+
+        Queued jobs resolve to ``cancelled`` immediately; running jobs
+        get their cancel event set and drain cooperatively — neighbours
+        sharing the worker pool are fenced by run id and unaffected.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.terminal:
+                return job
+            job.cancel_requested = True
+            if job.state == QUEUED:
+                try:
+                    self._queue.remove(job)
+                except ValueError:
+                    pass  # an executor claimed it between our two looks
+                else:
+                    self._finish_locked(job)
+                    return job
+        job.cancel_event.set()
+        return job
+
+    # -- execution ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait(timeout=0.1)
+                if self._stopping and not self._queue:
+                    return
+                job = self._queue.popleft()
+                job.state = RUNNING
+                job.started_at = time.time()
+                if job.limits.wall_seconds is not None:
+                    job._timer = threading.Timer(
+                        job.limits.wall_seconds, self._wall_expired, (job,)
+                    )
+                    job._timer.daemon = True
+                    job._timer.start()
+            try:
+                result = self._execute(job)
+            except Exception as error:  # an executor bug is one failed job
+                with self._lock:
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.result = None
+                    self._finish_locked(job)
+            else:
+                with self._lock:
+                    job.result = result
+                    self._finish_locked(job)
+
+    def _wall_expired(self, job: Job) -> None:
+        with self._lock:
+            if job.terminal:
+                return
+            job.kill_reason = (
+                f"wall limit of {job.limits.wall_seconds}s exceeded"
+            )
+        job.cancel_event.set()
+
+    def _finish_locked(self, job: Job) -> None:
+        """Resolve the terminal state; caller holds the lock."""
+        if job._timer is not None:
+            job._timer.cancel()
+            job._timer = None
+        if job.kill_reason:
+            job.state = KILLED
+        elif job.cancel_requested:
+            job.state = CANCELLED
+        elif job.error:
+            job.state = FAILED
+        else:
+            job.state = DONE
+        job.finished_at = time.time()
+        self._executed += 1
+        self._wakeup.notify_all()
+        # Close outside state resolution but inside the lock: the final
+        # counters event must be visible to any events poll that already
+        # observed the terminal state.
+        try:
+            job.telemetry.close()
+        except Exception:
+            pass
+
+    # -- introspection / shutdown ---------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            by_state = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.state] += 1
+            return {
+                "jobs": dict(by_state),
+                "queued": len(self._queue),
+                "executed": self._executed,
+                "executors": len(self._threads),
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "stopping": self._stopping,
+            }
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no job is queued or running (tests, shutdown)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while any(not job.terminal for job in self._jobs.values()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wakeup.wait(timeout=min(remaining, 0.1))
+        return True
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop accepting, cancel everything in flight, join executors.
+
+        Idempotent and exception-silent like
+        :meth:`~repro.mutation.parallel.WorkerPool.close` — shutdown
+        paths run from signal handlers and ``finally`` blocks.
+        """
+        with self._lock:
+            self._stopping = True
+            victims = [job for job in self._jobs.values()
+                       if not job.terminal]
+            queued = list(self._queue)
+            self._queue.clear()
+            for job in queued:
+                job.cancel_requested = True
+                self._finish_locked(job)
+            self._wakeup.notify_all()
+        for job in victims:
+            job.cancel_requested = True
+            job.cancel_event.set()
+        for thread in self._threads:
+            try:
+                thread.join(timeout=timeout)
+            except Exception:
+                pass

@@ -1,0 +1,131 @@
+"""The wire protocol: newline-delimited JSON request/reply messages.
+
+One request per line, one reply per line, UTF-8, keys sorted — the
+framing a shell user can drive with ``nc -U`` and a test can drive with
+a string.  Every reply carries ``ok`` (bool) and ``v`` (the protocol
+version); error replies carry ``error`` (human-readable, single line).
+
+The verbs and the job lifecycle states live here so client, server and
+tests agree on the vocabulary without importing each other.
+
+Job lifecycle::
+
+    queued ──> running ──> done        (executed to completion)
+       │           ├─────> failed      (the executor raised)
+       │           ├─────> cancelled   (client asked; drained cooperatively)
+       │           └─────> killed      (a per-job limit fired)
+       └─────────> cancelled           (cancelled before it started)
+
+``done`` does not mean the scenario *passed* — a scenario that errors
+in a well-defined way is still a completed job; clients inspect the
+result row.  The three right-hand columns are :data:`TERMINAL_STATES`:
+a job never leaves them and its result/events are frozen.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from ..core.errors import ServiceError
+
+#: Bumped on incompatible message-shape changes; replies echo it.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one framed line (request or reply), newline included.
+#: Large enough for a full scenario mapping or a sweep-sized result row,
+#: small enough that a garbage client cannot balloon the daemon.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Every request verb the daemon answers (``op`` field).
+VERBS = (
+    "ping",
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "events",
+    "stats",
+    "shutdown",
+)
+
+# -- job lifecycle states ---------------------------------------------------
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+KILLED = "killed"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED, KILLED)
+TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED, KILLED))
+
+
+class ProtocolError(ServiceError):
+    """A message could not be framed or parsed (not a domain failure)."""
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One framed line: compact sorted-key JSON plus the newline.
+
+    Sorted keys keep identical messages byte-identical across processes
+    (the differential tests diff raw reply lines).  Raises
+    :class:`ProtocolError` when the message cannot be serialized or
+    exceeds :data:`MAX_LINE_BYTES`.
+    """
+    try:
+        text = json.dumps(message, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"unserializable message: {error}")
+    if "\n" in text:  # json.dumps never emits raw newlines; belt and braces
+        raise ProtocolError("message serialization contains a newline")
+    blob = (text + "\n").encode("utf-8")
+    if len(blob) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(blob)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    return blob
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one framed line into its message mapping.
+
+    Raises :class:`ProtocolError` for oversize lines, non-JSON, and
+    JSON that is not an object — the caller turns that into an error
+    reply (server) or a :class:`~repro.core.errors.ServiceError`
+    (client).
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"not a JSON line: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def ok(**fields: Any) -> Dict[str, Any]:
+    """A success reply (``ok`` and ``v`` filled in)."""
+    reply: Dict[str, Any] = {"ok": True, "v": PROTOCOL_VERSION}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(message: str, **fields: Any) -> Dict[str, Any]:
+    """An error reply; ``message`` must be one human-readable line."""
+    reply: Dict[str, Any] = {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error": " ".join(str(message).split()),
+    }
+    reply.update(fields)
+    return reply

@@ -1,0 +1,448 @@
+"""The daemon: request handling bound to the mutation pipeline.
+
+Two layers, split so tests can exercise the whole verb surface without
+a socket:
+
+* :class:`MutationService` — transport-agnostic.  One resident
+  :class:`~repro.scenarios.sweep.SweepRunner` (so component synthesis,
+  suites and reference runs stay memoized *across jobs*, and every
+  parallel job multiplexes onto the shared warm
+  :class:`~repro.mutation.parallel.WorkerPool`), one
+  :class:`~repro.service.jobs.JobManager`, and
+  :meth:`~MutationService.handle_request` mapping request dicts to
+  reply dicts.
+* :class:`ServiceServer` — the socket transport: a threading
+  UNIX-stream (or localhost TCP) server speaking the newline-delimited
+  JSON protocol, with graceful SIGINT/SIGTERM shutdown that drains
+  jobs, closes the cache and leaves zero orphaned workers.
+
+Job payloads:
+
+* ``{"kind": "scenario", "scenario": {…}}`` — one scenario mapping,
+  validated with the registry machinery
+  (:func:`~repro.scenarios.registry.registry_from_mappings`) before it
+  is queued, so a malformed payload is rejected at submit time with
+  the collected problem list, never half-run;
+* ``{"kind": "experiment", "table": "table1", "argv": […]}`` — a table
+  experiment executed in the daemon with stdout captured; the reply
+  carries the exit code and the printed output.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import signal
+import socket
+import socketserver
+import threading
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..core.errors import ReproError, ServiceError
+from ..mutation.cache import MutationOutcomeCache
+from ..scenarios.registry import ScenarioRegistry, registry_from_mappings
+from ..scenarios.sweep import SweepRunner
+from .jobs import Job, JobLimits, JobManager
+from .protocol import (
+    MAX_LINE_BYTES,
+    TERMINAL_STATES,
+    VERBS,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok,
+)
+
+#: Tables an experiment job may name (resolved lazily, import-cycle-free).
+EXPERIMENT_TABLES = ("table1", "table2", "table3")
+
+
+class MutationService:
+    """The daemon's brain: validates requests, owns the job machinery."""
+
+    def __init__(self,
+                 workers: int = 1,
+                 workspace: Optional[str] = None,
+                 cache: Optional[MutationOutcomeCache] = None,
+                 batch_size: Optional[int] = None,
+                 prune: bool = True,
+                 static_triage: bool = True,
+                 pool: Optional[object] = None,
+                 concurrency: int = 2,
+                 default_limits: Optional[JobLimits] = None) -> None:
+        """``workers``/``batch_size``/``prune``/``static_triage``/``cache``
+        configure the resident pipeline exactly like a batch sweep;
+        ``concurrency`` is how many jobs execute at once (each with its
+        own engine run on the shared pool); ``pool`` overrides the
+        process-wide worker pool (tests isolate with a private one);
+        ``default_limits`` apply to any job that does not set its own.
+        """
+        self._runner = SweepRunner(
+            ScenarioRegistry(()),
+            workers=workers,
+            workspace=workspace,
+            cache=cache,
+            batch_size=batch_size,
+            prune=prune,
+            static_triage=static_triage,
+            pool=pool,
+        )
+        self._cache = cache
+        self._manager = JobManager(
+            self._execute_job,
+            concurrency=concurrency,
+            default_limits=default_limits,
+        )
+        self._shutdown_requested = threading.Event()
+        self._on_shutdown: Optional[Callable[[], None]] = None
+
+    @property
+    def manager(self) -> JobManager:
+        return self._manager
+
+    @property
+    def shutdown_requested(self) -> threading.Event:
+        """Set once a ``shutdown`` request was accepted (transport hook)."""
+        return self._shutdown_requested
+
+    def on_shutdown(self, callback: Callable[[], None]) -> None:
+        """Transport's hook, invoked once after a ``shutdown`` reply."""
+        self._on_shutdown = callback
+
+    # -- job execution ---------------------------------------------------
+
+    def _execute_job(self, job: Job) -> Dict[str, Any]:
+        if job.kind == "scenario":
+            return self._execute_scenario(job)
+        if job.kind == "experiment":
+            return self._execute_experiment(job)
+        raise ServiceError(f"unknown job kind {job.kind!r}")
+
+    def _execute_scenario(self, job: Job) -> Dict[str, Any]:
+        registry = registry_from_mappings(
+            [job.payload["scenario"]], origin=job.job_id
+        )
+        scenario = registry.scenarios[0]
+        result = self._runner.run_scenario(
+            scenario,
+            telemetry=job.telemetry,
+            cancel=job.cancel_event,
+            rlimits=job.limits.batch_limits(),
+        )
+        return {"kind": "scenario", "scenario": result.to_dict(timings=True)}
+
+    def _execute_experiment(self, job: Job) -> Dict[str, Any]:
+        # Tables run to completion in-daemon; they only observe the
+        # cancel event before starting (their engines are not handed
+        # one), so wall limits on experiment jobs bound the *queue
+        # wait*, not the run — documented in DESIGN §5.
+        if job.cancel_event.is_set():
+            raise ServiceError("cancelled before the experiment started")
+        from ..experiments import table1, table2, table3
+
+        mains = {"table1": table1.main, "table2": table2.main,
+                 "table3": table3.main}
+        main = mains[job.payload["table"]]
+        stream = io.StringIO()
+        with contextlib.redirect_stdout(stream):
+            try:
+                exit_code = int(main(list(job.payload["argv"])) or 0)
+            except SystemExit as stop:  # argparse errors land here
+                exit_code = (stop.code if isinstance(stop.code, int)
+                             else (0 if stop.code is None else 2))
+        return {
+            "kind": "experiment",
+            "table": job.payload["table"],
+            "exit_code": exit_code,
+            "output": stream.getvalue(),
+        }
+
+    # -- request validation ---------------------------------------------
+
+    def _validated_submission(self, request: Mapping[str, Any]
+                              ) -> Dict[str, Any]:
+        kind = request.get("kind", "scenario")
+        if kind == "scenario":
+            scenario = request.get("scenario")
+            if not isinstance(scenario, Mapping):
+                raise ServiceError(
+                    "submit needs a 'scenario' object (a registry entry "
+                    "mapping)"
+                )
+            # Full registry validation up front: a bad payload is
+            # bounced with every problem listed, not queued to fail.
+            registry_from_mappings([scenario], origin="submit")
+            return {"kind": kind, "payload": {"scenario": dict(scenario)}}
+        if kind == "experiment":
+            table = request.get("table")
+            if table not in EXPERIMENT_TABLES:
+                raise ServiceError(
+                    f"unknown experiment table {table!r} "
+                    f"(known: {', '.join(EXPERIMENT_TABLES)})"
+                )
+            argv = request.get("argv", [])
+            if (not isinstance(argv, list)
+                    or not all(isinstance(item, str) for item in argv)):
+                raise ServiceError("argv must be a list of strings")
+            if any(item == "--server" or item.startswith("--server=")
+                   for item in argv):
+                raise ServiceError(
+                    "experiment argv must not contain --server "
+                    "(the daemon does not recurse into itself)"
+                )
+            return {"kind": kind,
+                    "payload": {"table": table, "argv": list(argv)}}
+        raise ServiceError(
+            f"unknown job kind {kind!r} (known: scenario, experiment)"
+        )
+
+    # -- verbs -----------------------------------------------------------
+
+    def handle_request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """One request mapping in, one reply mapping out; never raises.
+
+        Domain and validation failures become ``ok: false`` replies;
+        only the transport decides what a *framing* failure costs (an
+        error reply and, for oversize lines, the connection).
+        """
+        op = request.get("op")
+        if op not in VERBS:
+            return error_reply(
+                f"unknown op {op!r} (known: {', '.join(VERBS)})"
+            )
+        try:
+            return getattr(self, f"_op_{op}")(request)
+        except ReproError as error:
+            return error_reply(str(error))
+        except Exception as error:  # a handler bug is one failed request
+            return error_reply(f"{type(error).__name__}: {error}")
+
+    def _op_ping(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        return ok(server="repro-mutation-service", pid=os.getpid())
+
+    def _op_submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        submission = self._validated_submission(request)
+        limits = JobLimits.from_mapping(request.get("limits"))
+        job = self._manager.submit(
+            submission["kind"], submission["payload"], limits
+        )
+        return ok(job_id=job.job_id, state=job.state)
+
+    def _job_from(self, request: Mapping[str, Any]) -> Job:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ServiceError("a 'job_id' string is required")
+        return self._manager.get(job_id)
+
+    def _op_status(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        return ok(job=self._job_from(request).snapshot())
+
+    def _op_result(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        job = self._job_from(request)
+        snapshot = job.snapshot()
+        ready = snapshot["state"] in TERMINAL_STATES
+        reply = ok(job_id=job.job_id, state=snapshot["state"], ready=ready)
+        if ready:
+            reply["result"] = job.result
+            reply["error"] = snapshot["error"]
+            reply["kill_reason"] = snapshot["kill_reason"]
+        return reply
+
+    def _op_cancel(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        job = self._manager.cancel(self._job_from(request).job_id)
+        return ok(job_id=job.job_id, state=job.snapshot()["state"])
+
+    def _op_events(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        job = self._job_from(request)
+        start = request.get("from", 0)
+        if not isinstance(start, int) or isinstance(start, bool):
+            raise ServiceError(f"'from' must be an integer, got {start!r}")
+        events, next_offset = job.events_slice(start)
+        return ok(job_id=job.job_id, events=events, next=next_offset,
+                  state=job.snapshot()["state"])
+
+    def _op_stats(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        stats = self._manager.stats()
+        if self._cache is not None:
+            stats["cache"] = {
+                "write_errors": self._cache.write_errors,
+                "writes_disabled": self._cache.writes_disabled,
+            }
+        return ok(**stats)
+
+    def _op_shutdown(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        self._shutdown_requested.set()
+        if self._on_shutdown is not None:
+            callback, self._on_shutdown = self._on_shutdown, None
+            callback()
+        return ok(stopping=True)
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain jobs and release the pipeline (idempotent, silent)."""
+        try:
+            self._manager.shutdown()
+        except Exception:
+            pass
+        try:
+            self._runner.request_cancel()
+        except Exception:
+            pass
+        if self._cache is not None:
+            try:
+                self._cache.close()
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# socket transport
+# ---------------------------------------------------------------------------
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One connection: framed request lines in, framed reply lines out.
+
+    A client disconnect (empty read, broken pipe) ends the handler;
+    jobs the client submitted keep running — reconnect and poll.
+    """
+
+    def handle(self) -> None:
+        service: MutationService = self.server.service  # type: ignore
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 2)
+            except (OSError, ValueError):
+                return
+            if not line:
+                return
+            if len(line) > MAX_LINE_BYTES:
+                self._reply(error_reply(
+                    f"line exceeds {MAX_LINE_BYTES} bytes"
+                ))
+                return  # the rest of the stream is unframed garbage
+            try:
+                request = decode_line(line)
+            except ProtocolError as error:
+                if not self._reply(error_reply(str(error))):
+                    return
+                continue
+            if not self._reply(service.handle_request(request)):
+                return
+
+    def _reply(self, message: Dict[str, Any]) -> bool:
+        try:
+            self.wfile.write(encode(message))
+            self.wfile.flush()
+            return True
+        except (OSError, ValueError, ProtocolError):
+            return False
+
+
+class _ThreadingUnixServer(socketserver.ThreadingMixIn,
+                           socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _ThreadingTCPServer(socketserver.ThreadingMixIn,
+                          socketserver.TCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """The socket front-end: bind, serve, and shut down gracefully.
+
+    Exactly one of ``socket_path`` (UNIX stream socket — the default
+    transport) or ``port`` (TCP bound to ``host``, localhost unless
+    told otherwise) must be given.
+    """
+
+    def __init__(self, service: MutationService,
+                 socket_path: Optional[str] = None,
+                 port: Optional[int] = None,
+                 host: str = "127.0.0.1") -> None:
+        if (socket_path is None) == (port is None):
+            raise ServiceError(
+                "exactly one of socket_path or port is required"
+            )
+        self.service = service
+        self._socket_path = socket_path
+        if socket_path is not None:
+            self._remove_stale_socket(socket_path)
+            self._server = _ThreadingUnixServer(socket_path, _LineHandler)
+        else:
+            self._server = _ThreadingTCPServer((host, port), _LineHandler)
+        self._server.service = service  # type: ignore[attr-defined]
+        self._stopped = threading.Event()
+        service.on_shutdown(self.stop)
+
+    @staticmethod
+    def _remove_stale_socket(path: str) -> None:
+        """Unlink a dead predecessor's socket file; refuse a live one."""
+        if not os.path.exists(path):
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.5)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # nobody answering: stale file
+        else:
+            probe.close()
+            raise ServiceError(
+                f"socket {path} is already served by a live daemon"
+            )
+        finally:
+            probe.close()
+
+    @property
+    def address(self) -> str:
+        if self._socket_path is not None:
+            return self._socket_path
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve until ``stop()`` — via the ``shutdown`` verb, SIGINT or
+        SIGTERM — then drain jobs, release the pipeline and clean up the
+        socket file.  Returns only after teardown completes (zero
+        orphaned worker processes)."""
+        if install_signal_handlers:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    signal.signal(signum, lambda *_: self.stop())
+                except ValueError:
+                    pass  # not the main thread (tests drive stop())
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._teardown()
+
+    def stop(self) -> None:
+        """Idempotent, callable from any thread or a signal handler."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        # serve_forever must not be shut down from its own thread; the
+        # verb handler and signal handlers both run elsewhere, but a
+        # spawned thread is safe from every caller.
+        threading.Thread(target=self._server.shutdown,
+                         name="repro-service-stop", daemon=True).start()
+
+    def _teardown(self) -> None:
+        self._stopped.set()
+        self.service.close()
+        try:
+            self._server.server_close()
+        except OSError:
+            pass
+        if self._socket_path is not None:
+            try:
+                os.unlink(self._socket_path)
+            except OSError:
+                pass

@@ -1,0 +1,110 @@
+"""Interpreter-exit shutdown hardening of the worker pool.
+
+``shutdown_shared_pool`` runs from ``atexit`` — after daemon threads
+may have been stopped and worker processes reaped.  The contract: it
+(and ``WorkerPool.close``) must be idempotent and exception-silent even
+when the workers are already dead or the dispatcher is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.components import CSortableObList, OBLIST_TYPE_MODEL
+from repro.generator.driver import DriverGenerator
+from repro.harness.oracles import experiment_oracle
+from repro.mutation.generate import generate_mutants
+from repro.mutation.parallel import (
+    ParallelMutationAnalysis,
+    WorkerPool,
+    shared_worker_pool,
+    shutdown_shared_pool,
+)
+
+
+def small_suite():
+    suite = DriverGenerator(CSortableObList.__tspec__,
+                            seed=20010701).generate()
+    relevant = tuple(
+        case for case in suite.cases
+        if any(step.method_name == "FindMax" for step in case.steps)
+    )[:20]
+    return replace(suite, cases=relevant)
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    generated, _ = generate_mutants(
+        CSortableObList, ["FindMax"], type_model=OBLIST_TYPE_MODEL
+    )
+    return generated[:6]
+
+
+def _warm(pool, mutants):
+    run = ParallelMutationAnalysis(
+        CSortableObList, small_suite(),
+        oracle=experiment_oracle(CSortableObList.__tspec__),
+        workers=2, pool=pool, static_triage=False,
+    ).analyze(list(mutants))
+    assert run.total == len(mutants)
+    return run
+
+
+def test_close_is_idempotent_after_workers_killed(mutants):
+    pool = WorkerPool()
+    _warm(pool, mutants)
+    assert pool.size >= 2
+    # the exit-time race: worker processes are already gone when close runs
+    for worker in list(pool.workers):
+        worker.process.kill()
+        worker.process.join()
+    pool.close()
+    assert pool.closed
+    assert pool.size == 0
+    pool.close()  # second close: no-op, no exception
+
+
+def test_shared_pool_shutdown_twice_with_dead_workers(mutants):
+    shutdown_shared_pool()
+    try:
+        pool = shared_worker_pool()
+        _warm(pool, mutants)
+        assert pool.size >= 2
+        for worker in list(pool.workers):
+            worker.process.kill()
+            worker.process.join()
+        shutdown_shared_pool()
+        assert pool.closed
+        shutdown_shared_pool()  # idempotent with no pool left
+    finally:
+        shutdown_shared_pool()
+
+
+def test_close_survives_broken_pipes(mutants):
+    # Kill the workers AND close their pipes first: close must swallow
+    # the resulting OSErrors (the atexit environment in miniature).
+    pool = WorkerPool()
+    _warm(pool, mutants)
+    for worker in list(pool.workers):
+        worker.process.kill()
+        worker.process.join()
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+    pool.close()
+    pool.close()
+    assert pool.closed
+
+
+def test_pool_usable_again_after_shared_shutdown(mutants):
+    shutdown_shared_pool()
+    try:
+        first = _warm(shared_worker_pool(), mutants)
+        shutdown_shared_pool()
+        second = _warm(shared_worker_pool(), mutants)
+        assert second.same_results(first)
+    finally:
+        shutdown_shared_pool()

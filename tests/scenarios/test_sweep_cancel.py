@@ -1,0 +1,141 @@
+"""Ctrl-C and cooperative-cancel regressions for the sweep runner.
+
+The bug under test: a SIGINT during a pipelined sweep used to leave the
+main thread hanging in ``join`` while scheduler threads sat blocked in
+the worker pool.  The contract now: the interrupt drains cooperatively,
+``run()`` returns promptly with the interrupted scenario and every
+unstarted one marked cancelled, and the report gate fails.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.scenarios import SweepRunner, registry_from_mappings
+
+FAST = {
+    "component": {"ref": "BankAccount"},
+    "operators": ["IndVarRepGlob"],
+    "suite": {"max_cases": 6},
+    "budgets": {"max_mutants": 8},
+}
+
+
+def _registry(*idents):
+    return registry_from_mappings(
+        [dict(FAST, ident=ident) for ident in idents]
+    )
+
+
+class BlockingRunner(SweepRunner):
+    """Scenarios whose ident starts with ``blocker`` park on the sweep
+    cancel event — a stand-in for an engine blocked in the worker pool."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.blocked = threading.Semaphore(0)
+
+    def run_scenario(self, scenario, telemetry=None, cancel=None,
+                     rlimits=None):
+        if scenario.ident.startswith("blocker"):
+            self.blocked.release()
+            assert self._cancel.wait(timeout=30), "cancel never arrived"
+            return self._cancelled_result(scenario)
+        return super().run_scenario(scenario, telemetry=telemetry,
+                                    cancel=cancel, rlimits=rlimits)
+
+
+def test_request_cancel_before_run_marks_everything_cancelled():
+    runner = SweepRunner(_registry("cancel-a", "cancel-b"))
+    runner.request_cancel()
+    assert runner.cancelled
+    started = time.monotonic()
+    report = runner.run()
+    assert time.monotonic() - started < 10
+    assert len(report.results) == 2
+    for result in report.results:
+        assert result.error.startswith("RunCancelled")
+        assert result.mutants_total == 0
+    assert report.passed is False  # the gate fails loudly, never silently
+
+
+def test_pipelined_sigint_returns_promptly_with_rest_cancelled():
+    # Both scheduler threads park in "blocker" scenarios, so the two
+    # fast scenarios never start; SIGINT lands on the main thread
+    # blocked in join — the pre-fix hang.
+    runner = BlockingRunner(
+        _registry("blocker-a", "blocker-b", "fast-a", "fast-b"),
+        inflight=2,
+    )
+
+    main_ident = threading.main_thread().ident
+
+    def interrupt():
+        assert runner.blocked.acquire(timeout=30)
+        assert runner.blocked.acquire(timeout=30)
+        time.sleep(0.2)  # let the main thread settle into join
+        # a real SIGINT to the main thread: unlike interrupt_main it
+        # wakes a join blocked in the thread-state lock, like Ctrl-C does
+        signal.pthread_kill(main_ident, signal.SIGINT)
+
+    threading.Thread(target=interrupt, daemon=True).start()
+    started = time.monotonic()
+    try:
+        report = runner.run()
+    except KeyboardInterrupt:  # the regression: the interrupt escaped
+        pytest.fail("KeyboardInterrupt escaped the pipelined sweep")
+    assert time.monotonic() - started < 30
+    assert runner.cancelled
+    by_ident = {result.ident: result for result in report.results}
+    assert len(by_ident) == 4
+    for ident in ("blocker-a", "blocker-b"):
+        assert by_ident[ident].error.startswith("RunCancelled")
+    for ident in ("fast-a", "fast-b"):
+        assert by_ident[ident].error == (
+            "RunCancelled: sweep cancelled before this scenario ran")
+    assert report.passed is False
+
+
+def test_sequential_sigint_cancels_current_and_rest():
+    class ExplodingRunner(SweepRunner):
+        def run_scenario(self, scenario, telemetry=None, cancel=None,
+                         rlimits=None):
+            if scenario.ident == "boom":
+                raise KeyboardInterrupt
+            return super().run_scenario(scenario, telemetry=telemetry,
+                                        cancel=cancel, rlimits=rlimits)
+
+    runner = ExplodingRunner(_registry("seq-a", "boom", "seq-b"))
+    report = runner.run()
+    assert runner.cancelled
+    by_ident = {result.ident: result for result in report.results}
+    assert by_ident["seq-a"].error == ""  # completed before the interrupt
+    assert by_ident["seq-a"].mutants_total > 0
+    assert by_ident["boom"].error.startswith("RunCancelled")
+    assert by_ident["seq-b"].error.startswith("RunCancelled")
+    assert report.passed is False
+
+
+def test_cancel_mid_pipeline_still_reports_started_work():
+    # request_cancel from another thread (the SIGTERM path): scenarios
+    # already finished keep their real rows; the blocked one drains.
+    runner = BlockingRunner(
+        _registry("fast-a", "blocker-a", "fast-b"), inflight=2,
+    )
+
+    def cancel():
+        assert runner.blocked.acquire(timeout=30)
+        runner.request_cancel()
+
+    threading.Thread(target=cancel, daemon=True).start()
+    report = runner.run()
+    by_ident = {result.ident: result for result in report.results}
+    assert by_ident["blocker-a"].error.startswith("RunCancelled")
+    # fast-a ran on the second scheduler thread before (or while) the
+    # cancel landed — either a real row or a cancelled one, never missing
+    assert len(by_ident) == 3
+    assert report.passed is False

@@ -1,0 +1,235 @@
+"""Job queue lifecycle: FIFO order, limits, cancellation, wall kills.
+
+The executors here are stubs — the manager is transport- and
+pipeline-agnostic, so its state machine is pinned without running a
+single mutant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service import JobLimits, JobManager
+
+
+def _drain(manager, timeout=10.0):
+    assert manager.wait_idle(timeout=timeout)
+
+
+# -- limits -----------------------------------------------------------------
+
+
+def test_limits_validate_positive():
+    with pytest.raises(ServiceError):
+        JobLimits(wall_seconds=0)
+    with pytest.raises(ServiceError):
+        JobLimits(cpu_seconds=-1)
+    with pytest.raises(ServiceError):
+        JobLimits(memory_bytes=-5)
+
+
+def test_limits_from_mapping_rejects_unknown_keys():
+    with pytest.raises(ServiceError, match="unknown limit key"):
+        JobLimits.from_mapping({"walls": 5})
+    with pytest.raises(ServiceError, match="integer"):
+        JobLimits.from_mapping({"memory_bytes": 1.5})
+    assert JobLimits.from_mapping(None).empty
+    got = JobLimits.from_mapping({"wall_seconds": 2.5})
+    assert got.wall_seconds == 2.5 and got.cpu_seconds is None
+
+
+def test_limits_batch_slice():
+    assert JobLimits(wall_seconds=1).batch_limits() is None
+    batch = JobLimits(cpu_seconds=2, memory_bytes=1 << 20).batch_limits()
+    assert batch is not None
+    assert batch.cpu_seconds == 2 and batch.memory_bytes == 1 << 20
+
+
+def test_default_limits_fill_gaps():
+    manager = JobManager(lambda job: {}, concurrency=1,
+                         default_limits=JobLimits(wall_seconds=9))
+    try:
+        job = manager.submit("stub", {}, JobLimits(cpu_seconds=1))
+        assert job.limits.wall_seconds == 9
+        assert job.limits.cpu_seconds == 1
+        bare = manager.submit("stub", {})
+        assert bare.limits.wall_seconds == 9
+    finally:
+        manager.shutdown()
+
+
+# -- lifecycle --------------------------------------------------------------
+
+
+def test_jobs_run_fifo_on_one_executor():
+    order = []
+    manager = JobManager(
+        lambda job: order.append(job.payload["n"]) or {"n": job.payload["n"]},
+        concurrency=1,
+    )
+    try:
+        jobs = [manager.submit("stub", {"n": n}) for n in range(5)]
+        _drain(manager)
+        assert order == [0, 1, 2, 3, 4]
+        assert [job.state for job in jobs] == ["done"] * 5
+        assert [job.result["n"] for job in jobs] == [0, 1, 2, 3, 4]
+    finally:
+        manager.shutdown()
+
+
+def test_executor_exception_is_one_failed_job():
+    def execute(job):
+        if job.payload.get("boom"):
+            raise ValueError("kaput")
+        return {"fine": True}
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        bad = manager.submit("stub", {"boom": True})
+        good = manager.submit("stub", {})
+        _drain(manager)
+        assert bad.state == "failed"
+        assert "ValueError: kaput" in bad.error
+        assert good.state == "done" and good.result == {"fine": True}
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_queued_job_never_runs():
+    release = threading.Event()
+    ran = []
+
+    def execute(job):
+        ran.append(job.job_id)
+        release.wait(timeout=10)
+        return {}
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        blocker = manager.submit("stub", {})
+        queued = manager.submit("stub", {})
+        manager.cancel(queued.job_id)
+        assert queued.state == "cancelled"
+        release.set()
+        _drain(manager)
+        assert blocker.state == "done"
+        assert ran == [blocker.job_id]  # the cancelled job never started
+    finally:
+        manager.shutdown()
+
+
+def test_cancel_running_job_drains_cooperatively():
+    def execute(job):
+        job.cancel_event.wait(timeout=10)
+        return {"drained": True}
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        job = manager.submit("stub", {})
+        deadline = time.monotonic() + 5
+        while job.state != "running" and time.monotonic() < deadline:
+            time.sleep(0.01)
+        manager.cancel(job.job_id)
+        _drain(manager)
+        assert job.state == "cancelled"
+        assert job.result == {"drained": True}  # executor still returned
+    finally:
+        manager.shutdown()
+
+
+def test_wall_limit_kills_job():
+    def execute(job):
+        job.cancel_event.wait(timeout=10)
+        return {}
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        job = manager.submit("stub", {}, JobLimits(wall_seconds=0.05))
+        _drain(manager)
+        assert job.state == "killed"
+        assert "wall limit" in job.kill_reason
+    finally:
+        manager.shutdown()
+
+
+def test_kill_wins_over_cancel_wins_over_error():
+    # A job whose wall limit fired AND was cancelled AND whose executor
+    # raised resolves to killed: whatever stopped it names the state.
+    def execute(job):
+        job.cancel_event.wait(timeout=10)
+        raise RuntimeError("unwound")
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        job = manager.submit("stub", {}, JobLimits(wall_seconds=0.05))
+        deadline = time.monotonic() + 5
+        while not job.kill_reason and time.monotonic() < deadline:
+            time.sleep(0.01)  # let the wall timer fire first
+        manager.cancel(job.job_id)
+        _drain(manager)
+        assert job.state == "killed"
+        assert "RuntimeError" in job.error
+    finally:
+        manager.shutdown()
+
+
+def test_job_telemetry_offsets_and_close():
+    def execute(job):
+        job.telemetry.count("stub.work", 3)
+        with job.telemetry.span("stub.phase"):
+            pass
+        return {}
+
+    manager = JobManager(execute, concurrency=1)
+    try:
+        job = manager.submit("stub", {})
+        _drain(manager)
+        events, offset = job.events_slice(0)
+        assert offset == len(events) > 0
+        # telemetry.close() ran at terminal resolution: counters event last
+        assert events[-1]["kind"] == "counters"
+        assert events[-1]["counters"]["stub.work"] == 3
+        tail, end = job.events_slice(offset)
+        assert tail == [] and end == offset
+        head, _ = job.events_slice(1)
+        assert head == events[1:]
+    finally:
+        manager.shutdown()
+
+
+def test_stats_and_unknown_job():
+    manager = JobManager(lambda job: {}, concurrency=2)
+    try:
+        manager.submit("stub", {})
+        _drain(manager)
+        stats = manager.stats()
+        assert stats["jobs"]["done"] == 1
+        assert stats["executors"] == 2
+        assert stats["executed"] == 1
+        with pytest.raises(ServiceError, match="unknown job"):
+            manager.get("job-999999")
+    finally:
+        manager.shutdown()
+
+
+def test_shutdown_cancels_everything_and_is_idempotent():
+    def execute(job):
+        job.cancel_event.wait(timeout=10)
+        return {}
+
+    manager = JobManager(execute, concurrency=1)
+    running = manager.submit("stub", {})
+    queued = manager.submit("stub", {})
+    deadline = time.monotonic() + 5
+    while running.state != "running" and time.monotonic() < deadline:
+        time.sleep(0.01)
+    manager.shutdown()
+    manager.shutdown()  # idempotent
+    assert running.state == "cancelled"
+    assert queued.state == "cancelled"
+    with pytest.raises(ServiceError, match="shutting down"):
+        manager.submit("stub", {})

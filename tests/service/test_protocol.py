@@ -1,0 +1,76 @@
+"""Protocol framing: encode/decode round trips and rejection paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok,
+)
+from repro.service.protocol import JOB_STATES, TERMINAL_STATES
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "submit", "kind": "scenario", "nested": {"a": [1, 2]}}
+    blob = encode(message)
+    assert blob.endswith(b"\n")
+    assert blob.count(b"\n") == 1
+    assert decode_line(blob) == message
+
+
+def test_encode_is_canonical():
+    one = encode({"b": 1, "a": 2})
+    two = encode({"a": 2, "b": 1})
+    assert one == two  # sorted keys: byte-identical across insert orders
+
+
+def test_encode_rejects_unserializable():
+    with pytest.raises(ProtocolError):
+        encode({"op": object()})
+
+
+def test_encode_rejects_oversize():
+    with pytest.raises(ProtocolError):
+        encode({"blob": "x" * (MAX_LINE_BYTES + 1)})
+
+
+def test_decode_rejects_oversize_line():
+    line = b'{"pad": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+    with pytest.raises(ProtocolError):
+        decode_line(line)
+
+
+def test_decode_rejects_non_json():
+    with pytest.raises(ProtocolError):
+        decode_line(b"not json at all\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        decode_line(b"[1, 2, 3]\n")
+
+
+def test_ok_and_error_shapes():
+    good = ok(job_id="job-000001")
+    assert good["ok"] is True
+    assert good["v"] == PROTOCOL_VERSION
+    assert good["job_id"] == "job-000001"
+    bad = error_reply("bad\nrequest  here")
+    assert bad["ok"] is False
+    assert bad["error"] == "bad request here"  # single line, squeezed
+    assert json.loads(encode(bad).decode("utf-8")) == bad
+
+
+def test_terminal_states_are_job_states():
+    assert TERMINAL_STATES <= set(JOB_STATES)
+    assert "queued" not in TERMINAL_STATES
+    assert "running" not in TERMINAL_STATES
+    assert TERMINAL_STATES == {"done", "failed", "cancelled", "killed"}

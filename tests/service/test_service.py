@@ -1,0 +1,212 @@
+"""MutationService.handle_request: the verb surface without a socket.
+
+These tests drive the daemon's brain with plain dicts — validation,
+job execution through the real pipeline, result/event plumbing — and
+pin the central differential contract: a scenario executed as a job
+yields the byte-identical deterministic row of an in-process run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs import validate_event
+from repro.scenarios import SweepRunner, registry_from_mappings
+from repro.service import JobLimits, MutationService
+from repro.service.protocol import TERMINAL_STATES
+
+FAST_SCENARIO = {
+    "ident": "svc-account",
+    "component": {"ref": "BankAccount"},
+    "operators": ["IndVarRepGlob"],
+    "suite": {"max_cases": 6},
+    "budgets": {"max_mutants": 8},
+}
+
+
+@pytest.fixture
+def service():
+    instance = MutationService(workers=1, concurrency=2)
+    yield instance
+    instance.close()
+
+
+def _wait_terminal(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        reply = service.handle_request({"op": "result", "job_id": job_id})
+        assert reply["ok"], reply
+        if reply["state"] in TERMINAL_STATES:
+            return reply
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never became terminal")
+
+
+def test_unknown_op_is_an_error_reply(service):
+    reply = service.handle_request({"op": "frobnicate"})
+    assert reply["ok"] is False
+    assert "unknown op" in reply["error"]
+    assert "submit" in reply["error"]  # the verb list is in the message
+
+
+def test_missing_op_is_an_error_reply(service):
+    assert service.handle_request({})["ok"] is False
+
+
+def test_ping(service):
+    reply = service.handle_request({"op": "ping"})
+    assert reply["ok"] and reply["server"] == "repro-mutation-service"
+
+
+def test_submit_rejects_invalid_scenario_with_all_problems(service):
+    reply = service.handle_request({
+        "op": "submit",
+        "kind": "scenario",
+        "scenario": {
+            "ident": "BAD IDENT",
+            "component": {"ref": "NoSuchComponent"},
+            "oracle": "nope",
+        },
+    })
+    assert reply["ok"] is False
+    # collected validation, not fail-fast: every problem is listed
+    assert "BAD IDENT" in reply["error"]
+    assert "NoSuchComponent" in reply["error"]
+    assert "nope" in reply["error"]
+
+
+def test_submit_rejects_missing_scenario_and_bad_kind(service):
+    assert service.handle_request(
+        {"op": "submit", "kind": "scenario"}
+    )["ok"] is False
+    reply = service.handle_request({"op": "submit", "kind": "sorcery"})
+    assert reply["ok"] is False and "sorcery" in reply["error"]
+
+
+def test_submit_rejects_bad_limits(service):
+    reply = service.handle_request({
+        "op": "submit", "scenario": dict(FAST_SCENARIO),
+        "limits": {"wall_seconds": -2},
+    })
+    assert reply["ok"] is False and "wall_seconds" in reply["error"]
+
+
+def test_experiment_submit_rejects_recursion_and_unknown_table(service):
+    reply = service.handle_request({
+        "op": "submit", "kind": "experiment", "table": "table1",
+        "argv": ["--server", "/tmp/x.sock"],
+    })
+    assert reply["ok"] is False and "--server" in reply["error"]
+    reply = service.handle_request({
+        "op": "submit", "kind": "experiment", "table": "table9", "argv": [],
+    })
+    assert reply["ok"] is False and "table9" in reply["error"]
+
+
+def test_scenario_job_matches_in_process_row(service, tmp_path):
+    registry = registry_from_mappings([FAST_SCENARIO])
+    expected = SweepRunner(registry).run_scenario(registry.scenarios[0])
+
+    reply = service.handle_request({
+        "op": "submit", "scenario": dict(FAST_SCENARIO),
+    })
+    assert reply["ok"] and reply["state"] == "queued"
+    final = _wait_terminal(service, reply["job_id"])
+    assert final["state"] == "done"
+    row = final["result"]["scenario"]
+    # the deterministic projection is byte-identical to the in-process run
+    def project(mapping):
+        keep = expected.to_dict(timings=False)
+        return json.dumps({key: mapping[key] for key in keep},
+                          sort_keys=True)
+    assert project(row) == project(expected.to_dict(timings=True))
+    assert row["killed"] == expected.killed
+    assert row["error"] == ""
+
+
+def test_status_result_events_lifecycle(service):
+    job_id = service.handle_request({
+        "op": "submit", "scenario": dict(FAST_SCENARIO),
+    })["job_id"]
+    status = service.handle_request({"op": "status", "job_id": job_id})
+    assert status["ok"] and status["job"]["job_id"] == job_id
+    assert status["job"]["state"] in ("queued", "running", "done")
+    _wait_terminal(service, job_id)
+
+    events = service.handle_request(
+        {"op": "events", "job_id": job_id, "from": 0}
+    )
+    assert events["ok"]
+    assert events["next"] == len(events["events"]) > 0
+    for event in events["events"]:
+        validate_event(event)  # the job stream is schema-valid JSONL
+    assert events["events"][-1]["kind"] == "counters"
+    # offset polling: a fetch from the end returns the empty tail
+    tail = service.handle_request(
+        {"op": "events", "job_id": job_id, "from": events["next"]}
+    )
+    assert tail["events"] == [] and tail["next"] == events["next"]
+
+
+def test_result_before_terminal_is_not_ready():
+    # concurrency=1 and a queued second job: its result is not ready
+    service = MutationService(workers=1, concurrency=1)
+    try:
+        first = service.handle_request({
+            "op": "submit", "scenario": dict(FAST_SCENARIO),
+        })["job_id"]
+        second = service.handle_request({
+            "op": "submit",
+            "scenario": dict(FAST_SCENARIO, ident="svc-account-b"),
+        })["job_id"]
+        early = service.handle_request({"op": "result", "job_id": second})
+        assert early["ok"] and early["ready"] is False
+        assert "result" not in early
+        for job_id in (first, second):
+            assert _wait_terminal(service, job_id)["state"] == "done"
+    finally:
+        service.close()
+
+
+def test_unknown_job_ids_are_error_replies(service):
+    for op in ("status", "result", "cancel", "events"):
+        reply = service.handle_request({"op": op, "job_id": "job-424242"})
+        assert reply["ok"] is False and "unknown job" in reply["error"]
+    assert service.handle_request({"op": "status"})["ok"] is False
+
+
+def test_wall_limited_job_is_killed_and_neighbour_survives(service):
+    # A 1 ms wall deadline fires during prep; the engine/prep layers
+    # drain cooperatively and the job lands in ``killed`` while a
+    # neighbouring job on the same service completes untouched.
+    killed_id = service.handle_request({
+        "op": "submit",
+        "scenario": dict(FAST_SCENARIO, ident="svc-walled"),
+        "limits": {"wall_seconds": 0.001},
+    })["job_id"]
+    fine_id = service.handle_request({
+        "op": "submit", "scenario": dict(FAST_SCENARIO),
+    })["job_id"]
+    killed = _wait_terminal(service, killed_id)
+    fine = _wait_terminal(service, fine_id)
+    assert killed["state"] == "killed"
+    assert "wall limit" in killed["kill_reason"]
+    assert fine["state"] == "done"
+    assert fine["result"]["scenario"]["error"] == ""
+
+
+def test_stats_and_shutdown_callback(service):
+    fired = []
+    service.on_shutdown(lambda: fired.append(True))
+    stats = service.handle_request({"op": "stats"})
+    assert stats["ok"] and stats["executors"] == 2
+    reply = service.handle_request({"op": "shutdown"})
+    assert reply["ok"] and reply["stopping"] is True
+    assert fired == [True]
+    assert service.shutdown_requested.is_set()
+    # a second shutdown is harmless and does not re-fire the callback
+    assert service.handle_request({"op": "shutdown"})["ok"]
+    assert fired == [True]
